@@ -1,0 +1,23 @@
+"""Branch-sensitivity ablation (beyond the paper's figures).
+
+Quantifies how much of the paper's int/FP asymmetry in Table 2 is
+control-flow-induced: with oracle branch prediction the integer codes'
+windows stop draining at mispredicts, registers become their binding
+constraint, and the VP improvement on them should grow.
+"""
+
+from repro.experiments.branch_sensitivity import run_branch_sensitivity
+from repro.trace.workloads import INT_BENCHMARKS
+
+from benchmarks.conftest import once
+
+
+def test_branch_sensitivity(benchmark, record_table):
+    result = once(benchmark, run_branch_sensitivity)
+    record_table("branch_sensitivity", result.format())
+
+    int_bht = result.improvement_pct(False, INT_BENCHMARKS)
+    int_oracle = result.improvement_pct(True, INT_BENCHMARKS)
+    # With control flow solved, the integer VP gain must not shrink —
+    # the register wall is what remains.
+    assert int_oracle >= int_bht - 1.0

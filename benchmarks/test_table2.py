@@ -1,0 +1,50 @@
+"""Table 2: IPC of conventional vs. virtual-physical renaming.
+
+Paper claims reproduced here (shape, not absolute values):
+
+* the VP scheme (write-back allocation, NRR=32, 64 registers/file)
+  improves harmonic-mean IPC by ~19%;
+* FP programs improve far more than integer programs;
+* swim is the best case (+84% in the paper);
+* with a 20-cycle miss penalty the improvement shrinks (19% -> 12%).
+"""
+
+from repro.analysis.reports import harmonic_mean
+from repro.experiments.table2 import run_table2
+from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+
+from benchmarks.conftest import once
+
+
+def test_table2_main(benchmark, record_table):
+    result = once(benchmark, run_table2)
+    record_table("table2", result.format())
+
+    # Headline: a clear harmonic-mean improvement.
+    assert result.hmean_virtual > result.hmean_conventional * 1.05
+
+    # Per-benchmark: the VP scheme never loses badly anywhere.
+    for bench, pct in result.improvement_pct.items():
+        assert pct > -5.0, f"{bench} regressed: {pct:+.1f}%"
+
+    # FP gains dominate integer gains, as in the paper.
+    fp_gain = harmonic_mean(result.virtual_ipc[b] for b in FP_BENCHMARKS) / \
+        harmonic_mean(result.conventional_ipc[b] for b in FP_BENCHMARKS)
+    int_gain = harmonic_mean(result.virtual_ipc[b] for b in INT_BENCHMARKS) / \
+        harmonic_mean(result.conventional_ipc[b] for b in INT_BENCHMARKS)
+    assert fp_gain > int_gain
+
+    # swim is the paper's best case (+84%); ours must be the clear top.
+    assert result.improvement_pct["swim"] == max(
+        result.improvement_pct[b] for b in FP_BENCHMARKS
+    )
+    assert result.improvement_pct["swim"] > 40
+
+
+def test_table2_20_cycle_miss_penalty(benchmark, record_table):
+    result = once(benchmark, run_table2, miss_penalty=20)
+    record_table("table2_miss20", result.format())
+    # Paper §4.2.1: 12% instead of 19% — a smaller but positive gain.
+    assert 0 < result.hmean_improvement_pct
+    main = run_table2()  # cached from the main benchmark
+    assert result.hmean_improvement_pct < main.hmean_improvement_pct

@@ -1,0 +1,22 @@
+"""Window scaling (paper §5's forward-looking claim, as an extra bench).
+
+Checks that the virtual-physical advantage *grows* with the instruction
+window at a fixed 64-register budget — the argument the paper closes
+with ("for future architectures with a larger instruction window ...
+the benefits will be more important").
+"""
+
+from repro.experiments.window_scaling import run_window_scaling
+
+from benchmarks.conftest import once
+
+
+def test_window_scaling(benchmark, record_table):
+    result = once(benchmark, run_window_scaling)
+    record_table("window_scaling", result.format())
+
+    # The VP advantage at a 256-entry window exceeds the advantage at a
+    # 32-entry window (where registers are not the binding constraint).
+    assert result.improvement_pct(256) > result.improvement_pct(32)
+    # And with a tiny window the two schemes are nearly identical.
+    assert abs(result.improvement_pct(32)) < 10

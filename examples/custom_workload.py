@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Build your own workload with the loop-kernel DSL and simulate it.
+
+The trace substrate is a small DSL: kernels of symbolic statements plus
+address patterns.  This example models a sparse matrix-vector multiply
+(SpMV) — indirect gathers through an index array, a classic case where
+late register allocation pays because the gathers miss and iterations
+are independent — and compares the two renaming schemes on it.
+
+Usage::
+
+    python examples/custom_workload.py [instructions]
+"""
+
+import sys
+
+from repro import (
+    Workload,
+    conventional_config,
+    simulate,
+    virtual_physical_config,
+)
+from repro.isa.opcodes import OpClass
+from repro.trace.patterns import ArrayWalk, RandomRegion
+from repro.trace.program import CondBranch, FpOp, IntOp, Load, LoopKernel, Store
+
+KB = 1024
+
+
+def spmv_workload():
+    """y[i] += A[j] * x[col[j]] over a large sparse matrix."""
+    body = [
+        # Stream through the nonzeros and their column indices.
+        Load("aval", "values", fp=True),
+        Load("cidx", "colidx"),
+        # Indirect gather of x[col[j]] — effectively random, misses a lot.
+        Load("xv", "xvec", base="cidx", fp=True),
+        FpOp("prod", ("aval", "xv"), kind=OpClass.FP_MUL),
+        FpOp("acc", ("acc", "prod"), kind=OpClass.FP_ADD),
+        # End-of-row check (data dependent, mostly not taken).
+        CondBranch(p_taken=0.1, skip=1, src="cidx"),
+        Store("acc", "yvec", fp=True),
+        IntOp("idx", ("idx",)),
+    ]
+    kernel = LoopKernel(
+        name="spmv_row",
+        body=body,
+        iterations=48,
+        arrays={
+            "values": ArrayWalk(base=0x100_0000, length=64 * KB, elem_bytes=8),
+            "colidx": ArrayWalk(base=0x200_1000, length=64 * KB, elem_bytes=8),
+            "xvec": RandomRegion(base=0x300_2000, size_bytes=64 * KB),
+            "yvec": ArrayWalk(base=0x400_3000, length=4 * KB, elem_bytes=8),
+        },
+    )
+    return Workload("spmv", [kernel], category="fp")
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 12_000
+
+    base = simulate(conventional_config(), workload=spmv_workload(),
+                    max_instructions=instructions, skip=1_000)
+    late = simulate(virtual_physical_config(nrr=32), workload=spmv_workload(),
+                    max_instructions=instructions, skip=1_000)
+
+    print("SpMV (indirect gathers over a 64KB matrix):")
+    print("  conventional     :", base.summary())
+    print("  virtual-physical :", late.summary())
+    print(f"  speedup          : {late.ipc / base.ipc:.2f}x")
+    print()
+    print("Try it with bigger matrices or different NRR values — the DSL")
+    print("lives in repro.trace.program / repro.trace.patterns.")
+
+
+if __name__ == "__main__":
+    main()

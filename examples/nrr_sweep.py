@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Sweep the paper's critical design parameter: NRR (paper Figure 4).
+
+NRR is the number of oldest destination-writing instructions guaranteed
+a physical register — the deadlock-avoidance knob of §3.3.  A high NRR
+behaves conservatively (registers go to the oldest instructions, like
+the conventional scheme); a low NRR gambles registers on young
+instructions, which advances future work but can serialize the old.
+
+Usage::
+
+    python examples/nrr_sweep.py [workload] [instructions]
+"""
+
+import sys
+
+from repro import WORKLOADS, conventional_config, simulate, virtual_physical_config
+from repro.core.virtual_physical import AllocationStage
+
+NRR_VALUES = (1, 4, 8, 16, 24, 32)
+
+
+def main():
+    workload = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    instructions = int(sys.argv[2]) if len(sys.argv) > 2 else 10_000
+    if workload not in WORKLOADS:
+        raise SystemExit(f"unknown workload {workload!r}; "
+                         f"choose from {', '.join(sorted(WORKLOADS))}")
+
+    base = simulate(conventional_config(), workload=workload,
+                    max_instructions=instructions, skip=1_000)
+    print(f"{workload}: conventional IPC = {base.ipc:.3f}")
+    print(f"{'NRR':>4s} {'write-back':>12s} {'issue-alloc':>12s} "
+          f"{'squashes':>9s}")
+    for nrr in NRR_VALUES:
+        wb = simulate(virtual_physical_config(nrr=nrr), workload=workload,
+                      max_instructions=instructions, skip=1_000)
+        issue = simulate(
+            virtual_physical_config(nrr=nrr, allocation=AllocationStage.ISSUE),
+            workload=workload, max_instructions=instructions, skip=1_000)
+        print(f"{nrr:4d} {wb.ipc / base.ipc:11.2f}x {issue.ipc / base.ipc:11.2f}x "
+              f"{wb.stats.squashes:9d}")
+    print()
+    print("Write-back allocation reduces register pressure the most; issue")
+    print("allocation avoids re-executions but keeps registers longer.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+#!/usr/bin/env python3
+"""Quickstart: conventional vs. virtual-physical renaming in ~20 lines.
+
+Runs the paper's best-case benchmark (swim, a miss-heavy FP stencil)
+through both register-renaming schemes on the paper's machine (64
+physical registers per file) and prints the speedup.
+
+Usage::
+
+    python examples/quickstart.py [instructions]
+"""
+
+import sys
+
+from repro import conventional_config, simulate, virtual_physical_config
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+
+    base = simulate(conventional_config(), workload="swim",
+                    max_instructions=instructions, skip=2_000)
+    late = simulate(virtual_physical_config(nrr=32), workload="swim",
+                    max_instructions=instructions, skip=2_000)
+
+    print("conventional     :", base.summary())
+    print("virtual-physical :", late.summary())
+    print(f"speedup          : {late.ipc / base.ipc:.2f}x "
+          f"(the paper reports 1.84x for swim at 64 registers)")
+    print(f"re-executions    : {late.stats.squashes} squashed completions, "
+          f"{late.stats.executions_per_commit:.2f} executions per commit")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Register-file sizing study (paper Figure 7 and the 25% saving claim).
+
+The virtual-physical organization can either (a) raise IPC at a fixed
+register budget, or (b) hit the same IPC with a smaller, cheaper, faster
+register file.  This example runs a small register-file sweep over the
+benchmark suite and reports both views.
+
+Usage::
+
+    python examples/register_file_sizing.py [instructions]
+"""
+
+import sys
+
+from repro import conventional_config, simulate, virtual_physical_config
+from repro.analysis.reports import format_table, harmonic_mean
+from repro.trace.workloads import WORKLOADS
+
+SIZES = (48, 64, 96)
+
+
+def sweep(instructions):
+    benches = sorted(WORKLOADS)
+    conv, virt = {}, {}
+    for phys in SIZES:
+        conv[phys] = {}
+        virt[phys] = {}
+        for bench in benches:
+            conv[phys][bench] = simulate(
+                conventional_config(int_phys=phys, fp_phys=phys),
+                workload=bench, max_instructions=instructions, skip=1_000,
+            ).ipc
+            virt[phys][bench] = simulate(
+                virtual_physical_config(nrr=phys - 32,
+                                        int_phys=phys, fp_phys=phys),
+                workload=bench, max_instructions=instructions, skip=1_000,
+            ).ipc
+    return benches, conv, virt
+
+
+def main():
+    instructions = int(sys.argv[1]) if len(sys.argv) > 1 else 6_000
+    benches, conv, virt = sweep(instructions)
+
+    headers = ["benchmark"]
+    for phys in SIZES:
+        headers += [f"conv({phys})", f"virt({phys})"]
+    rows = []
+    for bench in benches:
+        row = [bench]
+        for phys in SIZES:
+            row += [f"{conv[phys][bench]:.2f}", f"{virt[phys][bench]:.2f}"]
+        rows.append(row)
+    hmrow = ["hmean"]
+    for phys in SIZES:
+        hmrow += [f"{harmonic_mean(conv[phys].values()):.2f}",
+                  f"{harmonic_mean(virt[phys].values()):.2f}"]
+    rows.append(hmrow)
+    print(format_table(headers, rows, title="IPC vs register file size"))
+    print()
+
+    for phys in SIZES:
+        imp = (harmonic_mean(virt[phys].values())
+               / harmonic_mean(conv[phys].values()) - 1)
+        print(f"  {phys} registers/file: virtual-physical is {imp:+.0%}")
+    vp48 = harmonic_mean(virt[48].values())
+    conv64 = harmonic_mean(conv[64].values())
+    print()
+    print(f"  VP @ 48 registers ({vp48:.2f} IPC) vs conventional @ 64 "
+          f"({conv64:.2f} IPC): the paper's register-saving argument.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""The paper's §3.1 motivation, both analytically and in simulation.
+
+Part 1 reproduces the worked example exactly: the 4-instruction chain
+
+    load f2,0(r6)   (20-cycle miss)
+    fdiv f2,f2,f10
+    fmul f2,f2,f12
+    fadd f2,f2,1
+
+holds registers for 151 register-cycles under decode-stage allocation,
+88 under issue allocation, and just 38 under write-back allocation.
+
+Part 2 measures the same effect live: the average number of allocated
+physical FP registers while the swim workload runs under each scheme.
+
+Usage::
+
+    python examples/register_pressure.py
+"""
+
+from repro import conventional_config, simulate, virtual_physical_config
+from repro.analysis.lifetime import AllocationPolicy, section_3_1_example
+from repro.core.virtual_physical import AllocationStage
+
+
+def analytical_part():
+    print("=" * 64)
+    print("Part 1 - the paper's worked example (register-cycles held)")
+    print("=" * 64)
+    model = section_3_1_example()
+    for policy in AllocationPolicy:
+        pressure = model.pressure(policy)
+        reduction = model.reduction_vs_decode(policy)
+        per_instr = model.per_instruction(policy)
+        detail = ", ".join(f"{k}={v}" for k, v in per_instr.items())
+        print(f"{policy.value:10s}: {pressure:4d} register-cycles "
+              f"({reduction:+.0%} vs decode)   [{detail}]")
+    print()
+
+
+def measured_part():
+    print("=" * 64)
+    print("Part 2 - measured FP-register occupancy on swim (64 regs/file)")
+    print("=" * 64)
+    configs = [
+        ("decode (conventional)", conventional_config()),
+        ("issue allocation", virtual_physical_config(
+            nrr=32, allocation=AllocationStage.ISSUE)),
+        ("write-back allocation", virtual_physical_config(nrr=32)),
+    ]
+    for label, cfg in configs:
+        result = simulate(cfg, workload="swim",
+                          max_instructions=10_000, skip=1_000)
+        occupancy = result.stats.avg_reg_occupancy("fp")
+        print(f"{label:24s}: {occupancy:5.1f} FP registers allocated "
+              f"on average, IPC={result.ipc:.2f}")
+    print()
+    print("Late allocation holds fewer registers at the same moment -> the")
+    print("same 64-entry file sustains a much larger instruction window.")
+
+
+if __name__ == "__main__":
+    analytical_part()
+    measured_part()

@@ -1,0 +1,11 @@
+"""Setup shim for offline environments.
+
+All metadata lives in setup.cfg.  The pair (setup.py + setup.cfg,
+deliberately *without* a pyproject.toml) keeps ``pip install -e .`` on
+pip's legacy, network-free code path; a pyproject.toml would trigger
+PEP 517/660 build isolation, which downloads setuptools.
+"""
+
+from setuptools import setup
+
+setup()

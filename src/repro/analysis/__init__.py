@@ -1,0 +1,28 @@
+"""Analysis utilities: register-lifetime accounting and report formatting."""
+
+from repro.analysis.occupancy import OccupancySampler, OccupancySeries
+from repro.analysis.lifetime import (
+    AllocationPolicy,
+    LifetimeEvent,
+    RegisterPressureModel,
+    section_3_1_example,
+)
+from repro.analysis.reports import (
+    format_table,
+    geometric_mean,
+    harmonic_mean,
+    speedup_table,
+)
+
+__all__ = [
+    "OccupancySampler",
+    "OccupancySeries",
+    "AllocationPolicy",
+    "LifetimeEvent",
+    "RegisterPressureModel",
+    "section_3_1_example",
+    "format_table",
+    "geometric_mean",
+    "harmonic_mean",
+    "speedup_table",
+]

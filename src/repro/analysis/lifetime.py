@@ -1,0 +1,115 @@
+"""Register-lifetime accounting — the paper's §3.1 analytical model.
+
+The paper motivates late allocation with a 4-instruction example::
+
+    load f2,0(r6)     # 20-cycle cache miss
+    fdiv f2,f2,f10    # 20 cycles
+    fmul f2,f2,f12    # 10 cycles
+    fadd f2,f2,1      #  5 cycles
+
+Under decode-stage allocation the three dependent instructions hold
+their physical registers for 42/52/57 cycles; under write-back
+allocation for only 21/11/6 (a 75% reduction of register pressure,
+measured as allocated register-cycles); under issue allocation 41/31/16
+(a 42% reduction).  :func:`section_3_1_example` reproduces those exact
+numbers, and :class:`RegisterPressureModel` generalizes the computation
+to any schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class AllocationPolicy(Enum):
+    """When the destination's physical register is allocated."""
+
+    DECODE = "decode"
+    ISSUE = "issue"
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class LifetimeEvent:
+    """The schedule of one instruction, in absolute cycles.
+
+    ``decode``: cycle the instruction is renamed.
+    ``issue``: cycle it leaves the instruction queue.
+    ``complete``: cycle its execution finishes (result available).
+    ``release``: cycle its physical register is freed (= the commit of
+    the next instruction writing the same logical register).
+    """
+
+    name: str
+    decode: int
+    issue: int
+    complete: int
+    release: int
+
+    def __post_init__(self):
+        if not self.decode <= self.issue <= self.complete <= self.release:
+            raise ValueError(
+                f"{self.name}: schedule must satisfy decode <= issue <= "
+                "complete <= release"
+            )
+
+    def allocation_cycle(self, policy):
+        if policy is AllocationPolicy.DECODE:
+            return self.decode
+        if policy is AllocationPolicy.ISSUE:
+            return self.issue
+        return self.complete
+
+    def held_cycles(self, policy):
+        """How long the physical register stays allocated under ``policy``."""
+        return self.release - self.allocation_cycle(policy)
+
+
+class RegisterPressureModel:
+    """Aggregate register pressure of a set of lifetimes.
+
+    Pressure is the paper's metric: "the sum of the number of cycles
+    that a register is allocated for each produced value".
+    """
+
+    def __init__(self, events):
+        self.events = list(events)
+        if not self.events:
+            raise ValueError("need at least one lifetime event")
+
+    def pressure(self, policy):
+        return sum(e.held_cycles(policy) for e in self.events)
+
+    def reduction_vs_decode(self, policy):
+        """Fractional pressure reduction of ``policy`` vs. decode allocation."""
+        base = self.pressure(AllocationPolicy.DECODE)
+        return 1.0 - self.pressure(policy) / base
+
+    def per_instruction(self, policy):
+        return {e.name: e.held_cycles(policy) for e in self.events}
+
+
+def section_3_1_example():
+    """The paper's worked example as a :class:`RegisterPressureModel`.
+
+    Timeline (paper §3.1): the four instructions decode at cycle 0; the
+    load starts at cycle 1 and misses (20 cycles); fdiv/fmul/fadd issue
+    as soon as their operand arrives and commit the cycle after
+    completing, releasing the previous register:
+
+    * p1 (load): complete 21, released by fdiv's commit at 42,
+    * p2 (fdiv): issue 21, complete 41, released by fmul's commit at 52,
+    * p3 (fmul): issue 41, complete 51, released by fadd's commit at 57,
+    * p4 (fadd): issue 51, complete 56 — the paper leaves its release
+      open (the next writer of f2 is outside the example), so only
+      p1..p3 enter the pressure sums: 42+52+57 = 151 register-cycles at
+      decode allocation, 21+11+6 = 38 at write-back (-75%), and
+      41+31+16 = 88 at issue allocation (-42%).
+    """
+    events = [
+        LifetimeEvent("load", decode=0, issue=1, complete=21, release=42),
+        LifetimeEvent("fdiv", decode=0, issue=21, complete=41, release=52),
+        LifetimeEvent("fmul", decode=0, issue=41, complete=51, release=57),
+    ]
+    return RegisterPressureModel(events)

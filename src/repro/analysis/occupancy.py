@@ -1,0 +1,92 @@
+"""Time-series sampling of machine occupancy.
+
+The register-pressure argument of the paper is fundamentally about
+*occupancy over time*: how many physical registers are allocated at
+each instant, and how deep the useful window is.  This module attaches
+a sampler to a processor and produces summary statistics and a coarse
+text sparkline — useful both for the examples and for diagnosing
+workload calibration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.registers import RegClass
+
+
+@dataclass
+class OccupancySeries:
+    """Sampled per-cycle machine occupancy."""
+
+    interval: int
+    int_regs: list = field(default_factory=list)
+    fp_regs: list = field(default_factory=list)
+    rob: list = field(default_factory=list)
+
+    def _summary(self, series):
+        if not series:
+            return {"min": 0, "mean": 0.0, "max": 0, "p95": 0}
+        ordered = sorted(series)
+        p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        return {
+            "min": ordered[0],
+            "mean": sum(series) / len(series),
+            "max": ordered[-1],
+            "p95": p95,
+        }
+
+    def summary(self):
+        """Min/mean/p95/max for each sampled quantity."""
+        return {
+            "int_regs": self._summary(self.int_regs),
+            "fp_regs": self._summary(self.fp_regs),
+            "rob": self._summary(self.rob),
+        }
+
+    def sparkline(self, series_name="fp_regs", width=60, ceiling=None):
+        """A coarse text plot of one series."""
+        series = getattr(self, series_name)
+        if not series:
+            return "(empty)"
+        ceiling = ceiling or max(series) or 1
+        glyphs = " .:-=+*#%@"
+        step = max(1, len(series) // width)
+        buckets = [
+            max(series[i:i + step]) for i in range(0, len(series), step)
+        ]
+        chars = []
+        for value in buckets[:width]:
+            idx = min(len(glyphs) - 1,
+                      int(value / ceiling * (len(glyphs) - 1)))
+            chars.append(glyphs[idx])
+        return "".join(chars)
+
+
+class OccupancySampler:
+    """Samples a processor's occupancy every ``interval`` cycles."""
+
+    def __init__(self, interval=16):
+        if interval < 1:
+            raise ValueError("sampling interval must be at least 1 cycle")
+        self.interval = interval
+        self.series = OccupancySeries(interval=interval)
+
+    @classmethod
+    def attach(cls, processor, interval=16):
+        """Wrap the processor's cycle loop; returns the sampler."""
+        sampler = cls(interval=interval)
+        orig_step = processor._step
+
+        def sampling_step():
+            orig_step()
+            if processor.now % sampler.interval == 0:
+                renamer = processor.renamer
+                sampler.series.int_regs.append(
+                    renamer.allocated_physical(RegClass.INT))
+                sampler.series.fp_regs.append(
+                    renamer.allocated_physical(RegClass.FP))
+                sampler.series.rob.append(len(processor.rob))
+
+        processor._step = sampling_step
+        return sampler

@@ -1,0 +1,71 @@
+"""Plain-text report formatting for the experiment harness.
+
+The benchmark harness prints tables shaped like the paper's: one row per
+benchmark plus the harmonic mean, the aggregation the paper uses for
+Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def harmonic_mean(values):
+    """The paper's Table 2 aggregate (appropriate for rates like IPC)."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("harmonic mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("harmonic mean requires positive values")
+    return len(vals) / sum(1.0 / v for v in vals)
+
+
+def geometric_mean(values):
+    """Customary aggregate for speedups."""
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean requires positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(headers, rows, title=None):
+    """Fixed-width table; all cells are str()-ed."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, c in enumerate(row):
+            widths[i] = max(widths[i], len(c))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def speedup_table(benchmarks, baseline_ipc, variant_ipcs, variant_names,
+                  title=None):
+    """Rows of per-benchmark speedups for several variants.
+
+    ``baseline_ipc`` and each entry of ``variant_ipcs`` map benchmark
+    name -> IPC; the returned string has one row per benchmark and a
+    closing harmonic-mean row, matching the paper's figures.
+    """
+    headers = ["benchmark"] + [f"{name}" for name in variant_names]
+    rows = []
+    for bench in benchmarks:
+        row = [bench]
+        for ipcs in variant_ipcs:
+            row.append(f"{ipcs[bench] / baseline_ipc[bench]:.3f}")
+        rows.append(row)
+    hm_base = harmonic_mean(baseline_ipc[b] for b in benchmarks)
+    hm_row = ["hmean"]
+    for ipcs in variant_ipcs:
+        hm = harmonic_mean(ipcs[b] for b in benchmarks)
+        hm_row.append(f"{hm / hm_base:.3f}")
+    rows.append(hm_row)
+    return format_table(headers, rows, title=title)

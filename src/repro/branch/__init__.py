@@ -1,0 +1,9 @@
+"""Branch prediction substrate.
+
+The paper: "Branch prediction is performed using a 2048 entry Branch
+History Table with a 2 bit up-down saturated counter per entry."
+"""
+
+from repro.branch.bht import BranchHistoryTable, PerfectPredictor, StaticTakenPredictor
+
+__all__ = ["BranchHistoryTable", "PerfectPredictor", "StaticTakenPredictor"]

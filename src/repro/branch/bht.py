@@ -1,0 +1,101 @@
+"""Branch History Table with 2-bit up/down saturating counters.
+
+Counter encoding (classic Smith predictor):
+
+    0 = strongly not-taken, 1 = weakly not-taken,
+    2 = weakly taken,       3 = strongly taken.
+
+Prediction is the counter's top bit; update moves the counter one step
+toward the observed outcome and saturates at 0 / 3.
+"""
+
+from __future__ import annotations
+
+STRONG_NOT_TAKEN = 0
+WEAK_NOT_TAKEN = 1
+WEAK_TAKEN = 2
+STRONG_TAKEN = 3
+
+
+class BranchHistoryTable:
+    """Direct-mapped PC-indexed table of 2-bit saturating counters."""
+
+    def __init__(self, entries=2048, initial=WEAK_NOT_TAKEN):
+        if entries <= 0 or entries & (entries - 1):
+            raise ValueError("BHT entry count must be a positive power of two")
+        if not STRONG_NOT_TAKEN <= initial <= STRONG_TAKEN:
+            raise ValueError("initial counter must be in 0..3")
+        self.entries = entries
+        self._mask = entries - 1
+        self._counters = [initial] * entries
+        self.lookups = 0
+        self.hits = 0  # correct predictions
+
+    def _index(self, pc):
+        # Instructions are 4-byte aligned; drop the low bits before masking
+        # so consecutive branches map to different entries.
+        return (pc >> 2) & self._mask
+
+    def predict(self, pc):
+        """Return the predicted direction for the branch at ``pc``."""
+        return self._counters[self._index(pc)] >= WEAK_TAKEN
+
+    def update(self, pc, taken):
+        """Train the counter at ``pc`` with the resolved direction."""
+        idx = self._index(pc)
+        ctr = self._counters[idx]
+        if taken:
+            if ctr < STRONG_TAKEN:
+                self._counters[idx] = ctr + 1
+        else:
+            if ctr > STRONG_NOT_TAKEN:
+                self._counters[idx] = ctr - 1
+
+    def predict_and_train(self, pc, taken):
+        """Predict, record accuracy stats, and train in one step.
+
+        Returns True when the prediction matched the outcome.  The
+        simulator calls :meth:`predict` at fetch and :meth:`update` at
+        resolve; this combined helper exists for accuracy measurements in
+        tests and workload calibration.
+        """
+        self.lookups += 1
+        correct = self.predict(pc) == taken
+        if correct:
+            self.hits += 1
+        self.update(pc, taken)
+        return correct
+
+    @property
+    def accuracy(self):
+        """Fraction of correct predictions seen by predict_and_train."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def counter(self, pc):
+        """Expose the raw counter value (for tests)."""
+        return self._counters[self._index(pc)]
+
+
+class PerfectPredictor:
+    """Oracle predictor; useful to isolate renaming effects in tests."""
+
+    def predict(self, pc):  # pragma: no cover - direction ignored by caller
+        raise NotImplementedError("perfect predictor is queried with the outcome")
+
+    def predict_with_outcome(self, pc, taken):
+        return taken
+
+    def update(self, pc, taken):
+        return None
+
+
+class StaticTakenPredictor:
+    """Always-taken static predictor (a common 1990s baseline)."""
+
+    def predict(self, pc):
+        return True
+
+    def update(self, pc, taken):
+        return None

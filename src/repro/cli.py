@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``run``
+    Simulate one workload under one renaming scheme and print a summary.
+``compare``
+    Run conventional and virtual-physical side by side.
+``table2`` / ``figure4`` / ``figure5`` / ``figure6`` / ``figure7``
+    Regenerate a paper artifact and print it.
+``ablation`` / ``window-scaling`` / ``branch-sensitivity``
+    Run the extra experiments that go beyond the paper's figures.
+``workloads``
+    List the available benchmark models.
+``dump-trace``
+    Write the first N records of a workload's dynamic trace to a file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.virtual_physical import AllocationStage
+from repro.trace.generator import SyntheticTrace
+from repro.trace.io import save_trace
+from repro.trace.workloads import WORKLOADS, load_workload
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import simulate
+
+_SCHEMES = ("conventional", "vp-writeback", "vp-issue", "early-release")
+
+
+def _config_for(args):
+    changes = {}
+    if args.phys is not None:
+        changes["int_phys"] = args.phys
+        changes["fp_phys"] = args.phys
+    if args.scheme == "conventional":
+        return conventional_config(**changes)
+    if args.scheme == "early-release":
+        return ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE).with_(**changes)
+    allocation = (AllocationStage.ISSUE if args.scheme == "vp-issue"
+                  else AllocationStage.WRITEBACK)
+    nrr = args.nrr
+    if nrr is None:
+        phys = changes.get("int_phys", 64)
+        nrr = phys - 32
+    return virtual_physical_config(nrr=nrr, allocation=allocation, **changes)
+
+
+def _add_run_args(parser):
+    parser.add_argument("workload", choices=sorted(WORKLOADS))
+    parser.add_argument("-n", "--instructions", type=int, default=30_000)
+    parser.add_argument("--skip", type=int, default=3_000)
+    parser.add_argument("--seed", type=int, default=1234)
+    parser.add_argument("--phys", type=int, default=None,
+                        help="physical registers per file (default 64)")
+
+
+def cmd_run(args):
+    result = simulate(_config_for(args), workload=args.workload,
+                      max_instructions=args.instructions, skip=args.skip,
+                      seed=args.seed)
+    print(result.summary())
+    stats = result.stats
+    print(f"  squashes={stats.squashes} "
+          f"issue-blocks={stats.issue_alloc_blocks} "
+          f"rename-stalls(reg)={stats.stall_no_reg} "
+          f"rob-full={stats.stall_rob_full} "
+          f"avg-regs int/fp={stats.avg_reg_occupancy('int'):.1f}/"
+          f"{stats.avg_reg_occupancy('fp'):.1f}")
+    return 0
+
+
+def cmd_compare(args):
+    ipcs = {}
+    for scheme in ("conventional", "vp-writeback"):
+        args.scheme = scheme
+        result = simulate(_config_for(args), workload=args.workload,
+                          max_instructions=args.instructions, skip=args.skip,
+                          seed=args.seed)
+        ipcs[scheme] = result.ipc
+        print(f"{scheme:15s}: {result.summary()}")
+    speedup = ipcs["vp-writeback"] / ipcs["conventional"]
+    print(f"speedup        : {speedup:.2f}x")
+    return 0
+
+
+def cmd_workloads(args):
+    for name in sorted(WORKLOADS):
+        wl = load_workload(name)
+        kernels = ", ".join(k.name for k in wl.kernels)
+        print(f"{name:10s} [{wl.category}]  kernels: {kernels}")
+    return 0
+
+
+def cmd_dump_trace(args):
+    trace = SyntheticTrace(load_workload(args.workload), args.seed)
+    count = save_trace(trace.take(args.instructions), args.output)
+    print(f"wrote {count} records to {args.output}")
+    return 0
+
+
+def _experiment_command(runner_name):
+    def cmd(args):
+        from repro import experiments
+
+        runner = getattr(experiments, runner_name)
+        result = runner()
+        print(result.format())
+        return 0
+
+    return cmd
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Virtual-Physical Registers' (HPCA 1998)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="simulate one workload")
+    _add_run_args(run)
+    run.add_argument("--scheme", choices=_SCHEMES, default="conventional")
+    run.add_argument("--nrr", type=int, default=None)
+    run.set_defaults(fn=cmd_run)
+
+    compare = sub.add_parser("compare", help="conventional vs virtual-physical")
+    _add_run_args(compare)
+    compare.add_argument("--nrr", type=int, default=None)
+    compare.set_defaults(fn=cmd_compare)
+
+    for name, runner in (
+        ("table2", "run_table2"),
+        ("figure4", "run_figure4"),
+        ("figure5", "run_figure5"),
+        ("figure6", "run_figure6"),
+        ("figure7", "run_figure7"),
+        ("ablation", "run_ablation"),
+        ("window-scaling", "run_window_scaling"),
+        ("branch-sensitivity", "run_branch_sensitivity"),
+    ):
+        p = sub.add_parser(name, help=f"regenerate {name} from the paper")
+        p.set_defaults(fn=_experiment_command(runner))
+
+    wl = sub.add_parser("workloads", help="list workload models")
+    wl.set_defaults(fn=cmd_workloads)
+
+    dump = sub.add_parser("dump-trace", help="serialize a synthetic trace")
+    dump.add_argument("workload", choices=sorted(WORKLOADS))
+    dump.add_argument("output")
+    dump.add_argument("-n", "--instructions", type=int, default=10_000)
+    dump.add_argument("--seed", type=int, default=1234)
+    dump.set_defaults(fn=cmd_dump_trace)
+
+    return parser
+
+
+def main(argv=None):
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's contribution: register renaming schemes.
+
+* :class:`ConventionalRenamer` — the baseline (allocate at decode, free
+  at commit of the next writer of the same logical register).
+* :class:`VirtualPhysicalRenamer` — the proposed scheme: VP tags at
+  decode, physical registers allocated at issue or write-back, NRR
+  deadlock avoidance with squash-and-re-execute.
+* :class:`EarlyReleaseRenamer` — the counter-based early-freeing scheme
+  of the paper's refs [8][10], as an ablation baseline.
+"""
+
+from repro.core.freelist import FreeList
+from repro.core.tags import make_tag, tag_class, tag_ident
+from repro.core.renamer import Renamer
+from repro.core.conventional import ConventionalRenamer
+from repro.core.reserve import ReservePolicy
+from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.core.early_release import EarlyReleaseRenamer
+
+__all__ = [
+    "FreeList",
+    "make_tag",
+    "tag_class",
+    "tag_ident",
+    "Renamer",
+    "ConventionalRenamer",
+    "ReservePolicy",
+    "AllocationStage",
+    "VirtualPhysicalRenamer",
+    "EarlyReleaseRenamer",
+]

@@ -1,0 +1,60 @@
+"""Free pools of register identifiers.
+
+Both renaming schemes draw destination registers from free pools: the
+conventional scheme keeps one pool of physical registers per class; the
+virtual-physical scheme adds a pool of VP tags per class.  FIFO order
+keeps allocation deterministic, which golden tests rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+
+class FreeList:
+    """FIFO pool of register identifiers with occupancy statistics."""
+
+    def __init__(self, identifiers):
+        self._free = deque(identifiers)
+        self._capacity = len(self._free)
+        self._members = set(self._free)
+        if len(self._members) != self._capacity:
+            raise ValueError("free list initialized with duplicate identifiers")
+        self.allocations = 0
+        self.min_free = self._capacity
+
+    @property
+    def capacity(self):
+        """Total identifiers managed by this pool (free + allocated)."""
+        return self._capacity
+
+    @property
+    def free_count(self):
+        return len(self._free)
+
+    @property
+    def allocated_count(self):
+        return self._capacity - len(self._free)
+
+    def __contains__(self, ident):
+        return ident in self._members
+
+    def allocate(self):
+        """Pop the oldest free identifier; raises when empty."""
+        if not self._free:
+            raise RuntimeError("free list exhausted")
+        ident = self._free.popleft()
+        self._members.discard(ident)
+        self.allocations += 1
+        if len(self._free) < self.min_free:
+            self.min_free = len(self._free)
+        return ident
+
+    def release(self, ident):
+        """Return an identifier to the pool."""
+        if ident in self._members:
+            raise ValueError(f"double free of register {ident}")
+        self._members.add(ident)
+        self._free.append(ident)
+        if len(self._free) > self._capacity:
+            raise RuntimeError("free list grew beyond its capacity")

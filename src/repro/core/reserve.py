@@ -1,0 +1,116 @@
+"""NRR deadlock avoidance (paper §3.3).
+
+Late allocation can exhaust physical registers *after* instructions have
+executed; if every register is held by completed-but-uncommitted young
+instructions, the oldest instruction can never complete and nothing ever
+commits — deadlock.  The paper's fix: guarantee the **NRR oldest
+instructions with a destination register** (per class) a physical
+register.  Hardware-wise this is the PRRint/PRRfp pointer walking the
+reorder buffer plus the Reg and Used counters.
+
+This module keeps the same state with an equivalent O(1) formulation:
+the *reserved set* is the oldest ``reg <= NRR`` destination-writing
+instructions; a FIFO of not-yet-reserved destination writers stands in
+for "advance the pointer to the next such instruction".
+
+Allocation rule (verbatim from the paper): an instruction may allocate
+"provided that there are more free physical registers than NRR minus
+Used, or it is an instruction not youngest than the one pointed by PRR"
+— i.e. it is in the reserved set.  Because non-reserved instructions
+always leave ``NRR - Used`` registers free, a reserved instruction can
+*always* allocate; that is the no-deadlock guarantee (tested as a
+property).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.isa.registers import RegClass
+
+
+class _ClassReserve:
+    """Reserve bookkeeping for one register class (int or FP)."""
+
+    __slots__ = ("nrr", "reg", "used", "_pending")
+
+    def __init__(self, nrr):
+        self.nrr = nrr
+        self.reg = 0  # instructions currently reserved (paper: Reg counter)
+        self.used = 0  # reserved instructions that already hold a register
+        self._pending = deque()  # destination writers not yet reserved, old->young
+
+    def on_dispatch(self, instr):
+        if self.reg < self.nrr:
+            instr.reserved = True
+            self.reg += 1
+        else:
+            self._pending.append(instr)
+
+    def on_allocate(self, instr):
+        if instr.reserved:
+            self.used += 1
+
+    def on_commit(self, instr):
+        if not instr.reserved:
+            raise RuntimeError(
+                "committing destination writer was not reserved; "
+                "reserve bookkeeping is corrupt"
+            )
+        self.reg -= 1
+        self.used -= 1  # the committing instruction held a register
+        # Advance the PRR pointer: reserve the next destination writer.
+        while self._pending:
+            nxt = self._pending.popleft()
+            if nxt.squashed:
+                continue
+            nxt.reserved = True
+            self.reg += 1
+            if nxt.dest_phys >= 0:
+                self.used += 1
+            break
+
+    def may_allocate(self, instr, free_count):
+        if instr.reserved:
+            return True
+        return free_count > self.nrr - self.used
+
+    def drop_younger_than(self, seq):
+        """Recovery support: forget pending writers younger than ``seq``."""
+        while self._pending and self._pending[-1].seq > seq:
+            self._pending.pop()
+
+
+class ReservePolicy:
+    """Per-class NRR state, as the paper keeps PRRint and PRRfp."""
+
+    def __init__(self, nrr_int, nrr_fp):
+        if nrr_int < 1 or nrr_fp < 1:
+            raise ValueError("NRR must be at least 1 to guarantee progress")
+        self._cls = {
+            RegClass.INT: _ClassReserve(nrr_int),
+            RegClass.FP: _ClassReserve(nrr_fp),
+        }
+
+    def on_dispatch(self, instr):
+        if instr.dest_cls is not None:
+            self._cls[instr.dest_cls].on_dispatch(instr)
+
+    def on_allocate(self, instr):
+        self._cls[instr.dest_cls].on_allocate(instr)
+
+    def on_commit(self, instr):
+        if instr.dest_cls is not None:
+            self._cls[instr.dest_cls].on_commit(instr)
+
+    def may_allocate(self, instr, free_count):
+        return self._cls[instr.dest_cls].may_allocate(instr, free_count)
+
+    def drop_younger_than(self, seq):
+        for state in self._cls.values():
+            state.drop_younger_than(seq)
+
+    def counters(self, cls):
+        """(reg, used) counters for inspection and tests."""
+        state = self._cls[cls]
+        return state.reg, state.used

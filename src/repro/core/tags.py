@@ -1,0 +1,29 @@
+"""Dependence tags.
+
+The issue logic tracks dependences through opaque integer *tags*: under
+conventional renaming a tag names a physical register, under the
+virtual-physical scheme a tag names a VP register.  Tags embed the
+register class so the two rename files share one wakeup namespace::
+
+    tag = (reg_class << TAG_CLASS_SHIFT) | identifier
+"""
+
+from __future__ import annotations
+
+from repro.isa.registers import RegClass
+
+TAG_CLASS_SHIFT = 16
+_ID_MASK = (1 << TAG_CLASS_SHIFT) - 1
+
+
+def make_tag(cls, ident):
+    """Build a dependence tag from a register class and an identifier."""
+    return (int(cls) << TAG_CLASS_SHIFT) | ident
+
+
+def tag_class(tag):
+    return RegClass(tag >> TAG_CLASS_SHIFT)
+
+
+def tag_ident(tag):
+    return tag & _ID_MASK

@@ -1,0 +1,80 @@
+"""Experiment runners — one entry point per table/figure of the paper.
+
+================  ==========================================
+Paper artifact    Entry point
+================  ==========================================
+Table 2           :func:`repro.experiments.table2.run_table2`
+Figure 4          :func:`repro.experiments.figures.run_figure4`
+Figure 5          :func:`repro.experiments.figures.run_figure5`
+Figure 6          :func:`repro.experiments.figures.run_figure6`
+Figure 7          :func:`repro.experiments.figures.run_figure7`
+(extra) ablation  :func:`repro.experiments.ablation.run_ablation`
+================  ==========================================
+"""
+
+from repro.experiments import paper_data
+from repro.experiments.runner import (
+    ALL_BENCHMARKS,
+    ResultCache,
+    RunSpec,
+    SHARED_CACHE,
+    bench_instructions,
+    bench_seed,
+    bench_skip,
+    conventional_ipcs,
+    virtual_physical_ipcs,
+)
+from repro.experiments.table2 import Table2Result, run_table2
+from repro.experiments.figures import (
+    Figure6Result,
+    Figure7Result,
+    NrrSweepResult,
+    NRR_SWEEP,
+    PHYS_SWEEP,
+    run_figure4,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_nrr_sweep,
+)
+from repro.experiments.ablation import AblationResult, run_ablation
+from repro.experiments.window_scaling import (
+    WINDOW_SWEEP,
+    WindowScalingResult,
+    run_window_scaling,
+)
+from repro.experiments.branch_sensitivity import (
+    BranchSensitivityResult,
+    run_branch_sensitivity,
+)
+
+__all__ = [
+    "paper_data",
+    "ALL_BENCHMARKS",
+    "ResultCache",
+    "RunSpec",
+    "SHARED_CACHE",
+    "bench_instructions",
+    "bench_seed",
+    "bench_skip",
+    "conventional_ipcs",
+    "virtual_physical_ipcs",
+    "Table2Result",
+    "run_table2",
+    "Figure6Result",
+    "Figure7Result",
+    "NrrSweepResult",
+    "NRR_SWEEP",
+    "PHYS_SWEEP",
+    "run_figure4",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_nrr_sweep",
+    "run_ablation",
+    "WINDOW_SWEEP",
+    "WindowScalingResult",
+    "run_window_scaling",
+    "BranchSensitivityResult",
+    "run_branch_sensitivity",
+]

@@ -1,0 +1,72 @@
+"""Ablation: which source of register waste matters more?
+
+The paper's §3.1 identifies two sources of waste in conventional
+renaming and positions virtual-physical registers as eliminating the
+first (allocation long before the value exists); the counter-based
+early-release scheme of refs [8][10] eliminates the second (release
+long after the last use).  This experiment — discussed but not plotted
+in the paper — compares all three schemes plus the combination
+directions on the full benchmark suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reports import format_table, harmonic_mean
+from repro.experiments.runner import (
+    ALL_BENCHMARKS,
+    SHARED_CACHE,
+    RunSpec,
+)
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+
+
+@dataclass
+class AblationResult:
+    """IPC per benchmark for each renaming scheme."""
+
+    conventional: dict = field(default_factory=dict)
+    early_release: dict = field(default_factory=dict)
+    virtual_physical: dict = field(default_factory=dict)
+
+    def format(self):
+        headers = ["benchmark", "conv", "early-release", "virtual-physical"]
+        rows = []
+        for b in ALL_BENCHMARKS:
+            rows.append([
+                b,
+                f"{self.conventional[b]:.2f}",
+                f"{self.early_release[b]:.2f}",
+                f"{self.virtual_physical[b]:.2f}",
+            ])
+        hm = lambda d: harmonic_mean(d[b] for b in ALL_BENCHMARKS)
+        rows.append([
+            "hmean",
+            f"{hm(self.conventional):.2f}",
+            f"{hm(self.early_release):.2f}",
+            f"{hm(self.virtual_physical):.2f}",
+        ])
+        return format_table(
+            headers, rows,
+            title="Ablation: early release (waste #2) vs. late allocation (waste #1)",
+        )
+
+
+def run_ablation(cache=None):
+    """IPC of conventional / early-release / VP renaming at 64 registers."""
+    cache = cache or SHARED_CACHE
+    result = AblationResult()
+    conv = conventional_config()
+    early = ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE)
+    vp = virtual_physical_config(nrr=32)
+    for bench in ALL_BENCHMARKS:
+        result.conventional[bench] = cache.run(RunSpec(bench, conv)).ipc
+        result.early_release[bench] = cache.run(RunSpec(bench, early)).ipc
+        result.virtual_physical[bench] = cache.run(RunSpec(bench, vp)).ipc
+    return result

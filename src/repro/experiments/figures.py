@@ -1,0 +1,197 @@
+"""Figures 4-7 — the paper's parameter sweeps.
+
+* **Figure 4**: speedup of the VP scheme with *write-back* allocation
+  over conventional renaming, per benchmark, for NRR in
+  {1, 4, 8, 16, 24, 32} (64 physical registers).
+* **Figure 5**: the same sweep with *issue*-stage allocation.
+* **Figure 6**: write-back vs. issue allocation head-to-head, each at
+  its best NRR (32 for both, per the paper).
+* **Figure 7**: IPC of conventional vs. VP for 48/64/96 physical
+  registers per file, with NRR at its maximum (16/32/64).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reports import format_table, harmonic_mean
+from repro.core.virtual_physical import AllocationStage
+from repro.experiments.runner import (
+    ALL_BENCHMARKS,
+    SHARED_CACHE,
+    conventional_ipcs,
+    virtual_physical_ipcs,
+)
+from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+
+NRR_SWEEP = (1, 4, 8, 16, 24, 32)
+PHYS_SWEEP = (48, 64, 96)
+
+
+@dataclass
+class NrrSweepResult:
+    """Figures 4 and 5: per-benchmark speedups across NRR values."""
+
+    allocation: AllocationStage
+    nrr_values: tuple = NRR_SWEEP
+    baseline_ipc: dict = field(default_factory=dict)
+    vp_ipc: dict = field(default_factory=dict)  # nrr -> {bench: ipc}
+
+    def speedup(self, nrr, bench):
+        return self.vp_ipc[nrr][bench] / self.baseline_ipc[bench]
+
+    def speedups_at(self, nrr):
+        return {b: self.speedup(nrr, b) for b in self.baseline_ipc}
+
+    def mean_fp_speedup(self, nrr):
+        base = harmonic_mean(self.baseline_ipc[b] for b in FP_BENCHMARKS)
+        virt = harmonic_mean(self.vp_ipc[nrr][b] for b in FP_BENCHMARKS)
+        return virt / base
+
+    def mean_speedup(self, nrr):
+        base = harmonic_mean(self.baseline_ipc[b] for b in ALL_BENCHMARKS)
+        virt = harmonic_mean(self.vp_ipc[nrr][b] for b in ALL_BENCHMARKS)
+        return virt / base
+
+    def best_nrr(self):
+        return max(self.nrr_values, key=self.mean_speedup)
+
+    def format(self):
+        stage = self.allocation.value
+        headers = ["benchmark"] + [f"NRR={n}" for n in self.nrr_values]
+        rows = []
+        for b in ALL_BENCHMARKS:
+            rows.append([b] + [f"{self.speedup(n, b):.2f}" for n in self.nrr_values])
+        rows.append(
+            ["hmean"] + [f"{self.mean_speedup(n):.2f}" for n in self.nrr_values]
+        )
+        figure = "Figure 4" if self.allocation is AllocationStage.WRITEBACK else "Figure 5"
+        return format_table(
+            headers, rows,
+            title=f"{figure}: VP speedup over conventional ({stage} allocation)",
+        )
+
+
+def run_nrr_sweep(allocation, nrr_values=NRR_SWEEP, cache=None):
+    """Shared engine for Figures 4 and 5."""
+    cache = cache or SHARED_CACHE
+    result = NrrSweepResult(allocation=AllocationStage(allocation),
+                            nrr_values=tuple(nrr_values))
+    result.baseline_ipc = conventional_ipcs(cache)
+    for nrr in result.nrr_values:
+        result.vp_ipc[nrr] = virtual_physical_ipcs(
+            nrr, allocation=result.allocation, cache=cache
+        )
+    return result
+
+
+def run_figure4(cache=None):
+    """Figure 4: NRR sweep with write-back allocation."""
+    return run_nrr_sweep(AllocationStage.WRITEBACK, cache=cache)
+
+
+def run_figure5(cache=None):
+    """Figure 5: NRR sweep with issue-stage allocation."""
+    return run_nrr_sweep(AllocationStage.ISSUE, cache=cache)
+
+
+@dataclass
+class Figure6Result:
+    """Write-back vs. issue allocation, each at its optimal NRR (32)."""
+
+    baseline_ipc: dict = field(default_factory=dict)
+    writeback_ipc: dict = field(default_factory=dict)
+    issue_ipc: dict = field(default_factory=dict)
+
+    def writeback_speedup(self, bench):
+        return self.writeback_ipc[bench] / self.baseline_ipc[bench]
+
+    def issue_speedup(self, bench):
+        return self.issue_ipc[bench] / self.baseline_ipc[bench]
+
+    def format(self):
+        headers = ["benchmark", "write-back", "issue"]
+        rows = [
+            [b, f"{self.writeback_speedup(b):.2f}", f"{self.issue_speedup(b):.2f}"]
+            for b in ALL_BENCHMARKS
+        ]
+        hm = lambda ipcs: harmonic_mean(ipcs[b] for b in ALL_BENCHMARKS)
+        base = hm(self.baseline_ipc)
+        rows.append([
+            "hmean",
+            f"{hm(self.writeback_ipc) / base:.2f}",
+            f"{hm(self.issue_ipc) / base:.2f}",
+        ])
+        return format_table(
+            headers, rows,
+            title="Figure 6: write-back vs. issue register allocation (NRR=32)",
+        )
+
+
+def run_figure6(cache=None):
+    """Figure 6: both allocation stages at NRR=32."""
+    cache = cache or SHARED_CACHE
+    result = Figure6Result()
+    result.baseline_ipc = conventional_ipcs(cache)
+    result.writeback_ipc = virtual_physical_ipcs(
+        32, allocation=AllocationStage.WRITEBACK, cache=cache
+    )
+    result.issue_ipc = virtual_physical_ipcs(
+        32, allocation=AllocationStage.ISSUE, cache=cache
+    )
+    return result
+
+
+@dataclass
+class Figure7Result:
+    """IPC for 48/64/96 physical registers, conventional vs. VP."""
+
+    phys_values: tuple = PHYS_SWEEP
+    conventional_ipc: dict = field(default_factory=dict)  # phys -> {bench: ipc}
+    virtual_ipc: dict = field(default_factory=dict)
+
+    def improvement_pct(self, phys):
+        base = harmonic_mean(
+            self.conventional_ipc[phys][b] for b in ALL_BENCHMARKS
+        )
+        virt = harmonic_mean(self.virtual_ipc[phys][b] for b in ALL_BENCHMARKS)
+        return 100.0 * (virt / base - 1.0)
+
+    def hmean(self, table, phys):
+        return harmonic_mean(table[phys][b] for b in ALL_BENCHMARKS)
+
+    def format(self):
+        headers = ["benchmark"]
+        for phys in self.phys_values:
+            headers += [f"conv({phys})", f"virt({phys})"]
+        rows = []
+        for b in ALL_BENCHMARKS:
+            row = [b]
+            for phys in self.phys_values:
+                row.append(f"{self.conventional_ipc[phys][b]:.2f}")
+                row.append(f"{self.virtual_ipc[phys][b]:.2f}")
+            rows.append(row)
+        hm_row = ["hmean"]
+        for phys in self.phys_values:
+            hm_row.append(f"{self.hmean(self.conventional_ipc, phys):.2f}")
+            hm_row.append(f"{self.hmean(self.virtual_ipc, phys):.2f}")
+        rows.append(hm_row)
+        return format_table(
+            headers, rows,
+            title="Figure 7: IPC vs. physical register file size",
+        )
+
+
+def run_figure7(phys_values=PHYS_SWEEP, cache=None):
+    """Figure 7: register-file size sweep (NRR maxed at NPR-32)."""
+    cache = cache or SHARED_CACHE
+    result = Figure7Result(phys_values=tuple(phys_values))
+    for phys in result.phys_values:
+        nrr = phys - 32
+        result.conventional_ipc[phys] = conventional_ipcs(
+            cache, int_phys=phys, fp_phys=phys
+        )
+        result.virtual_ipc[phys] = virtual_physical_ipcs(
+            nrr, cache=cache, int_phys=phys, fp_phys=phys
+        )
+    return result

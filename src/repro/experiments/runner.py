@@ -1,0 +1,95 @@
+"""Shared machinery for the per-table/figure experiment runners.
+
+Run lengths default to 30k timed instructions after a 3k functional
+warm-up, and can be scaled through environment variables so the same
+harness serves quick smoke runs and long reproduction runs::
+
+    REPRO_BENCH_INSTRS=200000 REPRO_BENCH_SKIP=20000 pytest benchmarks/
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+from repro.uarch.config import virtual_physical_config, conventional_config
+from repro.uarch.processor import simulate
+
+ALL_BENCHMARKS = INT_BENCHMARKS + FP_BENCHMARKS
+
+
+def bench_instructions():
+    return int(os.environ.get("REPRO_BENCH_INSTRS", 30_000))
+
+
+def bench_skip():
+    return int(os.environ.get("REPRO_BENCH_SKIP", 3_000))
+
+
+def bench_seed():
+    return int(os.environ.get("REPRO_BENCH_SEED", 1234))
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation in an experiment grid."""
+
+    workload: str
+    config: object
+    label: str = ""
+
+
+class ResultCache:
+    """Memoizes simulation results inside one process.
+
+    Several figures share runs (every sweep needs the conventional
+    baseline); the cache keys on (workload, config, run length) so each
+    distinct machine runs once per session.
+    """
+
+    def __init__(self):
+        self._store = {}
+
+    def run(self, spec):
+        # repr() of the (frozen) config is a stable identity; the config
+        # itself is unhashable because it holds the FU-count dict.
+        key = (spec.workload, repr(spec.config), bench_instructions(),
+               bench_skip(), bench_seed())
+        if key not in self._store:
+            self._store[key] = simulate(
+                spec.config,
+                workload=spec.workload,
+                max_instructions=bench_instructions(),
+                skip=bench_skip(),
+                seed=bench_seed(),
+            )
+        return self._store[key]
+
+
+#: Module-level cache shared by all experiment entry points.
+SHARED_CACHE = ResultCache()
+
+
+def conventional_ipcs(cache=None, benchmarks=ALL_BENCHMARKS, **config_changes):
+    """Baseline IPC per benchmark under conventional renaming."""
+    cache = cache or SHARED_CACHE
+    cfg = conventional_config(**config_changes)
+    return {
+        b: cache.run(RunSpec(b, cfg)).ipc for b in benchmarks
+    }
+
+
+def virtual_physical_ipcs(nrr, allocation=None, cache=None,
+                          benchmarks=ALL_BENCHMARKS, **config_changes):
+    """VP-scheme IPC per benchmark for one NRR / allocation stage."""
+    from repro.core.virtual_physical import AllocationStage
+
+    cache = cache or SHARED_CACHE
+    allocation = allocation or AllocationStage.WRITEBACK
+    cfg = virtual_physical_config(nrr=nrr, allocation=allocation,
+                                  **config_changes)
+    return {
+        b: cache.run(RunSpec(b, cfg)).ipc for b in benchmarks
+    }
+

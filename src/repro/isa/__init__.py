@@ -1,0 +1,58 @@
+"""ISA model: register namespaces, operation classes, and trace records.
+
+The paper evaluates renaming on DEC Alpha traces.  Renaming is oblivious
+to instruction semantics; all it observes is (a) which logical registers
+an instruction reads and writes, (b) which functional-unit class executes
+it and with what latency, and (c) for memory operations, the effective
+address.  This package models exactly that surface.
+"""
+
+from repro.isa.registers import (
+    INT,
+    FP,
+    NUM_LOGICAL_INT,
+    NUM_LOGICAL_FP,
+    RegClass,
+    make_reg,
+    reg_class,
+    reg_index,
+    reg_name,
+    NO_REG,
+)
+from repro.isa.opcodes import (
+    OpClass,
+    FUKind,
+    FU_FOR_OP,
+    LATENCY,
+    PIPELINED,
+    is_branch,
+    is_load,
+    is_store,
+    is_mem,
+    dest_class_for,
+)
+from repro.isa.instruction import TraceRecord
+
+__all__ = [
+    "INT",
+    "FP",
+    "NUM_LOGICAL_INT",
+    "NUM_LOGICAL_FP",
+    "RegClass",
+    "make_reg",
+    "reg_class",
+    "reg_index",
+    "reg_name",
+    "NO_REG",
+    "OpClass",
+    "FUKind",
+    "FU_FOR_OP",
+    "LATENCY",
+    "PIPELINED",
+    "is_branch",
+    "is_load",
+    "is_store",
+    "is_mem",
+    "dest_class_for",
+    "TraceRecord",
+]

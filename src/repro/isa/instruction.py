@@ -1,0 +1,100 @@
+"""Dynamic trace records.
+
+A trace-driven simulator consumes a stream of *dynamic* instructions:
+each record is one executed instruction with its registers, resolved
+branch outcome, and effective address.  This mirrors what the paper's
+ATOM-instrumented Alpha binaries produced.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import OpClass, dest_class_for, is_branch, is_mem
+from repro.isa.registers import NO_REG, reg_class, reg_name
+
+
+class TraceRecord:
+    """One dynamic instruction.
+
+    Attributes
+    ----------
+    pc:
+        Instruction address (byte-granular; synthetic traces use 4-byte
+        instruction slots).
+    op:
+        The :class:`~repro.isa.opcodes.OpClass`.
+    dest:
+        Encoded destination register, or ``NO_REG``.
+    src1, src2:
+        Encoded source registers, or ``NO_REG``.  By convention the
+        address base of a memory operation is ``src1``; the stored value
+        of a store is ``src2``.
+    addr:
+        Effective address for memory operations (0 otherwise).
+    taken:
+        Resolved direction for branches (False otherwise).
+    target:
+        Branch target address (0 for non-branches).
+    """
+
+    __slots__ = ("pc", "op", "dest", "src1", "src2", "addr", "taken", "target")
+
+    def __init__(self, pc, op, dest=NO_REG, src1=NO_REG, src2=NO_REG,
+                 addr=0, taken=False, target=0):
+        self.pc = pc
+        self.op = op
+        self.dest = dest
+        self.src1 = src1
+        self.src2 = src2
+        self.addr = addr
+        self.taken = taken
+        self.target = target
+        self._validate()
+
+    def _validate(self):
+        op = self.op
+        expected = dest_class_for(op)
+        if expected is None:
+            if self.dest != NO_REG:
+                raise ValueError(f"{op.name} must not have a destination register")
+        else:
+            if self.dest == NO_REG:
+                raise ValueError(f"{op.name} requires a destination register")
+            if reg_class(self.dest) != expected:
+                raise ValueError(
+                    f"{op.name} destination must be {expected.name}, "
+                    f"got {reg_name(self.dest)}"
+                )
+        if is_mem(op) and self.addr < 0:
+            raise ValueError("memory operations need a non-negative address")
+        if self.taken and not is_branch(op):
+            raise ValueError("only branches can be taken")
+
+    @property
+    def sources(self):
+        """Tuple of present source registers (no NO_REG entries)."""
+        out = []
+        if self.src1 != NO_REG:
+            out.append(self.src1)
+        if self.src2 != NO_REG:
+            out.append(self.src2)
+        return tuple(out)
+
+    @property
+    def next_pc(self):
+        """Address of the next dynamic instruction."""
+        if is_branch(self.op) and self.taken:
+            return self.target
+        return self.pc + 4
+
+    def __repr__(self):
+        parts = [f"{self.op.name}"]
+        if self.dest != NO_REG:
+            parts.append(reg_name(self.dest))
+        srcs = ",".join(reg_name(s) for s in self.sources)
+        if srcs:
+            parts.append(srcs)
+        if is_mem(self.op):
+            parts.append(f"@{self.addr:#x}")
+        if is_branch(self.op):
+            parts.append("T" if self.taken else "N")
+        return f"<{self.pc:#x} {' '.join(parts)}>"

@@ -1,0 +1,148 @@
+"""Operation classes, functional-unit kinds, and the latency table.
+
+This module is the executable form of the paper's Table 1:
+
+    ============== ===== ====================
+    Functional unit Count Latency
+    ============== ===== ====================
+    Simple Integer   3    1
+    Complex Integer  2    9 multiply, 67 divide
+    Effective Addr.  3    1
+    Simple FP        3    4
+    FP Multiply      2    4
+    FP Div and SQR   2    16 divide
+    ============== ===== ====================
+
+All units are fully pipelined except integer and FP division (the paper:
+"Functional units are fully pipelined except for integer and FP
+division").  The FP square root shares the divide unit; the paper gives
+no explicit sqrt latency, so it uses the divide latency (16).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.isa.registers import RegClass
+
+
+class OpClass(IntEnum):
+    """Dynamic operation class, the granularity the simulator cares about."""
+
+    INT_ALU = 0  # add, sub, logic, shifts, compares
+    INT_MUL = 1
+    INT_DIV = 2
+    LOAD_INT = 3  # memory load into an integer register
+    LOAD_FP = 4  # memory load into an FP register
+    STORE_INT = 5  # memory store of an integer register
+    STORE_FP = 6  # memory store of an FP register
+    FP_ADD = 7  # simple FP: add, sub, compare, convert
+    FP_MUL = 8
+    FP_DIV = 9
+    FP_SQRT = 10
+    BRANCH = 11  # conditional branch (reads int regs, no destination)
+
+
+class FUKind(IntEnum):
+    """Functional-unit classes of the paper's Table 1."""
+
+    SIMPLE_INT = 0
+    COMPLEX_INT = 1
+    EFF_ADDR = 2
+    SIMPLE_FP = 3
+    FP_MULT = 4
+    FP_DIV_SQRT = 5
+
+
+#: Which functional unit executes each operation class.  Memory operations
+#: use an effective-address unit (the cache access is modelled separately
+#: by the memory system); branches resolve on a simple integer ALU.
+FU_FOR_OP = {
+    OpClass.INT_ALU: FUKind.SIMPLE_INT,
+    OpClass.INT_MUL: FUKind.COMPLEX_INT,
+    OpClass.INT_DIV: FUKind.COMPLEX_INT,
+    OpClass.LOAD_INT: FUKind.EFF_ADDR,
+    OpClass.LOAD_FP: FUKind.EFF_ADDR,
+    OpClass.STORE_INT: FUKind.EFF_ADDR,
+    OpClass.STORE_FP: FUKind.EFF_ADDR,
+    OpClass.FP_ADD: FUKind.SIMPLE_FP,
+    OpClass.FP_MUL: FUKind.FP_MULT,
+    OpClass.FP_DIV: FUKind.FP_DIV_SQRT,
+    OpClass.FP_SQRT: FUKind.FP_DIV_SQRT,
+    OpClass.BRANCH: FUKind.SIMPLE_INT,
+}
+
+#: Execution latency in cycles (Table 1).  For memory operations this is
+#: the effective-address computation only; cache latency is added by the
+#: memory system (2-cycle hit / 50-cycle miss penalty).
+LATENCY = {
+    OpClass.INT_ALU: 1,
+    OpClass.INT_MUL: 9,
+    OpClass.INT_DIV: 67,
+    OpClass.LOAD_INT: 1,
+    OpClass.LOAD_FP: 1,
+    OpClass.STORE_INT: 1,
+    OpClass.STORE_FP: 1,
+    OpClass.FP_ADD: 4,
+    OpClass.FP_MUL: 4,
+    OpClass.FP_DIV: 16,
+    OpClass.FP_SQRT: 16,
+    OpClass.BRANCH: 1,
+}
+
+#: Whether each *operation* is pipelined on its unit.  Only divisions
+#: occupy their unit for the full latency.
+PIPELINED = {
+    op: op not in (OpClass.INT_DIV, OpClass.FP_DIV, OpClass.FP_SQRT)
+    for op in OpClass
+}
+
+#: Functional-unit counts of Table 1, used as the config default.
+DEFAULT_FU_COUNTS = {
+    FUKind.SIMPLE_INT: 3,
+    FUKind.COMPLEX_INT: 2,
+    FUKind.EFF_ADDR: 3,
+    FUKind.SIMPLE_FP: 3,
+    FUKind.FP_MULT: 2,
+    FUKind.FP_DIV_SQRT: 2,
+}
+
+_LOADS = frozenset((OpClass.LOAD_INT, OpClass.LOAD_FP))
+_STORES = frozenset((OpClass.STORE_INT, OpClass.STORE_FP))
+
+
+def is_branch(op):
+    """True for conditional branches."""
+    return op is OpClass.BRANCH or op == OpClass.BRANCH
+
+
+def is_load(op):
+    return op in _LOADS
+
+
+def is_store(op):
+    return op in _STORES
+
+
+def is_mem(op):
+    return op in _LOADS or op in _STORES
+
+
+def dest_class_for(op):
+    """Register class an operation's destination belongs to, or None.
+
+    Stores and branches have no destination register.  This drives both
+    which rename file is consulted and the NRR reserved-register
+    bookkeeping (kept separately for integer and FP destinations).
+    """
+    if op in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV, OpClass.LOAD_INT):
+        return RegClass.INT
+    if op in (
+        OpClass.FP_ADD,
+        OpClass.FP_MUL,
+        OpClass.FP_DIV,
+        OpClass.FP_SQRT,
+        OpClass.LOAD_FP,
+    ):
+        return RegClass.FP
+    return None

@@ -1,0 +1,95 @@
+"""Logical register namespaces.
+
+The paper's machine has two architectural register files: 32 integer and
+32 floating-point logical registers (the Alpha ISA).  Renaming is
+replicated per class, so every register reference must carry its class.
+
+To keep the simulator's hot loop cheap, a register reference is a single
+small integer that encodes both the class and the index::
+
+    encoded = (reg_class << CLASS_SHIFT) | index
+
+``NO_REG`` (-1) marks an absent operand (e.g. the destination of a store
+or branch).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+
+class RegClass(IntEnum):
+    """Architectural register file selector."""
+
+    INT = 0
+    FP = 1
+
+
+INT = RegClass.INT
+FP = RegClass.FP
+
+#: Number of logical (architectural) registers per class, per the paper
+#: ("the number of logical registers is 32").
+NUM_LOGICAL_INT = 32
+NUM_LOGICAL_FP = 32
+
+#: Shift used to pack the class into an encoded register reference.  Six
+#: bits of index room leaves space for ISAs with up to 64 logical
+#: registers per class.
+CLASS_SHIFT = 6
+_INDEX_MASK = (1 << CLASS_SHIFT) - 1
+
+#: Sentinel for "this operand slot is unused".
+NO_REG = -1
+
+
+def make_reg(cls, index):
+    """Encode a (class, index) pair into a single register reference.
+
+    >>> make_reg(RegClass.INT, 3)
+    3
+    >>> make_reg(RegClass.FP, 3)
+    67
+    """
+    if index < 0 or index > _INDEX_MASK:
+        raise ValueError(f"register index {index} out of range 0..{_INDEX_MASK}")
+    return (int(cls) << CLASS_SHIFT) | index
+
+
+def reg_class(reg):
+    """Return the :class:`RegClass` of an encoded register reference."""
+    if reg < 0:
+        raise ValueError("NO_REG has no register class")
+    return RegClass(reg >> CLASS_SHIFT)
+
+
+def reg_index(reg):
+    """Return the architectural index of an encoded register reference."""
+    if reg < 0:
+        raise ValueError("NO_REG has no register index")
+    return reg & _INDEX_MASK
+
+
+def reg_name(reg):
+    """Human-readable name: ``r3`` for integer, ``f3`` for FP registers.
+
+    >>> reg_name(make_reg(RegClass.FP, 2))
+    'f2'
+    """
+    if reg < 0:
+        return "-"
+    prefix = "r" if reg_class(reg) is RegClass.INT else "f"
+    return f"{prefix}{reg_index(reg)}"
+
+
+def parse_reg(name):
+    """Parse ``r<N>`` / ``f<N>`` back into an encoded reference.
+
+    This is the inverse of :func:`reg_name`; it is used by the assembler
+    helpers in :mod:`repro.trace.kernels` and by tests.
+    """
+    name = name.strip().lower()
+    if len(name) < 2 or name[0] not in ("r", "f"):
+        raise ValueError(f"malformed register name: {name!r}")
+    cls = RegClass.INT if name[0] == "r" else RegClass.FP
+    return make_reg(cls, int(name[1:]))

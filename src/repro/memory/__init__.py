@@ -1,0 +1,30 @@
+"""Memory hierarchy substrate.
+
+The paper's data memory system:
+
+* lockup-free L1 data cache (Kroft-style) with up to 8 pending misses to
+  different lines,
+* 16 KB, direct-mapped, 32-byte lines,
+* 2-cycle hit latency, 50-cycle miss penalty,
+* infinite L2 behind a 64-bit bus (a line transfer occupies the bus for
+  4 cycles),
+* 3 cache ports,
+* PA-8000-style memory disambiguation (store queue with address-based
+  conflict detection and store-to-load forwarding).
+"""
+
+from repro.memory.bus import Bus
+from repro.memory.mshr import MSHRFile
+from repro.memory.cache import CacheConfig, LockupFreeCache
+from repro.memory.disambiguation import StoreQueue, LoadOutcome
+from repro.memory.memory_system import MemorySystem
+
+__all__ = [
+    "Bus",
+    "MSHRFile",
+    "CacheConfig",
+    "LockupFreeCache",
+    "StoreQueue",
+    "LoadOutcome",
+    "MemorySystem",
+]

@@ -1,0 +1,45 @@
+"""L1-L2 bus model.
+
+The paper: "a 64-bit data bus between L1 and L2 is considered (i.e., a
+line transaction occupies the bus during four cycles)" for 32-byte lines.
+
+A line fill requested at cycle *t* would, on an uncontended bus, complete
+at ``t + miss_penalty`` with the transfer occupying the last
+``cycles_per_line`` bus cycles.  Contention pushes the transfer (and the
+fill completion) later; transfers are serviced in request order.
+"""
+
+from __future__ import annotations
+
+
+class Bus:
+    """Serializes line transfers between the L1 and the (infinite) L2."""
+
+    def __init__(self, cycles_per_line=4):
+        if cycles_per_line <= 0:
+            raise ValueError("cycles_per_line must be positive")
+        self.cycles_per_line = cycles_per_line
+        self._free_at = 0  # first cycle the bus is idle again
+        self.transfers = 0
+        self.busy_cycles = 0
+
+    def schedule_fill(self, request_time, memory_latency):
+        """Reserve the bus for one line fill; return the fill-complete cycle.
+
+        ``memory_latency`` is the full uncontended miss penalty (50 cycles
+        in the paper's configuration); the transfer occupies the bus for
+        the trailing ``cycles_per_line`` cycles of that window, or later
+        if the bus is still busy with earlier fills.
+        """
+        earliest_start = request_time + memory_latency - self.cycles_per_line
+        start = max(earliest_start, self._free_at)
+        finish = start + self.cycles_per_line
+        self._free_at = finish
+        self.transfers += 1
+        self.busy_cycles += self.cycles_per_line
+        return finish
+
+    @property
+    def free_at(self):
+        """First cycle at which the bus has no scheduled transfer."""
+        return self._free_at

@@ -1,0 +1,144 @@
+"""Lockup-free L1 data cache.
+
+Direct-mapped, 16 KB, 32-byte lines, 2-cycle hit, 50-cycle miss penalty,
+up to 8 outstanding misses to distinct lines, infinite L2 behind a shared
+bus.  This matches the paper's §4.1 configuration, which was chosen "to
+stress the penalties caused by the cache memory".
+
+Stores are write-allocate.  A store miss consumes an MSHR and a bus slot
+when one is available so that store traffic contends with loads, but the
+pipeline never waits for a store fill (an idealized write buffer absorbs
+it); when every MSHR is busy the store installs its line without a timed
+fill.  This keeps commit non-blocking, which is the behaviour the paper's
+timing discussion assumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.memory.bus import Bus
+from repro.memory.mshr import MSHRFile
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of the L1 data cache."""
+
+    size_bytes: int = 16 * 1024
+    line_bytes: int = 32
+    hit_latency: int = 2
+    miss_penalty: int = 50
+    mshr_entries: int = 8
+    bus_cycles_per_line: int = 4
+
+    def __post_init__(self):
+        if self.size_bytes % self.line_bytes:
+            raise ValueError("cache size must be a whole number of lines")
+        n = self.size_bytes // self.line_bytes
+        if n & (n - 1):
+            raise ValueError("number of lines must be a power of two")
+        if self.hit_latency < 1 or self.miss_penalty < 1:
+            raise ValueError("latencies must be at least 1 cycle")
+
+    @property
+    def num_lines(self):
+        return self.size_bytes // self.line_bytes
+
+
+class LockupFreeCache:
+    """Direct-mapped cache with MSHR-based miss handling."""
+
+    def __init__(self, config=None):
+        self.config = config or CacheConfig()
+        cfg = self.config
+        self._num_lines = cfg.num_lines
+        self._tags = [-1] * self._num_lines  # -1 = invalid
+        self.mshrs = MSHRFile(cfg.mshr_entries)
+        self.bus = Bus(cfg.bus_cycles_per_line)
+        self.loads = 0
+        self.load_misses = 0
+        self.stores = 0
+        self.store_misses = 0
+        self.mshr_stalls = 0
+
+    def _line_of(self, addr):
+        return addr // self.config.line_bytes
+
+    def _probe(self, line):
+        index = line % self._num_lines
+        return self._tags[index] == line
+
+    def _install(self, line):
+        self._tags[line % self._num_lines] = line
+
+    def load(self, addr, now):
+        """Timed load access at cycle ``now``.
+
+        Returns the cycle at which the data is available, or ``None`` when
+        the access cannot be handled this cycle (all MSHRs busy with other
+        lines) and must retry.
+        """
+        cfg = self.config
+        line = self._line_of(addr)
+        self.loads += 1
+        # The fill in flight is checked before the tag array: the tag is
+        # installed when the MSHR is allocated, but the data only exists
+        # once the fill completes.
+        pending = self.mshrs.lookup(line, now)
+        if pending is not None:
+            # Secondary miss: merge into the in-flight fill.
+            self.load_misses += 1
+            return max(pending, now + cfg.hit_latency)
+        if self._probe(line):
+            return now + cfg.hit_latency
+        self.load_misses += 1
+        if not self.mshrs.has_room(now):
+            # Reject before touching the bus: a rejected access must not
+            # consume bandwidth, or per-cycle retries would push the bus
+            # arbitrarily far into the future (a livelock).
+            self.mshr_stalls += 1
+            self.loads -= 1
+            self.load_misses -= 1
+            return None
+        fill = self.bus.schedule_fill(now, cfg.miss_penalty)
+        self.mshrs.allocate(line, now, fill)
+        self._install(line)  # tag installed; timing gated by the MSHR
+        return fill
+
+    def store(self, addr, now):
+        """Store performed at commit.  Never blocks; returns fill time or now."""
+        cfg = self.config
+        line = self._line_of(addr)
+        self.stores += 1
+        pending = self.mshrs.lookup(line, now)
+        if pending is not None:
+            self.store_misses += 1
+            return pending
+        if self._probe(line):
+            return now + 1
+        self.store_misses += 1
+        if not self.mshrs.has_room(now):
+            # Write buffer absorbs the miss without an MSHR; install the
+            # line so locality is preserved, charge no further timing.
+            self._install(line)
+            return now + 1
+        fill = self.bus.schedule_fill(now, cfg.miss_penalty)
+        self.mshrs.allocate(line, now, fill)
+        self._install(line)
+        return fill
+
+    def warm(self, addresses):
+        """Pre-install lines (used for warm-up and deterministic tests)."""
+        for addr in addresses:
+            self._install(self._line_of(addr))
+
+    def contains(self, addr):
+        """True when the line holding ``addr`` is resident (for tests)."""
+        return self._probe(self._line_of(addr))
+
+    @property
+    def load_miss_ratio(self):
+        if self.loads == 0:
+            return 0.0
+        return self.load_misses / self.loads

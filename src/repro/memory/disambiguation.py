@@ -1,0 +1,116 @@
+"""Memory disambiguation: the store queue.
+
+The paper assumes "the memory disambiguation scheme implemented in the
+PA-8000".  The PA-8000 keeps an address-reorder buffer: a load may access
+the cache only once the addresses of all older stores are known; if an
+older store to the same location exists, the load obtains the value from
+the store (store-to-load forwarding) instead of the cache.
+
+We model that policy at 8-byte word granularity:
+
+* a load whose older stores include one with an *unknown* address waits,
+* a load matching an older, address-known store forwards from it with the
+  cache hit latency once the store's data is ready,
+* otherwise the load proceeds to the cache.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, auto
+
+WORD_BYTES = 8
+
+
+class LoadOutcome(Enum):
+    """Result of a disambiguation check for a load."""
+
+    WAIT = auto()  # an older store address is unknown (or data not ready)
+    FORWARD = auto()  # value obtained from an older matching store
+    ACCESS_CACHE = auto()  # safe to go to memory
+
+
+class _StoreEntry:
+    __slots__ = ("seq", "addr_known", "word", "data_ready_time")
+
+    def __init__(self, seq):
+        self.seq = seq
+        self.addr_known = False
+        self.word = -1
+        self.data_ready_time = None  # None = value not yet produced
+
+
+class StoreQueue:
+    """Age-ordered queue of in-flight stores, keyed by global sequence."""
+
+    def __init__(self, capacity=None):
+        self.capacity = capacity
+        self._entries = []  # kept in age order (ascending seq)
+        self._by_seq = {}
+        self.forwards = 0
+        self.waits = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def full(self):
+        return self.capacity is not None and len(self._entries) >= self.capacity
+
+    def insert(self, seq):
+        """Add a store at dispatch; address/data arrive later."""
+        if self.full:
+            raise RuntimeError("store queue overflow")
+        if self._entries and self._entries[-1].seq >= seq:
+            raise ValueError("stores must be inserted in age order")
+        entry = _StoreEntry(seq)
+        self._entries.append(entry)
+        self._by_seq[seq] = entry
+        return entry
+
+    def set_address(self, seq, addr):
+        """Record the store's effective address (after EA computation)."""
+        entry = self._by_seq[seq]
+        entry.addr_known = True
+        entry.word = addr // WORD_BYTES
+
+    def set_data_ready(self, seq, when):
+        """Record the cycle at which the store's data value is available."""
+        self._by_seq[seq].data_ready_time = when
+
+    def remove(self, seq):
+        """Drop the store (at commit, or when squashed by recovery)."""
+        entry = self._by_seq.pop(seq)
+        self._entries.remove(entry)
+
+    def remove_younger_than(self, seq):
+        """Recovery: drop every store younger than ``seq``."""
+        doomed = [e for e in self._entries if e.seq > seq]
+        for entry in doomed:
+            del self._by_seq[entry.seq]
+        self._entries = [e for e in self._entries if e.seq <= seq]
+        return len(doomed)
+
+    def check_load(self, load_seq, addr, now):
+        """Disambiguate a load against all older stores.
+
+        Returns ``(outcome, ready_time)``; ``ready_time`` is only
+        meaningful for ``FORWARD`` (cycle at which the forwarded value can
+        be consumed, excluding the forwarding latency itself).
+        """
+        word = addr // WORD_BYTES
+        match = None
+        for entry in self._entries:
+            if entry.seq >= load_seq:
+                break
+            if not entry.addr_known:
+                self.waits += 1
+                return LoadOutcome.WAIT, None
+            if entry.word == word:
+                match = entry  # youngest older match wins
+        if match is None:
+            return LoadOutcome.ACCESS_CACHE, None
+        if match.data_ready_time is None or match.data_ready_time > now:
+            self.waits += 1
+            return LoadOutcome.WAIT, None
+        self.forwards += 1
+        return LoadOutcome.FORWARD, match.data_ready_time

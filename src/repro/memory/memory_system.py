@@ -1,0 +1,69 @@
+"""Facade tying cache, store queue, and cache-port arbitration together.
+
+The paper's machine has "three cache memory ports"; loads (at access
+time) and committing stores share them.  The pipeline asks the memory
+system for a port each cycle; the counter resets when the cycle advances.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import CacheConfig, LockupFreeCache
+from repro.memory.disambiguation import LoadOutcome, StoreQueue
+
+
+class MemorySystem:
+    """Per-cycle interface used by the out-of-order pipeline."""
+
+    def __init__(self, cache_config=None, ports=3, store_queue_capacity=None):
+        if ports <= 0:
+            raise ValueError("need at least one cache port")
+        self.cache = LockupFreeCache(cache_config or CacheConfig())
+        self.store_queue = StoreQueue(store_queue_capacity)
+        self.ports = ports
+        self._port_cycle = -1
+        self._ports_used = 0
+        self.port_conflicts = 0
+
+    def _port_available(self, now):
+        if now != self._port_cycle:
+            self._port_cycle = now
+            self._ports_used = 0
+        return self._ports_used < self.ports
+
+    def _take_port(self, now):
+        self._ports_used += 1
+
+    def try_load(self, seq, addr, now):
+        """Attempt a load access at cycle ``now``.
+
+        Returns the data-ready cycle, or ``None`` when the load must retry
+        (disambiguation wait, no port, or MSHRs exhausted).
+        """
+        outcome, ready = self.store_queue.check_load(seq, addr, now)
+        if outcome is LoadOutcome.WAIT:
+            return None
+        if outcome is LoadOutcome.FORWARD:
+            # Forwarding moves data inside the load/store unit; it costs
+            # the hit latency but no cache port.
+            return now + self.cache.config.hit_latency
+        if not self._port_available(now):
+            self.port_conflicts += 1
+            return None
+        done = self.cache.load(addr, now)
+        if done is None:
+            return None  # MSHRs full; port not consumed for a dead access
+        self._take_port(now)
+        return done
+
+    def try_store_commit(self, addr, now):
+        """Perform a committing store's cache write.
+
+        Returns True when a port was available (the write happened);
+        False asks the commit stage to retry next cycle.
+        """
+        if not self._port_available(now):
+            self.port_conflicts += 1
+            return False
+        self._take_port(now)
+        self.cache.store(addr, now)
+        return True

@@ -1,0 +1,61 @@
+"""Miss Status Holding Registers for the lockup-free cache.
+
+Kroft's lockup-free organization [7] lets the cache keep servicing
+accesses while misses are outstanding.  Each MSHR tracks one in-flight
+line; a second miss to the same line merges into the existing entry (no
+new bus transaction), and misses to new lines are rejected when all
+MSHRs are busy (the access retries a later cycle).
+"""
+
+from __future__ import annotations
+
+
+class MSHRFile:
+    """Fixed-size set of in-flight line fills, keyed by line address."""
+
+    def __init__(self, entries=8):
+        if entries <= 0:
+            raise ValueError("MSHR file needs at least one entry")
+        self.entries = entries
+        self._pending = {}  # line address -> fill completion cycle
+        self.allocations = 0
+        self.merges = 0
+        self.rejections = 0
+
+    def _expire(self, now):
+        if not self._pending:
+            return
+        done = [line for line, t in self._pending.items() if t <= now]
+        for line in done:
+            del self._pending[line]
+
+    def lookup(self, line, now):
+        """Return the pending fill time for ``line``, or None."""
+        self._expire(now)
+        fill = self._pending.get(line)
+        if fill is not None:
+            self.merges += 1
+        return fill
+
+    def has_room(self, now):
+        """Can a new miss be accepted at cycle ``now``?"""
+        self._expire(now)
+        if len(self._pending) >= self.entries:
+            self.rejections += 1
+            return False
+        return True
+
+    def allocate(self, line, now, fill_time):
+        """Register a new in-flight fill; check :meth:`has_room` first."""
+        self._expire(now)
+        if line in self._pending:
+            raise ValueError(f"line {line:#x} already has an MSHR")
+        if len(self._pending) >= self.entries:
+            raise RuntimeError("MSHR allocate without room; call has_room first")
+        self._pending[line] = fill_time
+        self.allocations += 1
+
+    def occupancy(self, now):
+        """Number of live entries at cycle ``now``."""
+        self._expire(now)
+        return len(self._pending)

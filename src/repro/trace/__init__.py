@@ -1,0 +1,72 @@
+"""Synthetic trace substrate (the SPEC95/ATOM substitution).
+
+See DESIGN.md §3 for the substitution rationale.  The public surface:
+
+* the loop-kernel DSL (:mod:`repro.trace.program`),
+* address patterns (:mod:`repro.trace.patterns`),
+* the deterministic generator (:class:`SyntheticTrace`),
+* the nine paper-named workload models (:data:`WORKLOADS`),
+* plain-text trace I/O.
+"""
+
+from repro.trace.patterns import (
+    AddressPattern,
+    ArrayWalk,
+    ChaseRegion,
+    FixedAddress,
+    RandomRegion,
+)
+from repro.trace.program import (
+    INDUCTION,
+    CondBranch,
+    FpOp,
+    IntOp,
+    Load,
+    LoopKernel,
+    RegisterBinding,
+    Store,
+    Workload,
+)
+from repro.trace.generator import SyntheticTrace, take
+from repro.trace.kernels import (
+    pointer_chase_kernel,
+    random_access_kernel,
+    reduction_kernel,
+    streaming_kernel,
+)
+from repro.trace.workloads import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    WORKLOADS,
+    load_workload,
+)
+from repro.trace.io import load_trace, save_trace
+
+__all__ = [
+    "AddressPattern",
+    "ArrayWalk",
+    "ChaseRegion",
+    "FixedAddress",
+    "RandomRegion",
+    "INDUCTION",
+    "CondBranch",
+    "FpOp",
+    "IntOp",
+    "Load",
+    "LoopKernel",
+    "RegisterBinding",
+    "Store",
+    "Workload",
+    "SyntheticTrace",
+    "take",
+    "pointer_chase_kernel",
+    "random_access_kernel",
+    "reduction_kernel",
+    "streaming_kernel",
+    "FP_BENCHMARKS",
+    "INT_BENCHMARKS",
+    "WORKLOADS",
+    "load_workload",
+    "load_trace",
+    "save_trace",
+]

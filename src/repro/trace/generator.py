@@ -1,0 +1,138 @@
+"""Dynamic trace generation from a :class:`~repro.trace.program.Workload`.
+
+The generator walks the workload's kernels (weighted-random order),
+running each kernel's loop for its trip count and emitting one
+:class:`~repro.isa.instruction.TraceRecord` per dynamic instruction:
+
+* each body statement in static program order (forward hammock branches
+  skip statements when taken, keeping control flow consistent),
+* an induction-variable update and a back-edge branch per iteration,
+* a glue branch transferring control to the next kernel.
+
+Everything is deterministic given ``(workload, seed)``; iterating the
+same trace twice yields the identical instruction stream, which the
+equivalence tests between renaming schemes rely on.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from random import Random
+
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG
+from repro.trace.program import (
+    INDUCTION,
+    CondBranch,
+    FpOp,
+    IntOp,
+    Load,
+    RegisterBinding,
+    Store,
+)
+
+#: PC spacing between kernels; each kernel may hold this many bytes of code.
+KERNEL_PC_STRIDE = 0x1000
+BASE_PC = 0x10000
+
+
+class SyntheticTrace:
+    """Iterable over the dynamic instruction stream of a workload.
+
+    Each ``iter()`` produces an independent, identically-seeded stream.
+    """
+
+    def __init__(self, workload, seed=1234):
+        self.workload = workload
+        self.seed = seed
+        self._bindings = [RegisterBinding(k) for k in workload.kernels]
+        self._bases = [
+            BASE_PC + i * KERNEL_PC_STRIDE for i in range(len(workload.kernels))
+        ]
+        for kernel, base in zip(workload.kernels, self._bases):
+            static_len = len(kernel.body) + 3  # + induction, back-edge, glue
+            if static_len * 4 > KERNEL_PC_STRIDE:
+                raise ValueError(f"kernel {kernel.name!r} too large for PC region")
+
+    def __iter__(self):
+        return self._generate()
+
+    def take(self, n):
+        """Materialize the first ``n`` records as a list."""
+        return list(itertools.islice(iter(self), n))
+
+    # -- internals ---------------------------------------------------------
+
+    def _generate(self):
+        rng = Random(self.seed)
+        kernels = self.workload.kernels
+        # Private pattern state per generator so that concurrent iterations
+        # of one workload cannot interfere.
+        arrays = [copy.deepcopy(k.arrays) for k in kernels]
+        weights = [k.weight for k in kernels]
+        current = rng.choices(range(len(kernels)), weights)[0]
+        while True:
+            nxt = rng.choices(range(len(kernels)), weights)[0]
+            yield from self._run_kernel(current, nxt, arrays[current], rng)
+            current = nxt
+
+    def _run_kernel(self, idx, next_idx, arrays, rng):
+        kernel = self.workload.kernels[idx]
+        binding = self._bindings[idx]
+        base = self._bases[idx]
+        body = kernel.body
+        body_len = len(body)
+        ind_pc = base + 4 * body_len
+        backedge_pc = ind_pc + 4
+        glue_pc = backedge_pc + 4
+        ind_reg = binding[INDUCTION]
+
+        for it in range(kernel.iterations):
+            pos = 0
+            while pos < body_len:
+                stmt = body[pos]
+                pc = base + 4 * pos
+                if isinstance(stmt, Load):
+                    addr = arrays[stmt.array].next_address(rng)
+                    op = OpClass.LOAD_FP if stmt.fp else OpClass.LOAD_INT
+                    yield TraceRecord(pc, op, dest=binding[stmt.dst],
+                                      src1=binding[stmt.base], addr=addr)
+                    pos += 1
+                elif isinstance(stmt, Store):
+                    addr = arrays[stmt.array].next_address(rng)
+                    op = OpClass.STORE_FP if stmt.fp else OpClass.STORE_INT
+                    yield TraceRecord(pc, op, src1=binding[stmt.base],
+                                      src2=binding[stmt.value], addr=addr)
+                    pos += 1
+                elif isinstance(stmt, (IntOp, FpOp)):
+                    srcs = stmt.srcs
+                    src1 = binding[srcs[0]]
+                    src2 = binding[srcs[1]] if len(srcs) > 1 else NO_REG
+                    yield TraceRecord(pc, stmt.kind, dest=binding[stmt.dst],
+                                      src1=src1, src2=src2)
+                    pos += 1
+                elif isinstance(stmt, CondBranch):
+                    taken = rng.random() < stmt.p_taken
+                    target = pc + 4 + 4 * stmt.skip
+                    yield TraceRecord(pc, OpClass.BRANCH, src1=binding[stmt.src],
+                                      taken=taken, target=target)
+                    pos += 1 + (stmt.skip if taken else 0)
+                else:  # pragma: no cover - LoopKernel validated the body
+                    raise TypeError(f"unknown statement: {stmt!r}")
+
+            # Induction update and loop back-edge.
+            yield TraceRecord(ind_pc, OpClass.INT_ALU, dest=ind_reg, src1=ind_reg)
+            last = it == kernel.iterations - 1
+            yield TraceRecord(backedge_pc, OpClass.BRANCH, src1=ind_reg,
+                              taken=not last, target=base)
+
+        # Glue branch into the next kernel (always taken).
+        yield TraceRecord(glue_pc, OpClass.BRANCH, src1=ind_reg, taken=True,
+                          target=self._bases[next_idx])
+
+
+def take(trace, n):
+    """First ``n`` records of any trace iterable."""
+    return list(itertools.islice(iter(trace), n))

@@ -1,0 +1,61 @@
+"""Plain-text trace serialization.
+
+One record per line::
+
+    pc op dest src1 src2 addr taken target
+
+This lets users snapshot a synthetic stream, edit traces by hand for
+experiments, or feed the simulator from traces produced elsewhere (the
+role ATOM output played for the paper's simulator).
+"""
+
+from __future__ import annotations
+
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+
+_HEADER = "# repro-trace-v1"
+
+
+def save_trace(records, path):
+    """Write an iterable of records to ``path``; returns the count."""
+    count = 0
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write(_HEADER + "\n")
+        for rec in records:
+            fh.write(
+                f"{rec.pc:#x} {rec.op.name} {rec.dest} {rec.src1} {rec.src2} "
+                f"{rec.addr:#x} {int(rec.taken)} {rec.target:#x}\n"
+            )
+            count += 1
+    return count
+
+
+def load_trace(path):
+    """Read a trace file back into a list of records."""
+    records = []
+    with open(path, "r", encoding="ascii") as fh:
+        header = fh.readline().strip()
+        if header != _HEADER:
+            raise ValueError(f"{path}: not a repro trace file (header {header!r})")
+        for lineno, line in enumerate(fh, start=2):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            fields = line.split()
+            if len(fields) != 8:
+                raise ValueError(f"{path}:{lineno}: expected 8 fields, got {len(fields)}")
+            pc, opname, dest, src1, src2, addr, taken, target = fields
+            records.append(
+                TraceRecord(
+                    pc=int(pc, 0),
+                    op=OpClass[opname],
+                    dest=int(dest),
+                    src1=int(src1),
+                    src2=int(src2),
+                    addr=int(addr, 0),
+                    taken=bool(int(taken)),
+                    target=int(target, 0),
+                )
+            )
+    return records

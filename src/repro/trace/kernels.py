@@ -1,0 +1,145 @@
+"""Reusable kernel builders for custom workloads.
+
+The nine paper workloads in :mod:`repro.trace.workloads` are hand-tuned;
+these builders cover the common loop shapes so users can assemble new
+workloads quickly::
+
+    from repro.trace.kernels import streaming_kernel, pointer_chase_kernel
+    from repro.trace.program import Workload
+
+    wl = Workload("mine", [
+        streaming_kernel("axpy", n_streams=2, chain_depth=2,
+                         footprint_kb=256),
+        pointer_chase_kernel("walk", heap_kb=12),
+    ], category="fp")
+
+Each builder auto-staggers its array bases modulo the 16 KB
+direct-mapped L1 so independent streams do not conflict-evict each
+other (see the note in :mod:`repro.trace.workloads`).
+"""
+
+from __future__ import annotations
+
+from itertools import count
+
+from repro.isa.opcodes import OpClass
+from repro.trace.patterns import ArrayWalk, ChaseRegion, RandomRegion
+from repro.trace.program import (
+    CondBranch,
+    FpOp,
+    IntOp,
+    Load,
+    LoopKernel,
+    Store,
+)
+
+KB = 1024
+_CACHE_BYTES = 16 * KB
+_region_counter = count()
+
+
+def _base(stagger_slot):
+    """A fresh base address, staggered modulo the cache size."""
+    region = next(_region_counter) + 16
+    return region * 0x100_0000 + (stagger_slot * 0x1000) % _CACHE_BYTES
+
+
+def streaming_kernel(name, n_streams=2, chain_depth=3, footprint_kb=512,
+                     iterations=64, store=True, fp=True):
+    """A stencil-style loop: ``n_streams`` sequential loads feeding a
+    ``chain_depth``-deep arithmetic chain, optionally ending in a store.
+
+    ``footprint_kb`` per stream; anything above 16 misses on every new
+    line — the swim/mgrid pattern the paper's best cases rely on.
+    """
+    if n_streams < 1 or chain_depth < 1:
+        raise ValueError("need at least one stream and one chain op")
+    body = []
+    arrays = {}
+    loads = []
+    for i in range(n_streams):
+        reg = f"in{i}"
+        arr = f"src{i}"
+        body.append(Load(reg, arr, fp=fp))
+        arrays[arr] = ArrayWalk(base=_base(i), length=footprint_kb * KB // 8,
+                                elem_bytes=8)
+        loads.append(reg)
+    op_cls, kinds = (
+        (FpOp, (OpClass.FP_ADD, OpClass.FP_MUL)) if fp
+        else (IntOp, (OpClass.INT_ALU, OpClass.INT_ALU))
+    )
+    prev = loads[0]
+    for d in range(chain_depth):
+        dst = f"t{d}"
+        other = loads[(d + 1) % len(loads)]
+        body.append(op_cls(dst, (prev, other), kind=kinds[d % 2]))
+        prev = dst
+    if store:
+        arrays["dst"] = ArrayWalk(base=_base(n_streams),
+                                  length=footprint_kb * KB // 8,
+                                  elem_bytes=8)
+        body.append(Store(prev, "dst", fp=fp))
+    body.append(IntOp("idx", ("idx",)))
+    return LoopKernel(name=name, body=body, iterations=iterations,
+                      arrays=arrays)
+
+
+def pointer_chase_kernel(name, heap_kb=12, work_per_hop=2, p_taken=0.8,
+                         iterations=24):
+    """li-style serial chasing: each load's base is the previous load's
+    destination, with ``work_per_hop`` dependent integer ops per hop."""
+    if work_per_hop < 1:
+        raise ValueError("need at least one op per hop")
+    body = [Load("ptr", "heap", base="ptr")]
+    prev = "ptr"
+    for i in range(work_per_hop):
+        dst = f"w{i}"
+        body.append(IntOp(dst, (prev,)))
+        prev = dst
+    body.append(CondBranch(p_taken=p_taken, src=prev))
+    body.append(IntOp("idx", ("idx",)))
+    return LoopKernel(
+        name=name, body=body, iterations=iterations,
+        arrays={"heap": ChaseRegion(base=_base(0), size_bytes=heap_kb * KB)},
+    )
+
+
+def random_access_kernel(name, table_kb=24, ops_per_access=3, p_taken=0.9,
+                         iterations=32, store=False):
+    """vortex/compress-style table lookups with independent iterations."""
+    body = [Load("val", "table", base="tbase")]
+    prev = "val"
+    for i in range(ops_per_access):
+        dst = f"m{i}"
+        body.append(IntOp(dst, (prev, "acc") if i == 0 else (prev,)))
+        prev = dst
+    body.append(CondBranch(p_taken=p_taken, src=prev))
+    body.append(IntOp("acc", (prev,)))
+    arrays = {"table": RandomRegion(base=_base(0), size_bytes=table_kb * KB)}
+    if store:
+        arrays["log"] = ArrayWalk(base=_base(4), length=512, elem_bytes=8)
+        body.append(Store("acc", "log"))
+    body.append(IntOp("idx", ("idx",)))
+    return LoopKernel(name=name, body=body, iterations=iterations,
+                      arrays=arrays)
+
+
+def reduction_kernel(name, footprint_kb=8, latency_chain=True,
+                     iterations=128, fp=True):
+    """hydro2d-style loop-carried reduction over resident data."""
+    body = [Load("a", "vec", fp=fp)]
+    if fp:
+        if latency_chain:
+            body.append(FpOp("acc", ("acc", "a"), kind=OpClass.FP_ADD))
+        body.append(FpOp("sq", ("a", "a"), kind=OpClass.FP_MUL))
+    else:
+        if latency_chain:
+            body.append(IntOp("acc", ("acc", "a")))
+        body.append(IntOp("sq", ("a", "a")))
+    body.append(IntOp("idx", ("idx",)))
+    return LoopKernel(
+        name=name, body=body, iterations=iterations,
+        arrays={"vec": ArrayWalk(base=_base(0),
+                                 length=footprint_kb * KB // 8,
+                                 elem_bytes=8)},
+    )

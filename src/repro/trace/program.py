@@ -1,0 +1,235 @@
+"""A small loop-kernel DSL for building synthetic programs.
+
+A *workload* is a weighted collection of :class:`LoopKernel`\\ s.  Each
+kernel is a loop: a straight-line ``body`` of statements executed
+``iterations`` times per visit, closed by an induction-variable update
+and a back-edge branch.  The trace generator in
+:mod:`repro.trace.generator` interleaves visits to the kernels.
+
+Statements name registers symbolically ("sum", "ptr", ...).  The builder
+infers each name's register class from how it is produced/consumed and
+assigns it a fixed logical register, so re-executing the body reuses the
+same logical registers — exactly the anti/output dependence pattern that
+register renaming exists to break, and whose *true* dependences (loop
+recurrences appear when a statement reads a name written by a later
+statement or by itself) stress the issue queue the way the paper's
+benchmarks do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import (
+    NUM_LOGICAL_FP,
+    NUM_LOGICAL_INT,
+    RegClass,
+    make_reg,
+)
+from repro.trace.patterns import AddressPattern
+
+
+@dataclass(frozen=True)
+class Load:
+    """Load ``array[...]`` into register ``dst``; EA depends on ``base``."""
+
+    dst: str
+    array: str
+    base: str = "__ind"
+    fp: bool = False
+
+
+@dataclass(frozen=True)
+class Store:
+    """Store register ``value`` to ``array[...]``; EA depends on ``base``."""
+
+    value: str
+    array: str
+    base: str = "__ind"
+    fp: bool = False
+
+
+@dataclass(frozen=True)
+class IntOp:
+    """Integer operation ``dst = op(srcs)``."""
+
+    dst: str
+    srcs: tuple
+    kind: OpClass = OpClass.INT_ALU
+
+    def __post_init__(self):
+        if self.kind not in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV):
+            raise ValueError(f"IntOp cannot have kind {self.kind.name}")
+        if not 1 <= len(self.srcs) <= 2:
+            raise ValueError("IntOp takes one or two sources")
+
+
+@dataclass(frozen=True)
+class FpOp:
+    """Floating-point operation ``dst = op(srcs)``."""
+
+    dst: str
+    srcs: tuple
+    kind: OpClass = OpClass.FP_ADD
+
+    def __post_init__(self):
+        if self.kind not in (
+            OpClass.FP_ADD,
+            OpClass.FP_MUL,
+            OpClass.FP_DIV,
+            OpClass.FP_SQRT,
+        ):
+            raise ValueError(f"FpOp cannot have kind {self.kind.name}")
+        if not 1 <= len(self.srcs) <= 2:
+            raise ValueError("FpOp takes one or two sources")
+
+
+@dataclass(frozen=True)
+class CondBranch:
+    """Data-dependent conditional branch inside the body.
+
+    With probability ``p_taken`` the branch is taken and the next
+    ``skip`` body statements are skipped (a forward hammock), keeping the
+    dynamic control flow consistent with the static layout.  The branch
+    reads ``src`` (default: the induction variable).
+    """
+
+    p_taken: float
+    skip: int = 0
+    src: str = "__ind"
+
+    def __post_init__(self):
+        if not 0.0 <= self.p_taken <= 1.0:
+            raise ValueError("p_taken must be a probability")
+        if self.skip < 0:
+            raise ValueError("skip must be non-negative")
+
+
+#: Name of the implicit per-kernel induction variable (an int register).
+INDUCTION = "__ind"
+
+Statement = object  # union of the dataclasses above; kept duck-typed
+
+
+@dataclass
+class LoopKernel:
+    """One loop nest of a synthetic workload."""
+
+    name: str
+    body: list
+    iterations: int
+    arrays: dict = field(default_factory=dict)
+    weight: float = 1.0
+
+    def __post_init__(self):
+        if self.iterations < 1:
+            raise ValueError("a kernel runs at least one iteration")
+        if self.weight <= 0:
+            raise ValueError("kernel weight must be positive")
+        for name, pattern in self.arrays.items():
+            if not isinstance(pattern, AddressPattern):
+                raise TypeError(f"array {name!r} is not an AddressPattern")
+        self._check_branch_skips()
+
+    def _check_branch_skips(self):
+        for pos, stmt in enumerate(self.body):
+            if isinstance(stmt, CondBranch):
+                remaining = len(self.body) - pos - 1
+                if stmt.skip > remaining:
+                    raise ValueError(
+                        f"kernel {self.name!r}: branch at body[{pos}] skips "
+                        f"{stmt.skip} statements but only {remaining} remain"
+                    )
+
+    def referenced_arrays(self):
+        names = set()
+        for stmt in self.body:
+            if isinstance(stmt, (Load, Store)):
+                names.add(stmt.array)
+        return names
+
+
+class RegisterBinding:
+    """Maps a kernel's symbolic register names to logical registers.
+
+    Names are bound greedily in order of first definition/use; integer
+    names get ``r1..``, FP names get ``f0..``.  ``r0`` stays free as a
+    conventional zero register.  A kernel using more names than logical
+    registers is a build error (spill modelling is out of scope).
+    """
+
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.cls_of = {}
+        self._infer_classes()
+        self.reg_of = {}
+        self._assign()
+
+    def _note(self, name, cls):
+        prev = self.cls_of.get(name)
+        if prev is None:
+            self.cls_of[name] = cls
+        elif prev != cls:
+            raise ValueError(
+                f"kernel {self.kernel.name!r}: register {name!r} used as both "
+                f"{prev.name} and {cls.name}"
+            )
+
+    def _infer_classes(self):
+        self._note(INDUCTION, RegClass.INT)
+        for stmt in self.kernel.body:
+            if isinstance(stmt, Load):
+                self._note(stmt.base, RegClass.INT)
+                self._note(stmt.dst, RegClass.FP if stmt.fp else RegClass.INT)
+            elif isinstance(stmt, Store):
+                self._note(stmt.base, RegClass.INT)
+                self._note(stmt.value, RegClass.FP if stmt.fp else RegClass.INT)
+            elif isinstance(stmt, IntOp):
+                self._note(stmt.dst, RegClass.INT)
+                for s in stmt.srcs:
+                    self._note(s, RegClass.INT)
+            elif isinstance(stmt, FpOp):
+                self._note(stmt.dst, RegClass.FP)
+                for s in stmt.srcs:
+                    self._note(s, RegClass.FP)
+            elif isinstance(stmt, CondBranch):
+                self._note(stmt.src, RegClass.INT)
+            else:
+                raise TypeError(f"unknown statement type: {stmt!r}")
+
+    def _assign(self):
+        next_idx = {RegClass.INT: 1, RegClass.FP: 0}  # r0 reserved as zero reg
+        limits = {RegClass.INT: NUM_LOGICAL_INT, RegClass.FP: NUM_LOGICAL_FP}
+        for name, cls in self.cls_of.items():
+            idx = next_idx[cls]
+            if idx >= limits[cls]:
+                raise ValueError(
+                    f"kernel {self.kernel.name!r} needs more than "
+                    f"{limits[cls]} {cls.name} registers"
+                )
+            self.reg_of[name] = make_reg(cls, idx)
+            next_idx[cls] = idx + 1
+
+    def __getitem__(self, name):
+        return self.reg_of[name]
+
+
+@dataclass
+class Workload:
+    """A named, categorized set of kernels — one synthetic 'benchmark'."""
+
+    name: str
+    kernels: list
+    category: str = "int"  # "int" or "fp", following the paper's grouping
+
+    def __post_init__(self):
+        if not self.kernels:
+            raise ValueError("workload needs at least one kernel")
+        if self.category not in ("int", "fp"):
+            raise ValueError("category must be 'int' or 'fp'")
+        seen = set()
+        for kernel in self.kernels:
+            if kernel.name in seen:
+                raise ValueError(f"duplicate kernel name {kernel.name!r}")
+            seen.add(kernel.name)

@@ -1,0 +1,28 @@
+"""Microarchitecture substrate: the out-of-order cycle engine."""
+
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.dynamic import DynInstr
+from repro.uarch.functional_units import FunctionalUnitPool
+from repro.uarch.processor import Processor, SimulationDeadlock, simulate
+from repro.uarch.stats import SimResult, SimStats
+from repro.uarch.tracer import TimelineTracer
+
+__all__ = [
+    "ProcessorConfig",
+    "RenamingScheme",
+    "conventional_config",
+    "virtual_physical_config",
+    "DynInstr",
+    "FunctionalUnitPool",
+    "Processor",
+    "SimulationDeadlock",
+    "simulate",
+    "SimResult",
+    "SimStats",
+    "TimelineTracer",
+]

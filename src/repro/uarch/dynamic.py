@@ -1,0 +1,78 @@
+"""Dynamic (in-flight) instruction state.
+
+One :class:`DynInstr` wraps each trace record while it is in the window;
+it carries the renaming fields (tags, allocated registers, undo state),
+the scheduling fields the pipeline uses, and a per-instruction timeline
+for statistics and golden tests.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import (
+    FU_FOR_OP,
+    LATENCY,
+    PIPELINED,
+    dest_class_for,
+    is_branch,
+    is_load,
+    is_store,
+)
+
+
+class DynInstr:
+    """A trace record in flight through the pipeline."""
+
+    __slots__ = (
+        "rec", "seq", "dest_cls",
+        # renaming state
+        "src_tags", "dest_tag", "dest_phys", "prev_phys", "prev_vp",
+        "vp_reg", "src_phys", "reserved", "squashed",
+        # scheduling state
+        "wait_count", "not_before", "in_iq", "issued",
+        "mem_ready_at", "data_ready_at", "completed", "completed_at",
+        "mispredicted",
+        # classification cache
+        "is_load", "is_store", "is_br", "fu_kind", "latency", "pipelined",
+        # timeline (for stats and golden tests)
+        "fetch_at", "rename_at", "first_issue_at", "last_issue_at",
+        "commit_at", "exec_count",
+    )
+
+    def __init__(self, rec, seq):
+        self.rec = rec
+        self.seq = seq
+        op = rec.op
+        self.dest_cls = dest_class_for(op)
+        self.src_tags = ()
+        self.dest_tag = -1
+        self.dest_phys = -1
+        self.prev_phys = -1
+        self.prev_vp = -1
+        self.vp_reg = -1
+        self.src_phys = ()
+        self.reserved = False
+        self.squashed = False
+        self.wait_count = 0
+        self.not_before = 0
+        self.in_iq = False
+        self.issued = False
+        self.mem_ready_at = -1
+        self.data_ready_at = -1
+        self.completed = False
+        self.completed_at = -1
+        self.mispredicted = False
+        self.is_load = is_load(op)
+        self.is_store = is_store(op)
+        self.is_br = is_branch(op)
+        self.fu_kind = FU_FOR_OP[op]
+        self.latency = LATENCY[op]
+        self.pipelined = PIPELINED[op]
+        self.fetch_at = -1
+        self.rename_at = -1
+        self.first_issue_at = -1
+        self.last_issue_at = -1
+        self.commit_at = -1
+        self.exec_count = 0
+
+    def __repr__(self):
+        return f"<DynInstr #{self.seq} {self.rec!r}>"

@@ -1,0 +1,60 @@
+"""Functional-unit pool.
+
+Table 1 units.  Every unit accepts at most one new operation per cycle;
+pipelined operations then free the unit immediately, while divisions
+(integer and FP) occupy their unit for the whole latency.
+"""
+
+from __future__ import annotations
+
+from repro.isa.opcodes import FUKind
+
+
+class FunctionalUnitPool:
+    """Per-kind unit tracking with non-pipelined reservations."""
+
+    def __init__(self, counts):
+        self._busy_until = {}
+        self._issued_cycle = {}
+        for kind in FUKind:
+            count = counts.get(kind, 0)
+            if count < 1:
+                raise ValueError(f"no {kind.name} units configured")
+            self._busy_until[kind] = [0] * count
+            self._issued_cycle[kind] = [-1] * count
+        self.issues = {kind: 0 for kind in FUKind}
+        self.structural_stalls = {kind: 0 for kind in FUKind}
+
+    def can_issue(self, kind, now):
+        """Is a unit of ``kind`` available at cycle ``now``? (No claim.)"""
+        busy = self._busy_until[kind]
+        issued = self._issued_cycle[kind]
+        for i in range(len(busy)):
+            if busy[i] <= now and issued[i] != now:
+                return True
+        self.structural_stalls[kind] += 1
+        return False
+
+    def claim(self, kind, now, latency, pipelined):
+        """Claim a unit of ``kind``; callers check :meth:`can_issue` first."""
+        busy = self._busy_until[kind]
+        issued = self._issued_cycle[kind]
+        for i in range(len(busy)):
+            if busy[i] <= now and issued[i] != now:
+                issued[i] = now
+                if not pipelined:
+                    busy[i] = now + latency
+                self.issues[kind] += 1
+                return
+        raise RuntimeError(f"claim on a busy {kind.name} unit")
+
+    def try_issue(self, kind, now, latency, pipelined):
+        """Claim a unit of ``kind`` at cycle ``now``.  Returns success."""
+        if not self.can_issue(kind, now):
+            return False
+        self.claim(kind, now, latency, pipelined)
+        return True
+
+    def busy_units(self, kind, now):
+        """How many units of ``kind`` hold a non-pipelined reservation."""
+        return sum(1 for t in self._busy_until[kind] if t > now)

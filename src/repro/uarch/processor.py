@@ -1,0 +1,551 @@
+"""The out-of-order cycle engine.
+
+Stage order inside one simulated cycle (see DESIGN.md §5 for the timing
+contract each stage implements):
+
+1. **wakeup** — dependence tags scheduled to become ready this cycle fire
+   and release waiting instructions into the ready set.
+2. **write-back** — completion events for this cycle: write-port
+   arbitration, the renamer's completion hook (late allocation /
+   squash-and-re-execute under the VP write-back policy), branch
+   resolution, publication of result tags.
+3. **memory** — loads that have finished address generation attempt the
+   cache (disambiguation, ports, MSHRs); failures retry next cycle.
+4. **issue** — oldest-first selection over ready instructions subject to
+   issue width, register-file read ports, functional units, and the
+   renamer's issue hook (issue-stage allocation).
+5. **commit** — in-order retirement; stores write the cache here.
+6. **rename/dispatch** — decode-stage renaming and insertion into
+   ROB/IQ/store-queue.
+7. **fetch** — up to 8 consecutive instructions; stalls at a mispredicted
+   branch until it resolves (trace-driven wrong-path model).
+
+Everything is driven by two event maps — ``wakeup_at`` (tag readiness)
+and ``complete_at`` (execution completions) — so a cycle costs time
+proportional to the work in it, not to the window size.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import defaultdict, deque
+from heapq import heappush, heappop
+
+from repro.branch.bht import BranchHistoryTable
+from repro.core.tags import tag_class
+from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.isa.registers import RegClass
+from repro.memory.memory_system import MemorySystem
+from repro.uarch.config import ProcessorConfig
+from repro.uarch.dynamic import DynInstr
+from repro.uarch.functional_units import FunctionalUnitPool
+from repro.uarch.stats import SimResult, SimStats
+
+_FAR_FUTURE = 1 << 60
+
+
+class SimulationDeadlock(RuntimeError):
+    """No instruction committed for ``deadlock_horizon`` cycles."""
+
+
+class Processor:
+    """One simulated machine; create a fresh instance per run."""
+
+    def __init__(self, config=None):
+        self.config = config or ProcessorConfig()
+        cfg = self.config
+        self.renamer = cfg.build_renamer()
+        self.bht = BranchHistoryTable(cfg.bht_entries)
+        self.mem = MemorySystem(cfg.cache, cfg.cache_ports, cfg.store_queue_size)
+        self.fus = FunctionalUnitPool(cfg.fu_counts)
+        self.stats = SimStats()
+        self._vp_writeback = (
+            isinstance(self.renamer, VirtualPhysicalRenamer)
+            and self.renamer.allocation is AllocationStage.WRITEBACK
+        )
+        self._retry_gating = self._vp_writeback and cfg.retry_gating
+        # Machine state.
+        self.now = 0
+        self.rob = deque()
+        self.iq_count = 0
+        self.fetch_buffer = deque()
+        self.ready_heap = []  # (seq, instr), oldest first
+        self.waiters = defaultdict(list)  # tag -> instrs waiting to become ready
+        self.data_waiters = defaultdict(list)  # tag -> stores waiting for data
+        self.ready_at = {}  # tag -> cycle its value is available
+        self.wakeup_at = defaultdict(list)  # cycle -> tags firing
+        self.complete_at = defaultdict(list)  # cycle -> completion events
+        self.pending_mem = []  # loads awaiting their cache access
+        self.fetch_resume_at = 0
+        self._next_seq = 0
+        self._last_commit_cycle = 0
+        # Precise-exception injection: the K-th committing instruction
+        # faults, flushing and replaying everything younger (§3.2.2).
+        self._fault_at_commits = set()
+        self._replay = deque()
+        for tag in self.renamer.initial_ready_tags():
+            self.ready_at[tag] = 0
+
+    def inject_faults(self, commit_indices):
+        """Arrange for the K-th committing instruction(s) to raise a
+        precise exception.  Recovery pops the reorder buffer youngest
+        first, rolls the rename tables back (the paper's §3.2.2 walk),
+        and re-fetches the flushed instructions."""
+        self._fault_at_commits.update(int(k) for k in commit_indices)
+
+    # -- public API ----------------------------------------------------------
+
+    def run(self, trace, max_instructions=None, skip=0):
+        """Simulate ``max_instructions`` records of ``trace`` after ``skip``.
+
+        The skipped prefix warms the cache and the branch predictor
+        functionally (no timing), mirroring the paper's fast-forward of
+        the first 100M instructions.
+        """
+        if getattr(self, "_ran", False):
+            raise RuntimeError(
+                "a Processor instance runs once; create a fresh one "
+                "(its caches, predictor, and rename state are warm)"
+            )
+        self._ran = True
+        stream = iter(trace)
+        if skip:
+            self._warm_up(stream, skip)
+        if max_instructions is not None:
+            stream = itertools.islice(stream, max_instructions)
+        self._trace = stream
+        self._exhausted = False
+        while not (self._exhausted and not self.fetch_buffer
+                   and not self.rob and not self._replay):
+            self._step()
+            if self.now - self._last_commit_cycle > self.config.deadlock_horizon:
+                raise SimulationDeadlock(
+                    f"no commit for {self.config.deadlock_horizon} cycles at "
+                    f"cycle {self.now}; ROB head: "
+                    f"{self.rob[0] if self.rob else None}"
+                )
+        self.stats.cycles = self.now
+        self._harvest_stats()
+        return SimResult(stats=self.stats, config=self.config)
+
+    # -- warm-up ------------------------------------------------------------
+
+    def _warm_up(self, stream, skip):
+        cache = self.mem.cache
+        bht = self.bht
+        for rec in itertools.islice(stream, skip):
+            if rec.addr:
+                cache.warm((rec.addr,))
+            if rec.op.name == "BRANCH":
+                bht.update(rec.pc, rec.taken)
+
+    # -- per-cycle machinery --------------------------------------------------
+
+    def _step(self):
+        now = self.now
+        self._fire_wakeups(now)
+        self._writeback(now)
+        # Commit runs before the memory stage so committing stores (the
+        # oldest instructions in the machine) win cache-port arbitration
+        # over younger loads; otherwise a squash-and-retry storm can
+        # starve the store at the ROB head forever.
+        self._commit(now)
+        self._memory_access(now)
+        self._issue(now)
+        self._rename_dispatch(now)
+        self._fetch(now)
+        self.stats.int_reg_occupancy_sum += self.renamer.allocated_physical(RegClass.INT)
+        self.stats.fp_reg_occupancy_sum += self.renamer.allocated_physical(RegClass.FP)
+        self.now = now + 1
+
+    def _publish(self, tag, when):
+        """Announce that ``tag``'s value (and register) exist from ``when``."""
+        self.ready_at[tag] = when
+        if when <= self.now:
+            self._fire_tag(tag)
+        else:
+            self.wakeup_at[when].append(tag)
+
+    def _fire_tag(self, tag):
+        now = self.now
+        for instr in self.waiters.pop(tag, ()):
+            instr.wait_count -= 1
+            if instr.wait_count == 0 and not instr.squashed:
+                heappush(self.ready_heap, (instr.seq, instr))
+        for store in self.data_waiters.pop(tag, ()):
+            if store.squashed:
+                continue
+            store.data_ready_at = now
+            self.mem.store_queue.set_data_ready(store.seq, now)
+            if store.mem_ready_at >= 0 and not store.completed:
+                store.completed = True
+                store.completed_at = now
+
+    def _fire_wakeups(self, now):
+        for tag in self.wakeup_at.pop(now, ()):
+            self._fire_tag(tag)
+
+    # -- write-back -----------------------------------------------------------
+
+    def _writeback(self, now):
+        events = self.complete_at.pop(now, None)
+        if not events:
+            return
+        events.sort(key=lambda i: i.seq)
+        ports_left = {
+            RegClass.INT: self.config.write_ports,
+            RegClass.FP: self.config.write_ports,
+        }
+        for instr in events:
+            if instr.squashed:
+                continue  # flushed by precise-exception recovery
+            if instr.is_store:
+                self._store_ea_done(instr, now)
+                continue
+            if instr.is_br:
+                self._resolve_branch(instr, now)
+                continue
+            cls = instr.dest_cls
+            if cls is not None and ports_left[cls] == 0:
+                self.stats.wb_port_defers += 1
+                self.complete_at[now + 1].append(instr)
+                continue
+            if not self.renamer.on_complete(instr, now):
+                # VP write-back allocation failed: squash back to the IQ.
+                self.stats.squashes += 1
+                instr.not_before = now + 1
+                heappush(self.ready_heap, (instr.seq, instr))
+                continue
+            if cls is not None:
+                ports_left[cls] -= 1
+            instr.completed = True
+            instr.completed_at = now
+            if instr.in_iq:
+                instr.in_iq = False
+                self.iq_count -= 1
+            if instr.dest_tag != -1:
+                self._publish(instr.dest_tag, now)
+
+    def _store_ea_done(self, instr, now):
+        self.mem.store_queue.set_address(instr.seq, instr.rec.addr)
+        instr.mem_ready_at = now
+        if instr.data_ready_at >= 0:
+            instr.completed = True
+            instr.completed_at = now
+
+    def _resolve_branch(self, instr, now):
+        rec = instr.rec
+        self.stats.branches += 1
+        self.bht.update(rec.pc, rec.taken)
+        if instr.mispredicted:
+            self.stats.mispredicts += 1
+            self.fetch_resume_at = now + 1
+        instr.completed = True
+        instr.completed_at = now
+
+    # -- memory ---------------------------------------------------------------
+
+    def _memory_access(self, now):
+        if not self.pending_mem:
+            return
+        self.pending_mem.sort(key=lambda i: i.seq)
+        still_pending = []
+        for instr in self.pending_mem:
+            if instr.squashed:
+                continue
+            if instr.mem_ready_at > now:
+                still_pending.append(instr)
+                continue
+            done = self.mem.try_load(instr.seq, instr.rec.addr, now)
+            if done is None:
+                still_pending.append(instr)
+                continue
+            self.complete_at[done].append(instr)
+        self.pending_mem = still_pending
+
+    # -- issue ----------------------------------------------------------------
+
+    def _issue(self, now):
+        budget = self.config.issue_width
+        reads_left = {
+            RegClass.INT: self.config.read_ports,
+            RegClass.FP: self.config.read_ports,
+        }
+        retry = []
+        heap = self.ready_heap
+        while budget and heap:
+            seq, instr = heappop(heap)
+            if instr.squashed:
+                continue
+            if instr.not_before > now:
+                retry.append((seq, instr))
+                continue
+            # Optional engineering improvement (retry_gating): a squashed
+            # instruction re-executes only when the allocation rule could
+            # currently admit it; spinning pointlessly would burn
+            # functional units and cache ports that first-time issues
+            # (branch resolution in particular) need.  The paper's
+            # machine spins, so gating defaults to off.
+            if (
+                self._retry_gating
+                and instr.exec_count > 0
+                and instr.dest_cls is not None
+                and instr.dest_phys < 0
+                and not self.renamer.may_allocate_now(instr)
+            ):
+                retry.append((seq, instr))
+                continue
+            # Register-file read ports.
+            need = defaultdict(int)
+            read_tags = instr.src_tags[:1] if instr.is_store else instr.src_tags
+            for tag in read_tags:
+                need[tag_class(tag)] += 1
+            if any(reads_left[cls] < n for cls, n in need.items()):
+                retry.append((seq, instr))
+                continue
+            # Functional unit (checked before allocation so a failed
+            # issue-stage allocation does not waste a unit).
+            if not self.fus.can_issue(instr.fu_kind, now):
+                retry.append((seq, instr))
+                continue
+            if not self.renamer.on_issue(instr, now):
+                self.stats.issue_alloc_blocks += 1
+                retry.append((seq, instr))
+                continue
+            self.fus.claim(instr.fu_kind, now, instr.latency, instr.pipelined)
+            for cls, n in need.items():
+                reads_left[cls] -= n
+            budget -= 1
+            self._launch(instr, now)
+        for item in retry:
+            heappush(heap, item)
+
+    def _launch(self, instr, now):
+        instr.issued = True
+        instr.exec_count += 1
+        self.stats.executions += 1
+        if instr.first_issue_at < 0:
+            instr.first_issue_at = now
+        instr.last_issue_at = now
+        if instr.is_load:
+            instr.mem_ready_at = now + 1  # EA ready next cycle
+            self.pending_mem.append(instr)
+        elif instr.is_store or instr.is_br:
+            self.complete_at[now + 1].append(instr)
+        else:
+            self.complete_at[now + instr.latency].append(instr)
+        # Under VP write-back allocation, destination writers stay in the
+        # IQ until their completion succeeds (they may be squashed and
+        # re-executed); everything else frees its IQ entry at issue.
+        holds_iq = self._vp_writeback and instr.dest_cls is not None
+        if instr.in_iq and not holds_iq:
+            instr.in_iq = False
+            self.iq_count -= 1
+
+    # -- commit ---------------------------------------------------------------
+
+    def _commit(self, now):
+        budget = self.config.commit_width
+        extra = self.renamer.commit_extra_latency
+        rob = self.rob
+        while budget and rob:
+            instr = rob[0]
+            if not instr.completed or instr.completed_at + 1 + extra > now:
+                break
+            if self.stats.committed in self._fault_at_commits:
+                self._fault_at_commits.discard(self.stats.committed)
+                self._recover_from_fault(instr, now)
+                # The offending instruction itself commits below (its
+                # fault is now "handled"); everything younger replays.
+            if instr.is_store:
+                if not self.mem.try_store_commit(instr.rec.addr, now):
+                    break  # no cache port this cycle; retry in order
+                self.mem.store_queue.remove(instr.seq)
+            self.renamer.on_commit(instr)
+            rob.popleft()
+            instr.commit_at = now
+            self.stats.committed += 1
+            self._last_commit_cycle = now
+            budget -= 1
+
+    # -- precise-exception recovery ---------------------------------------------
+
+    def _recover_from_fault(self, offender, now):
+        """Flush everything younger than ``offender`` and replay it.
+
+        Implements the paper's §3.2.2 recovery: the reorder buffer is
+        popped from the newest entry down to the offending one, each
+        pop undoing the rename mapping (the renamer's ``rollback``);
+        the flushed dynamic instructions re-enter through fetch.
+        """
+        rob = self.rob
+        assert rob and rob[0] is offender, "faults are detected at the head"
+        younger = list(rob)[1:]
+        while len(rob) > 1:
+            rob.pop()
+        # Rename-state rollback wants youngest first.
+        self.renamer.rollback(list(reversed(younger)))
+        freed_iq = 0
+        for instr in younger:
+            instr.squashed = True
+            if instr.in_iq:
+                instr.in_iq = False
+                freed_iq += 1
+        self.iq_count -= freed_iq
+        # Store-queue entries of flushed stores disappear.
+        self.mem.store_queue.remove_younger_than(offender.seq)
+        # Loads waiting on the memory system are dropped (their MSHRs, if
+        # any, simply fill unused — as in real lockup-free caches).
+        self.pending_mem = [i for i in self.pending_mem if not i.squashed]
+        # Replay in program order: the flushed window, then the
+        # un-renamed fetch buffer, then anything an *earlier* fault left
+        # queued (everything flushed now is older than those records).
+        flushed = [instr.rec for instr in younger]
+        flushed.extend(instr.rec for instr in self.fetch_buffer)
+        self.fetch_buffer.clear()
+        self._replay.extendleft(reversed(flushed))
+        # Fetch restarts after the exception is handled.
+        self.fetch_resume_at = now + 1
+        self.stats.faults += 1
+
+    # -- rename / dispatch ------------------------------------------------------
+
+    def _rename_dispatch(self, now):
+        cfg = self.config
+        budget = cfg.rename_width
+        buffer = self.fetch_buffer
+        renamer = self.renamer
+        stats = self.stats
+        while budget and buffer:
+            instr = buffer[0]
+            if len(self.rob) >= cfg.rob_size:
+                stats.stall_rob_full += 1
+                break
+            if self.iq_count >= cfg.iq_size:
+                stats.stall_iq_full += 1
+                break
+            if instr.is_store and self.mem.store_queue.full:
+                stats.stall_sq_full += 1
+                break
+            if not renamer.can_rename(instr.rec):
+                stats.stall_no_reg += 1
+                break
+            buffer.popleft()
+            instr.rename_at = now
+            renamer.rename(instr)
+            if instr.dest_tag != -1:
+                # A fresh name starts a new lifetime: clear stale readiness.
+                self.ready_at.pop(instr.dest_tag, None)
+            if hasattr(renamer, "on_dispatch"):
+                renamer.on_dispatch(instr)
+            self.rob.append(instr)
+            if len(self.rob) > stats.peak_rob:
+                stats.peak_rob = len(self.rob)
+            instr.in_iq = True
+            self.iq_count += 1
+            instr.not_before = now + 1
+            self._wire_dependences(instr, now)
+            budget -= 1
+
+    def _wire_dependences(self, instr, now):
+        tags = instr.src_tags
+        if instr.is_store:
+            self.mem.store_queue.insert(instr.seq)
+            wait_tags = tags[:1]
+            value_tag = tags[1]
+            ready = self.ready_at.get(value_tag, _FAR_FUTURE)
+            if ready <= now:
+                instr.data_ready_at = now
+                self.mem.store_queue.set_data_ready(instr.seq, now)
+            else:
+                self.data_waiters[value_tag].append(instr)
+        else:
+            wait_tags = tags
+        pending = 0
+        for tag in wait_tags:
+            if self.ready_at.get(tag, _FAR_FUTURE) > now:
+                self.waiters[tag].append(instr)
+                pending += 1
+        instr.wait_count = pending
+        if pending == 0:
+            heappush(self.ready_heap, (instr.seq, instr))
+
+    # -- fetch ----------------------------------------------------------------
+
+    def _fetch(self, now):
+        if self._exhausted and not self._replay:
+            return
+        if now < self.fetch_resume_at:
+            self.stats.fetch_stall_cycles += 1
+            return
+        cfg = self.config
+        budget = cfg.fetch_width
+        buffer = self.fetch_buffer
+        while budget and len(buffer) < cfg.fetch_buffer_size:
+            if self._replay:
+                rec = self._replay.popleft()
+            else:
+                rec = next(self._trace, None)
+            if rec is None:
+                self._exhausted = True
+                return
+            instr = DynInstr(rec, self._next_seq)
+            self._next_seq += 1
+            instr.fetch_at = now
+            buffer.append(instr)
+            self.stats.fetched += 1
+            budget -= 1
+            if instr.is_br:
+                if self.config.perfect_branch_prediction:
+                    predicted_taken = rec.taken
+                else:
+                    predicted_taken = self.bht.predict(rec.pc)
+                if predicted_taken != rec.taken:
+                    # Trace-driven wrong-path model: stop fetching until
+                    # the branch resolves (its resolution sets resume).
+                    instr.mispredicted = True
+                    self.fetch_resume_at = _FAR_FUTURE
+                    return
+                if predicted_taken:
+                    return  # a predicted-taken branch ends the fetch group
+
+    # -- final bookkeeping -----------------------------------------------------
+
+    def _harvest_stats(self):
+        cache = self.mem.cache
+        self.stats.loads = cache.loads
+        self.stats.load_misses = cache.load_misses
+        self.stats.stores = cache.stores
+        self.stats.store_forwards = self.mem.store_queue.forwards
+
+
+def simulate(config=None, trace=None, workload=None,
+             max_instructions=30_000, skip=2_000, seed=1234):
+    """One-call simulation entry point.
+
+    Provide either a ``trace`` (any iterable of
+    :class:`~repro.isa.instruction.TraceRecord`) or a ``workload`` (a
+    benchmark name from :data:`repro.trace.WORKLOADS` or a
+    :class:`~repro.trace.Workload` instance).
+    """
+    from repro.trace.generator import SyntheticTrace
+    from repro.trace.program import Workload
+    from repro.trace.workloads import load_workload
+
+    if (trace is None) == (workload is None):
+        raise ValueError("provide exactly one of trace= or workload=")
+    name = ""
+    if workload is not None:
+        if isinstance(workload, str):
+            name = workload
+            workload = load_workload(workload)
+        elif isinstance(workload, Workload):
+            name = workload.name
+        else:
+            raise TypeError("workload must be a name or a Workload")
+        trace = SyntheticTrace(workload, seed)
+    processor = Processor(config or ProcessorConfig())
+    result = processor.run(trace, max_instructions=max_instructions, skip=skip)
+    result.workload = name
+    result.seed = seed
+    return result

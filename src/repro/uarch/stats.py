@@ -1,0 +1,102 @@
+"""Simulation statistics.
+
+``SimStats`` is filled in by the pipeline as it runs; ``SimResult`` is
+what :func:`repro.uarch.processor.simulate` returns to callers (stats
+plus the configuration and identity of the run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimStats:
+    """Raw counters accumulated during one simulation."""
+
+    cycles: int = 0
+    committed: int = 0
+    fetched: int = 0
+    executions: int = 0  # issue events, counting re-executions
+    squashes: int = 0  # VP write-back allocation failures
+    issue_alloc_blocks: int = 0  # VP issue allocation failures
+    branches: int = 0
+    mispredicts: int = 0
+    faults: int = 0  # injected precise exceptions
+    loads: int = 0
+    load_misses: int = 0
+    stores: int = 0
+    store_forwards: int = 0
+    # Rename-stage stall cycles by cause (a cycle is charged to the cause
+    # blocking the *oldest* un-renamed instruction).
+    stall_rob_full: int = 0
+    stall_iq_full: int = 0
+    stall_no_reg: int = 0
+    stall_sq_full: int = 0
+    fetch_stall_cycles: int = 0  # cycles fetch sat waiting on a mispredict
+    wb_port_defers: int = 0
+    # Register-pressure accounting: sum over cycles of allocated registers.
+    int_reg_occupancy_sum: int = 0
+    fp_reg_occupancy_sum: int = 0
+    peak_rob: int = 0
+
+    @property
+    def ipc(self):
+        if self.cycles == 0:
+            return 0.0
+        return self.committed / self.cycles
+
+    @property
+    def executions_per_commit(self):
+        """The paper reports 3.3 for write-back allocation (§4.2.1)."""
+        if self.committed == 0:
+            return 0.0
+        return self.executions / self.committed
+
+    @property
+    def mispredict_rate(self):
+        if self.branches == 0:
+            return 0.0
+        return self.mispredicts / self.branches
+
+    @property
+    def load_miss_rate(self):
+        if self.loads == 0:
+            return 0.0
+        return self.load_misses / self.loads
+
+    def avg_reg_occupancy(self, cls_name):
+        """Mean allocated physical registers per cycle ('int' or 'fp')."""
+        if self.cycles == 0:
+            return 0.0
+        total = (
+            self.int_reg_occupancy_sum
+            if cls_name == "int"
+            else self.fp_reg_occupancy_sum
+        )
+        return total / self.cycles
+
+
+@dataclass
+class SimResult:
+    """Everything a caller needs to interpret one simulation run."""
+
+    stats: SimStats
+    config: object
+    workload: str = ""
+    seed: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self):
+        return self.stats.ipc
+
+    def summary(self):
+        s = self.stats
+        return (
+            f"{self.workload or 'trace'}: IPC={s.ipc:.3f} "
+            f"({s.committed} instrs / {s.cycles} cycles), "
+            f"mispredict={s.mispredict_rate:.1%}, "
+            f"load-miss={s.load_miss_rate:.1%}, "
+            f"exec/commit={s.executions_per_commit:.2f}"
+        )

@@ -1,0 +1,121 @@
+"""Pipeline timeline tracing.
+
+Attach a :class:`TimelineTracer` to a processor to capture the per-stage
+timeline of every committed instruction and render it as a text chart
+(in the spirit of gem5's O3 pipeline viewer)::
+
+    tracer = TimelineTracer.attach(processor)
+    processor.run(trace)
+    print(tracer.render())
+
+Columns: F = fetched, R = renamed, I = (last) issue, C = execution
+complete, T = committed; dots fill the spans between stages.  The
+``exec_count`` column makes the virtual-physical scheme's re-executions
+visible directly.
+"""
+
+from __future__ import annotations
+
+
+class TimelineEntry:
+    """The committed timeline of one instruction."""
+
+    __slots__ = ("seq", "text", "fetch", "rename", "issue", "complete",
+                 "commit", "exec_count")
+
+    def __init__(self, instr):
+        self.seq = instr.seq
+        self.text = repr(instr.rec)
+        self.fetch = instr.fetch_at
+        self.rename = instr.rename_at
+        self.issue = instr.last_issue_at
+        self.complete = instr.completed_at
+        self.commit = instr.commit_at
+        self.exec_count = instr.exec_count
+
+
+class TimelineTracer:
+    """Collects committed-instruction timelines from a processor."""
+
+    def __init__(self, max_entries=10_000):
+        self.max_entries = max_entries
+        self.entries = []
+        self.dropped = 0
+
+    @classmethod
+    def attach(cls, processor, max_entries=10_000):
+        """Wrap the processor's commit hook; returns the tracer."""
+        tracer = cls(max_entries=max_entries)
+        renamer = processor.renamer
+        original = renamer.on_commit
+
+        def spying_commit(instr, _original=original, _tracer=tracer):
+            _tracer._record(instr)
+            _original(instr)
+
+        renamer.on_commit = spying_commit
+        return tracer
+
+    def _record(self, instr):
+        if len(self.entries) >= self.max_entries:
+            self.dropped += 1
+            return
+        entry = TimelineEntry(instr)
+        # commit_at is stamped by the pipeline *after* on_commit returns,
+        # so read it lazily at render time instead.
+        entry.commit = -1
+        self.entries.append((entry, instr))
+
+    def _materialized(self):
+        out = []
+        for entry, instr in self.entries:
+            entry.commit = instr.commit_at
+            out.append(entry)
+        return out
+
+    def render(self, first=0, count=40, width=70):
+        """Text chart of ``count`` committed instructions from ``first``."""
+        entries = self._materialized()[first:first + count]
+        if not entries:
+            return "(no committed instructions traced)"
+        t0 = min(e.fetch for e in entries)
+        t1 = max(e.commit for e in entries)
+        span = max(1, t1 - t0)
+        scale = min(1.0, (width - 1) / span)
+
+        def col(cycle):
+            return int((cycle - t0) * scale)
+
+        lines = [f"cycles {t0}..{t1}  (one column ~ {1 / scale:.1f} cycles)"]
+        for e in entries:
+            chart = [" "] * width
+            for lo, hi in ((e.fetch, e.rename), (e.rename, e.issue),
+                           (e.issue, e.complete), (e.complete, e.commit)):
+                if lo < 0 or hi < 0:
+                    continue
+                for c in range(col(lo) + 1, col(hi)):
+                    chart[c] = "."
+            for cycle, mark in ((e.fetch, "F"), (e.rename, "R"),
+                                (e.issue, "I"), (e.complete, "C"),
+                                (e.commit, "T")):
+                if cycle >= 0:
+                    chart[col(cycle)] = mark
+            rerun = f" x{e.exec_count}" if e.exec_count > 1 else ""
+            lines.append(f"{e.seq:5d} |{''.join(chart)}| {e.text}{rerun}")
+        return "\n".join(lines)
+
+    def stage_latencies(self):
+        """Mean cycles spent per stage across traced instructions."""
+        entries = self._materialized()
+        issued = [e for e in entries if e.issue >= 0]
+        if not entries:
+            return {}
+        mean = lambda xs: sum(xs) / len(xs) if xs else 0.0
+        return {
+            "fetch_to_rename": mean([e.rename - e.fetch for e in entries]),
+            "rename_to_issue": mean([e.issue - e.rename for e in issued]),
+            "issue_to_complete": mean([e.complete - e.issue for e in issued]),
+            "complete_to_commit": mean([e.commit - e.complete
+                                        for e in entries]),
+            "mean_executions": mean([e.exec_count for e in entries]),
+        }

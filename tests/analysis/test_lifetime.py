@@ -1,0 +1,88 @@
+"""Register-lifetime model tests — must reproduce §3.1's exact numbers."""
+
+import pytest
+
+from repro.analysis.lifetime import (
+    AllocationPolicy,
+    LifetimeEvent,
+    RegisterPressureModel,
+    section_3_1_example,
+)
+from repro.experiments import paper_data
+
+
+class TestSection31:
+    """The paper's worked example: 151 -> 38 (write-back) / 88 (issue)."""
+
+    def test_decode_pressure(self):
+        model = section_3_1_example()
+        assert model.pressure(AllocationPolicy.DECODE) == \
+            paper_data.SECTION31_PRESSURE_DECODE == 151
+
+    def test_writeback_pressure(self):
+        model = section_3_1_example()
+        assert model.pressure(AllocationPolicy.WRITEBACK) == \
+            paper_data.SECTION31_PRESSURE_WRITEBACK == 38
+
+    def test_issue_pressure(self):
+        model = section_3_1_example()
+        assert model.pressure(AllocationPolicy.ISSUE) == \
+            paper_data.SECTION31_PRESSURE_ISSUE == 88
+
+    def test_writeback_reduction_is_75_percent(self):
+        model = section_3_1_example()
+        assert model.reduction_vs_decode(AllocationPolicy.WRITEBACK) == \
+            pytest.approx(0.748, abs=0.01)
+
+    def test_issue_reduction_is_42_percent(self):
+        model = section_3_1_example()
+        assert model.reduction_vs_decode(AllocationPolicy.ISSUE) == \
+            pytest.approx(0.417, abs=0.01)
+
+    def test_per_instruction_held_cycles(self):
+        # Paper: p1..p3 held 42/52/57 cycles at decode allocation and
+        # 21/11/6 at write-back allocation.
+        model = section_3_1_example()
+        assert model.per_instruction(AllocationPolicy.DECODE) == {
+            "load": 42, "fdiv": 52, "fmul": 57,
+        }
+        assert model.per_instruction(AllocationPolicy.WRITEBACK) == {
+            "load": 21, "fdiv": 11, "fmul": 6,
+        }
+        assert model.per_instruction(AllocationPolicy.ISSUE) == {
+            "load": 41, "fdiv": 31, "fmul": 16,
+        }
+
+
+class TestLifetimeEvent:
+    def test_schedule_must_be_ordered(self):
+        with pytest.raises(ValueError):
+            LifetimeEvent("x", decode=5, issue=3, complete=7, release=9)
+        with pytest.raises(ValueError):
+            LifetimeEvent("x", decode=0, issue=3, complete=7, release=6)
+
+    def test_allocation_cycle_per_policy(self):
+        e = LifetimeEvent("x", decode=0, issue=5, complete=9, release=20)
+        assert e.allocation_cycle(AllocationPolicy.DECODE) == 0
+        assert e.allocation_cycle(AllocationPolicy.ISSUE) == 5
+        assert e.allocation_cycle(AllocationPolicy.WRITEBACK) == 9
+
+    def test_held_cycles_ordering(self):
+        e = LifetimeEvent("x", decode=0, issue=5, complete=9, release=20)
+        held = [e.held_cycles(p) for p in (
+            AllocationPolicy.DECODE, AllocationPolicy.ISSUE,
+            AllocationPolicy.WRITEBACK)]
+        assert held == sorted(held, reverse=True)
+
+
+class TestModel:
+    def test_empty_model_rejected(self):
+        with pytest.raises(ValueError):
+            RegisterPressureModel([])
+
+    def test_writeback_never_worse_than_issue_or_decode(self):
+        e = LifetimeEvent("x", decode=0, issue=2, complete=10, release=30)
+        model = RegisterPressureModel([e])
+        wb = model.pressure(AllocationPolicy.WRITEBACK)
+        assert wb <= model.pressure(AllocationPolicy.ISSUE)
+        assert wb <= model.pressure(AllocationPolicy.DECODE)

@@ -1,0 +1,69 @@
+"""Occupancy sampler tests."""
+
+import pytest
+
+from repro.analysis.occupancy import OccupancySampler, OccupancySeries
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import load_workload
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import Processor
+
+
+def sampled_run(config, n=1500, interval=8):
+    processor = Processor(config)
+    sampler = OccupancySampler.attach(processor, interval=interval)
+    trace = SyntheticTrace(load_workload("swim"), 7)
+    processor.run(trace, max_instructions=n, skip=200)
+    return sampler.series
+
+
+class TestSampling:
+    def test_sample_count_matches_cycles(self):
+        series = sampled_run(conventional_config(), interval=8)
+        assert len(series.int_regs) == len(series.fp_regs) == len(series.rob)
+        assert len(series.rob) > 10
+
+    def test_bounds(self):
+        series = sampled_run(conventional_config())
+        assert all(32 <= v <= 64 for v in series.int_regs)
+        assert all(32 <= v <= 64 for v in series.fp_regs)
+        assert all(0 <= v <= 128 for v in series.rob)
+
+    def test_vp_occupancy_below_conventional(self):
+        conv = sampled_run(conventional_config())
+        late = sampled_run(virtual_physical_config(nrr=32))
+        assert (sum(late.fp_regs) / len(late.fp_regs)
+                < sum(conv.fp_regs) / len(conv.fp_regs))
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            OccupancySampler(interval=0)
+
+
+class TestSummary:
+    def test_summary_fields(self):
+        series = sampled_run(conventional_config())
+        summary = series.summary()
+        for key in ("int_regs", "fp_regs", "rob"):
+            stats = summary[key]
+            assert stats["min"] <= stats["mean"] <= stats["max"]
+            assert stats["min"] <= stats["p95"] <= stats["max"]
+
+    def test_empty_summary(self):
+        series = OccupancySeries(interval=1)
+        assert series.summary()["rob"]["mean"] == 0.0
+
+
+class TestSparkline:
+    def test_sparkline_width(self):
+        series = sampled_run(conventional_config())
+        line = series.sparkline("fp_regs", width=40)
+        assert 0 < len(line) <= 40
+
+    def test_sparkline_empty(self):
+        assert OccupancySeries(interval=1).sparkline() == "(empty)"
+
+    def test_sparkline_scales_with_ceiling(self):
+        series = OccupancySeries(interval=1, fp_regs=[1, 2, 3, 60])
+        low = series.sparkline("fp_regs", ceiling=60)
+        assert low[-1] == "@"

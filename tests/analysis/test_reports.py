@@ -1,0 +1,55 @@
+"""Report-formatting tests."""
+
+import pytest
+
+from repro.analysis.reports import (
+    format_table,
+    geometric_mean,
+    harmonic_mean,
+    speedup_table,
+)
+
+
+class TestMeans:
+    def test_harmonic_mean_known_value(self):
+        assert harmonic_mean([1, 1]) == pytest.approx(1.0)
+        assert harmonic_mean([2, 6]) == pytest.approx(3.0)
+
+    def test_harmonic_mean_of_paper_table2(self):
+        # The paper's Table 2 column harmonic means.
+        from repro.experiments.paper_data import TABLE2_CONVENTIONAL_IPC
+
+        hm = harmonic_mean(TABLE2_CONVENTIONAL_IPC.values())
+        assert hm == pytest.approx(1.23, abs=0.01)
+
+    def test_geometric_mean(self):
+        assert geometric_mean([2, 8]) == pytest.approx(4.0)
+        assert geometric_mean([1, 1, 1]) == pytest.approx(1.0)
+
+    def test_means_reject_empty_and_nonpositive(self):
+        for fn in (harmonic_mean, geometric_mean):
+            with pytest.raises(ValueError):
+                fn([])
+            with pytest.raises(ValueError):
+                fn([1.0, 0.0])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["x", 1], ["yy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len({len(line.rstrip()) for line in lines[1:2]}) == 1
+        assert "long_header" in lines[0]
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [["x"]], title="T")
+        assert text.splitlines()[0] == "T"
+
+    def test_speedup_table_contents(self):
+        base = {"go": 1.0, "swim": 2.0}
+        variant = {"go": 1.1, "swim": 3.0}
+        text = speedup_table(["go", "swim"], base, [variant], ["vp"])
+        assert "1.100" in text
+        assert "1.500" in text
+        assert "hmean" in text

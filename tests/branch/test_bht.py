@@ -1,0 +1,118 @@
+"""Branch History Table tests: 2-bit saturating-counter semantics."""
+
+import pytest
+
+from repro.branch.bht import (
+    BranchHistoryTable,
+    PerfectPredictor,
+    StaticTakenPredictor,
+    STRONG_NOT_TAKEN,
+    STRONG_TAKEN,
+    WEAK_NOT_TAKEN,
+    WEAK_TAKEN,
+)
+
+
+class TestCounterStateMachine:
+    def test_initial_prediction_not_taken(self):
+        bht = BranchHistoryTable(16)
+        assert not bht.predict(0x100)
+
+    def test_single_taken_flips_weak_counter(self):
+        bht = BranchHistoryTable(16, initial=WEAK_NOT_TAKEN)
+        bht.update(0x100, True)
+        assert bht.predict(0x100)  # weak-not-taken -> weak-taken
+
+    def test_saturation_at_strong_taken(self):
+        bht = BranchHistoryTable(16)
+        for _ in range(10):
+            bht.update(0x100, True)
+        assert bht.counter(0x100) == STRONG_TAKEN
+
+    def test_saturation_at_strong_not_taken(self):
+        bht = BranchHistoryTable(16, initial=STRONG_TAKEN)
+        for _ in range(10):
+            bht.update(0x100, False)
+        assert bht.counter(0x100) == STRONG_NOT_TAKEN
+
+    def test_hysteresis_survives_single_anomaly(self):
+        # A strongly-taken branch stays predicted taken after one
+        # not-taken outcome — the whole point of 2-bit counters.
+        bht = BranchHistoryTable(16)
+        for _ in range(4):
+            bht.update(0x100, True)
+        bht.update(0x100, False)
+        assert bht.predict(0x100)
+
+    def test_weak_states_flip_on_single_outcome(self):
+        bht = BranchHistoryTable(16, initial=WEAK_TAKEN)
+        bht.update(0x40, False)
+        assert not bht.predict(0x40)
+
+
+class TestIndexing:
+    def test_paper_table_size(self):
+        bht = BranchHistoryTable()
+        assert bht.entries == 2048
+
+    def test_word_granular_indexing(self):
+        # Adjacent 4-byte instructions map to different entries.
+        bht = BranchHistoryTable(16)
+        bht.update(0x100, True)
+        bht.update(0x100, True)
+        assert bht.predict(0x100)
+        assert not bht.predict(0x104)
+
+    def test_aliasing_wraps_modulo_entries(self):
+        bht = BranchHistoryTable(16)
+        # Entries wrap every entries*4 bytes of PC space.
+        bht.update(0x0, True)
+        bht.update(0x0, True)
+        assert bht.predict(16 * 4)  # aliases with PC 0
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            BranchHistoryTable(100)
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            BranchHistoryTable(16, initial=7)
+
+
+class TestAccuracyTracking:
+    def test_loop_branch_accuracy_high(self):
+        # A branch taken 63 of every 64 times predicts well.
+        bht = BranchHistoryTable(64)
+        correct = 0
+        total = 0
+        for _ in range(20):
+            for i in range(64):
+                taken = i != 63
+                correct += bht.predict_and_train(0x200, taken)
+                total += 1
+        assert correct / total > 0.9
+
+    def test_random_branch_accuracy_low(self):
+        import random
+
+        rng = random.Random(7)
+        bht = BranchHistoryTable(64)
+        for _ in range(2000):
+            bht.predict_and_train(0x300, rng.random() < 0.5)
+        assert 0.3 < bht.accuracy < 0.7
+
+    def test_accuracy_zero_before_lookups(self):
+        assert BranchHistoryTable(16).accuracy == 0.0
+
+
+class TestOtherPredictors:
+    def test_static_taken(self):
+        pred = StaticTakenPredictor()
+        assert pred.predict(0x0) is True
+        pred.update(0x0, False)
+        assert pred.predict(0x0) is True
+
+    def test_perfect_returns_outcome(self):
+        pred = PerfectPredictor()
+        assert pred.predict_with_outcome(0x0, True) is True
+        assert pred.predict_with_outcome(0x0, False) is False

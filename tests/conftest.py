@@ -1,0 +1,127 @@
+"""Shared fixtures and micro-trace builders for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG, RegClass, make_reg
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+# ---------------------------------------------------------------------------
+# Micro-trace builders: tiny assembler for hand-written dynamic traces.
+# ---------------------------------------------------------------------------
+
+_PC_STEP = 4
+
+
+class TraceBuilder:
+    """Builds a list of TraceRecords with auto-incrementing PCs."""
+
+    def __init__(self, base_pc=0x1000):
+        self.records = []
+        self._pc = base_pc
+
+    def _next_pc(self):
+        pc = self._pc
+        self._pc += _PC_STEP
+        return pc
+
+    def alu(self, dest, src1, src2=None, op=OpClass.INT_ALU):
+        self.records.append(TraceRecord(
+            self._next_pc(), op, dest=dest, src1=src1,
+            src2=NO_REG if src2 is None else src2,
+        ))
+        return self
+
+    def fp(self, dest, src1, src2=None, op=OpClass.FP_ADD):
+        self.records.append(TraceRecord(
+            self._next_pc(), op, dest=dest, src1=src1,
+            src2=NO_REG if src2 is None else src2,
+        ))
+        return self
+
+    def load(self, dest, base, addr, fp=False):
+        op = OpClass.LOAD_FP if fp else OpClass.LOAD_INT
+        self.records.append(TraceRecord(
+            self._next_pc(), op, dest=dest, src1=base, addr=addr,
+        ))
+        return self
+
+    def store(self, base, value, addr, fp=False):
+        op = OpClass.STORE_FP if fp else OpClass.STORE_INT
+        self.records.append(TraceRecord(
+            self._next_pc(), op, src1=base, src2=value, addr=addr,
+        ))
+        return self
+
+    def branch(self, src, taken, target=None):
+        pc = self._next_pc()
+        self.records.append(TraceRecord(
+            pc, OpClass.BRANCH, src1=src, taken=taken,
+            target=target if target is not None else pc + _PC_STEP,
+        ))
+        return self
+
+    def build(self):
+        return list(self.records)
+
+
+def r(i):
+    """Integer register shortcut."""
+    return make_reg(RegClass.INT, i)
+
+
+def f(i):
+    """FP register shortcut."""
+    return make_reg(RegClass.FP, i)
+
+
+def run_trace(records, config=None, warm_addresses=()):
+    """Run a micro-trace to completion; returns (processor, result)."""
+    processor = Processor(config or conventional_config())
+    if warm_addresses:
+        processor.mem.cache.warm(warm_addresses)
+    result = processor.run(records)
+    return processor, result
+
+
+# ---------------------------------------------------------------------------
+# Fixtures
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def tb():
+    return TraceBuilder()
+
+
+@pytest.fixture
+def conv_config():
+    return conventional_config()
+
+
+@pytest.fixture
+def vp_config():
+    return virtual_physical_config(nrr=32)
+
+
+@pytest.fixture
+def small_configs():
+    """A spread of schemes for cross-scheme behavioural tests."""
+    from repro.core.virtual_physical import AllocationStage
+
+    return [
+        conventional_config(),
+        ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE),
+        virtual_physical_config(nrr=32),
+        virtual_physical_config(nrr=1),
+        virtual_physical_config(nrr=8, allocation=AllocationStage.ISSUE),
+    ]

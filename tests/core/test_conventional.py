@@ -1,0 +1,190 @@
+"""Conventional (R10000-style) renaming semantics."""
+
+import pytest
+
+from repro.core.conventional import ConventionalRenamer
+from repro.core.tags import make_tag, tag_ident
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass, make_reg
+from repro.uarch.dynamic import DynInstr
+
+R1 = make_reg(RegClass.INT, 1)
+R2 = make_reg(RegClass.INT, 2)
+R3 = make_reg(RegClass.INT, 3)
+F1 = make_reg(RegClass.FP, 1)
+
+_seq = 0
+
+
+def instr(op=OpClass.INT_ALU, dest=R1, src1=R2, **kw):
+    global _seq
+    rec = TraceRecord(0x1000 + 4 * _seq, op, dest=dest, src1=src1, **kw)
+    di = DynInstr(rec, _seq)
+    _seq += 1
+    return di
+
+
+def renamer(int_phys=40, fp_phys=40):
+    return ConventionalRenamer(int_phys, fp_phys)
+
+
+class TestRename:
+    def test_initial_identity_mapping(self):
+        r = renamer()
+        i = instr(src1=R2)
+        r.rename(i)
+        # Logical r2 starts mapped to physical 2.
+        assert i.src_tags == [make_tag(RegClass.INT, 2)]
+
+    def test_dest_gets_fresh_physical(self):
+        r = renamer()
+        i = instr(dest=R1)
+        r.rename(i)
+        assert i.dest_phys >= 32  # from the non-architectural pool
+        assert i.prev_phys == 1  # the reset mapping of r1
+
+    def test_output_dependence_eliminated(self):
+        """Two writes to r1 get distinct physical registers (WAW removed)."""
+        r = renamer()
+        a, b = instr(dest=R1), instr(dest=R1)
+        r.rename(a)
+        r.rename(b)
+        assert a.dest_phys != b.dest_phys
+        assert b.prev_phys == a.dest_phys
+
+    def test_true_dependence_preserved(self):
+        """A reader of r1 sees the latest writer's physical register."""
+        r = renamer()
+        w = instr(dest=R1)
+        r.rename(w)
+        reader = instr(dest=R2, src1=R1)
+        r.rename(reader)
+        assert tag_ident(reader.src_tags[0]) == w.dest_phys
+
+    def test_anti_dependence_eliminated(self):
+        """A writer after a reader does not disturb the reader's source."""
+        r = renamer()
+        reader = instr(dest=R2, src1=R1)
+        r.rename(reader)
+        old_tag = reader.src_tags[0]
+        w = instr(dest=R1)
+        r.rename(w)
+        assert reader.src_tags[0] == old_tag
+        assert tag_ident(old_tag) != w.dest_phys
+
+    def test_classes_rename_independently(self):
+        r = renamer()
+        i = instr(op=OpClass.FP_ADD, dest=F1, src1=F1)
+        r.rename(i)
+        assert i.dest_phys >= 32
+        assert r.free_physical(RegClass.INT) == 8  # untouched
+
+    def test_store_has_no_dest_tag(self):
+        r = renamer()
+        s = instr(op=OpClass.STORE_INT, dest=-1, src1=R1, src2=R2, addr=0x40)
+        r.rename(s)
+        assert s.dest_tag == -1
+        assert len(s.src_tags) == 2
+
+
+class TestAllocationLimits:
+    def test_can_rename_false_when_pool_empty(self):
+        r = renamer(int_phys=34)  # two rename registers
+        a, b = instr(dest=R1), instr(dest=R2)
+        r.rename(a)
+        r.rename(b)
+        c = instr(dest=R3)
+        assert not r.can_rename(c.rec)
+        assert r.decode_stalls == 1
+
+    def test_can_rename_ignores_destless_ops(self):
+        r = renamer(int_phys=34)
+        r.rename(instr(dest=R1))
+        r.rename(instr(dest=R2))
+        s = TraceRecord(0x0, OpClass.STORE_INT, src1=R1, src2=R2, addr=0x8)
+        assert r.can_rename(s)
+
+    def test_minimum_pool_size_enforced(self):
+        with pytest.raises(ValueError):
+            ConventionalRenamer(32, 64)  # no rename registers at all
+
+
+class TestCommit:
+    def test_commit_frees_previous_mapping(self):
+        r = renamer(int_phys=34)
+        a = instr(dest=R1)
+        r.rename(a)
+        assert r.free_physical(RegClass.INT) == 1
+        r.on_commit(a)
+        # a's prev mapping (physical 1) is back in the pool.
+        assert r.free_physical(RegClass.INT) == 2
+
+    def test_freed_register_is_reusable(self):
+        r = renamer(int_phys=34)
+        a = instr(dest=R1)
+        r.rename(a)
+        r.on_commit(a)
+        b = instr(dest=R1)
+        r.rename(b)
+        c = instr(dest=R2)
+        r.rename(c)
+        # Both succeed because a's commit recycled one register.
+        assert b.dest_phys != c.dest_phys
+
+    def test_commit_of_destless_op_frees_nothing(self):
+        r = renamer()
+        s = instr(op=OpClass.STORE_INT, dest=-1, src1=R1, src2=R2, addr=0x40)
+        r.rename(s)
+        before = r.free_physical(RegClass.INT)
+        r.on_commit(s)
+        assert r.free_physical(RegClass.INT) == before
+
+
+class TestRollback:
+    def test_rollback_restores_map_and_pool(self):
+        r = renamer()
+        free_before = r.free_physical(RegClass.INT)
+        a, b = instr(dest=R1), instr(dest=R1)
+        r.rename(a)
+        r.rename(b)
+        r.rollback([b, a])  # youngest first
+        assert r.free_physical(RegClass.INT) == free_before
+        probe = instr(dest=R2, src1=R1)
+        r.rename(probe)
+        assert tag_ident(probe.src_tags[0]) == 1  # reset mapping of r1
+
+    def test_partial_rollback(self):
+        r = renamer()
+        a, b = instr(dest=R1), instr(dest=R1)
+        r.rename(a)
+        r.rename(b)
+        r.rollback([b])
+        probe = instr(dest=R2, src1=R1)
+        r.rename(probe)
+        assert tag_ident(probe.src_tags[0]) == a.dest_phys
+
+    def test_out_of_order_rollback_detected(self):
+        r = renamer()
+        a, b = instr(dest=R1), instr(dest=R1)
+        r.rename(a)
+        r.rename(b)
+        with pytest.raises(RuntimeError):
+            r.rollback([a, b])  # oldest first: wrong
+
+
+class TestInitialState:
+    def test_initial_ready_tags_cover_architectural_state(self):
+        tags = renamer().initial_ready_tags()
+        assert len(tags) == 64
+        assert make_tag(RegClass.INT, 0) in tags
+        assert make_tag(RegClass.FP, 31) in tags
+
+    def test_commit_extra_latency_zero(self):
+        assert renamer().commit_extra_latency == 0
+
+    def test_occupancy_accounting(self):
+        r = renamer()
+        assert r.allocated_physical(RegClass.INT) == 32
+        r.rename(instr(dest=R1))
+        assert r.allocated_physical(RegClass.INT) == 33

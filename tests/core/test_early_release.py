@@ -1,0 +1,143 @@
+"""Early-release (counter-based) renaming tests — paper refs [8][10]."""
+
+import pytest
+
+from repro.core.early_release import EarlyReleaseRenamer
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass, make_reg
+from repro.uarch.dynamic import DynInstr
+
+R1 = make_reg(RegClass.INT, 1)
+R2 = make_reg(RegClass.INT, 2)
+R3 = make_reg(RegClass.INT, 3)
+
+_seq = 0
+
+
+def instr(op=OpClass.INT_ALU, dest=R1, src1=R2, **kw):
+    global _seq
+    rec = TraceRecord(0x1000 + 4 * _seq, op, dest=dest, src1=src1, **kw)
+    di = DynInstr(rec, _seq)
+    _seq += 1
+    return di
+
+
+def renamer():
+    return EarlyReleaseRenamer(40, 40)
+
+
+class TestEarlyFree:
+    def test_superseded_unread_register_freed_at_producer_commit(self):
+        r = renamer()
+        a = instr(dest=R1)
+        r.rename(a)
+        b = instr(dest=R1)  # supersedes a; nobody read a
+        r.rename(b)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)
+        # a's register freed at its own commit: superseded + no readers.
+        assert r.free_physical(RegClass.INT) == free_before + 1
+        assert r.early_frees >= 1
+
+    def test_register_waits_for_pending_reader(self):
+        r = renamer()
+        a = instr(dest=R1, src1=R3)  # R3 is never superseded below
+        r.rename(a)
+        reader = instr(dest=R2, src1=R1)
+        r.rename(reader)
+        b = instr(dest=R1)
+        r.rename(b)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)
+        assert r.free_physical(RegClass.INT) == free_before  # reader pending
+        r.on_commit(reader)
+        # a's register finally freed: superseded + committed + reads done.
+        assert r.free_physical(RegClass.INT) == free_before + 1
+
+    def test_unsuperseded_register_never_freed(self):
+        r = renamer()
+        a = instr(dest=R1)
+        r.rename(a)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)
+        # Still the live mapping of r1 -> must stay allocated.
+        assert r.free_physical(RegClass.INT) == free_before
+
+    def test_frees_earlier_than_conventional(self):
+        """The conventional scheme frees a's register only at b's commit;
+        early release frees it at a's commit once readers retire."""
+        r = renamer()
+        a = instr(dest=R1)
+        r.rename(a)
+        b = instr(dest=R1)
+        r.rename(b)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)  # b has NOT committed yet
+        assert r.free_physical(RegClass.INT) == free_before + 1
+
+    def test_no_double_free_when_b_commits(self):
+        r = renamer()
+        a = instr(dest=R1)
+        r.rename(a)
+        b = instr(dest=R1)
+        r.rename(b)
+        r.on_commit(a)
+        free_after_a = r.free_physical(RegClass.INT)
+        r.on_commit(b)  # must NOT free a's register again
+        assert r.free_physical(RegClass.INT) == free_after_a
+
+    def test_architectural_registers_freed_once_superseded_and_read(self):
+        r = renamer()
+        a = instr(dest=R1, src1=R1)  # reads the reset mapping of r1
+        r.rename(a)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)
+        # The reset register of r1 (physical 1): superseded by a,
+        # producer "committed" at reset, read retired -> freed.
+        assert r.free_physical(RegClass.INT) == free_before + 1
+
+
+class TestCounterSafety:
+    def test_counter_underflow_detected(self):
+        r = renamer()
+        a = instr(dest=R2, src1=R1)
+        r.rename(a)
+        r.on_commit(a)
+        with pytest.raises(RuntimeError):
+            r.on_commit(a)  # double commit decrements below zero
+
+    def test_rollback_unsupported(self):
+        r = renamer()
+        a = instr(dest=R1)
+        r.rename(a)
+        with pytest.raises(NotImplementedError):
+            r.rollback([a])
+
+    def test_duplicate_source_counts_twice(self):
+        r = renamer()
+        a = instr(dest=R2, src1=R1, src2=R1)
+        r.rename(a)
+        b = instr(dest=R1)
+        r.rename(b)
+        free_before = r.free_physical(RegClass.INT)
+        r.on_commit(a)
+        # Both reads retired by a's single commit; superseded -> freed.
+        assert r.free_physical(RegClass.INT) == free_before + 1
+
+
+class TestEquivalentRenaming:
+    def test_mapping_behaviour_matches_conventional(self):
+        """Early release changes freeing, never the mapping semantics."""
+        from repro.core.conventional import ConventionalRenamer
+        from repro.core.tags import tag_ident
+
+        er, conv = renamer(), ConventionalRenamer(40, 40)
+        for _ in range(5):
+            i1, i2 = instr(dest=R1, src1=R1), None
+            i2 = DynInstr(i1.rec, i1.seq)
+            er.rename(i1)
+            conv.rename(i2)
+            assert [tag_ident(t) for t in i1.src_tags] == \
+                   [tag_ident(t) for t in i2.src_tags]
+            assert i1.dest_phys == i2.dest_phys

@@ -1,0 +1,73 @@
+"""Free-list tests."""
+
+import pytest
+
+from repro.core.freelist import FreeList
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        fl = FreeList([3, 1, 2])
+        assert [fl.allocate() for _ in range(3)] == [3, 1, 2]
+
+    def test_counts(self):
+        fl = FreeList(range(4))
+        fl.allocate()
+        assert fl.free_count == 3
+        assert fl.allocated_count == 1
+        assert fl.capacity == 4
+
+    def test_exhaustion_raises(self):
+        fl = FreeList([1])
+        fl.allocate()
+        with pytest.raises(RuntimeError):
+            fl.allocate()
+
+    def test_release_recycles(self):
+        fl = FreeList([1, 2])
+        a = fl.allocate()
+        fl.release(a)
+        assert fl.free_count == 2
+
+    def test_membership(self):
+        fl = FreeList([1, 2])
+        a = fl.allocate()
+        assert a not in fl
+        fl.release(a)
+        assert a in fl
+
+
+class TestSafety:
+    def test_double_free_rejected(self):
+        fl = FreeList([1, 2])
+        a = fl.allocate()
+        fl.release(a)
+        with pytest.raises(ValueError):
+            fl.release(a)
+
+    def test_free_of_never_allocated_member_rejected(self):
+        fl = FreeList([1, 2])
+        with pytest.raises(ValueError):
+            fl.release(1)  # still in the pool
+
+    def test_duplicate_initialization_rejected(self):
+        with pytest.raises(ValueError):
+            FreeList([1, 1, 2])
+
+    def test_overflow_rejected(self):
+        fl = FreeList([1])
+        fl.allocate()
+        fl.release(1)
+        with pytest.raises(ValueError):
+            fl.release(1)
+
+
+class TestStats:
+    def test_min_free_watermark(self):
+        fl = FreeList(range(4))
+        a = fl.allocate()
+        b = fl.allocate()
+        fl.release(a)
+        fl.release(b)
+        assert fl.min_free == 2
+        assert fl.allocations == 2

@@ -1,0 +1,207 @@
+"""NRR deadlock-avoidance bookkeeping (paper §3.3)."""
+
+import pytest
+
+from repro.core.reserve import ReservePolicy
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass, make_reg
+from repro.uarch.dynamic import DynInstr
+
+R1 = make_reg(RegClass.INT, 1)
+F1 = make_reg(RegClass.FP, 1)
+
+
+def writer(seq, cls=RegClass.INT):
+    if cls is RegClass.INT:
+        rec = TraceRecord(4 * seq, OpClass.INT_ALU, dest=R1, src1=R1)
+    else:
+        rec = TraceRecord(4 * seq, OpClass.FP_ADD, dest=F1, src1=F1)
+    return DynInstr(rec, seq)
+
+
+def store(seq):
+    rec = TraceRecord(4 * seq, OpClass.STORE_INT, src1=R1, src2=R1, addr=0x8)
+    return DynInstr(rec, seq)
+
+
+class TestReservation:
+    def test_first_nrr_writers_reserved(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        ws = [writer(i) for i in range(4)]
+        for w in ws:
+            policy.on_dispatch(w)
+        assert [w.reserved for w in ws] == [True, True, False, False]
+        assert policy.counters(RegClass.INT) == (2, 0)
+
+    def test_destless_instructions_not_reserved(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        s = store(0)
+        policy.on_dispatch(s)
+        assert not s.reserved
+        assert policy.counters(RegClass.INT) == (0, 0)
+
+    def test_classes_tracked_separately(self):
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        wi, wf = writer(0, RegClass.INT), writer(1, RegClass.FP)
+        policy.on_dispatch(wi)
+        policy.on_dispatch(wf)
+        assert wi.reserved and wf.reserved
+        assert policy.counters(RegClass.INT) == (1, 0)
+        assert policy.counters(RegClass.FP) == (1, 0)
+
+    def test_nrr_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            ReservePolicy(nrr_int=0, nrr_fp=1)
+
+
+class TestCommitAdvance:
+    def test_pointer_advances_on_commit(self):
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        a, b, c = (writer(i) for i in range(3))
+        for w in (a, b, c):
+            policy.on_dispatch(w)
+        assert a.reserved and not b.reserved
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        policy.on_commit(a)
+        assert b.reserved
+        assert policy.counters(RegClass.INT) == (1, 0)
+
+    def test_used_tracks_allocated_reserved(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        a, b = writer(0), writer(1)
+        policy.on_dispatch(a)
+        policy.on_dispatch(b)
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        assert policy.counters(RegClass.INT) == (2, 1)
+
+    def test_newly_reserved_already_allocated_counts_as_used(self):
+        # Paper: "If such instruction has not yet allocated its physical
+        # register, Used is decreased; otherwise it is left unchanged."
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        a, b = writer(0), writer(1)
+        policy.on_dispatch(a)
+        policy.on_dispatch(b)
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        b.dest_phys = 41  # b allocated while unreserved (young completion)
+        assert policy.counters(RegClass.INT) == (1, 1)
+        policy.on_commit(a)
+        # b becomes reserved and is already allocated -> Used unchanged.
+        assert policy.counters(RegClass.INT) == (1, 1)
+
+    def test_reg_shrinks_when_no_writer_remains(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        a = writer(0)
+        policy.on_dispatch(a)
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        policy.on_commit(a)
+        assert policy.counters(RegClass.INT) == (0, 0)
+
+    def test_unreserved_commit_is_an_error(self):
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        a, b = writer(0), writer(1)
+        policy.on_dispatch(a)
+        policy.on_dispatch(b)
+        b.dest_phys = 40
+        with pytest.raises(RuntimeError):
+            policy.on_commit(b)
+
+    def test_squashed_pending_writers_skipped(self):
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        a, b, c = (writer(i) for i in range(3))
+        for w in (a, b, c):
+            policy.on_dispatch(w)
+        b.squashed = True  # rolled back by recovery
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        policy.on_commit(a)
+        assert not b.reserved
+        assert c.reserved
+
+
+class TestAllocationRule:
+    def test_reserved_always_allowed(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        a = writer(0)
+        policy.on_dispatch(a)
+        assert policy.may_allocate(a, free_count=1)
+
+    def test_unreserved_needs_spare_registers(self):
+        # Paper: allocate iff free > NRR - Used.
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        a, b, y = writer(0), writer(1), writer(2)
+        for w in (a, b, y):
+            policy.on_dispatch(w)
+        assert not policy.may_allocate(y, free_count=2)  # 2 > 2-0 is false
+        assert policy.may_allocate(y, free_count=3)
+
+    def test_used_loosens_the_rule(self):
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        a, b, y = writer(0), writer(1), writer(2)
+        for w in (a, b, y):
+            policy.on_dispatch(w)
+        a.dest_phys = 40
+        policy.on_allocate(a)
+        assert policy.may_allocate(y, free_count=2)  # 2 > 2-1
+
+    def test_drop_younger_than(self):
+        policy = ReservePolicy(nrr_int=1, nrr_fp=1)
+        ws = [writer(i) for i in range(4)]
+        for w in ws:
+            policy.on_dispatch(w)
+        policy.drop_younger_than(1)
+        ws[0].dest_phys = 40
+        policy.on_allocate(ws[0])
+        policy.on_commit(ws[0])
+        assert ws[1].reserved  # seq 1 survived the drop
+        assert policy.counters(RegClass.INT) == (1, 0)
+
+
+class TestPaperFigure3Scenario:
+    """The paper's Figure 3: a ROB holding the sequence
+
+        add r1,r2,r3 / sub r2,r3,r5 / load f2,0(r1) / store 0(r2),r3 /
+        bne r1,L / fadd f4,f4,f6 / add r1,r2,r7 / fdiv f4,f2,f8
+
+    with NRR = 2: PRRint points at the second integer writer (sub) and
+    PRRfp at the second FP writer (fdiv)."""
+
+    def test_prr_pointers_land_as_in_figure3(self):
+        from repro.isa.opcodes import OpClass
+        from repro.isa.registers import make_reg
+        from repro.isa.instruction import TraceRecord
+        from repro.uarch.dynamic import DynInstr
+
+        ri = lambda n: make_reg(RegClass.INT, n)
+        fi = lambda n: make_reg(RegClass.FP, n)
+        rows = [
+            TraceRecord(0x00, OpClass.INT_ALU, dest=ri(1), src1=ri(2), src2=ri(3)),
+            TraceRecord(0x04, OpClass.INT_ALU, dest=ri(2), src1=ri(3), src2=ri(5)),
+            TraceRecord(0x08, OpClass.LOAD_FP, dest=fi(2), src1=ri(1), addr=0x0),
+            TraceRecord(0x0c, OpClass.STORE_INT, src1=ri(2), src2=ri(3), addr=0x0),
+            TraceRecord(0x10, OpClass.BRANCH, src1=ri(1), taken=False),
+            TraceRecord(0x14, OpClass.FP_ADD, dest=fi(4), src1=fi(4), src2=fi(6)),
+            TraceRecord(0x18, OpClass.INT_ALU, dest=ri(1), src1=ri(2), src2=ri(7)),
+            TraceRecord(0x1c, OpClass.FP_DIV, dest=fi(4), src1=fi(2), src2=fi(8)),
+        ]
+        instrs = [DynInstr(rec, seq) for seq, rec in enumerate(rows)]
+        policy = ReservePolicy(nrr_int=2, nrr_fp=2)
+        for instr in instrs:
+            policy.on_dispatch(instr)
+        # Reserved integer writers: add (0) and sub (1); the third int
+        # writer, add r1 (6), is beyond PRRint.
+        assert instrs[0].reserved and instrs[1].reserved
+        assert not instrs[6].reserved
+        # Reserved FP writers: load f2 (2), fadd (5); fdiv (7) is the
+        # youngest FP writer... with NRR=2, only two are reserved and
+        # PRRfp points at fadd -- fdiv is NOT reserved yet.
+        assert instrs[2].reserved and instrs[5].reserved
+        assert not instrs[7].reserved
+        # Stores and branches never enter the reserved sets.
+        assert not instrs[3].reserved and not instrs[4].reserved
+        assert policy.counters(RegClass.INT) == (2, 0)
+        assert policy.counters(RegClass.FP) == (2, 0)

@@ -1,0 +1,25 @@
+"""Dependence-tag encoding tests."""
+
+from repro.core.tags import make_tag, tag_class, tag_ident
+from repro.isa.registers import RegClass
+
+
+class TestTags:
+    def test_roundtrip_int(self):
+        tag = make_tag(RegClass.INT, 37)
+        assert tag_class(tag) is RegClass.INT
+        assert tag_ident(tag) == 37
+
+    def test_roundtrip_fp(self):
+        tag = make_tag(RegClass.FP, 150)
+        assert tag_class(tag) is RegClass.FP
+        assert tag_ident(tag) == 150
+
+    def test_classes_disjoint(self):
+        ints = {make_tag(RegClass.INT, i) for i in range(200)}
+        fps = {make_tag(RegClass.FP, i) for i in range(200)}
+        assert not ints & fps
+
+    def test_identifiers_unique_within_class(self):
+        tags = [make_tag(RegClass.INT, i) for i in range(500)]
+        assert len(set(tags)) == 500

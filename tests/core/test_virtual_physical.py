@@ -1,0 +1,300 @@
+"""Virtual-physical renaming semantics (paper §3.2)."""
+
+import pytest
+
+from repro.core.tags import make_tag, tag_ident
+from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass, make_reg
+from repro.uarch.dynamic import DynInstr
+
+R1 = make_reg(RegClass.INT, 1)
+R2 = make_reg(RegClass.INT, 2)
+F1 = make_reg(RegClass.FP, 1)
+
+_seq = 0
+
+
+def instr(op=OpClass.INT_ALU, dest=R1, src1=R2, **kw):
+    global _seq
+    rec = TraceRecord(0x1000 + 4 * _seq, op, dest=dest, src1=src1, **kw)
+    di = DynInstr(rec, _seq)
+    _seq += 1
+    return di
+
+
+def renamer(int_phys=64, fp_phys=64, window=32, nrr=8,
+            allocation=AllocationStage.WRITEBACK):
+    return VirtualPhysicalRenamer(int_phys, fp_phys, window, nrr, nrr,
+                                  allocation=allocation)
+
+
+def dispatch(r, i):
+    r.rename(i)
+    r.on_dispatch(i)
+    return i
+
+
+class TestConstruction:
+    def test_nvr_is_logical_plus_window(self):
+        r = renamer(window=50)
+        assert r.nvr[RegClass.INT] == 82
+        assert r.free_vp[RegClass.INT].free_count == 50
+
+    def test_nrr_range_validated(self):
+        with pytest.raises(ValueError):
+            renamer(int_phys=64, nrr=33)  # max is 64-32
+        with pytest.raises(ValueError):
+            renamer(nrr=0)
+
+    def test_needs_rename_registers(self):
+        with pytest.raises(ValueError):
+            VirtualPhysicalRenamer(32, 64, 16, 1, 1)
+
+    def test_commit_extra_latency_is_one(self):
+        # The paper's PMT-lookup commit delay.
+        assert renamer().commit_extra_latency == 1
+
+    def test_initial_state_binds_logical_to_physical(self):
+        r = renamer()
+        gmt = r.gmt[RegClass.INT]
+        assert gmt.vp[5] == 5 and gmt.p[5] == 5 and gmt.v[5]
+        assert r.pmt[RegClass.INT][5] == 5
+
+
+class TestRename:
+    def test_dest_mapped_to_fresh_vp(self):
+        r = renamer()
+        i = dispatch(r, instr(dest=R1))
+        assert i.vp_reg >= 32  # from the VP pool, not the reset mapping
+        assert i.prev_vp == 1
+        assert i.dest_tag == make_tag(RegClass.INT, i.vp_reg)
+
+    def test_rename_clears_v_bit(self):
+        r = renamer()
+        dispatch(r, instr(dest=R1))
+        gmt = r.gmt[RegClass.INT]
+        assert not gmt.v[1]
+
+    def test_no_physical_allocated_at_rename(self):
+        r = renamer()
+        before = r.free_phys[RegClass.INT].free_count
+        i = dispatch(r, instr(dest=R1))
+        assert i.dest_phys == -1
+        assert r.free_phys[RegClass.INT].free_count == before
+
+    def test_source_renamed_to_current_vp(self):
+        r = renamer()
+        w = dispatch(r, instr(dest=R1))
+        reader = dispatch(r, instr(dest=R2, src1=R1))
+        assert tag_ident(reader.src_tags[0]) == w.vp_reg
+
+    def test_output_dependence_eliminated(self):
+        r = renamer()
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))
+        assert a.vp_reg != b.vp_reg
+        assert b.prev_vp == a.vp_reg
+
+    def test_vp_pool_never_empties_with_theorem_sizing(self):
+        # NVR = NLR + window: renaming `window` writers must succeed.
+        r = renamer(window=16)
+        for k in range(16):
+            assert r.can_rename(instr(dest=R1).rec)
+            dispatch(r, instr(dest=R1))
+        assert r.free_vp[RegClass.INT].free_count == 0
+
+
+class TestWritebackAllocation:
+    def test_complete_allocates_and_updates_pmt(self):
+        r = renamer()
+        i = dispatch(r, instr(dest=R1))
+        assert r.on_complete(i, now=10)
+        assert i.dest_phys >= 0
+        assert r.pmt[RegClass.INT][i.vp_reg] == i.dest_phys
+
+    def test_gmt_broadcast_sets_p_and_v(self):
+        r = renamer()
+        i = dispatch(r, instr(dest=R1))
+        r.on_complete(i, now=10)
+        gmt = r.gmt[RegClass.INT]
+        assert gmt.v[1] and gmt.p[1] == i.dest_phys
+
+    def test_gmt_broadcast_skipped_when_superseded(self):
+        """Paper: the GMT is updated only if the VP register still is the
+        current mapping of the logical register."""
+        r = renamer()
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))  # supersedes a's mapping
+        r.on_complete(a, now=10)
+        gmt = r.gmt[RegClass.INT]
+        assert not gmt.v[1]  # b has not completed yet
+        assert r.pmt[RegClass.INT][a.vp_reg] == a.dest_phys
+
+    def test_destless_completion_is_trivially_true(self):
+        r = renamer()
+        s = instr(op=OpClass.STORE_INT, dest=-1, src1=R1, src2=R2, addr=0x8)
+        r.rename(s)
+        r.on_dispatch(s)
+        assert r.on_complete(s, now=1)
+
+    def test_second_complete_after_allocation_is_idempotent(self):
+        r = renamer()
+        i = dispatch(r, instr(dest=R1))
+        assert r.on_complete(i, now=1)
+        phys = i.dest_phys
+        assert r.on_complete(i, now=2)
+        assert i.dest_phys == phys
+
+    def test_squash_when_rule_denies(self):
+        r = renamer(int_phys=34, nrr=1)  # two rename registers, NRR=1
+        old, y1, y2 = (dispatch(r, instr(dest=R1)) for _ in range(3))
+        assert old.reserved
+        # Young y1 completes first: free(2) > NRR(1) - Used(0) -> allowed.
+        assert r.on_complete(y1, now=5)
+        # Young y2: free(1) > 1 - 0 is false -> squashed.
+        assert not r.on_complete(y2, now=6)
+        assert r.squashes == 1
+        # The reserved oldest always succeeds.
+        assert r.on_complete(old, now=7)
+
+    def test_reserved_guarantee_invariant(self):
+        """A reserved instruction must always find a register; if the
+        invariant breaks the renamer raises rather than deadlocks."""
+        r = renamer(int_phys=34, nrr=2)
+        a, b = dispatch(r, instr(dest=R1)), dispatch(r, instr(dest=R2))
+        assert a.reserved and b.reserved
+        assert r.on_complete(a, now=1)
+        assert r.on_complete(b, now=1)
+
+
+class TestIssueAllocation:
+    def test_on_issue_allocates(self):
+        r = renamer(allocation=AllocationStage.ISSUE)
+        i = dispatch(r, instr(dest=R1))
+        assert r.on_issue(i, now=1)
+        assert i.dest_phys >= 0
+
+    def test_on_issue_blocks_when_denied(self):
+        r = renamer(int_phys=34, nrr=1, allocation=AllocationStage.ISSUE)
+        old, y1, y2 = (dispatch(r, instr(dest=R1)) for _ in range(3))
+        assert r.on_issue(y1, now=1)
+        assert not r.on_issue(y2, now=1)
+        assert r.issue_blocks == 1
+
+    def test_writeback_mode_never_blocks_issue(self):
+        r = renamer(int_phys=34, nrr=1)
+        instrs = [dispatch(r, instr(dest=R1)) for _ in range(3)]
+        assert all(r.on_issue(i, now=1) for i in instrs)
+
+    def test_complete_after_issue_allocation_keeps_register(self):
+        r = renamer(allocation=AllocationStage.ISSUE)
+        i = dispatch(r, instr(dest=R1))
+        r.on_issue(i, now=1)
+        phys = i.dest_phys
+        assert r.on_complete(i, now=5)
+        assert i.dest_phys == phys
+
+
+class TestCommit:
+    def test_commit_frees_previous_vp_and_physical(self):
+        r = renamer()
+        free_p = r.free_phys[RegClass.INT].free_count
+        free_v = r.free_vp[RegClass.INT].free_count
+        i = dispatch(r, instr(dest=R1))
+        r.on_complete(i, now=1)
+        r.on_commit(i)
+        # prev VP (reset mapping, vp=1) and its physical (p=1) are freed;
+        # i's own allocations stay live.
+        assert r.free_phys[RegClass.INT].free_count == free_p
+        assert r.free_vp[RegClass.INT].free_count == free_v
+        assert r.pmt[RegClass.INT][1] == -1
+
+    def test_vp_registers_recycle_through_commits(self):
+        r = renamer(window=4)
+        for _ in range(20):  # far more writers than NVR without recycling
+            i = dispatch(r, instr(dest=R1))
+            assert r.on_complete(i, now=1)
+            r.on_commit(i)
+
+    def test_commit_without_physical_is_an_error(self):
+        r = renamer()
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))
+        r.on_complete(b, now=1)
+        # Committing b while a (the previous writer) never allocated
+        # violates in-order commit; the renamer notices.
+        with pytest.raises(RuntimeError):
+            r.on_commit(b)
+
+
+class TestRollback:
+    def test_rollback_restores_gmt_exactly(self):
+        r = renamer()
+        snapshot = (list(r.gmt[RegClass.INT].vp),
+                    list(r.gmt[RegClass.INT].p),
+                    list(r.gmt[RegClass.INT].v))
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1, src1=R1))
+        r.on_complete(a, now=1)
+        r.rollback([b, a])
+        assert (list(r.gmt[RegClass.INT].vp),
+                list(r.gmt[RegClass.INT].p),
+                list(r.gmt[RegClass.INT].v)) == snapshot
+
+    def test_rollback_restores_pools(self):
+        r = renamer()
+        free_p = r.free_phys[RegClass.INT].free_count
+        free_v = r.free_vp[RegClass.INT].free_count
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))
+        r.on_complete(a, now=1)  # a holds a physical register
+        r.rollback([b, a])
+        assert r.free_phys[RegClass.INT].free_count == free_p
+        assert r.free_vp[RegClass.INT].free_count == free_v
+
+    def test_rollback_restores_previous_physical_binding(self):
+        """Recovery recovers P/V through the PMT (paper §3.2.2)."""
+        r = renamer()
+        a = dispatch(r, instr(dest=R1))
+        r.on_complete(a, now=1)  # GMT now: r1 -> a.vp with valid P
+        b = dispatch(r, instr(dest=R1))
+        r.rollback([b])
+        gmt = r.gmt[RegClass.INT]
+        assert gmt.vp[1] == a.vp_reg
+        assert gmt.v[1] and gmt.p[1] == a.dest_phys
+
+    def test_rollback_fixes_reserve_counters(self):
+        r = renamer(nrr=2)
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))
+        r.on_complete(b, now=1)
+        reg0, used0 = r.reserve.counters(RegClass.INT)
+        r.rollback([b])
+        reg1, used1 = r.reserve.counters(RegClass.INT)
+        assert reg1 == reg0 - 1
+        assert used1 == used0 - 1
+
+    def test_out_of_order_rollback_detected(self):
+        r = renamer()
+        a = dispatch(r, instr(dest=R1))
+        b = dispatch(r, instr(dest=R1))
+        with pytest.raises(RuntimeError):
+            r.rollback([a, b])
+
+
+class TestInitialState:
+    def test_initial_ready_tags_are_the_reset_vps(self):
+        tags = renamer().initial_ready_tags()
+        assert len(tags) == 64
+        assert make_tag(RegClass.INT, 31) in tags
+        assert make_tag(RegClass.FP, 0) in tags
+
+    def test_occupancy_counts_architectural_state(self):
+        r = renamer()
+        assert r.allocated_physical(RegClass.INT) == 32
+        i = dispatch(r, instr(dest=R1))
+        assert r.allocated_physical(RegClass.INT) == 32  # not yet!
+        r.on_complete(i, now=1)
+        assert r.allocated_physical(RegClass.INT) == 33

@@ -1,0 +1,31 @@
+"""Branch-sensitivity experiment tests (tiny budgets)."""
+
+import pytest
+
+from repro.experiments.branch_sensitivity import run_branch_sensitivity
+from repro.experiments.runner import ALL_BENCHMARKS, ResultCache
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_INSTRS", "400")
+    monkeypatch.setenv("REPRO_BENCH_SKIP", "100")
+
+
+def test_structure():
+    cache = ResultCache()
+    result = run_branch_sensitivity(cache=cache)
+    for table in (result.conventional_bht, result.virtual_bht,
+                  result.conventional_oracle, result.virtual_oracle):
+        assert set(table) == set(ALL_BENCHMARKS)
+        assert all(v > 0 for v in table.values())
+    text = result.format()
+    assert "oracle" in text and "int imp." in text
+
+
+def test_oracle_never_slower():
+    cache = ResultCache()
+    result = run_branch_sensitivity(cache=cache)
+    for bench in ALL_BENCHMARKS:
+        assert result.conventional_oracle[bench] >= \
+            result.conventional_bht[bench] * 0.99

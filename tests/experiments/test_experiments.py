@@ -1,0 +1,111 @@
+"""Experiment entry-point tests (tiny budgets; shape only, no absolutes)."""
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.experiments import paper_data
+from repro.experiments.ablation import run_ablation
+from repro.experiments.figures import (
+    run_figure6,
+    run_figure7,
+    run_nrr_sweep,
+)
+from repro.experiments.runner import ALL_BENCHMARKS, ResultCache
+from repro.experiments.table2 import run_table2
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_INSTRS", "400")
+    monkeypatch.setenv("REPRO_BENCH_SKIP", "100")
+
+
+@pytest.fixture
+def cache():
+    return ResultCache()
+
+
+class TestTable2:
+    def test_structure_and_format(self, cache):
+        result = run_table2(cache=cache)
+        assert set(result.conventional_ipc) == set(ALL_BENCHMARKS)
+        assert set(result.virtual_ipc) == set(ALL_BENCHMARKS)
+        assert result.hmean_conventional > 0
+        text = result.format()
+        assert "swim" in text and "hmean" in text and "(paper)" in text
+
+    def test_miss_penalty_variant(self, cache):
+        result = run_table2(miss_penalty=20, cache=cache)
+        assert result.miss_penalty == 20
+        assert "20 cycles" in result.format()
+
+    def test_improvement_pct_consistent(self, cache):
+        result = run_table2(cache=cache)
+        for bench in ALL_BENCHMARKS:
+            expect = 100.0 * (result.virtual_ipc[bench]
+                              / result.conventional_ipc[bench] - 1.0)
+            assert result.improvement_pct[bench] == pytest.approx(expect)
+
+
+class TestNrrSweep:
+    def test_sweep_structure(self, cache):
+        result = run_nrr_sweep(AllocationStage.WRITEBACK,
+                               nrr_values=(1, 32), cache=cache)
+        assert set(result.vp_ipc) == {1, 32}
+        speed = result.speedups_at(32)
+        assert set(speed) == set(ALL_BENCHMARKS)
+        assert "Figure 4" in result.format()
+
+    def test_issue_sweep_labelled_figure5(self, cache):
+        result = run_nrr_sweep(AllocationStage.ISSUE,
+                               nrr_values=(32,), cache=cache)
+        assert "Figure 5" in result.format()
+        assert "issue" in result.format()
+
+    def test_best_nrr_returns_a_swept_value(self, cache):
+        result = run_nrr_sweep(AllocationStage.WRITEBACK,
+                               nrr_values=(8, 32), cache=cache)
+        assert result.best_nrr() in (8, 32)
+
+
+class TestFigure6:
+    def test_structure(self, cache):
+        result = run_figure6(cache=cache)
+        for bench in ALL_BENCHMARKS:
+            assert result.writeback_speedup(bench) > 0
+            assert result.issue_speedup(bench) > 0
+        assert "write-back" in result.format()
+
+
+class TestFigure7:
+    def test_structure(self, cache):
+        result = run_figure7(phys_values=(48, 64), cache=cache)
+        assert set(result.conventional_ipc) == {48, 64}
+        assert result.improvement_pct(48) is not None
+        assert "conv(48)" in result.format()
+
+
+class TestAblation:
+    def test_structure(self, cache):
+        result = run_ablation(cache=cache)
+        for bench in ALL_BENCHMARKS:
+            assert result.conventional[bench] > 0
+            assert result.early_release[bench] > 0
+            assert result.virtual_physical[bench] > 0
+        assert "early-release" in result.format()
+
+
+class TestPaperData:
+    def test_table2_consistency(self):
+        # Published improvements match published IPC pairs (+-1% rounding).
+        for bench, pct in paper_data.TABLE2_IMPROVEMENT_PCT.items():
+            conv = paper_data.TABLE2_CONVENTIONAL_IPC[bench]
+            virt = paper_data.TABLE2_VIRTUAL_IPC[bench]
+            assert 100 * (virt / conv - 1) == pytest.approx(pct, abs=1.5)
+
+    def test_headline_improvement(self):
+        assert paper_data.TABLE2_HMEAN_IMPROVEMENT_PCT == 19
+
+    def test_figure7_monotone(self):
+        imps = paper_data.FIGURE7_IMPROVEMENT_PCT
+        assert imps[48] > imps[64] > imps[96]

@@ -1,0 +1,28 @@
+"""Window-scaling experiment tests (tiny budgets)."""
+
+import pytest
+
+from repro.experiments.runner import ALL_BENCHMARKS, ResultCache
+from repro.experiments.window_scaling import run_window_scaling
+
+
+@pytest.fixture(autouse=True)
+def tiny_runs(monkeypatch):
+    monkeypatch.setenv("REPRO_BENCH_INSTRS", "400")
+    monkeypatch.setenv("REPRO_BENCH_SKIP", "100")
+
+
+def test_structure():
+    cache = ResultCache()
+    result = run_window_scaling(window_values=(32, 64), cache=cache)
+    assert set(result.conventional_ipc) == {32, 64}
+    for rob in (32, 64):
+        assert set(result.conventional_ipc[rob]) == set(ALL_BENCHMARKS)
+    text = result.format()
+    assert "Window scaling" in text and "improvement" in text
+
+
+def test_improvement_pct_defined():
+    cache = ResultCache()
+    result = run_window_scaling(window_values=(64,), cache=cache)
+    assert isinstance(result.improvement_pct(64), float)

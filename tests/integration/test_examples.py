@@ -1,0 +1,56 @@
+"""Every example script runs end to end (tiny budgets via argv)."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name, *args, timeout=240):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "2000")
+        assert "speedup" in out and "conventional" in out
+
+    def test_register_pressure(self):
+        out = run_example("register_pressure.py")
+        assert "151 register-cycles" in out
+        assert "38 register-cycles" in out
+        assert "FP registers allocated" in out
+
+    def test_nrr_sweep(self):
+        out = run_example("nrr_sweep.py", "li", "1500")
+        assert "NRR" in out and "conventional IPC" in out
+
+    def test_nrr_sweep_rejects_unknown_workload(self):
+        proc = subprocess.run(
+            [sys.executable, str(EXAMPLES / "nrr_sweep.py"), "gcc"],
+            capture_output=True, text=True, timeout=60,
+        )
+        assert proc.returncode != 0
+        assert "unknown workload" in proc.stderr
+
+    def test_register_file_sizing(self):
+        out = run_example("register_file_sizing.py", "1200")
+        assert "registers/file" in out and "hmean" in out
+
+    def test_custom_workload(self):
+        out = run_example("custom_workload.py", "2000")
+        assert "SpMV" in out and "speedup" in out
+
+    def test_pipeline_viewer_both_modes(self):
+        for mode in ("vp", "conv"):
+            out = run_example("pipeline_viewer.py", mode)
+            assert "FP register occupancy" in out
+            assert "F fetch" in out

@@ -1,0 +1,111 @@
+"""Integration: full synthetic workloads through every renaming scheme."""
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import WORKLOADS, load_workload
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor, simulate
+
+N = 1500
+SKIP = 200
+
+
+def run(name, config):
+    return simulate(config, workload=name, max_instructions=N, skip=SKIP)
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestEverySchemeEveryWorkload:
+    def test_all_schemes_commit_the_same_count(self, name):
+        results = [
+            run(name, conventional_config()),
+            run(name, ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE)),
+            run(name, virtual_physical_config(nrr=32)),
+            run(name, virtual_physical_config(
+                nrr=8, allocation=AllocationStage.ISSUE)),
+        ]
+        counts = {res.stats.committed for res in results}
+        assert counts == {N}
+
+    def test_deterministic_across_runs(self, name):
+        a = run(name, conventional_config())
+        b = run(name, conventional_config())
+        assert a.stats.cycles == b.stats.cycles
+        assert a.stats.mispredicts == b.stats.mispredicts
+
+
+class TestSchemeRelationships:
+    def test_early_release_never_slower_than_conventional(self):
+        """Freeing registers earlier can only relieve decode stalls."""
+        for name in ("swim", "vortex"):
+            conv = run(name, conventional_config())
+            early = run(name, ProcessorConfig(
+                scheme=RenamingScheme.EARLY_RELEASE))
+            assert early.stats.cycles <= conv.stats.cycles * 1.01
+
+    def test_vp_at_max_nrr_close_to_or_above_conventional(self):
+        """Paper: NRR = max 'is expected to perform at least as well as
+        the conventional scheme' (modulo the 1-cycle commit delay)."""
+        for name in ("swim", "go", "hydro2d"):
+            conv = run(name, conventional_config())
+            late = run(name, virtual_physical_config(nrr=32))
+            assert late.ipc >= conv.ipc * 0.95, name
+
+    def test_writeback_beats_issue_allocation_on_fp(self):
+        """Paper Figure 6: write-back allocation wins on FP codes."""
+        for name in ("swim", "mgrid"):
+            wb = run(name, virtual_physical_config(nrr=32))
+            issue = run(name, virtual_physical_config(
+                nrr=32, allocation=AllocationStage.ISSUE))
+            assert wb.ipc >= issue.ipc, name
+
+    def test_fp_speedup_exceeds_int_speedup(self):
+        """The paper's headline asymmetry."""
+        def speedup(name):
+            conv = run(name, conventional_config())
+            late = run(name, virtual_physical_config(nrr=32))
+            return late.ipc / conv.ipc
+
+        assert speedup("swim") > speedup("go")
+
+    def test_more_registers_help_conventional(self):
+        conv48 = run("swim", conventional_config(int_phys=48, fp_phys=48))
+        conv96 = run("swim", conventional_config(int_phys=96, fp_phys=96))
+        assert conv96.ipc >= conv48.ipc
+
+    def test_vp_advantage_shrinks_with_register_count(self):
+        """Paper Figure 7: the improvement decreases as the file grows."""
+        def improvement(phys):
+            conv = run("swim", conventional_config(
+                int_phys=phys, fp_phys=phys))
+            late = run("swim", virtual_physical_config(
+                nrr=phys - 32, int_phys=phys, fp_phys=phys))
+            return late.ipc / conv.ipc
+
+        assert improvement(48) > improvement(96)
+
+
+class TestWarmupAndDeterminism:
+    def test_skip_warms_the_cache(self):
+        # wave5 revisits its (resident) random working set, so warming
+        # must cut the measured miss rate.  (Streaming workloads like
+        # hydro2d always walk into cold territory, warmed or not.)
+        cold = simulate(conventional_config(), workload="wave5",
+                        max_instructions=N, skip=0)
+        warm = simulate(conventional_config(), workload="wave5",
+                        max_instructions=N, skip=6000)
+        assert warm.stats.load_miss_rate < cold.stats.load_miss_rate
+
+    def test_seed_changes_the_run(self):
+        a = simulate(conventional_config(), workload="compress",
+                     max_instructions=N, skip=0, seed=1)
+        b = simulate(conventional_config(), workload="compress",
+                     max_instructions=N, skip=0, seed=2)
+        assert a.stats.cycles != b.stats.cycles

@@ -1,0 +1,75 @@
+"""TraceRecord validation tests."""
+
+import pytest
+
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG, RegClass, make_reg
+
+R1 = make_reg(RegClass.INT, 1)
+R2 = make_reg(RegClass.INT, 2)
+F1 = make_reg(RegClass.FP, 1)
+
+
+class TestValidation:
+    def test_alu_requires_int_dest(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.INT_ALU, dest=F1, src1=R1)
+
+    def test_fp_requires_fp_dest(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.FP_ADD, dest=R1, src1=F1)
+
+    def test_store_must_not_have_dest(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.STORE_INT, dest=R1, src1=R1, src2=R2,
+                        addr=0x100)
+
+    def test_branch_must_not_have_dest(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.BRANCH, dest=R1, src1=R1)
+
+    def test_dest_required_for_writers(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.INT_ALU, src1=R1)
+
+    def test_only_branches_can_be_taken(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.INT_ALU, dest=R1, src1=R1, taken=True)
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0x0, OpClass.LOAD_INT, dest=R1, src1=R2, addr=-8)
+
+    def test_valid_load(self):
+        rec = TraceRecord(0x10, OpClass.LOAD_FP, dest=F1, src1=R1, addr=0x40)
+        assert rec.addr == 0x40
+
+
+class TestProperties:
+    def test_sources_skips_absent(self):
+        rec = TraceRecord(0x0, OpClass.INT_ALU, dest=R1, src1=R2)
+        assert rec.sources == (R2,)
+
+    def test_sources_both_present(self):
+        rec = TraceRecord(0x0, OpClass.INT_ALU, dest=R1, src1=R1, src2=R2)
+        assert rec.sources == (R1, R2)
+
+    def test_next_pc_sequential(self):
+        rec = TraceRecord(0x100, OpClass.INT_ALU, dest=R1, src1=R1)
+        assert rec.next_pc == 0x104
+
+    def test_next_pc_taken_branch(self):
+        rec = TraceRecord(0x100, OpClass.BRANCH, src1=R1, taken=True,
+                          target=0x80)
+        assert rec.next_pc == 0x80
+
+    def test_next_pc_untaken_branch(self):
+        rec = TraceRecord(0x100, OpClass.BRANCH, src1=R1, taken=False,
+                          target=0x80)
+        assert rec.next_pc == 0x104
+
+    def test_repr_mentions_registers(self):
+        rec = TraceRecord(0x100, OpClass.INT_ALU, dest=R1, src1=R2)
+        text = repr(rec)
+        assert "r1" in text and "r2" in text

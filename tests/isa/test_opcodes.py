@@ -1,0 +1,107 @@
+"""Operation-class and latency-table tests (the paper's Table 1)."""
+
+from repro.isa.opcodes import (
+    DEFAULT_FU_COUNTS,
+    FU_FOR_OP,
+    FUKind,
+    LATENCY,
+    OpClass,
+    PIPELINED,
+    dest_class_for,
+    is_branch,
+    is_load,
+    is_mem,
+    is_store,
+)
+from repro.isa.registers import RegClass
+
+
+class TestTable1Latencies:
+    """Latency values straight from the paper's Table 1."""
+
+    def test_simple_integer(self):
+        assert LATENCY[OpClass.INT_ALU] == 1
+
+    def test_complex_integer(self):
+        assert LATENCY[OpClass.INT_MUL] == 9
+        assert LATENCY[OpClass.INT_DIV] == 67
+
+    def test_effective_address(self):
+        assert LATENCY[OpClass.LOAD_INT] == 1
+        assert LATENCY[OpClass.STORE_FP] == 1
+
+    def test_simple_fp(self):
+        assert LATENCY[OpClass.FP_ADD] == 4
+
+    def test_fp_multiplication(self):
+        assert LATENCY[OpClass.FP_MUL] == 4
+
+    def test_fp_divide(self):
+        assert LATENCY[OpClass.FP_DIV] == 16
+
+    def test_every_op_has_a_latency_and_unit(self):
+        for op in OpClass:
+            assert op in LATENCY
+            assert op in FU_FOR_OP
+            assert op in PIPELINED
+
+
+class TestTable1Units:
+    def test_unit_counts(self):
+        assert DEFAULT_FU_COUNTS[FUKind.SIMPLE_INT] == 3
+        assert DEFAULT_FU_COUNTS[FUKind.COMPLEX_INT] == 2
+        assert DEFAULT_FU_COUNTS[FUKind.EFF_ADDR] == 3
+        assert DEFAULT_FU_COUNTS[FUKind.SIMPLE_FP] == 3
+        assert DEFAULT_FU_COUNTS[FUKind.FP_MULT] == 2
+        assert DEFAULT_FU_COUNTS[FUKind.FP_DIV_SQRT] == 2
+
+    def test_memory_ops_use_effective_address_units(self):
+        for op in (OpClass.LOAD_INT, OpClass.LOAD_FP,
+                   OpClass.STORE_INT, OpClass.STORE_FP):
+            assert FU_FOR_OP[op] is FUKind.EFF_ADDR
+
+    def test_divisions_are_not_pipelined(self):
+        assert not PIPELINED[OpClass.INT_DIV]
+        assert not PIPELINED[OpClass.FP_DIV]
+        assert not PIPELINED[OpClass.FP_SQRT]
+
+    def test_everything_else_is_pipelined(self):
+        unpipelined = {OpClass.INT_DIV, OpClass.FP_DIV, OpClass.FP_SQRT}
+        for op in OpClass:
+            if op not in unpipelined:
+                assert PIPELINED[op], op
+
+
+class TestClassification:
+    def test_is_load(self):
+        assert is_load(OpClass.LOAD_INT) and is_load(OpClass.LOAD_FP)
+        assert not is_load(OpClass.STORE_INT)
+
+    def test_is_store(self):
+        assert is_store(OpClass.STORE_INT) and is_store(OpClass.STORE_FP)
+        assert not is_store(OpClass.LOAD_FP)
+
+    def test_is_mem(self):
+        mem_ops = [op for op in OpClass if is_mem(op)]
+        assert sorted(mem_ops) == sorted([
+            OpClass.LOAD_INT, OpClass.LOAD_FP,
+            OpClass.STORE_INT, OpClass.STORE_FP,
+        ])
+
+    def test_is_branch(self):
+        assert is_branch(OpClass.BRANCH)
+        assert not is_branch(OpClass.INT_ALU)
+
+    def test_dest_class_int_ops(self):
+        for op in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV,
+                   OpClass.LOAD_INT):
+            assert dest_class_for(op) is RegClass.INT
+
+    def test_dest_class_fp_ops(self):
+        for op in (OpClass.FP_ADD, OpClass.FP_MUL, OpClass.FP_DIV,
+                   OpClass.FP_SQRT, OpClass.LOAD_FP):
+            assert dest_class_for(op) is RegClass.FP
+
+    def test_no_dest_ops(self):
+        for op in (OpClass.STORE_INT, OpClass.STORE_FP, OpClass.BRANCH):
+            assert dest_class_for(op) is None

@@ -1,0 +1,79 @@
+"""Register encoding tests."""
+
+import pytest
+
+from repro.isa.registers import (
+    NO_REG,
+    NUM_LOGICAL_FP,
+    NUM_LOGICAL_INT,
+    RegClass,
+    make_reg,
+    parse_reg,
+    reg_class,
+    reg_index,
+    reg_name,
+)
+
+
+class TestEncoding:
+    def test_int_register_roundtrip(self):
+        for i in range(NUM_LOGICAL_INT):
+            reg = make_reg(RegClass.INT, i)
+            assert reg_class(reg) is RegClass.INT
+            assert reg_index(reg) == i
+
+    def test_fp_register_roundtrip(self):
+        for i in range(NUM_LOGICAL_FP):
+            reg = make_reg(RegClass.FP, i)
+            assert reg_class(reg) is RegClass.FP
+            assert reg_index(reg) == i
+
+    def test_int_and_fp_encodings_disjoint(self):
+        ints = {make_reg(RegClass.INT, i) for i in range(32)}
+        fps = {make_reg(RegClass.FP, i) for i in range(32)}
+        assert not ints & fps
+
+    def test_int_zero_is_zero(self):
+        assert make_reg(RegClass.INT, 0) == 0
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            make_reg(RegClass.INT, 64)
+        with pytest.raises(ValueError):
+            make_reg(RegClass.FP, -1)
+
+    def test_no_reg_has_no_class(self):
+        with pytest.raises(ValueError):
+            reg_class(NO_REG)
+        with pytest.raises(ValueError):
+            reg_index(NO_REG)
+
+
+class TestNames:
+    def test_int_name(self):
+        assert reg_name(make_reg(RegClass.INT, 5)) == "r5"
+
+    def test_fp_name(self):
+        assert reg_name(make_reg(RegClass.FP, 2)) == "f2"
+
+    def test_no_reg_name(self):
+        assert reg_name(NO_REG) == "-"
+
+    def test_parse_roundtrip(self):
+        for name in ("r0", "r31", "f0", "f31", "f7"):
+            assert reg_name(parse_reg(name)) == name
+
+    def test_parse_rejects_garbage(self):
+        for bad in ("x3", "r", "", "3r"):
+            with pytest.raises(ValueError):
+                parse_reg(bad)
+
+    def test_parse_is_case_insensitive(self):
+        assert parse_reg("R4") == make_reg(RegClass.INT, 4)
+
+
+class TestConstants:
+    def test_paper_register_counts(self):
+        # The paper's machine: 32 logical registers per class.
+        assert NUM_LOGICAL_INT == 32
+        assert NUM_LOGICAL_FP == 32

@@ -1,0 +1,54 @@
+"""L1-L2 bus model tests."""
+
+import pytest
+
+from repro.memory.bus import Bus
+
+
+class TestUncontended:
+    def test_isolated_fill_completes_at_full_penalty(self):
+        bus = Bus(cycles_per_line=4)
+        assert bus.schedule_fill(10, 50) == 60
+
+    def test_fill_at_cycle_zero(self):
+        bus = Bus(cycles_per_line=4)
+        assert bus.schedule_fill(0, 50) == 50
+
+
+class TestContention:
+    def test_back_to_back_fills_serialize_by_line_time(self):
+        bus = Bus(cycles_per_line=4)
+        first = bus.schedule_fill(0, 50)
+        second = bus.schedule_fill(0, 50)
+        assert first == 50
+        assert second == 54  # pushed by one 4-cycle line transfer
+
+    def test_many_fills_drift_linearly(self):
+        bus = Bus(cycles_per_line=4)
+        fills = [bus.schedule_fill(0, 50) for _ in range(10)]
+        assert fills == [50 + 4 * i for i in range(10)]
+
+    def test_spaced_requests_do_not_contend(self):
+        bus = Bus(cycles_per_line=4)
+        a = bus.schedule_fill(0, 50)
+        b = bus.schedule_fill(10, 50)
+        assert a == 50
+        assert b == 60
+
+    def test_free_at_tracks_last_transfer(self):
+        bus = Bus(cycles_per_line=4)
+        bus.schedule_fill(0, 50)
+        assert bus.free_at == 50
+
+
+class TestStats:
+    def test_transfer_and_busy_accounting(self):
+        bus = Bus(cycles_per_line=4)
+        for _ in range(3):
+            bus.schedule_fill(0, 50)
+        assert bus.transfers == 3
+        assert bus.busy_cycles == 12
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ValueError):
+            Bus(cycles_per_line=0)

@@ -1,0 +1,144 @@
+"""Lockup-free cache tests: geometry, hits/misses, MSHR and bus timing."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig, LockupFreeCache
+
+
+def small_cache(**kw):
+    defaults = dict(size_bytes=1024, line_bytes=32, hit_latency=2,
+                    miss_penalty=50, mshr_entries=2, bus_cycles_per_line=4)
+    defaults.update(kw)
+    return LockupFreeCache(CacheConfig(**defaults))
+
+
+class TestConfig:
+    def test_paper_defaults(self):
+        cfg = CacheConfig()
+        assert cfg.size_bytes == 16 * 1024
+        assert cfg.line_bytes == 32
+        assert cfg.hit_latency == 2
+        assert cfg.miss_penalty == 50
+        assert cfg.mshr_entries == 8
+        assert cfg.num_lines == 512
+
+    def test_non_power_of_two_lines_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1000, line_bytes=32)
+
+    def test_fractional_lines_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(size_bytes=1024, line_bytes=48)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ValueError):
+            CacheConfig(hit_latency=0)
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        c = small_cache()
+        first = c.load(0x40, now=0)
+        assert first == 50  # cold miss: full penalty
+        second = c.load(0x40, now=60)
+        assert second == 62  # hit after the fill
+
+    def test_warm_makes_hit(self):
+        c = small_cache()
+        c.warm([0x40])
+        assert c.load(0x40, now=0) == 2
+
+    def test_same_line_different_word_hits(self):
+        c = small_cache()
+        c.warm([0x40])
+        assert c.load(0x5F, now=0) == 2  # same 32-byte line
+
+    def test_direct_mapped_conflict_evicts(self):
+        c = small_cache()  # 1KB: addresses 1KB apart collide
+        c.warm([0x0])
+        assert c.load(0x400, now=0) == 50  # conflict miss, evicts line 0
+        assert c.load(0x0, now=60) == 110  # original line was evicted
+
+    def test_miss_to_pending_line_merges(self):
+        c = small_cache()
+        first = c.load(0x40, now=0)
+        merged = c.load(0x48, now=10)  # same line, while in flight
+        assert merged == first
+        assert c.mshrs.merges == 1
+
+
+class TestMSHRLimits:
+    def test_rejected_when_mshrs_full(self):
+        c = small_cache(mshr_entries=2)
+        assert c.load(0x0, 0) is not None
+        assert c.load(0x40, 0) is not None
+        assert c.load(0x80, 0) is None  # both MSHRs busy
+        assert c.mshr_stalls == 1
+
+    def test_rejection_does_not_consume_bus(self):
+        c = small_cache(mshr_entries=1)
+        c.load(0x0, 0)
+        before = c.bus.free_at
+        for _ in range(10):
+            assert c.load(0x40, 1) is None
+        assert c.bus.free_at == before  # retries are bandwidth-free
+
+    def test_rejection_does_not_count_as_access(self):
+        c = small_cache(mshr_entries=1)
+        c.load(0x0, 0)
+        c.load(0x40, 0)
+        assert c.loads == 1
+        assert c.load_misses == 1
+
+    def test_room_frees_after_fill(self):
+        c = small_cache(mshr_entries=1)
+        done = c.load(0x0, 0)
+        assert c.load(0x40, done) is not None
+
+
+class TestBusContention:
+    def test_parallel_misses_serialize_on_bus(self):
+        c = small_cache(mshr_entries=8)
+        fills = [c.load(0x40 * i, now=0) for i in range(4)]
+        assert fills == [50, 54, 58, 62]
+
+
+class TestStores:
+    def test_store_hit(self):
+        c = small_cache()
+        c.warm([0x40])
+        assert c.store(0x40, now=0) == 1
+        assert c.stores == 1
+        assert c.store_misses == 0
+
+    def test_store_miss_allocates(self):
+        c = small_cache()
+        fill = c.store(0x40, now=0)
+        assert fill == 50
+        assert c.store_misses == 1
+        # Write-allocate: the line is now present.
+        assert c.load(0x40, now=fill) == fill + 2
+
+    def test_store_miss_with_full_mshrs_bypasses(self):
+        c = small_cache(mshr_entries=1)
+        c.load(0x0, 0)
+        done = c.store(0x40, now=0)
+        assert done == 1  # absorbed by the write buffer, no stall
+        assert c.contains(0x40)
+
+    def test_store_merges_with_pending_load(self):
+        c = small_cache()
+        fill = c.load(0x40, now=0)
+        assert c.store(0x48, now=5) == fill
+
+
+class TestStats:
+    def test_load_miss_ratio(self):
+        c = small_cache()
+        c.warm([0x0])
+        c.load(0x0, 0)
+        c.load(0x400, 0)
+        assert c.load_miss_ratio == 0.5
+
+    def test_ratio_zero_when_no_loads(self):
+        assert small_cache().load_miss_ratio == 0.0

@@ -1,0 +1,110 @@
+"""Store-queue / disambiguation tests (PA-8000-style policy)."""
+
+import pytest
+
+from repro.memory.disambiguation import LoadOutcome, StoreQueue
+
+
+class TestOrdering:
+    def test_inserts_must_be_in_age_order(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        with pytest.raises(ValueError):
+            sq.insert(3)
+
+    def test_capacity(self):
+        sq = StoreQueue(capacity=1)
+        sq.insert(1)
+        assert sq.full
+        with pytest.raises(RuntimeError):
+            sq.insert(2)
+
+    def test_unbounded_by_default(self):
+        sq = StoreQueue()
+        for i in range(100):
+            sq.insert(i)
+        assert not sq.full
+
+
+class TestLoadChecks:
+    def test_no_older_stores_accesses_cache(self):
+        sq = StoreQueue()
+        outcome, _ = sq.check_load(10, 0x100, now=0)
+        assert outcome is LoadOutcome.ACCESS_CACHE
+
+    def test_younger_stores_ignored(self):
+        sq = StoreQueue()
+        sq.insert(20)  # younger than the load
+        outcome, _ = sq.check_load(10, 0x100, now=0)
+        assert outcome is LoadOutcome.ACCESS_CACHE
+
+    def test_unknown_older_address_waits(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        outcome, _ = sq.check_load(10, 0x100, now=0)
+        assert outcome is LoadOutcome.WAIT
+        assert sq.waits == 1
+
+    def test_known_nonmatching_address_accesses_cache(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        sq.set_address(5, 0x200)
+        outcome, _ = sq.check_load(10, 0x100, now=0)
+        assert outcome is LoadOutcome.ACCESS_CACHE
+
+    def test_matching_store_with_ready_data_forwards(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        sq.set_address(5, 0x100)
+        sq.set_data_ready(5, 3)
+        outcome, ready = sq.check_load(10, 0x100, now=5)
+        assert outcome is LoadOutcome.FORWARD
+        assert ready == 3
+        assert sq.forwards == 1
+
+    def test_matching_store_without_data_waits(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        sq.set_address(5, 0x100)
+        outcome, _ = sq.check_load(10, 0x100, now=5)
+        assert outcome is LoadOutcome.WAIT
+
+    def test_word_granular_matching(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        sq.set_address(5, 0x100)
+        sq.set_data_ready(5, 0)
+        # Same 8-byte word forwards; the next word does not.
+        assert sq.check_load(10, 0x104, now=5)[0] is LoadOutcome.FORWARD
+        assert sq.check_load(10, 0x108, now=5)[0] is LoadOutcome.ACCESS_CACHE
+
+    def test_youngest_older_match_wins(self):
+        sq = StoreQueue()
+        sq.insert(3)
+        sq.set_address(3, 0x100)
+        sq.set_data_ready(3, 1)
+        sq.insert(7)
+        sq.set_address(7, 0x100)
+        sq.set_data_ready(7, 9)
+        outcome, ready = sq.check_load(10, 0x100, now=20)
+        assert outcome is LoadOutcome.FORWARD
+        assert ready == 9  # store 7 is the youngest older writer
+
+
+class TestRemoval:
+    def test_remove_at_commit(self):
+        sq = StoreQueue()
+        sq.insert(5)
+        sq.set_address(5, 0x100)
+        sq.remove(5)
+        assert len(sq) == 0
+        outcome, _ = sq.check_load(10, 0x100, now=0)
+        assert outcome is LoadOutcome.ACCESS_CACHE
+
+    def test_remove_younger_than_for_recovery(self):
+        sq = StoreQueue()
+        for seq in (1, 5, 9):
+            sq.insert(seq)
+        dropped = sq.remove_younger_than(5)
+        assert dropped == 1
+        assert len(sq) == 2

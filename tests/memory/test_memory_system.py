@@ -1,0 +1,82 @@
+"""MemorySystem facade tests: port arbitration + wiring."""
+
+import pytest
+
+from repro.memory.cache import CacheConfig
+from repro.memory.memory_system import MemorySystem
+
+
+def system(ports=3):
+    return MemorySystem(CacheConfig(size_bytes=1024), ports=ports)
+
+
+class TestPorts:
+    def test_ports_limit_loads_per_cycle(self):
+        ms = system(ports=2)
+        ms.cache.warm([0x0, 0x40, 0x80])
+        assert ms.try_load(1, 0x0, now=0) is not None
+        assert ms.try_load(2, 0x40, now=0) is not None
+        assert ms.try_load(3, 0x80, now=0) is None  # out of ports
+        assert ms.port_conflicts == 1
+
+    def test_ports_reset_next_cycle(self):
+        ms = system(ports=1)
+        ms.cache.warm([0x0, 0x40])
+        assert ms.try_load(1, 0x0, now=0) is not None
+        assert ms.try_load(2, 0x40, now=0) is None
+        assert ms.try_load(2, 0x40, now=1) is not None
+
+    def test_stores_share_ports_with_loads(self):
+        ms = system(ports=1)
+        ms.cache.warm([0x0, 0x40])
+        assert ms.try_load(1, 0x0, now=0) is not None
+        assert ms.try_store_commit(0x40, now=0) is False
+
+    def test_store_commit_takes_port(self):
+        ms = system(ports=1)
+        ms.cache.warm([0x0, 0x40])
+        assert ms.try_store_commit(0x40, now=0) is True
+        assert ms.try_load(1, 0x0, now=0) is None
+
+    def test_zero_ports_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySystem(ports=0)
+
+
+class TestDisambiguationIntegration:
+    def test_load_blocked_by_unknown_store_address(self):
+        ms = system()
+        ms.cache.warm([0x100])
+        ms.store_queue.insert(1)
+        assert ms.try_load(5, 0x100, now=0) is None
+
+    def test_blocked_load_consumes_no_port(self):
+        ms = system(ports=1)
+        ms.cache.warm([0x100, 0x200])
+        ms.store_queue.insert(1)
+        assert ms.try_load(5, 0x100, now=0) is None
+        # The port is still available for a disambiguated access.
+        assert ms.try_load(0, 0x200, now=0) is not None
+
+    def test_forwarding_bypasses_cache_ports(self):
+        ms = system(ports=0 + 1)
+        ms.store_queue.insert(1)
+        ms.store_queue.set_address(1, 0x100)
+        ms.store_queue.set_data_ready(1, 0)
+        ms.cache.warm([0x200])
+        assert ms.try_load(5, 0x100, now=0) is not None  # forwarded
+        assert ms.try_load(6, 0x200, now=0) is not None  # port still free
+
+    def test_forward_latency_is_hit_latency(self):
+        ms = system()
+        ms.store_queue.insert(1)
+        ms.store_queue.set_address(1, 0x100)
+        ms.store_queue.set_data_ready(1, 0)
+        assert ms.try_load(5, 0x100, now=10) == 12
+
+    def test_mshr_full_load_returns_none_and_keeps_port(self):
+        ms = MemorySystem(CacheConfig(size_bytes=1024, mshr_entries=1), ports=2)
+        assert ms.try_load(1, 0x0, now=0) is not None  # miss, takes MSHR
+        assert ms.try_load(2, 0x40, now=0) is None  # MSHR full
+        ms.cache.warm([0x80])
+        assert ms.try_load(3, 0x80, now=0) is not None  # port not wasted

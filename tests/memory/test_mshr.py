@@ -1,0 +1,61 @@
+"""MSHR file tests: merge, capacity, expiry."""
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocation:
+    def test_allocate_then_lookup_merges(self):
+        m = MSHRFile(4)
+        m.allocate(0x10, now=0, fill_time=50)
+        assert m.lookup(0x10, now=10) == 50
+        assert m.merges == 1
+
+    def test_lookup_unknown_line_returns_none(self):
+        m = MSHRFile(4)
+        assert m.lookup(0x99, now=0) is None
+
+    def test_capacity_enforced(self):
+        m = MSHRFile(2)
+        m.allocate(1, 0, 50)
+        m.allocate(2, 0, 50)
+        assert not m.has_room(0)
+        assert m.rejections == 1
+
+    def test_allocate_without_room_raises(self):
+        m = MSHRFile(1)
+        m.allocate(1, 0, 50)
+        with pytest.raises(RuntimeError):
+            m.allocate(2, 0, 50)
+
+    def test_duplicate_line_raises(self):
+        m = MSHRFile(4)
+        m.allocate(1, 0, 50)
+        with pytest.raises(ValueError):
+            m.allocate(1, 0, 60)
+
+
+class TestExpiry:
+    def test_entry_expires_at_fill_time(self):
+        m = MSHRFile(1)
+        m.allocate(1, 0, 50)
+        assert not m.has_room(49)
+        assert m.has_room(50)  # fill completed; entry free again
+
+    def test_expired_entry_not_merged(self):
+        m = MSHRFile(2)
+        m.allocate(1, 0, 50)
+        assert m.lookup(1, now=51) is None
+
+    def test_occupancy(self):
+        m = MSHRFile(8)
+        m.allocate(1, 0, 50)
+        m.allocate(2, 0, 60)
+        assert m.occupancy(0) == 2
+        assert m.occupancy(55) == 1
+        assert m.occupancy(60) == 0
+
+    def test_zero_entries_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)

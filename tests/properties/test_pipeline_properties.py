@@ -1,0 +1,240 @@
+"""Hypothesis property tests over random micro-traces.
+
+These encode the invariants DESIGN.md §8 promises:
+
+* any renaming scheme commits exactly the fetched instruction stream,
+  in program order — renaming never changes architectural semantics;
+* no configuration deadlocks for any NRR >= 1 (the paper's §3.3 claim);
+* physical registers are conserved at every moment;
+* the timing contract's arrows only point forward (fetch <= rename <=
+  issue <= complete < commit).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.virtual_physical import AllocationStage
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import NO_REG, RegClass, make_reg
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+# --------------------------------------------------------------------------
+# Random micro-trace strategy
+# --------------------------------------------------------------------------
+
+_INT_REGS = [make_reg(RegClass.INT, i) for i in range(1, 9)]
+_FP_REGS = [make_reg(RegClass.FP, i) for i in range(8)]
+
+
+@st.composite
+def micro_trace(draw, max_len=60):
+    n = draw(st.integers(min_value=1, max_value=max_len))
+    records = []
+    pc = 0x1000
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["alu", "mul", "fp", "fpmul", "load", "fload", "store", "branch"]
+        ))
+        if kind == "alu":
+            rec = TraceRecord(pc, OpClass.INT_ALU,
+                              dest=draw(st.sampled_from(_INT_REGS)),
+                              src1=draw(st.sampled_from(_INT_REGS)),
+                              src2=draw(st.sampled_from(_INT_REGS + [NO_REG])))
+        elif kind == "mul":
+            rec = TraceRecord(pc, OpClass.INT_MUL,
+                              dest=draw(st.sampled_from(_INT_REGS)),
+                              src1=draw(st.sampled_from(_INT_REGS)))
+        elif kind == "fp":
+            rec = TraceRecord(pc, OpClass.FP_ADD,
+                              dest=draw(st.sampled_from(_FP_REGS)),
+                              src1=draw(st.sampled_from(_FP_REGS)))
+        elif kind == "fpmul":
+            rec = TraceRecord(pc, OpClass.FP_MUL,
+                              dest=draw(st.sampled_from(_FP_REGS)),
+                              src1=draw(st.sampled_from(_FP_REGS)),
+                              src2=draw(st.sampled_from(_FP_REGS)))
+        elif kind == "load":
+            rec = TraceRecord(pc, OpClass.LOAD_INT,
+                              dest=draw(st.sampled_from(_INT_REGS)),
+                              src1=draw(st.sampled_from(_INT_REGS)),
+                              addr=draw(st.integers(0, 255)) * 8)
+        elif kind == "fload":
+            rec = TraceRecord(pc, OpClass.LOAD_FP,
+                              dest=draw(st.sampled_from(_FP_REGS)),
+                              src1=draw(st.sampled_from(_INT_REGS)),
+                              addr=draw(st.integers(0, 255)) * 8)
+        elif kind == "store":
+            rec = TraceRecord(pc, OpClass.STORE_INT,
+                              src1=draw(st.sampled_from(_INT_REGS)),
+                              src2=draw(st.sampled_from(_INT_REGS)),
+                              addr=draw(st.integers(0, 255)) * 8)
+        else:
+            taken = draw(st.booleans())
+            rec = TraceRecord(pc, OpClass.BRANCH,
+                              src1=draw(st.sampled_from(_INT_REGS)),
+                              taken=taken, target=pc + 4)
+        records.append(rec)
+        pc += 4
+    return records
+
+
+@st.composite
+def any_config(draw):
+    scheme = draw(st.sampled_from(["conv", "early", "wb", "issue"]))
+    int_phys = draw(st.sampled_from([34, 40, 64]))
+    fp_phys = draw(st.sampled_from([34, 40, 64]))
+    if scheme == "conv":
+        return conventional_config(int_phys=int_phys, fp_phys=fp_phys)
+    if scheme == "early":
+        return ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE,
+                               int_phys=int_phys, fp_phys=fp_phys)
+    nrr = draw(st.integers(1, min(int_phys, fp_phys) - 32))
+    allocation = (AllocationStage.WRITEBACK if scheme == "wb"
+                  else AllocationStage.ISSUE)
+    return virtual_physical_config(
+        nrr=nrr, allocation=allocation, int_phys=int_phys, fp_phys=fp_phys,
+        retry_gating=draw(st.booleans()),
+    )
+
+
+def run(records, config):
+    processor = Processor(config)
+    commits = []
+    orig = processor.renamer.on_commit
+
+    def spy(instr):
+        commits.append(instr.rec)
+        orig(instr)
+
+    processor.renamer.on_commit = spy
+    result = processor.run(records)
+    return result, commits
+
+
+# --------------------------------------------------------------------------
+# Properties
+# --------------------------------------------------------------------------
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=micro_trace(), config=any_config())
+def test_commits_exactly_the_trace_in_order(records, config):
+    result, commits = run(records, config)
+    assert result.stats.committed == len(records)
+    assert commits == records  # same objects, same order
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=micro_trace(), nrr=st.integers(1, 4),
+       phys=st.sampled_from([34, 36, 40]))
+def test_no_deadlock_with_tiny_register_files(records, nrr, phys):
+    """The paper's §3.3 guarantee, stressed with minimal pools."""
+    nrr = min(nrr, phys - 32)  # stay in the legal NRR range
+    config = virtual_physical_config(nrr=nrr, int_phys=phys, fp_phys=phys)
+    result, commits = run(records, config)
+    assert result.stats.committed == len(records)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=micro_trace(max_len=40), config=any_config())
+def test_register_conservation_every_cycle(records, config):
+    processor = Processor(config)
+    renamer = processor.renamer
+    totals = {RegClass.INT: config.int_phys, RegClass.FP: config.fp_phys}
+    orig_step = processor._step
+    bad = []
+
+    def checked():
+        orig_step()
+        for cls, expect in totals.items():
+            got = renamer.free_physical(cls) + renamer.allocated_physical(cls)
+            if got != expect:
+                bad.append((processor.now, cls))
+
+    processor._step = checked
+    processor.run(records)
+    assert not bad
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=micro_trace(max_len=40), config=any_config())
+def test_timeline_arrows_point_forward(records, config):
+    processor = Processor(config)
+    seen = []
+    orig = processor.renamer.on_commit
+
+    def spy(instr):
+        seen.append(instr)
+        orig(instr)
+
+    processor.renamer.on_commit = spy
+    processor.run(records)
+    for instr in seen:
+        assert 0 <= instr.fetch_at <= instr.rename_at
+        if instr.first_issue_at >= 0:
+            assert instr.rename_at < instr.first_issue_at
+            assert instr.first_issue_at <= instr.completed_at
+        assert instr.completed_at < instr.commit_at
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=micro_trace(max_len=40))
+def test_vp_max_nrr_not_slower_than_tiny_windows(records):
+    """Sanity: the same machine with a 4x bigger ROB is never slower."""
+    small = virtual_physical_config(nrr=8, rob_size=16, iq_size=16)
+    big = virtual_physical_config(nrr=8, rob_size=64, iq_size=64)
+    cycles_small = run(records, small)[0].stats.cycles
+    cycles_big = run(records, big)[0].stats.cycles
+    assert cycles_big <= cycles_small
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=micro_trace(max_len=50))
+def test_every_committed_vp_writer_holds_exactly_one_register(records):
+    config = virtual_physical_config(nrr=4, int_phys=40, fp_phys=40)
+    processor = Processor(config)
+    orig = processor.renamer.on_commit
+    bad = []
+
+    def spy(instr):
+        if instr.dest_cls is not None and instr.dest_phys < 0:
+            bad.append(instr)
+        orig(instr)
+
+    processor.renamer.on_commit = spy
+    processor.run(records)
+    assert not bad
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=micro_trace(max_len=50), config=any_config(),
+       faults=st.lists(st.integers(0, 49), max_size=3, unique=True))
+def test_precise_exceptions_preserve_the_commit_contract(records, config,
+                                                         faults):
+    """Faults flush+replay but never change what commits, in what order."""
+    from repro.uarch.config import RenamingScheme
+
+    if config.scheme is RenamingScheme.EARLY_RELEASE:
+        return  # early release documents rollback as unsupported
+    processor = Processor(config)
+    commits = []
+    orig = processor.renamer.on_commit
+
+    def spy(instr):
+        commits.append(instr.rec)
+        orig(instr)
+
+    processor.renamer.on_commit = spy
+    processor.inject_faults([k for k in faults if k < len(records)])
+    result = processor.run(records)
+    assert result.stats.committed == len(records)
+    assert commits == records

@@ -1,0 +1,80 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParsing:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "gcc"])
+
+    def test_scheme_choices(self):
+        args = build_parser().parse_args(
+            ["run", "swim", "--scheme", "vp-issue"])
+        assert args.scheme == "vp-issue"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "swim", "--scheme", "magic"])
+
+
+class TestCommands:
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("go", "swim", "hydro2d"):
+            assert name in out
+
+    def test_run_conventional(self, capsys):
+        rc = main(["run", "go", "-n", "400", "--skip", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "go" in out
+
+    def test_run_vp_with_nrr(self, capsys):
+        rc = main(["run", "swim", "-n", "400", "--skip", "50",
+                   "--scheme", "vp-writeback", "--nrr", "8"])
+        assert rc == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_run_early_release(self, capsys):
+        rc = main(["run", "li", "-n", "300", "--skip", "50",
+                   "--scheme", "early-release"])
+        assert rc == 0
+
+    def test_run_with_phys_override(self, capsys):
+        rc = main(["run", "swim", "-n", "300", "--skip", "50",
+                   "--scheme", "vp-writeback", "--phys", "48"])
+        assert rc == 0
+
+    def test_compare(self, capsys):
+        rc = main(["compare", "go", "-n", "400", "--skip", "50"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "speedup" in out
+        assert "conventional" in out and "vp-writeback" in out
+
+    def test_dump_trace(self, tmp_path, capsys):
+        out_file = tmp_path / "t.trace"
+        rc = main(["dump-trace", "li", str(out_file), "-n", "100"])
+        assert rc == 0
+        from repro.trace.io import load_trace
+
+        assert len(load_trace(out_file)) == 100
+
+    def test_experiment_command(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_INSTRS", "300")
+        monkeypatch.setenv("REPRO_BENCH_SKIP", "50")
+        # Fresh cache so the tiny budget doesn't pollute other tests.
+        import repro.experiments.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "SHARED_CACHE",
+                            runner_mod.ResultCache())
+        rc = main(["table2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table 2" in out and "hmean" in out

@@ -1,0 +1,82 @@
+"""Workload calibration guard-rails.
+
+These tests pin the *behavioural signatures* the workload models were
+calibrated to (DESIGN.md §3).  They use short runs and generous bands:
+their job is to catch accidental de-calibration (a changed base
+address, a dropped statement), not to re-verify the paper.
+"""
+
+import pytest
+
+from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import simulate
+
+N, SKIP = 15000, 3000
+
+# Paper Table 2 conventional IPC, used only as ordering anchors.
+_PAPER_CONV = {
+    "go": 0.73, "li": 0.98, "compress": 1.75, "vortex": 1.14,
+    "apsi": 1.37, "swim": 1.12, "mgrid": 1.32, "hydro2d": 2.16,
+    "wave5": 1.64,
+}
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    conv, speedup = {}, {}
+    for name in _PAPER_CONV:
+        base = simulate(conventional_config(), workload=name,
+                        max_instructions=N, skip=SKIP)
+        late = simulate(virtual_physical_config(nrr=32), workload=name,
+                        max_instructions=N, skip=SKIP)
+        conv[name] = base.ipc
+        speedup[name] = late.ipc / base.ipc
+    return conv, speedup
+
+
+class TestConventionalIPCBands:
+    """Each benchmark within a generous band of the paper's value."""
+
+    @pytest.mark.parametrize("name", sorted(_PAPER_CONV))
+    def test_ipc_band(self, measurements, name):
+        conv, _ = measurements
+        paper = _PAPER_CONV[name]
+        assert 0.5 * paper < conv[name] < 1.8 * paper, (
+            f"{name}: measured {conv[name]:.2f} vs paper {paper:.2f}"
+        )
+
+    def test_hydro2d_is_the_fastest(self, measurements):
+        conv, _ = measurements
+        assert conv["hydro2d"] == max(conv.values())
+
+    def test_go_is_the_slowest(self, measurements):
+        conv, _ = measurements
+        assert conv["go"] == min(conv.values())
+
+
+class TestSpeedupShape:
+    def test_swim_is_the_best_case(self, measurements):
+        _, speedup = measurements
+        assert speedup["swim"] == max(speedup[b] for b in FP_BENCHMARKS)
+        assert speedup["swim"] > 1.5
+
+    def test_fp_mean_beats_int_mean(self, measurements):
+        _, speedup = measurements
+        fp = sum(speedup[b] for b in FP_BENCHMARKS) / len(FP_BENCHMARKS)
+        ints = sum(speedup[b] for b in INT_BENCHMARKS) / len(INT_BENCHMARKS)
+        assert fp > ints + 0.1
+
+    def test_streaming_fp_codes_gain_big(self, measurements):
+        _, speedup = measurements
+        assert speedup["swim"] > 1.4
+        assert speedup["mgrid"] > 1.3
+
+    def test_resident_fp_codes_gain_little(self, measurements):
+        _, speedup = measurements
+        assert speedup["hydro2d"] < 1.35
+        assert speedup["wave5"] < 1.35
+
+    def test_no_benchmark_regresses_badly(self, measurements):
+        _, speedup = measurements
+        assert all(s > 0.9 for s in speedup.values())

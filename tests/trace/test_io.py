@@ -1,0 +1,54 @@
+"""Trace serialization tests."""
+
+import pytest
+
+from repro.trace.generator import SyntheticTrace
+from repro.trace.io import load_trace, save_trace
+from repro.trace.workloads import load_workload
+
+
+class TestRoundTrip:
+    def test_save_and_load(self, tmp_path):
+        recs = SyntheticTrace(load_workload("go"), seed=9).take(300)
+        path = tmp_path / "go.trace"
+        count = save_trace(recs, path)
+        assert count == 300
+        loaded = load_trace(path)
+        assert len(loaded) == 300
+        for a, b in zip(recs, loaded):
+            assert (a.pc, a.op, a.dest, a.src1, a.src2,
+                    a.addr, a.taken, a.target) == \
+                   (b.pc, b.op, b.dest, b.src1, b.src2,
+                    b.addr, b.taken, b.target)
+
+    def test_header_enforced(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text("not a trace\n")
+        with pytest.raises(ValueError):
+            load_trace(path)
+
+    def test_malformed_line_reports_location(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("# repro-trace-v1\n0x0 INT_ALU 1\n")
+        with pytest.raises(ValueError, match="bad.trace:2"):
+            load_trace(path)
+
+    def test_comments_and_blanks_ignored(self, tmp_path):
+        recs = SyntheticTrace(load_workload("li"), seed=9).take(10)
+        path = tmp_path / "li.trace"
+        save_trace(recs, path)
+        text = path.read_text().splitlines()
+        text.insert(3, "# a comment")
+        text.insert(5, "")
+        path.write_text("\n".join(text) + "\n")
+        assert len(load_trace(path)) == 10
+
+    def test_loaded_trace_is_simulatable(self, tmp_path):
+        from repro.uarch.config import conventional_config
+        from repro.uarch.processor import Processor
+
+        recs = SyntheticTrace(load_workload("compress"), seed=9).take(500)
+        path = tmp_path / "c.trace"
+        save_trace(recs, path)
+        result = Processor(conventional_config()).run(load_trace(path))
+        assert result.stats.committed == 500

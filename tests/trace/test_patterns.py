@@ -1,0 +1,82 @@
+"""Address-pattern tests."""
+
+import random
+
+import pytest
+
+from repro.trace.patterns import (
+    ArrayWalk,
+    ChaseRegion,
+    FixedAddress,
+    RandomRegion,
+)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(42)
+
+
+class TestArrayWalk:
+    def test_unit_stride(self, rng):
+        walk = ArrayWalk(base=0x1000, length=4, elem_bytes=8)
+        addrs = [walk.next_address(rng) for _ in range(4)]
+        assert addrs == [0x1000, 0x1008, 0x1010, 0x1018]
+
+    def test_wraps_at_end(self, rng):
+        walk = ArrayWalk(base=0x1000, length=2, elem_bytes=8)
+        addrs = [walk.next_address(rng) for _ in range(4)]
+        assert addrs == [0x1000, 0x1008, 0x1000, 0x1008]
+
+    def test_strided(self, rng):
+        walk = ArrayWalk(base=0, length=8, elem_bytes=4, stride=2)
+        addrs = [walk.next_address(rng) for _ in range(4)]
+        assert addrs == [0, 8, 16, 24]
+
+    def test_reset_restarts(self, rng):
+        walk = ArrayWalk(base=0x100, length=8, elem_bytes=8)
+        walk.next_address(rng)
+        walk.reset()
+        assert walk.next_address(rng) == 0x100
+
+    def test_footprint(self):
+        walk = ArrayWalk(base=0, length=100, elem_bytes=8)
+        assert walk.footprint_bytes == 800
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            ArrayWalk(base=0, length=0)
+        with pytest.raises(ValueError):
+            ArrayWalk(base=0, length=4, stride=0)
+
+
+class TestRandomRegion:
+    def test_addresses_within_region(self, rng):
+        region = RandomRegion(base=0x1000, size_bytes=256)
+        for _ in range(100):
+            addr = region.next_address(rng)
+            assert 0x1000 <= addr < 0x1100
+
+    def test_alignment(self, rng):
+        region = RandomRegion(base=0, size_bytes=256, align=8)
+        assert all(region.next_address(rng) % 8 == 0 for _ in range(50))
+
+    def test_deterministic_under_seed(self):
+        region = RandomRegion(base=0, size_bytes=1024)
+        a = [region.next_address(random.Random(1)) for _ in range(5)]
+        b = [region.next_address(random.Random(1)) for _ in range(5)]
+        assert a == b
+
+    def test_too_small_region_rejected(self):
+        with pytest.raises(ValueError):
+            RandomRegion(base=0, size_bytes=4, align=8)
+
+    def test_chase_is_a_random_region(self):
+        assert isinstance(ChaseRegion(base=0, size_bytes=64), RandomRegion)
+
+
+class TestFixedAddress:
+    def test_always_same(self, rng):
+        fixed = FixedAddress(0xBEEF8)
+        assert fixed.next_address(rng) == 0xBEEF8
+        assert fixed.next_address(rng) == 0xBEEF8

@@ -1,0 +1,141 @@
+"""Loop-kernel DSL tests: statement validation and register binding."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass, reg_class
+from repro.trace.patterns import ArrayWalk
+from repro.trace.program import (
+    INDUCTION,
+    CondBranch,
+    FpOp,
+    IntOp,
+    Load,
+    LoopKernel,
+    RegisterBinding,
+    Store,
+    Workload,
+)
+
+
+def kernel(body, **kw):
+    defaults = dict(name="k", iterations=4,
+                    arrays={"a": ArrayWalk(base=0, length=16)})
+    defaults.update(kw)
+    return LoopKernel(body=body, **defaults)
+
+
+class TestStatementValidation:
+    def test_intop_rejects_fp_kind(self):
+        with pytest.raises(ValueError):
+            IntOp("x", ("y",), kind=OpClass.FP_ADD)
+
+    def test_fpop_rejects_int_kind(self):
+        with pytest.raises(ValueError):
+            FpOp("x", ("y",), kind=OpClass.INT_ALU)
+
+    def test_op_needs_one_or_two_sources(self):
+        with pytest.raises(ValueError):
+            IntOp("x", ())
+        with pytest.raises(ValueError):
+            IntOp("x", ("a", "b", "c"))
+
+    def test_branch_probability_range(self):
+        with pytest.raises(ValueError):
+            CondBranch(p_taken=1.5)
+        with pytest.raises(ValueError):
+            CondBranch(p_taken=-0.1)
+
+    def test_branch_negative_skip(self):
+        with pytest.raises(ValueError):
+            CondBranch(p_taken=0.5, skip=-1)
+
+
+class TestKernelValidation:
+    def test_skip_past_end_rejected(self):
+        with pytest.raises(ValueError):
+            kernel([CondBranch(p_taken=0.5, skip=3), IntOp("x", ("x",))])
+
+    def test_skip_to_exact_end_allowed(self):
+        kernel([CondBranch(p_taken=0.5, skip=1), IntOp("x", ("x",))])
+
+    def test_zero_iterations_rejected(self):
+        with pytest.raises(ValueError):
+            kernel([IntOp("x", ("x",))], iterations=0)
+
+    def test_non_pattern_array_rejected(self):
+        with pytest.raises(TypeError):
+            kernel([IntOp("x", ("x",))], arrays={"a": 42})
+
+    def test_referenced_arrays(self):
+        k = kernel([Load("v", "a"), Store("v", "a")])
+        assert k.referenced_arrays() == {"a"}
+
+
+class TestRegisterBinding:
+    def test_induction_is_int(self):
+        k = kernel([IntOp("x", ("x",))])
+        binding = RegisterBinding(k)
+        assert reg_class(binding[INDUCTION]) is RegClass.INT
+
+    def test_class_inference_from_ops(self):
+        k = kernel([
+            Load("v", "a", fp=True),
+            FpOp("t", ("v",)),
+            IntOp("i", ("i",)),
+        ])
+        binding = RegisterBinding(k)
+        assert reg_class(binding["v"]) is RegClass.FP
+        assert reg_class(binding["t"]) is RegClass.FP
+        assert reg_class(binding["i"]) is RegClass.INT
+
+    def test_load_base_is_int(self):
+        k = kernel([Load("v", "a", base="p", fp=True)])
+        binding = RegisterBinding(k)
+        assert reg_class(binding["p"]) is RegClass.INT
+
+    def test_conflicting_class_use_rejected(self):
+        k = kernel.__wrapped__ if hasattr(kernel, "__wrapped__") else kernel
+        bad = LoopKernel(
+            name="bad",
+            body=[IntOp("x", ("x",)), FpOp("x", ("x",))],
+            iterations=1,
+        )
+        with pytest.raises(ValueError):
+            RegisterBinding(bad)
+
+    def test_distinct_names_get_distinct_registers(self):
+        k = kernel([
+            IntOp("a1", ("a1",)), IntOp("a2", ("a2",)), IntOp("a3", ("a3",)),
+        ])
+        binding = RegisterBinding(k)
+        regs = {binding["a1"], binding["a2"], binding["a3"], binding[INDUCTION]}
+        assert len(regs) == 4
+
+    def test_r0_reserved(self):
+        # No name binds to integer register 0 (conventional zero register).
+        k = kernel([IntOp("x", ("x",))])
+        binding = RegisterBinding(k)
+        assert all(reg != 0 for reg in binding.reg_of.values())
+
+    def test_too_many_names_rejected(self):
+        body = [IntOp(f"v{i}", (f"v{i}",)) for i in range(32)]
+        with pytest.raises(ValueError):
+            RegisterBinding(kernel(body))
+
+
+class TestWorkload:
+    def test_category_validation(self):
+        k = kernel([IntOp("x", ("x",))])
+        with pytest.raises(ValueError):
+            Workload("w", [k], category="mixed")
+
+    def test_needs_kernels(self):
+        with pytest.raises(ValueError):
+            Workload("w", [], category="int")
+
+    def test_duplicate_kernel_names_rejected(self):
+        k1 = kernel([IntOp("x", ("x",))])
+        k2 = kernel([IntOp("y", ("y",))])
+        with pytest.raises(ValueError):
+            Workload("w", [k1, k2], category="int")

@@ -1,0 +1,103 @@
+"""Workload-model tests: registry, structure, and behavioural signatures."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass, dest_class_for, is_branch, is_mem
+from repro.isa.registers import RegClass
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import (
+    FP_BENCHMARKS,
+    INT_BENCHMARKS,
+    WORKLOADS,
+    load_workload,
+)
+
+
+class TestRegistry:
+    def test_paper_benchmark_set(self):
+        assert set(INT_BENCHMARKS) == {"go", "li", "compress", "vortex"}
+        assert set(FP_BENCHMARKS) == {"apsi", "swim", "mgrid", "hydro2d", "wave5"}
+        assert set(WORKLOADS) == set(INT_BENCHMARKS) | set(FP_BENCHMARKS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError):
+            load_workload("gcc")
+
+    def test_fresh_instances(self):
+        assert load_workload("swim") is not load_workload("swim")
+
+    def test_categories_match_lists(self):
+        for name in INT_BENCHMARKS:
+            assert load_workload(name).category == "int"
+        for name in FP_BENCHMARKS:
+            assert load_workload(name).category == "fp"
+
+
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+class TestEveryWorkload:
+    def test_generates_a_clean_stream(self, name):
+        recs = SyntheticTrace(load_workload(name), seed=11).take(2000)
+        assert len(recs) == 2000
+        for cur, nxt in zip(recs, recs[1:]):
+            assert cur.next_pc == nxt.pc
+
+    def test_deterministic(self, name):
+        a = SyntheticTrace(load_workload(name), seed=3).take(500)
+        b = SyntheticTrace(load_workload(name), seed=3).take(500)
+        assert [repr(x) for x in a] == [repr(x) for x in b]
+
+    def test_contains_memory_and_branches(self, name):
+        recs = SyntheticTrace(load_workload(name), seed=3).take(2000)
+        assert any(is_mem(r.op) for r in recs)
+        assert any(is_branch(r.op) for r in recs)
+
+
+class TestBehaviouralSignatures:
+    """The workload knobs that drive the paper's per-benchmark behaviour."""
+
+    def _mix(self, name, n=4000):
+        recs = SyntheticTrace(load_workload(name), seed=5).take(n)
+        fp = sum(1 for r in recs
+                 if dest_class_for(r.op) is RegClass.FP)
+        branches = sum(1 for r in recs if is_branch(r.op))
+        return fp / n, branches / n
+
+    def test_fp_workloads_have_fp_destinations(self):
+        for name in FP_BENCHMARKS:
+            fp_frac, _ = self._mix(name)
+            assert fp_frac > 0.3, name
+
+    def test_int_workloads_have_no_fp(self):
+        for name in INT_BENCHMARKS:
+            fp_frac, _ = self._mix(name)
+            assert fp_frac == 0.0, name
+
+    def test_go_is_branchiest(self):
+        _, go_br = self._mix("go")
+        for other in ("swim", "hydro2d", "compress"):
+            _, br = self._mix(other)
+            assert go_br > br
+
+    def test_swim_streams_beyond_the_cache(self):
+        wl = load_workload("swim")
+        streams = [p for k in wl.kernels for p in k.arrays.values()]
+        assert any(p.footprint_bytes > 16 * 1024 for p in streams)
+
+    def test_hydro2d_fits_in_the_cache(self):
+        wl = load_workload("hydro2d")
+        total = sum(p.footprint_bytes
+                    for k in wl.kernels for p in k.arrays.values())
+        assert total <= 16 * 1024
+
+    def test_apsi_contains_divides(self):
+        recs = SyntheticTrace(load_workload("apsi"), seed=5).take(8000)
+        assert any(r.op is OpClass.FP_DIV for r in recs)
+
+    def test_li_chases_pointers(self):
+        """li's heap load feeds its own base register (serial chain)."""
+        wl = load_workload("li")
+        body = wl.kernels[0].body
+        from repro.trace.program import Load
+
+        chase = [s for s in body if isinstance(s, Load) and s.base == s.dst]
+        assert chase, "li must contain a self-dependent (chasing) load"

@@ -1,0 +1,47 @@
+"""Perfect-prediction mode and run-once semantics."""
+
+import pytest
+
+from repro.uarch.config import conventional_config
+from repro.uarch.processor import Processor, simulate
+
+from tests.conftest import TraceBuilder, r, run_trace
+
+
+class TestOracleMode:
+    def test_no_mispredicts_with_oracle(self, tb):
+        tb.branch(r(1), taken=True, target=0x1004)
+        tb.branch(r(1), taken=False)
+        tb.alu(r(2), r(2))
+        cfg = conventional_config(perfect_branch_prediction=True)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.branches == 2
+        assert result.stats.mispredicts == 0
+        assert result.stats.fetch_stall_cycles == 0
+
+    def test_oracle_still_breaks_fetch_on_taken(self, tb):
+        # Taken branches end the fetch group even with oracle prediction.
+        tb.branch(r(1), taken=True, target=0x1004)
+        tb.alu(r(2), r(2))
+        cfg = conventional_config(perfect_branch_prediction=True)
+        _, result = run_trace(tb.build(), cfg)
+        # The ALU fetches one cycle after the branch: commits at 5 -> 6.
+        assert result.stats.cycles == 6
+
+    def test_oracle_never_slower_on_workloads(self):
+        base = simulate(conventional_config(), workload="go",
+                        max_instructions=1200, skip=200)
+        oracle = simulate(
+            conventional_config(perfect_branch_prediction=True),
+            workload="go", max_instructions=1200, skip=200)
+        assert oracle.stats.mispredicts == 0
+        assert oracle.ipc > base.ipc  # go is heavily mispredict-bound
+
+
+class TestRunOnce:
+    def test_second_run_rejected(self, tb):
+        tb.alu(r(1), r(2))
+        processor = Processor(conventional_config())
+        processor.run(tb.build())
+        with pytest.raises(RuntimeError, match="runs once"):
+            processor.run(tb.build())

@@ -1,0 +1,70 @@
+"""DynInstr classification-cache tests."""
+
+from repro.isa.instruction import TraceRecord
+from repro.isa.opcodes import FUKind, OpClass
+from repro.isa.registers import RegClass, make_reg
+from repro.uarch.dynamic import DynInstr
+
+R1 = make_reg(RegClass.INT, 1)
+R2 = make_reg(RegClass.INT, 2)
+F1 = make_reg(RegClass.FP, 1)
+
+
+def make(op, **kw):
+    return DynInstr(TraceRecord(0x100, op, **kw), seq=7)
+
+
+class TestClassificationCache:
+    def test_load(self):
+        instr = make(OpClass.LOAD_FP, dest=F1, src1=R1, addr=0x40)
+        assert instr.is_load and not instr.is_store and not instr.is_br
+        assert instr.fu_kind is FUKind.EFF_ADDR
+        assert instr.latency == 1
+        assert instr.dest_cls is RegClass.FP
+
+    def test_store(self):
+        instr = make(OpClass.STORE_INT, src1=R1, src2=R2, addr=0x40)
+        assert instr.is_store and not instr.is_load
+        assert instr.dest_cls is None
+
+    def test_branch(self):
+        instr = make(OpClass.BRANCH, src1=R1, taken=True, target=0x104)
+        assert instr.is_br
+        assert instr.fu_kind is FUKind.SIMPLE_INT
+
+    def test_divide_unpipelined(self):
+        instr = make(OpClass.FP_DIV, dest=F1, src1=F1)
+        assert not instr.pipelined
+        assert instr.latency == 16
+
+    def test_alu_pipelined(self):
+        instr = make(OpClass.INT_ALU, dest=R1, src1=R2)
+        assert instr.pipelined
+        assert instr.latency == 1
+
+
+class TestInitialState:
+    def test_fresh_scheduling_state(self):
+        instr = make(OpClass.INT_ALU, dest=R1, src1=R2)
+        assert instr.wait_count == 0
+        assert not instr.issued and not instr.completed
+        assert not instr.reserved and not instr.squashed
+        assert instr.dest_phys == -1
+        assert instr.exec_count == 0
+
+    def test_timeline_unset(self):
+        instr = make(OpClass.INT_ALU, dest=R1, src1=R2)
+        assert (instr.fetch_at, instr.rename_at, instr.first_issue_at,
+                instr.commit_at) == (-1, -1, -1, -1)
+
+    def test_repr_includes_seq(self):
+        instr = make(OpClass.INT_ALU, dest=R1, src1=R2)
+        assert "#7" in repr(instr)
+
+    def test_slots_reject_new_attributes(self):
+        instr = make(OpClass.INT_ALU, dest=R1, src1=R2)
+        try:
+            instr.arbitrary = 1
+        except AttributeError:
+            return
+        raise AssertionError("__slots__ should reject unknown attributes")

@@ -1,0 +1,90 @@
+"""Functional-unit pool tests."""
+
+import pytest
+
+from repro.isa.opcodes import DEFAULT_FU_COUNTS, FUKind
+from repro.uarch.functional_units import FunctionalUnitPool
+
+
+def pool(overrides=None):
+    counts = dict(DEFAULT_FU_COUNTS)
+    counts.update(overrides or {})
+    return FunctionalUnitPool(counts)
+
+
+class TestPipelined:
+    def test_count_limits_issues_per_cycle(self):
+        p = pool()
+        kind = FUKind.SIMPLE_INT  # 3 units
+        assert [p.try_issue(kind, 0, 1, True) for _ in range(4)] == \
+            [True, True, True, False]
+
+    def test_units_free_next_cycle(self):
+        p = pool()
+        kind = FUKind.SIMPLE_INT
+        for _ in range(3):
+            p.try_issue(kind, 0, 1, True)
+        assert p.try_issue(kind, 1, 1, True)
+
+    def test_pipelined_back_to_back_on_one_unit(self):
+        p = pool({FUKind.FP_MULT: 1})
+        kind = FUKind.FP_MULT
+        assert p.try_issue(kind, 0, 4, True)
+        assert p.try_issue(kind, 1, 4, True)  # pipelined: every cycle
+
+
+class TestNonPipelined:
+    def test_division_occupies_unit_for_full_latency(self):
+        p = pool({FUKind.FP_DIV_SQRT: 1})
+        kind = FUKind.FP_DIV_SQRT
+        assert p.try_issue(kind, 0, 16, False)
+        assert not p.try_issue(kind, 5, 16, False)
+        assert not p.try_issue(kind, 15, 16, False)
+        assert p.try_issue(kind, 16, 16, False)
+
+    def test_two_divides_use_both_units(self):
+        p = pool()  # 2 FP div units
+        kind = FUKind.FP_DIV_SQRT
+        assert p.try_issue(kind, 0, 16, False)
+        assert p.try_issue(kind, 0, 16, False)
+        assert not p.try_issue(kind, 1, 16, False)
+
+    def test_pipelined_op_blocked_by_busy_divider(self):
+        # A multiply sharing the complex-int unit waits behind a divide.
+        p = pool({FUKind.COMPLEX_INT: 1})
+        kind = FUKind.COMPLEX_INT
+        assert p.try_issue(kind, 0, 67, False)  # divide
+        assert not p.try_issue(kind, 10, 9, True)  # multiply blocked
+        assert p.try_issue(kind, 67, 9, True)
+
+    def test_busy_units_accounting(self):
+        p = pool()
+        p.try_issue(FUKind.FP_DIV_SQRT, 0, 16, False)
+        assert p.busy_units(FUKind.FP_DIV_SQRT, 5) == 1
+        assert p.busy_units(FUKind.FP_DIV_SQRT, 16) == 0
+
+
+class TestInterface:
+    def test_can_issue_does_not_claim(self):
+        p = pool({FUKind.SIMPLE_INT: 1})
+        assert p.can_issue(FUKind.SIMPLE_INT, 0)
+        assert p.can_issue(FUKind.SIMPLE_INT, 0)  # still free
+        p.claim(FUKind.SIMPLE_INT, 0, 1, True)
+        assert not p.can_issue(FUKind.SIMPLE_INT, 0)
+
+    def test_claim_without_capacity_raises(self):
+        p = pool({FUKind.SIMPLE_INT: 1})
+        p.claim(FUKind.SIMPLE_INT, 0, 1, True)
+        with pytest.raises(RuntimeError):
+            p.claim(FUKind.SIMPLE_INT, 0, 1, True)
+
+    def test_zero_units_rejected(self):
+        with pytest.raises(ValueError):
+            pool({FUKind.SIMPLE_FP: 0})
+
+    def test_stats(self):
+        p = pool({FUKind.SIMPLE_INT: 1})
+        p.try_issue(FUKind.SIMPLE_INT, 0, 1, True)
+        p.try_issue(FUKind.SIMPLE_INT, 0, 1, True)
+        assert p.issues[FUKind.SIMPLE_INT] == 1
+        assert p.structural_stalls[FUKind.SIMPLE_INT] == 1

@@ -1,0 +1,153 @@
+"""Precise-exception recovery, end to end (paper §3.2.2).
+
+A fault at the K-th committing instruction flushes everything younger,
+rolls the rename state back by walking the reorder buffer youngest
+first, and replays the flushed instructions through fetch.  The
+architectural contract: every trace record still commits exactly once,
+in program order, under every renaming scheme.
+"""
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+from tests.conftest import TraceBuilder, f, r
+
+
+def run_with_faults(records, config, fault_commits):
+    processor = Processor(config)
+    commits = []
+    orig = processor.renamer.on_commit
+
+    def spy(instr):
+        commits.append(instr.rec)
+        orig(instr)
+
+    processor.renamer.on_commit = spy
+    processor.inject_faults(fault_commits)
+    result = processor.run(records)
+    return result, commits
+
+
+def mixed_trace(n=40):
+    tb = TraceBuilder()
+    for i in range(n):
+        kind = i % 5
+        if kind == 0:
+            tb.load(r(1 + i % 6), r(7), addr=0x100 + 8 * (i % 32))
+        elif kind == 1:
+            tb.alu(r(1 + i % 6), r(1 + (i + 1) % 6))
+        elif kind == 2:
+            tb.fp(f(1 + i % 6), f(1 + (i + 1) % 6))
+        elif kind == 3:
+            tb.store(r(7), r(1 + i % 6), addr=0x300 + 8 * (i % 16))
+        else:
+            tb.branch(r(1 + i % 6), taken=(i % 3 == 0))
+    return tb.build()
+
+
+SCHEMES = {
+    "conventional": conventional_config(),
+    "vp-writeback": virtual_physical_config(nrr=8),
+    "vp-wb-tight": virtual_physical_config(nrr=1, int_phys=36, fp_phys=36),
+    "vp-issue": virtual_physical_config(nrr=8,
+                                        allocation=AllocationStage.ISSUE),
+}
+
+
+@pytest.mark.parametrize("scheme", sorted(SCHEMES))
+class TestArchitecturalContract:
+    def test_single_fault_commits_everything_once(self, scheme):
+        records = mixed_trace()
+        result, commits = run_with_faults(records, SCHEMES[scheme], [10])
+        assert result.stats.faults == 1
+        assert commits == records
+
+    def test_multiple_faults(self, scheme):
+        records = mixed_trace()
+        result, commits = run_with_faults(records, SCHEMES[scheme],
+                                          [5, 17, 33])
+        assert result.stats.faults == 3
+        assert commits == records
+
+    def test_back_to_back_faults(self, scheme):
+        records = mixed_trace()
+        result, commits = run_with_faults(records, SCHEMES[scheme], [8, 9])
+        assert result.stats.faults == 2
+        assert commits == records
+
+    def test_fault_on_first_commit(self, scheme):
+        records = mixed_trace(20)
+        result, commits = run_with_faults(records, SCHEMES[scheme], [0])
+        assert result.stats.faults == 1
+        assert commits == records
+
+
+class TestRecoveryDetails:
+    def test_fault_costs_cycles(self):
+        records = mixed_trace()
+        clean, _ = run_with_faults(records, conventional_config(), [])
+        faulted, _ = run_with_faults(records, conventional_config(), [10])
+        assert faulted.stats.cycles > clean.stats.cycles
+
+    def test_rename_state_consistent_after_recovery(self):
+        """After the run, exactly the architectural registers remain."""
+        from repro.isa.registers import RegClass
+
+        records = mixed_trace()
+        cfg = virtual_physical_config(nrr=8)
+        processor = Processor(cfg)
+        processor.inject_faults([7, 21])
+        processor.run(records)
+        for cls in (RegClass.INT, RegClass.FP):
+            assert processor.renamer.allocated_physical(cls) == 32
+
+    def test_store_queue_cleared_by_flush(self):
+        records = mixed_trace()
+        processor = Processor(conventional_config())
+        processor.inject_faults([12])
+        processor.run(records)
+        assert len(processor.mem.store_queue) == 0
+
+    def test_fault_stat_not_counted_without_injection(self):
+        result, _ = run_with_faults(mixed_trace(), conventional_config(), [])
+        assert result.stats.faults == 0
+
+    def test_early_release_reports_unsupported(self):
+        cfg = ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE)
+        processor = Processor(cfg)
+        processor.inject_faults([5])
+        with pytest.raises(NotImplementedError, match="early-release"):
+            processor.run(mixed_trace())
+
+
+class TestFaultsUnderPressure:
+    def test_fault_during_squash_storm(self):
+        """Recovery while young instructions are being squashed for lack
+        of registers — the two squash mechanisms must not interfere."""
+        tb = TraceBuilder()
+        tb.load(r(1), r(7), addr=0x5000)  # long miss at the head
+        for i in range(24):
+            tb.alu(r(2 + i % 5), r(7))
+        records = tb.build()
+        cfg = virtual_physical_config(nrr=1, int_phys=36)
+        result, commits = run_with_faults(records, cfg, [3])
+        assert commits == records
+        assert result.stats.faults == 1
+
+    def test_fault_with_inflight_misses(self):
+        tb = TraceBuilder()
+        for i in range(12):
+            tb.load(r(1 + i % 6), r(7), addr=0x40 * i)
+        records = tb.build()
+        result, commits = run_with_faults(records,
+                                          conventional_config(), [2])
+        assert commits == records

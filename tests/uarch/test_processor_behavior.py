@@ -1,0 +1,198 @@
+"""Behavioural pipeline tests: widths, windows, ports, stalls, stats."""
+
+import pytest
+
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import Processor, SimulationDeadlock, simulate
+
+from tests.conftest import TraceBuilder, f, r, run_trace
+
+
+class TestWidths:
+    def test_commit_width_bounds_throughput(self, tb):
+        # 64 independent ALU ops on a 2-wide commit machine need >= 32
+        # commit cycles.
+        for i in range(64):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        cfg = conventional_config(commit_width=2)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.committed == 64
+        assert result.stats.cycles >= 32
+
+    def test_fetch_width_bounds_throughput(self, tb):
+        for i in range(64):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        narrow = run_trace(tb.build(), conventional_config(fetch_width=1))[1]
+        wide = run_trace(tb.build(), conventional_config())[1]
+        assert narrow.stats.cycles > wide.stats.cycles
+        assert narrow.stats.cycles >= 64
+
+    def test_issue_width_bounds_throughput(self, tb):
+        for i in range(32):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        narrow = run_trace(tb.build(), conventional_config(issue_width=1))[1]
+        assert narrow.stats.cycles >= 32
+
+
+class TestWindowLimits:
+    def test_rob_full_stalls_rename(self, tb):
+        # A long-latency head op plus many independents: a tiny ROB
+        # throttles everything behind the divide.
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        for i in range(30):
+            tb.alu(r(3), r(3))
+        small = run_trace(tb.build(), conventional_config(rob_size=4,
+                                                          iq_size=4))[1]
+        assert small.stats.stall_rob_full > 0
+
+    def test_store_queue_capacity_stalls(self, tb):
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)  # blocks commit
+        for i in range(8):
+            tb.store(r(3), r(3), addr=0x100 + 8 * i)
+        cfg = conventional_config(store_queue_size=2)
+        _, result = run_trace(tb.build(), cfg, warm_addresses=[0x100])
+        assert result.stats.stall_sq_full > 0
+        assert result.stats.committed == 9
+
+    def test_conventional_register_stall(self, tb):
+        # 40 int writers with only 34 physical registers: decode must
+        # stall on the free list while the divide blocks commit.
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        for i in range(40):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        cfg = conventional_config(int_phys=34)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.stall_no_reg > 0
+        assert result.stats.committed == 41
+
+
+class TestInOrderCommit:
+    def test_commit_order_is_program_order(self, tb):
+        tb.alu(r(1), r(2), op=OpClass.INT_MUL)  # slow
+        tb.alu(r(3), r(4))  # fast, completes first
+        processor = Processor(conventional_config())
+        commits = []
+        orig = processor.renamer.on_commit
+
+        def spy(instr):
+            commits.append(instr.seq)
+            orig(instr)
+
+        processor.renamer.on_commit = spy
+        processor.run(tb.build())
+        assert commits == sorted(commits)
+
+    def test_all_fetched_instructions_commit(self, tb):
+        for i in range(100):
+            tb.alu(r(1 + i % 8), r(1 + (i + 1) % 8))
+        _, result = run_trace(tb.build())
+        assert result.stats.committed == 100
+        assert result.stats.fetched == 100
+
+
+class TestBranchHandling:
+    def test_branch_stats_counted_at_resolve(self, tb):
+        tb.branch(r(1), taken=False)
+        tb.branch(r(1), taken=False)
+        _, result = run_trace(tb.build())
+        assert result.stats.branches == 2
+
+    def test_predictor_learns_across_iterations(self):
+        # The SAME static branch, taken every iteration, trains the BHT:
+        # it mispredicts only until the counter saturates.
+        from repro.isa.instruction import TraceRecord
+
+        records = []
+        for i in range(30):
+            records.append(TraceRecord(0x1000, OpClass.INT_ALU,
+                                       dest=r(1), src1=r(1)))
+            records.append(TraceRecord(0x1004, OpClass.BRANCH, src1=r(1),
+                                       taken=True, target=0x1000))
+        _, result = run_trace(records)
+        assert result.stats.branches == 30
+        assert result.stats.mispredicts <= 3
+
+    def test_mispredict_rate_stat(self, tb):
+        tb.branch(r(1), taken=True, target=0x1004)  # mispredicted
+        tb.branch(r(1), taken=False)
+        _, result = run_trace(tb.build())
+        assert result.stats.mispredict_rate == pytest.approx(0.5)
+
+
+class TestDeadlockWatchdog:
+    def test_watchdog_raises_with_diagnostics(self, tb):
+        # Sabotage: a config whose FP file cannot rename (impossible via
+        # the public config, so check the watchdog through a tiny horizon
+        # and an artificially huge miss penalty instead).
+        from repro.memory.cache import CacheConfig
+
+        tb.load(r(1), r(2), addr=0x100)
+        cfg = conventional_config(
+            cache=CacheConfig(miss_penalty=10_000),
+            deadlock_horizon=100,
+        )
+        with pytest.raises(SimulationDeadlock):
+            run_trace(tb.build(), cfg)
+
+
+class TestStats:
+    def test_ipc(self, tb):
+        for i in range(10):
+            tb.alu(r(1), r(1))
+        _, result = run_trace(tb.build())
+        assert result.stats.ipc == pytest.approx(10 / result.stats.cycles)
+
+    def test_cache_stats_harvested(self, tb):
+        tb.load(r(1), r(2), addr=0x100)
+        tb.load(r(3), r(4), addr=0x2000)
+        _, result = run_trace(tb.build(), warm_addresses=[0x100])
+        assert result.stats.loads == 2
+        assert result.stats.load_misses == 1
+        assert result.stats.load_miss_rate == pytest.approx(0.5)
+
+    def test_register_occupancy_tracked(self, tb):
+        for i in range(10):
+            tb.alu(r(1), r(1))
+        _, result = run_trace(tb.build())
+        # At least the 32 architectural mappings are always allocated.
+        assert result.stats.avg_reg_occupancy("int") >= 32
+        assert result.stats.avg_reg_occupancy("fp") == pytest.approx(32)
+
+    def test_peak_rob(self, tb):
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        for i in range(20):
+            tb.alu(r(2), r(2))
+        _, result = run_trace(tb.build())
+        assert result.stats.peak_rob == 21
+
+
+class TestSimulateEntryPoint:
+    def test_requires_exactly_one_input(self):
+        with pytest.raises(ValueError):
+            simulate(conventional_config())
+        with pytest.raises(ValueError):
+            simulate(conventional_config(), trace=[], workload="go")
+
+    def test_workload_by_name(self):
+        result = simulate(conventional_config(), workload="go",
+                          max_instructions=500, skip=100)
+        assert result.workload == "go"
+        assert result.stats.committed == 500
+
+    def test_workload_by_object(self):
+        from repro.trace.workloads import load_workload
+
+        result = simulate(conventional_config(), workload=load_workload("li"),
+                          max_instructions=300, skip=0)
+        assert result.workload == "li"
+
+    def test_bad_workload_type(self):
+        with pytest.raises(TypeError):
+            simulate(conventional_config(), workload=42)
+
+    def test_summary_is_readable(self):
+        result = simulate(conventional_config(), workload="go",
+                          max_instructions=200, skip=0)
+        text = result.summary()
+        assert "IPC" in text and "go" in text

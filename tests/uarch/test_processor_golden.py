@@ -1,0 +1,183 @@
+"""Golden cycle-count tests.
+
+Each test hand-derives the expected timeline from the timing contract in
+DESIGN.md §5:
+
+* fetch at cycle 0, rename at 1, earliest issue at 2;
+* an op issued at *t* with latency *L* completes (write-back) at *t+L*;
+  dependents may issue at *t+L*;
+* loads: EA done at *t+1*, cache access at *t+1*, hit data at *t+3*;
+* commit happens at completion + 1 (plus 1 more for the VP scheme);
+* the run ends the cycle after the last commit (cycles = last commit + 1).
+"""
+
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+from tests.conftest import TraceBuilder, f, r, run_trace
+
+
+class TestSingleInstruction:
+    def test_single_alu(self, tb):
+        # fetch 0, rename 1, issue 2, complete 3, commit 4 -> 5 cycles.
+        tb.alu(r(1), r(2))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 5
+        assert result.stats.committed == 1
+
+    def test_single_fp_add(self, tb):
+        # issue 2, latency 4 -> complete 6, commit 7 -> 8 cycles.
+        tb.fp(f(1), f(2))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 8
+
+    def test_single_int_mul(self, tb):
+        # latency 9: complete 11, commit 12 -> 13 cycles.
+        tb.alu(r(1), r(2), op=OpClass.INT_MUL)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 13
+
+    def test_single_int_div(self, tb):
+        # latency 67: complete 69, commit 70 -> 71 cycles.
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 71
+
+    def test_vp_commit_delay(self, tb):
+        # The VP scheme commits one cycle later (PMT lookup): 6 cycles.
+        tb.alu(r(1), r(2))
+        _, result = run_trace(tb.build(), virtual_physical_config(nrr=32))
+        assert result.stats.cycles == 6
+
+
+class TestDependenceChains:
+    def test_alu_chain_back_to_back(self, tb):
+        # Chain of N ALU ops: issues at 2,3,...,N+1; last commits at N+3.
+        n = 6
+        for _ in range(n):
+            tb.alu(r(1), r(1))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == n + 4
+
+    def test_fp_chain_pays_full_latency(self, tb):
+        # Two dependent FP adds: first completes 6, second issues 6,
+        # completes 10, commits 11 -> 12 cycles.
+        tb.fp(f(1), f(1))
+        tb.fp(f(1), f(1))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 12
+
+    def test_independent_ops_overlap(self, tb):
+        # Three independent ALU ops fit the 3 simple-int units: all issue
+        # at 2, commit together at 4 -> 5 cycles.
+        tb.alu(r(1), r(1))
+        tb.alu(r(2), r(2))
+        tb.alu(r(3), r(3))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 5
+
+    def test_structural_hazard_on_simple_int(self, tb):
+        # Four independent ALU ops, three units: the fourth issues at 3;
+        # commits at 5 -> 6 cycles.
+        for i in range(1, 5):
+            tb.alu(r(i), r(i))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 6
+
+
+class TestLoads:
+    def test_load_hit(self, tb):
+        # issue 2, EA 3, access 3, data 5, commit 6 -> 7 cycles.
+        tb.load(r(1), r(2), addr=0x100)
+        _, result = run_trace(tb.build(), warm_addresses=[0x100])
+        assert result.stats.cycles == 7
+
+    def test_load_miss(self, tb):
+        # access at 3 -> fill at 53, commit 54 -> 55 cycles.
+        tb.load(r(1), r(2), addr=0x100)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 55
+
+    def test_load_use_delay(self, tb):
+        # Load hit data at 5; dependent ALU issues at 5, completes 6,
+        # commits 7 -> 8 cycles.
+        tb.load(r(1), r(2), addr=0x100)
+        tb.alu(r(3), r(1))
+        _, result = run_trace(tb.build(), warm_addresses=[0x100])
+        assert result.stats.cycles == 8
+
+    def test_parallel_misses_overlap(self, tb):
+        # Two independent misses to different lines: fills at 53 and
+        # 57 (bus serializes the line transfers) -> commit 58 -> 59.
+        tb.load(r(1), r(2), addr=0x100)
+        tb.load(r(3), r(4), addr=0x200)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 59
+
+    def test_same_line_misses_merge(self, tb):
+        # Second load merges into the first fill: both data at 53.
+        tb.load(r(1), r(2), addr=0x100)
+        tb.load(r(3), r(4), addr=0x108)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 55
+
+
+class TestStores:
+    def test_store_with_ready_data(self, tb):
+        # Store: issue 2, EA complete 3, commit 4 (needs a port) -> 5.
+        tb.store(r(1), r(2), addr=0x100)
+        _, result = run_trace(tb.build(), warm_addresses=[0x100])
+        assert result.stats.cycles == 5
+
+    def test_store_waits_for_data_to_commit(self, tb):
+        # The stored value comes from a multiply (latency 9, completes
+        # 11); store address is ready at 3 but commit needs the data:
+        # store completes at 11, commits in order after the mul at 12.
+        tb.alu(r(1), r(2), op=OpClass.INT_MUL)
+        tb.store(r(3), r(1), addr=0x100)
+        _, result = run_trace(tb.build(), warm_addresses=[0x100])
+        assert result.stats.cycles == 13
+
+    def test_store_to_load_forwarding(self, tb):
+        # The load forwards from the store queue: data at EA+hit, no
+        # 50-cycle miss even though the line is absent from the cache.
+        tb.store(r(1), r(2), addr=0x100)
+        tb.load(r(3), r(4), addr=0x100)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles < 20
+        _, baseline = run_trace(
+            TraceBuilder().load(r(3), r(4), addr=0x100).build()
+        )
+        assert baseline.stats.cycles == 55  # sanity: a real miss is slow
+
+
+class TestBranches:
+    def test_correctly_predicted_not_taken_branch_free(self, tb):
+        # BHT initializes weakly-not-taken: a not-taken branch predicts
+        # correctly; fetch continues; chain commits normally.
+        tb.alu(r(1), r(1))
+        tb.branch(r(1), taken=False)
+        tb.alu(r(2), r(2))
+        _, result = run_trace(tb.build())
+        assert result.stats.mispredicts == 0
+        assert result.stats.cycles == 6  # alu pair overlaps; branch too
+
+    def test_mispredicted_branch_stalls_fetch(self, tb):
+        # The first taken branch mispredicts (counters start not-taken):
+        # branch: fetch 0, rename 1, issue 2, resolve 3; fetch resumes 4.
+        # The next instruction fetches at 4, commits at 8 -> 9 cycles.
+        tb.branch(r(1), taken=True, target=0x1004)
+        tb.alu(r(2), r(2))
+        _, result = run_trace(tb.build())
+        assert result.stats.mispredicts == 1
+        assert result.stats.cycles == 9
+
+    def test_branch_waits_for_its_operand(self, tb):
+        # Branch source comes from a multiply: resolve at 12 -> the
+        # post-branch instruction fetches at 13, commits 17 -> 18.
+        tb.alu(r(1), r(2), op=OpClass.INT_MUL)
+        tb.branch(r(1), taken=True, target=0x1008)
+        tb.alu(r(3), r(3))
+        _, result = run_trace(tb.build())
+        assert result.stats.mispredicts == 1
+        assert result.stats.cycles == 18

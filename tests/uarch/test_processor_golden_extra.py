@@ -1,0 +1,111 @@
+"""Additional golden timings: FU sharing, forwarding, fetch effects."""
+
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import conventional_config
+
+from tests.conftest import TraceBuilder, f, r, run_trace
+
+
+class TestComplexIntSharing:
+    def test_mul_blocked_behind_divides(self, tb):
+        # Two divides claim both complex-int units at cycle 2 for 67
+        # cycles; the independent multiply waits until 69, completes
+        # 78, commits 79 -> 80 cycles.
+        tb.alu(r(1), r(4), op=OpClass.INT_DIV)
+        tb.alu(r(2), r(5), op=OpClass.INT_DIV)
+        tb.alu(r(3), r(6), op=OpClass.INT_MUL)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 80
+
+    def test_one_divide_leaves_a_unit_for_the_mul(self, tb):
+        # One divide: the multiply issues at 2 on the second unit,
+        # completes 11; the divide completes 69, commits 70; the mul
+        # commits right after at 70 too (in-order, same cycle window)
+        # -> 71 cycles.
+        tb.alu(r(1), r(4), op=OpClass.INT_DIV)
+        tb.alu(r(3), r(6), op=OpClass.INT_MUL)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 71
+
+    def test_fp_divides_nonpipelined_serialize(self, tb):
+        # Three FP divides, two units: issues at 2, 2, 18; the last
+        # completes 34, commits 35 -> 36 cycles.
+        for i in range(3):
+            tb.fp(f(1 + i), f(4 + i), op=OpClass.FP_DIV)
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 36
+
+    def test_fp_sqrt_shares_divide_unit(self, tb):
+        tb.fp(f(1), f(4), op=OpClass.FP_DIV)
+        tb.fp(f(2), f(5), op=OpClass.FP_SQRT)
+        tb.fp(f(3), f(6), op=OpClass.FP_SQRT)
+        # Two units busy 16 cycles; third op issues at 18 -> completes
+        # 34, commits 35 -> 36.
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 36
+
+
+class TestForwardingTiming:
+    def test_forward_exact_cycles(self, tb):
+        # Store: issue 2, EA 3 (addr+data in SQ).  Load: issue 2 (EA
+        # unit free), access attempt at 3: older store addr known at 3,
+        # match -> forward, data at 3+2=5; dependent ALU issues 5.
+        # Chain: alu completes 6, commits 7 -> 8 cycles.
+        tb.store(r(1), r(2), addr=0x800)
+        tb.load(r(3), r(4), addr=0x800)
+        tb.alu(r(5), r(3))
+        _, result = run_trace(tb.build(), warm_addresses=[0x800])
+        assert result.stats.cycles == 8
+
+    def test_load_waits_for_store_data_chain(self, tb):
+        # The store's data comes from a 9-cycle multiply; the load to
+        # the same word cannot forward until the data is ready at 11.
+        tb.alu(r(1), r(2), op=OpClass.INT_MUL)
+        tb.store(r(3), r(1), addr=0x800)
+        tb.load(r(4), r(5), addr=0x800)
+        _, result = run_trace(tb.build(), warm_addresses=[0x800])
+        # Load data ~13, commit in order after store at >= 13.
+        assert 13 <= result.stats.cycles <= 17
+
+
+class TestFetchEffects:
+    def test_fetch_width_one_serializes_frontend(self, tb):
+        for i in range(8):
+            tb.alu(r(1 + i), r(1 + i))
+        _, result = run_trace(tb.build(), conventional_config(fetch_width=1))
+        # One fetch per cycle: instr i fetches at i, commits at i+4;
+        # last commits at 11 -> 12 cycles.
+        assert result.stats.cycles == 12
+
+    def test_fetch_buffer_backpressure(self, tb):
+        # A tiny fetch buffer with a stalled rename (divide at ROB head
+        # of a tiny ROB) bounds the frontend run-ahead.
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        for i in range(20):
+            tb.alu(r(3), r(3))
+        cfg = conventional_config(rob_size=2, iq_size=2,
+                                  fetch_buffer_size=2)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.committed == 21
+        # Fetched instructions cannot run more than buffer+window ahead
+        # of commit, so fetch has to have stretched over the divide.
+        assert result.stats.cycles > 67
+
+
+class TestCommitWidthExact:
+    def test_eight_wide_commit_in_one_cycle(self, tb):
+        # 8 independent ALUs: 3 units -> issues at 2,2,2,3,3,3,4,4;
+        # completions 3..5; commits: 3 ready at 4... in-order commit
+        # bursts: all 8 commit by cycle 6 -> 7 cycles.
+        for i in range(8):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        _, result = run_trace(tb.build())
+        assert result.stats.cycles == 7
+
+    def test_commit_width_two_takes_extra_cycles(self, tb):
+        for i in range(8):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        _, result = run_trace(tb.build(),
+                              conventional_config(commit_width=2))
+        # 8 commits at 2/cycle starting at 4 -> last at 7 -> 8 cycles.
+        assert result.stats.cycles == 8

@@ -1,0 +1,125 @@
+"""Golden cycle counts for the virtual-physical scheme's specific paths.
+
+Derivations follow DESIGN.md §5 plus the VP rules: allocation at
+completion (write-back mode) or at issue (issue mode), one extra commit
+cycle for the PMT lookup, squash-and-retry from the next cycle.
+"""
+
+from repro.core.virtual_physical import AllocationStage
+from repro.isa.opcodes import OpClass
+from repro.uarch.config import virtual_physical_config
+
+from tests.conftest import TraceBuilder, f, r, run_trace
+
+
+def vp(nrr=32, **kw):
+    return virtual_physical_config(nrr=nrr, **kw)
+
+
+class TestCommitDelay:
+    def test_alu_chain_pays_delay_once(self, tb):
+        # Chain of 6 ALU ops: issues 2..7, completions 3..8; commits are
+        # in-order at completion+2, so the last commits at 10 -> 11
+        # cycles (conventional: 10).
+        for _ in range(6):
+            tb.alu(r(1), r(1))
+        _, result = run_trace(tb.build(), vp())
+        assert result.stats.cycles == 11
+
+    def test_load_hit_vp(self, tb):
+        # Load hit: data at 5, commit at 5+2=7 -> 8 cycles.
+        tb.load(r(1), r(2), addr=0x100)
+        _, result = run_trace(tb.build(), vp(), warm_addresses=[0x100])
+        assert result.stats.cycles == 8
+
+    def test_issue_allocation_same_clean_path_timing(self, tb):
+        # With ample registers the issue-allocation machine times
+        # identically to write-back allocation.
+        tb.alu(r(1), r(2))
+        _, wb = run_trace(tb.build(), vp())
+        _, issue = run_trace(tb.build(),
+                             vp(allocation=AllocationStage.ISSUE))
+        assert wb.stats.cycles == issue.stats.cycles == 6
+
+
+class TestSquashTiming:
+    def _pressure_trace(self):
+        # A long-latency divide at the head (blocks commit for 67
+        # cycles) followed by three independent ALU writers competing
+        # for 2 rename registers with NRR=1.
+        tb = TraceBuilder()
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)
+        tb.alu(r(3), r(7))
+        tb.alu(r(4), r(7))
+        tb.alu(r(5), r(7))
+        return tb.build()
+
+    def test_exact_squash_accounting(self):
+        # Reserved: the divide (oldest int writer).  At cycle 3 the three
+        # young ALUs complete together (3 simple-int units); free pool
+        # holds 2; rule: free > NRR - Used = 1.
+        #   - first (oldest, seq1) allocates: free 2 > 1 -> ok, free=1;
+        #   - second (seq2): free 1 > 1 fails -> squash;
+        #   - third  (seq3): squash.
+        # Thereafter free stays 1 (> NRR - Used only after the divide
+        # completes and Used rises): seq2/seq3 retry and squash each
+        # round until the divide completes at 69 (Used=1 -> free 1 > 0).
+        records = self._pressure_trace()
+        cfg = vp(nrr=1, int_phys=34)
+        _, result = run_trace(records, cfg)
+        assert result.stats.committed == 4
+        assert result.stats.squashes >= 2
+        # The divide completes at 69, commits at 71; the retried ALUs
+        # allocate right after 69 and drain within a handful of cycles.
+        assert 71 <= result.stats.cycles <= 80
+
+    def test_issue_allocation_blocks_instead(self):
+        records = self._pressure_trace()
+        cfg = vp(nrr=1, int_phys=34, allocation=AllocationStage.ISSUE)
+        _, result = run_trace(records, cfg)
+        assert result.stats.squashes == 0
+        assert result.stats.issue_alloc_blocks >= 1
+        assert result.stats.committed == 4
+
+    def test_gating_matches_spin_cycle_count_here(self):
+        # With idle units, gating slashes executions at (essentially)
+        # unchanged timing — retry-phase alignment may shift a cycle.
+        records = self._pressure_trace()
+        _, spin = run_trace(records, vp(nrr=1, int_phys=34))
+        _, gated = run_trace(records, vp(nrr=1, int_phys=34,
+                                         retry_gating=True))
+        assert abs(gated.stats.cycles - spin.stats.cycles) <= 2
+        assert gated.stats.executions < spin.stats.executions / 2
+
+
+class TestNonWriterFreedom:
+    def test_stores_commit_during_register_famine(self, tb):
+        # Paper: instructions without destination registers never stall
+        # for registers.  A store behind starving writers still becomes
+        # commit-ready the moment its operands arrive.
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)  # head, 67 cycles
+        tb.alu(r(3), r(7))
+        tb.alu(r(4), r(7))
+        tb.store(r(7), r(7), addr=0x100)
+        processor, result = run_trace(tb.build(), vp(nrr=1, int_phys=34),
+                                      warm_addresses=[0x100])
+        store = None
+        # The store is the last record; find its completion time through
+        # the tracer-less route: it must have completed long before the
+        # divide's commit at 71.
+        assert result.stats.committed == 4
+        assert result.stats.cycles >= 71
+
+
+class TestWritePortPressure:
+    def test_port_limit_defers_completions(self):
+        # 10 independent FP adds, ample units... only 8 FP write ports:
+        # with 3 simple-FP units the completions arrive 3/cycle and never
+        # exceed the port limit; shrink ports to 1 to force defers.
+        tb = TraceBuilder()
+        for i in range(6):
+            tb.fp(f(1 + i % 6), f(7))
+        _, wide = run_trace(tb.build(), vp())
+        _, narrow = run_trace(tb.build(), vp(write_ports=1))
+        assert narrow.stats.wb_port_defers > 0
+        assert narrow.stats.cycles > wide.stats.cycles

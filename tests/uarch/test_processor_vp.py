@@ -1,0 +1,145 @@
+"""Pipeline-level tests of the virtual-physical scheme's dynamics."""
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.isa.opcodes import OpClass
+from repro.isa.registers import RegClass
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import Processor
+
+from tests.conftest import TraceBuilder, f, r, run_trace
+
+
+def vp(nrr=32, **kw):
+    return virtual_physical_config(nrr=nrr, **kw)
+
+
+class TestLateAllocation:
+    def test_no_register_held_while_waiting(self, tb):
+        """While instructions wait on a long miss, the VP scheme holds
+        fewer registers than the conventional scheme."""
+        tb.load(f(1), r(2), addr=0x100, fp=True)
+        for i in range(10):
+            tb.fp(f(2 + i % 4), f(1))
+        conv_proc, _ = run_trace(tb.build(), conventional_config())
+        vp_proc, _ = run_trace(tb.build(), vp())
+        conv_occ = conv_proc.stats.fp_reg_occupancy_sum
+        vp_occ = vp_proc.stats.fp_reg_occupancy_sum
+        assert vp_occ < conv_occ
+
+    def test_squash_and_reexecute(self, tb):
+        """With a tiny register file, young completions are squashed and
+        re-executed; everything still commits."""
+        tb.load(r(1), r(2), addr=0x100)  # 50-cycle miss holds commit
+        for i in range(12):
+            tb.alu(r(3 + i % 4), r(7))  # independent young writers
+        cfg = vp(nrr=1, int_phys=36)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.committed == 13
+        assert result.stats.squashes > 0
+        assert result.stats.executions > result.stats.committed
+
+    def test_issue_allocation_never_squashes(self, tb):
+        tb.load(r(1), r(2), addr=0x100)
+        for i in range(12):
+            tb.alu(r(3 + i % 4), r(7))
+        cfg = vp(nrr=1, int_phys=36, allocation=AllocationStage.ISSUE)
+        _, result = run_trace(tb.build(), cfg)
+        assert result.stats.committed == 13
+        assert result.stats.squashes == 0
+        assert result.stats.executions == result.stats.committed
+        assert result.stats.issue_alloc_blocks > 0
+
+    def test_destless_instructions_never_squash(self, tb):
+        """Paper: instructions without a destination register never stall
+        once they have their operands."""
+        tb.load(r(1), r(2), addr=0x100)
+        for i in range(6):
+            tb.alu(r(3 + i % 3), r(7))
+        for i in range(4):
+            tb.store(r(7), r(7), addr=0x200 + 8 * i)
+        cfg = vp(nrr=1, int_phys=36)
+        processor, result = run_trace(tb.build(), cfg,
+                                      warm_addresses=[0x200])
+        assert result.stats.committed == 11
+
+    def test_vp_decode_does_not_stall_on_registers(self, tb):
+        """The VP machine keeps decoding when the conventional one would
+        stall for physical registers (paper §3.3's second advantage)."""
+        tb.alu(r(1), r(2), op=OpClass.INT_DIV)  # blocks commit for 67 cycles
+        for i in range(40):
+            tb.alu(r(1 + i % 8), r(1 + i % 8))
+        conv_cfg = conventional_config(int_phys=40)
+        vp_cfg = vp(nrr=8, int_phys=40)
+        _, conv_result = run_trace(tb.build(), conv_cfg)
+        _, vp_result = run_trace(tb.build(), vp_cfg)
+        assert conv_result.stats.stall_no_reg > 0
+        assert vp_result.stats.stall_no_reg == 0
+        assert vp_result.stats.peak_rob > conv_result.stats.peak_rob
+
+
+class TestMLPAdvantage:
+    def test_vp_overlaps_more_misses(self):
+        """The headline effect: with a small FP file, the VP scheme keeps
+        more misses in flight and finishes a streaming loop faster."""
+        tb = TraceBuilder()
+        for i in range(48):
+            tb.load(f(1 + i % 4), r(2), addr=0x40 * i + 0x10_000, fp=True)
+            tb.fp(f(5 + i % 3), f(1 + i % 4))
+        conv = run_trace(tb.build(), conventional_config(fp_phys=40))[1]
+        late = run_trace(tb.build(), vp(nrr=8, fp_phys=40))[1]
+        assert late.stats.cycles < conv.stats.cycles
+
+    def test_gating_reduces_reexecutions(self, tb):
+        tb.load(r(1), r(2), addr=0x100)
+        for i in range(12):
+            tb.alu(r(3 + i % 4), r(7))
+        spin = run_trace(tb.build(), vp(nrr=1, int_phys=36))[1]
+        gated = run_trace(
+            tb.build(), vp(nrr=1, int_phys=36, retry_gating=True)
+        )[1]
+        assert gated.stats.executions <= spin.stats.executions
+        assert gated.stats.committed == spin.stats.committed
+
+
+class TestEquivalenceAtMaxNRR:
+    def test_same_commits_any_scheme(self, tb):
+        for i in range(50):
+            tb.alu(r(1 + i % 6), r(1 + (i + 1) % 6))
+            if i % 7 == 0:
+                tb.load(r(7), r(1), addr=0x100 + 8 * i)
+        conv = run_trace(tb.build(), conventional_config())[1]
+        wb = run_trace(tb.build(), vp(nrr=32))[1]
+        issue = run_trace(tb.build(), vp(nrr=32,
+                                         allocation=AllocationStage.ISSUE))[1]
+        assert conv.stats.committed == wb.stats.committed == \
+            issue.stats.committed == 58
+
+
+class TestRegisterConservation:
+    @pytest.mark.parametrize("scheme", ["conv", "wb", "issue"])
+    def test_free_plus_allocated_is_constant(self, scheme, tb):
+        cfgs = {
+            "conv": conventional_config(),
+            "wb": vp(nrr=8),
+            "issue": vp(nrr=8, allocation=AllocationStage.ISSUE),
+        }
+        for i in range(30):
+            tb.alu(r(1 + i % 6), r(1 + (i + 1) % 6))
+        processor = Processor(cfgs[scheme])
+        renamer = processor.renamer
+        violations = []
+        orig_step = processor._step
+
+        def checked_step():
+            orig_step()
+            for cls in (RegClass.INT, RegClass.FP):
+                total = (renamer.free_physical(cls)
+                         + renamer.allocated_physical(cls))
+                if total != 64:
+                    violations.append((processor.now, cls, total))
+
+        processor._step = checked_step
+        processor.run(tb.build())
+        assert not violations

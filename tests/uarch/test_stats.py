@@ -1,0 +1,70 @@
+"""SimStats / SimResult unit tests."""
+
+import pytest
+
+from repro.uarch.config import conventional_config
+from repro.uarch.stats import SimResult, SimStats
+
+
+class TestDerivedMetrics:
+    def test_ipc(self):
+        stats = SimStats(cycles=100, committed=250)
+        assert stats.ipc == pytest.approx(2.5)
+
+    def test_ipc_no_cycles(self):
+        assert SimStats().ipc == 0.0
+
+    def test_executions_per_commit(self):
+        stats = SimStats(committed=100, executions=330)
+        assert stats.executions_per_commit == pytest.approx(3.3)
+
+    def test_executions_per_commit_empty(self):
+        assert SimStats().executions_per_commit == 0.0
+
+    def test_mispredict_rate(self):
+        stats = SimStats(branches=200, mispredicts=30)
+        assert stats.mispredict_rate == pytest.approx(0.15)
+
+    def test_mispredict_rate_no_branches(self):
+        assert SimStats().mispredict_rate == 0.0
+
+    def test_load_miss_rate(self):
+        stats = SimStats(loads=50, load_misses=10)
+        assert stats.load_miss_rate == pytest.approx(0.2)
+
+    def test_avg_reg_occupancy(self):
+        stats = SimStats(cycles=10, int_reg_occupancy_sum=400,
+                         fp_reg_occupancy_sum=350)
+        assert stats.avg_reg_occupancy("int") == pytest.approx(40.0)
+        assert stats.avg_reg_occupancy("fp") == pytest.approx(35.0)
+
+    def test_avg_reg_occupancy_no_cycles(self):
+        assert SimStats().avg_reg_occupancy("int") == 0.0
+
+
+class TestSimResult:
+    def test_ipc_delegates(self):
+        result = SimResult(stats=SimStats(cycles=10, committed=15),
+                           config=conventional_config())
+        assert result.ipc == pytest.approx(1.5)
+
+    def test_summary_fields(self):
+        stats = SimStats(cycles=100, committed=150, branches=10,
+                         mispredicts=1, loads=20, load_misses=5,
+                         executions=160)
+        result = SimResult(stats=stats, config=conventional_config(),
+                           workload="swim")
+        text = result.summary()
+        assert "swim" in text
+        assert "IPC=1.500" in text
+        assert "10.0%" in text  # mispredict rate
+
+    def test_summary_without_workload_name(self):
+        result = SimResult(stats=SimStats(cycles=1, committed=1),
+                           config=conventional_config())
+        assert result.summary().startswith("trace:")
+
+    def test_extra_dict(self):
+        result = SimResult(stats=SimStats(), config=None)
+        result.extra["note"] = 1
+        assert result.extra == {"note": 1}

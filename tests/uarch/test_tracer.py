@@ -1,0 +1,90 @@
+"""Timeline tracer tests."""
+
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import Processor
+from repro.uarch.tracer import TimelineTracer
+
+from tests.conftest import TraceBuilder, r
+
+
+def traced_run(records, config=None, max_entries=10_000):
+    processor = Processor(config or conventional_config())
+    tracer = TimelineTracer.attach(processor, max_entries=max_entries)
+    processor.run(records)
+    return tracer
+
+
+class TestCollection:
+    def test_captures_every_commit(self, tb):
+        for i in range(10):
+            tb.alu(r(1 + i % 4), r(5))
+        tracer = traced_run(tb.build())
+        assert len(tracer.entries) == 10
+
+    def test_entry_timeline_fields(self, tb):
+        tb.alu(r(1), r(2))
+        tracer = traced_run(tb.build())
+        entry = tracer._materialized()[0]
+        # The golden single-ALU timeline: F0 R1 I2 C3 T4.
+        assert (entry.fetch, entry.rename, entry.issue,
+                entry.complete, entry.commit) == (0, 1, 2, 3, 4)
+
+    def test_capacity_cap(self, tb):
+        for i in range(10):
+            tb.alu(r(1), r(1))
+        tracer = traced_run(tb.build(), max_entries=4)
+        assert len(tracer.entries) == 4
+        assert tracer.dropped == 6
+
+    def test_reexecution_count_recorded(self, tb):
+        tb.load(r(1), r(2), addr=0x100)
+        for i in range(12):
+            tb.alu(r(3 + i % 4), r(7))
+        tracer = traced_run(tb.build(),
+                            virtual_physical_config(nrr=1, int_phys=36))
+        assert any(e.exec_count > 1 for e in tracer._materialized())
+
+
+class TestRendering:
+    def test_render_contains_stage_marks(self, tb):
+        tb.alu(r(1), r(2))
+        text = traced_run(tb.build()).render()
+        for mark in "FRICT":
+            assert mark in text
+
+    def test_render_empty(self):
+        assert "no committed" in TimelineTracer().render()
+
+    def test_render_windowing(self, tb):
+        for i in range(20):
+            tb.alu(r(1), r(1))
+        tracer = traced_run(tb.build())
+        text = tracer.render(first=5, count=3)
+        assert text.count("|") == 2 * 3
+
+    def test_reexecutions_marked(self, tb):
+        tb.load(r(1), r(2), addr=0x100)
+        for i in range(12):
+            tb.alu(r(3 + i % 4), r(7))
+        tracer = traced_run(tb.build(),
+                            virtual_physical_config(nrr=1, int_phys=36))
+        assert " x" in tracer.render(count=20)
+
+
+class TestStageLatencies:
+    def test_single_alu_latencies(self, tb):
+        tb.alu(r(1), r(2))
+        lat = traced_run(tb.build()).stage_latencies()
+        assert lat["fetch_to_rename"] == 1.0
+        assert lat["rename_to_issue"] == 1.0
+        assert lat["issue_to_complete"] == 1.0
+        assert lat["complete_to_commit"] == 1.0
+        assert lat["mean_executions"] == 1.0
+
+    def test_empty(self):
+        assert TimelineTracer().stage_latencies() == {}
+
+    def test_memory_latency_visible(self, tb):
+        tb.load(r(1), r(2), addr=0x100)  # miss: issue->complete ~ 51
+        lat = traced_run(tb.build()).stage_latencies()
+        assert lat["issue_to_complete"] > 40
