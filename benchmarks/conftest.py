@@ -5,8 +5,11 @@ configured instruction budget (``REPRO_BENCH_INSTRS``, default 30k timed
 instructions after 3k warm-up per run), prints it, and appends it to
 ``benchmarks/output/`` so EXPERIMENTS.md can cite the artifacts.
 
-Runs are shared through :data:`repro.experiments.SHARED_CACHE`, so e.g.
-Figure 6 reuses the Figure 4/5 runs within one pytest session.
+Runs are shared through :data:`repro.experiments.SHARED_CACHE`, which
+sits on the batch engine: Figure 6 reuses the Figure 4/5 runs within a
+session, and the persistent store under ``REPRO_CACHE_DIR`` (default
+``~/.cache/repro``) makes re-running the harness near-instant as long
+as the simulator source is unchanged.
 """
 
 from __future__ import annotations

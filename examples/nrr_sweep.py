@@ -14,8 +14,9 @@ Usage::
 
 import sys
 
-from repro import WORKLOADS, conventional_config, simulate, virtual_physical_config
+from repro import WORKLOADS, conventional_config, virtual_physical_config
 from repro.core.virtual_physical import AllocationStage
+from repro.engine import BatchEngine, RunSpec
 
 NRR_VALUES = (1, 4, 8, 16, 24, 32)
 
@@ -27,17 +28,24 @@ def main():
         raise SystemExit(f"unknown workload {workload!r}; "
                          f"choose from {', '.join(sorted(WORKLOADS))}")
 
-    base = simulate(conventional_config(), workload=workload,
-                    max_instructions=instructions, skip=1_000)
+    # The whole grid goes to the batch engine in one submission; swap in
+    # BatchEngine.with_jobs(4) (or a ResultStore) to parallelize/persist.
+    engine = BatchEngine.with_jobs()
+    spec = lambda cfg: RunSpec(workload, cfg, instructions=instructions,
+                               skip=1_000, seed=1234)
+    grid = [spec(conventional_config())]
+    for nrr in NRR_VALUES:
+        grid.append(spec(virtual_physical_config(nrr=nrr)))
+        grid.append(spec(virtual_physical_config(
+            nrr=nrr, allocation=AllocationStage.ISSUE)))
+    results = iter(engine.run(grid))
+
+    base = next(results)
     print(f"{workload}: conventional IPC = {base.ipc:.3f}")
     print(f"{'NRR':>4s} {'write-back':>12s} {'issue-alloc':>12s} "
           f"{'squashes':>9s}")
     for nrr in NRR_VALUES:
-        wb = simulate(virtual_physical_config(nrr=nrr), workload=workload,
-                      max_instructions=instructions, skip=1_000)
-        issue = simulate(
-            virtual_physical_config(nrr=nrr, allocation=AllocationStage.ISSUE),
-            workload=workload, max_instructions=instructions, skip=1_000)
+        wb, issue = next(results), next(results)
         print(f"{nrr:4d} {wb.ipc / base.ipc:11.2f}x {issue.ipc / base.ipc:11.2f}x "
               f"{wb.stats.squashes:9d}")
     print()

@@ -13,8 +13,9 @@ Usage::
 
 import sys
 
-from repro import conventional_config, simulate, virtual_physical_config
+from repro import conventional_config, virtual_physical_config
 from repro.analysis.reports import format_table, harmonic_mean
+from repro.engine import BatchEngine, RunSpec
 from repro.trace.workloads import WORKLOADS
 
 SIZES = (48, 64, 96)
@@ -22,20 +23,19 @@ SIZES = (48, 64, 96)
 
 def sweep(instructions):
     benches = sorted(WORKLOADS)
+    specs = []
+    for phys in SIZES:
+        for cfg in (conventional_config(int_phys=phys, fp_phys=phys),
+                    virtual_physical_config(nrr=phys - 32,
+                                            int_phys=phys, fp_phys=phys)):
+            specs += [RunSpec(b, cfg, instructions=instructions,
+                              skip=1_000, seed=1234) for b in benches]
+    # One grid submission; the engine parallelizes over the CPU count.
+    results = iter(BatchEngine.with_jobs().run(specs))
     conv, virt = {}, {}
     for phys in SIZES:
-        conv[phys] = {}
-        virt[phys] = {}
-        for bench in benches:
-            conv[phys][bench] = simulate(
-                conventional_config(int_phys=phys, fp_phys=phys),
-                workload=bench, max_instructions=instructions, skip=1_000,
-            ).ipc
-            virt[phys][bench] = simulate(
-                virtual_physical_config(nrr=phys - 32,
-                                        int_phys=phys, fp_phys=phys),
-                workload=bench, max_instructions=instructions, skip=1_000,
-            ).ipc
+        conv[phys] = {b: next(results).ipc for b in benches}
+        virt[phys] = {b: next(results).ipc for b in benches}
     return benches, conv, virt
 
 

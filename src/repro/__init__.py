@@ -25,6 +25,7 @@ from repro.core import (
     EarlyReleaseRenamer,
     VirtualPhysicalRenamer,
 )
+from repro.engine import BatchEngine, ResultStore, RunSpec
 from repro.isa import OpClass, RegClass, TraceRecord
 from repro.memory import CacheConfig
 from repro.trace import (
@@ -47,12 +48,15 @@ from repro.uarch import (
     virtual_physical_config,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AllocationStage",
+    "BatchEngine",
     "ConventionalRenamer",
     "EarlyReleaseRenamer",
+    "ResultStore",
+    "RunSpec",
     "VirtualPhysicalRenamer",
     "OpClass",
     "RegClass",

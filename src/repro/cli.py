@@ -7,6 +7,9 @@ Commands
     Simulate one workload under one renaming scheme and print a summary.
 ``compare``
     Run conventional and virtual-physical side by side.
+``sweep``
+    Run an arbitrary NRR × allocation-stage × workload grid through the
+    batch engine and report IPC speedups plus wall-clock accounting.
 ``table2`` / ``figure4`` / ``figure5`` / ``figure6`` / ``figure7``
     Regenerate a paper artifact and print it.
 ``ablation`` / ``window-scaling`` / ``branch-sensitivity``
@@ -15,14 +18,22 @@ Commands
     List the available benchmark models.
 ``dump-trace``
     Write the first N records of a workload's dynamic trace to a file.
+
+Every simulating command accepts ``--jobs N`` (worker processes;
+default ``REPRO_JOBS`` or the CPU count) and ``--no-cache`` (skip the
+persistent result store under ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 
 from repro.core.virtual_physical import AllocationStage
+from repro.engine import RunSpec
+from repro.experiments.runner import ResultCache
 from repro.trace.generator import SyntheticTrace
 from repro.trace.io import save_trace
 from repro.trace.workloads import WORKLOADS, load_workload
@@ -32,9 +43,32 @@ from repro.uarch.config import (
     conventional_config,
     virtual_physical_config,
 )
-from repro.uarch.processor import simulate
 
 _SCHEMES = ("conventional", "vp-writeback", "vp-issue", "early-release")
+_ALLOCATIONS = {
+    "writeback": (AllocationStage.WRITEBACK,),
+    "issue": (AllocationStage.ISSUE,),
+    "both": (AllocationStage.WRITEBACK, AllocationStage.ISSUE),
+}
+
+
+def _progress_line(done, total, spec):
+    sys.stderr.write(f"\r  {done}/{total} runs")
+    if done == total:
+        sys.stderr.write("\n")
+    sys.stderr.flush()
+
+
+def _cache_for_args(args, progress=None):
+    """The result cache an invocation's --jobs/--no-cache imply.
+
+    ``persistent=None`` (the no-flag case) defers to the
+    ``REPRO_NO_CACHE`` environment check inside :class:`ResultCache`.
+    """
+    return ResultCache(jobs=getattr(args, "jobs", None),
+                       persistent=(False if getattr(args, "no_cache", False)
+                                   else None),
+                       progress=progress)
 
 
 def _config_for(args):
@@ -55,6 +89,14 @@ def _config_for(args):
     return virtual_physical_config(nrr=nrr, allocation=allocation, **changes)
 
 
+def _add_engine_args(parser):
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: REPRO_JOBS or "
+                             "the CPU count)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result store")
+
+
 def _add_run_args(parser):
     parser.add_argument("workload", choices=sorted(WORKLOADS))
     parser.add_argument("-n", "--instructions", type=int, default=30_000)
@@ -62,12 +104,20 @@ def _add_run_args(parser):
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--phys", type=int, default=None,
                         help="physical registers per file (default 64)")
+    _add_engine_args(parser)
+
+
+def _spec_for(args, config):
+    return RunSpec(args.workload, config, instructions=args.instructions,
+                   skip=args.skip, seed=args.seed)
 
 
 def cmd_run(args):
-    result = simulate(_config_for(args), workload=args.workload,
-                      max_instructions=args.instructions, skip=args.skip,
-                      seed=args.seed)
+    cache = _cache_for_args(args)
+    result = cache.run(_spec_for(args, _config_for(args)))
+    if getattr(args, "json", False):
+        print(json.dumps(result.to_dict(), indent=2, sort_keys=True))
+        return 0
     print(result.summary())
     stats = result.stats
     print(f"  squashes={stats.squashes} "
@@ -80,16 +130,15 @@ def cmd_run(args):
 
 
 def cmd_compare(args):
-    ipcs = {}
+    cache = _cache_for_args(args)
+    specs = []
     for scheme in ("conventional", "vp-writeback"):
         args.scheme = scheme
-        result = simulate(_config_for(args), workload=args.workload,
-                          max_instructions=args.instructions, skip=args.skip,
-                          seed=args.seed)
-        ipcs[scheme] = result.ipc
-        print(f"{scheme:15s}: {result.summary()}")
-    speedup = ipcs["vp-writeback"] / ipcs["conventional"]
-    print(f"speedup        : {speedup:.2f}x")
+        specs.append(_spec_for(args, _config_for(args)))
+    conv, virt = cache.run_specs(specs)
+    print(f"{'conventional':15s}: {conv.summary()}")
+    print(f"{'vp-writeback':15s}: {virt.summary()}")
+    print(f"speedup        : {virt.ipc / conv.ipc:.2f}x")
     return 0
 
 
@@ -113,11 +162,106 @@ def _experiment_command(runner_name):
         from repro import experiments
 
         runner = getattr(experiments, runner_name)
-        result = runner()
+        result = runner(cache=_cache_for_args(args, progress=_progress_line))
         print(result.format())
         return 0
 
     return cmd
+
+
+def _sweep_grid(args):
+    """The RunSpecs a sweep invocation describes, conventional first."""
+    benches = (args.workloads.split(",") if args.workloads
+               else sorted(WORKLOADS))
+    for bench in benches:
+        if bench not in WORKLOADS:
+            raise SystemExit(f"unknown workload {bench!r}; choose from "
+                             f"{', '.join(sorted(WORKLOADS))}")
+    try:
+        nrrs = [int(x) for x in args.nrr.split(",")]
+    except ValueError:
+        raise SystemExit(f"invalid --nrr list {args.nrr!r}; expected "
+                         "comma-separated integers like 1,8,32")
+    columns = [("conventional", conventional_config())]
+    for allocation in _ALLOCATIONS[args.allocation]:
+        for nrr in nrrs:
+            try:
+                config = virtual_physical_config(nrr=nrr,
+                                                 allocation=allocation)
+            except ValueError as exc:
+                raise SystemExit(f"invalid sweep point: {exc}")
+            columns.append((f"{allocation.value}/nrr={nrr}", config))
+    specs = [
+        RunSpec(bench, config, label=label, instructions=args.instructions,
+                skip=args.skip, seed=args.seed)
+        for label, config in columns for bench in benches
+    ]
+    return benches, columns, specs
+
+
+def cmd_sweep(args):
+    """Run an NRR × allocation × workload grid through the batch engine."""
+    from repro.analysis.reports import format_table, harmonic_mean
+
+    benches, columns, specs = _sweep_grid(args)
+    serial_elapsed = None
+    if args.compare_serial:
+        serial_cache = ResultCache(jobs=1, persistent=False)
+        start = time.perf_counter()
+        serial_results = serial_cache.run_specs(specs)
+        serial_elapsed = time.perf_counter() - start
+        print(f"serial reference : {len(specs)} runs "
+              f"in {serial_elapsed:.2f}s (1 job, cache off)")
+        # The compared run must also execute for real — a store-served
+        # batch would time cache lookups, not the executor.
+        cache = ResultCache(jobs=args.jobs, persistent=False,
+                            progress=_progress_line)
+    else:
+        cache = _cache_for_args(args, progress=_progress_line)
+    start = time.perf_counter()
+    results = cache.run_specs(specs)
+    elapsed = time.perf_counter() - start
+    if args.compare_serial:
+        mismatches = sum(
+            a.to_dict() != b.to_dict()
+            for a, b in zip(serial_results, results)
+        )
+        print(f"determinism      : serial and parallel results "
+              f"{'IDENTICAL' if not mismatches else f'DIFFER ({mismatches})'}")
+
+    by_col = {}
+    run_iter = iter(results)
+    for label, _ in columns:
+        by_col[label] = {b: next(run_iter).ipc for b in benches}
+    base = by_col["conventional"]
+    headers = ["workload", "conv IPC"] + [label for label, _ in columns[1:]]
+    rows = []
+    for bench in benches:
+        rows.append([bench, f"{base[bench]:.2f}"] + [
+            f"{by_col[label][bench] / base[bench]:.2f}x"
+            for label, _ in columns[1:]
+        ])
+    if len(benches) > 1:
+        base_hm = harmonic_mean(base[b] for b in benches)
+        rows.append(["hmean", f"{base_hm:.2f}"] + [
+            f"{harmonic_mean(by_col[label][b] for b in benches) / base_hm:.2f}x"
+            for label, _ in columns[1:]
+        ])
+    print(format_table(
+        headers, rows,
+        title=(f"Sweep: {len(specs)} runs "
+               f"({args.instructions} instrs each, seed {args.seed})"),
+    ))
+
+    batch = cache.last_batch
+    jobs = cache.engine.executor.jobs
+    print(f"wall clock       : {elapsed:.2f}s with {jobs} job(s) — "
+          f"{batch.executed} simulated, {batch.store_hits} from disk cache, "
+          f"{batch.memo_hits} in-memory")
+    if serial_elapsed is not None and elapsed > 0:
+        print(f"speedup          : {serial_elapsed / elapsed:.2f}x "
+              f"over serial execution")
+    return 0
 
 
 def build_parser():
@@ -131,12 +275,33 @@ def build_parser():
     _add_run_args(run)
     run.add_argument("--scheme", choices=_SCHEMES, default="conventional")
     run.add_argument("--nrr", type=int, default=None)
+    run.add_argument("--json", action="store_true",
+                     help="emit the full result as JSON (the store format)")
     run.set_defaults(fn=cmd_run)
 
     compare = sub.add_parser("compare", help="conventional vs virtual-physical")
     _add_run_args(compare)
     compare.add_argument("--nrr", type=int, default=None)
     compare.set_defaults(fn=cmd_compare)
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run an NRR x allocation x workload grid on the batch engine")
+    sweep.add_argument("--nrr", default="1,4,8,16,24,32",
+                       help="comma-separated NRR values (default: the "
+                            "paper's Figure 4 sweep)")
+    sweep.add_argument("--allocation", choices=sorted(_ALLOCATIONS),
+                       default="writeback")
+    sweep.add_argument("--workloads", default=None,
+                       help="comma-separated benchmark names (default: all)")
+    sweep.add_argument("-n", "--instructions", type=int, default=30_000)
+    sweep.add_argument("--skip", type=int, default=3_000)
+    sweep.add_argument("--seed", type=int, default=1234)
+    sweep.add_argument("--compare-serial", action="store_true",
+                       help="also run the grid serially (cache off) and "
+                            "report the wall-clock speedup")
+    _add_engine_args(sweep)
+    sweep.set_defaults(fn=cmd_sweep)
 
     for name, runner in (
         ("table2", "run_table2"),
@@ -149,6 +314,7 @@ def build_parser():
         ("branch-sensitivity", "run_branch_sensitivity"),
     ):
         p = sub.add_parser(name, help=f"regenerate {name} from the paper")
+        _add_engine_args(p)
         p.set_defaults(fn=_experiment_command(runner))
 
     wl = sub.add_parser("workloads", help="list workload models")

@@ -1,0 +1,45 @@
+"""Parallel batch-execution engine with a persistent result store.
+
+Every simulation in this repository — experiment grids, CLI commands,
+benchmark harness, examples — flows through this package:
+
+* :class:`~repro.engine.spec.RunSpec` names one simulation and gives it
+  a stable cross-process identity (config content hash × workload ×
+  run length × seed).
+* :class:`~repro.engine.executors.SerialExecutor` and
+  :class:`~repro.engine.executors.ProcessPoolExecutor` are the pluggable
+  execution strategies; the pool is sized from ``os.cpu_count()`` (or
+  ``REPRO_JOBS``).
+* :class:`~repro.engine.store.ResultStore` persists results as JSON
+  lines under ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), keyed
+  additionally on a hash of the package source so any simulator change
+  invalidates stale results.
+* :class:`~repro.engine.core.BatchEngine` ties the layers together:
+  grid in, results (in spec order) out.
+"""
+
+from repro.engine.core import BatchEngine, BatchStats
+from repro.engine.executors import (
+    ProcessPoolExecutor,
+    SerialExecutor,
+    default_jobs,
+    execute_spec,
+    make_executor,
+)
+from repro.engine.spec import RunSpec
+from repro.engine.store import ResultStore, default_cache_dir
+from repro.engine.version import code_version
+
+__all__ = [
+    "BatchEngine",
+    "BatchStats",
+    "ProcessPoolExecutor",
+    "SerialExecutor",
+    "RunSpec",
+    "ResultStore",
+    "code_version",
+    "default_cache_dir",
+    "default_jobs",
+    "execute_spec",
+    "make_executor",
+]

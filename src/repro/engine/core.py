@@ -1,0 +1,88 @@
+"""The batch engine: grid in, results out, every cache layer between.
+
+:class:`BatchEngine` accepts an iterable of resolved
+:class:`~repro.engine.spec.RunSpec`\\ s and returns their results in
+spec order.  For each spec it consults, in order:
+
+1. the in-process memo (same object returned for repeated specs),
+2. the persistent :class:`~repro.engine.store.ResultStore` (if any),
+3. the executor, which simulates the remaining misses — deduplicated,
+   so a grid that names the conventional baseline nine times runs it
+   once.
+
+Execution counters (``memo_hits`` / ``store_hits`` / ``executed``) are
+kept per ``run()`` call so callers can report cache effectiveness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.engine.executors import SerialExecutor, make_executor
+
+
+@dataclass
+class BatchStats:
+    """Where each spec of one ``run()`` call was served from."""
+
+    memo_hits: int = 0
+    store_hits: int = 0
+    executed: int = 0
+    keys: list = field(default_factory=list)
+
+    @property
+    def total(self):
+        return self.memo_hits + self.store_hits + self.executed
+
+
+class BatchEngine:
+    """Executes run-spec grids through memo, store, and executor."""
+
+    def __init__(self, executor=None, store=None, progress=None):
+        self.executor = executor or SerialExecutor()
+        self.store = store
+        self.progress = progress
+        self._memo = {}  # key -> SimResult
+        self.last_batch = BatchStats()
+
+    @classmethod
+    def with_jobs(cls, jobs=None, store=None, progress=None):
+        """An engine whose executor matches a requested job count."""
+        return cls(executor=make_executor(jobs), store=store,
+                   progress=progress)
+
+    def run(self, specs):
+        """Simulate every spec, returning results in spec order."""
+        specs = list(specs)
+        for spec in specs:
+            if not spec.is_resolved:
+                raise ValueError(f"unresolved spec submitted: {spec!r}")
+        keys = [spec.key() for spec in specs]
+        batch = BatchStats(keys=list(dict.fromkeys(keys)))
+        pending = {}  # key -> spec, deduplicated, submission order
+        for spec, key in zip(specs, keys):
+            if key in pending or key in self._memo:
+                continue
+            if self.store is not None:
+                stored = self.store.get(key)
+                if stored is not None:
+                    self._memo[key] = stored
+                    batch.store_hits += 1
+                    continue
+            pending[key] = spec
+        batch.memo_hits = len(batch.keys) - batch.store_hits - len(pending)
+        if pending:
+            items = list(pending.items())
+            results = self.executor.run([spec for _, spec in items],
+                                        progress=self.progress)
+            for (key, _), result in zip(items, results):
+                self._memo[key] = result
+                if self.store is not None:
+                    self.store.put(key, result)
+            batch.executed = len(items)
+        self.last_batch = batch
+        return [self._memo[key] for key in keys]
+
+    def run_one(self, spec):
+        """Convenience wrapper: a one-spec batch."""
+        return self.run([spec])[0]

@@ -1,0 +1,92 @@
+"""Pluggable executors for the batch engine.
+
+An executor takes a list of resolved :class:`~repro.engine.spec.RunSpec`
+objects and returns their :class:`~repro.uarch.stats.SimResult`\\ s in
+the same order, invoking an optional ``progress(done, total, spec)``
+callback as runs finish.
+
+* :class:`SerialExecutor` runs in-process — deterministic call stacks,
+  ideal for debugging and for single-run batches.
+* :class:`ProcessPoolExecutor` fans out over a ``multiprocessing`` pool
+  sized from :func:`os.cpu_count` (or ``REPRO_JOBS``).  Each simulation
+  is fully seeded and shares no mutable state, so parallel results are
+  identical to serial ones.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.uarch.processor import simulate
+
+
+def default_jobs():
+    """Pool size: ``REPRO_JOBS`` if set, else ``os.cpu_count()``."""
+    env = os.environ.get("REPRO_JOBS")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+def execute_spec(spec):
+    """Run one resolved spec to completion (the executor work unit)."""
+    return simulate(
+        spec.config,
+        workload=spec.workload,
+        max_instructions=spec.instructions,
+        skip=spec.skip,
+        seed=spec.seed,
+    )
+
+
+def _pool_worker(indexed_spec):
+    index, spec = indexed_spec
+    return index, execute_spec(spec)
+
+
+class SerialExecutor:
+    """Runs every spec in the calling process, in order."""
+
+    jobs = 1
+
+    def run(self, specs, progress=None):
+        results = []
+        for index, spec in enumerate(specs):
+            results.append(execute_spec(spec))
+            if progress:
+                progress(index + 1, len(specs), spec)
+        return results
+
+
+class ProcessPoolExecutor:
+    """Fans specs out over a ``multiprocessing.Pool``.
+
+    Falls back to serial execution when the batch (or the pool) has a
+    single entry, so tiny batches never pay process-spawn overhead.
+    """
+
+    def __init__(self, jobs=None):
+        self.jobs = jobs or default_jobs()
+
+    def run(self, specs, progress=None):
+        if self.jobs <= 1 or len(specs) <= 1:
+            return SerialExecutor().run(specs, progress=progress)
+        results = [None] * len(specs)
+        done = 0
+        with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
+            for index, result in pool.imap_unordered(
+                    _pool_worker, list(enumerate(specs))):
+                results[index] = result
+                done += 1
+                if progress:
+                    progress(done, len(specs), specs[index])
+        return results
+
+
+def make_executor(jobs=None):
+    """The executor a job count implies (``None`` = machine default)."""
+    jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    if jobs == 1:
+        return SerialExecutor()
+    return ProcessPoolExecutor(jobs)

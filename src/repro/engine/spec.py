@@ -1,0 +1,52 @@
+"""Run specifications — the unit of work the batch engine executes.
+
+A :class:`RunSpec` names one simulation: a workload, a configuration,
+and the run length / seed.  The run-length fields may be left ``None``
+by callers that want the environment defaults (``REPRO_BENCH_*``); such
+specs are *unresolved* and must pass through :meth:`RunSpec.resolved`
+before execution.  A resolved spec has a stable string :meth:`key` built
+from the config's content hash, which identifies the run across
+processes and interpreter sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation in an experiment grid."""
+
+    workload: str
+    config: object
+    label: str = ""
+    instructions: int | None = None
+    skip: int | None = None
+    seed: int | None = None
+
+    @property
+    def is_resolved(self):
+        return None not in (self.instructions, self.skip, self.seed)
+
+    def resolved(self, instructions=30_000, skip=3_000, seed=1234):
+        """A copy with every ``None`` run-length field filled in."""
+        return replace(
+            self,
+            instructions=self.instructions if self.instructions is not None
+            else instructions,
+            skip=self.skip if self.skip is not None else skip,
+            seed=self.seed if self.seed is not None else seed,
+        )
+
+    def key(self):
+        """Stable identity: config hash × workload × run length × seed.
+
+        Only defined for resolved specs — an unresolved spec has no
+        single identity because the environment defaults may change.
+        """
+        if not self.is_resolved:
+            raise ValueError("cannot key an unresolved RunSpec; "
+                             "call .resolved() first")
+        return (f"{self.workload}:{self.config.key()}"
+                f":{self.instructions}:{self.skip}:{self.seed}")

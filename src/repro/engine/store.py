@@ -1,0 +1,98 @@
+"""Persistent on-disk result store (JSON lines).
+
+Results live in ``$REPRO_CACHE_DIR/results.jsonl`` (default
+``~/.cache/repro``), one self-contained record per line::
+
+    {"key": "<spec key>", "version": "<code hash>", "result": {...}}
+
+Records are append-only; on load the last record for a key wins.  Keys
+combine the spec identity (config content hash × workload × run length
+× seed) with the package's code-version fingerprint, so editing any
+simulator source invalidates every stored result.  Corrupt or truncated
+lines (e.g. from an interrupted run) are skipped, and an unwritable
+cache directory degrades the store to a no-op rather than failing the
+run.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+
+from repro.engine.version import code_version
+from repro.uarch.stats import SimResult
+
+_STORE_FILE = "results.jsonl"
+
+
+def default_cache_dir():
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return pathlib.Path.home() / ".cache" / "repro"
+
+
+class ResultStore:
+    """Append-only JSONL store mapping spec keys to ``SimResult``s."""
+
+    def __init__(self, directory=None, version=None):
+        self.directory = pathlib.Path(directory or default_cache_dir())
+        self.path = self.directory / _STORE_FILE
+        self.version = version or code_version()
+        self._index = None  # key -> result dict (lazy)
+        self._broken = False
+
+    def _qualified(self, key):
+        return f"{key}@{self.version}"
+
+    def _load_index(self):
+        if self._index is not None:
+            return self._index
+        self._index = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                        qualified = f"{record['key']}@{record['version']}"
+                        self._index[qualified] = record["result"]
+                    except (ValueError, KeyError, TypeError):
+                        continue  # truncated/corrupt line
+        except OSError:
+            pass
+        return self._index
+
+    def get(self, key):
+        """The stored :class:`SimResult` for ``key``, or ``None``."""
+        record = self._load_index().get(self._qualified(key))
+        if record is None:
+            return None
+        try:
+            return SimResult.from_dict(record)
+        except (TypeError, ValueError):
+            return None
+
+    def put(self, key, result):
+        """Persist one result (appends immediately; best-effort)."""
+        record = result.to_dict()
+        self._load_index()[self._qualified(key)] = record
+        if self._broken:
+            return
+        line = json.dumps({"key": key, "version": self.version,
+                           "result": record}, sort_keys=True)
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as fh:
+                fh.write(line + "\n")
+        except OSError:
+            self._broken = True  # unwritable cache dir: keep simulating
+
+    def __contains__(self, key):
+        return self._qualified(key) in self._load_index()
+
+    def __len__(self):
+        return len(self._load_index())

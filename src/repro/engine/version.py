@@ -1,0 +1,29 @@
+"""Code-version fingerprint for cache invalidation.
+
+Persistent cache entries must die when the simulator changes, otherwise
+a figure regenerated after a model fix would silently serve stale
+numbers.  The fingerprint is a hash of every ``.py`` source file in the
+``repro`` package, so *any* code change — timing model, trace
+generator, renamer — invalidates every stored result.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pathlib
+
+_cached_version = None
+
+
+def code_version():
+    """Hex digest of the repro package's source tree (memoized)."""
+    global _cached_version
+    if _cached_version is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for path in sorted(package_root.rglob("*.py")):
+            digest.update(str(path.relative_to(package_root)).encode())
+            digest.update(b"\0")
+            digest.update(path.read_bytes())
+        _cached_version = digest.hexdigest()[:12]
+    return _cached_version

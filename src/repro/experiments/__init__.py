@@ -22,6 +22,7 @@ from repro.experiments.runner import (
     bench_seed,
     bench_skip,
     conventional_ipcs,
+    resolve_spec,
     virtual_physical_ipcs,
 )
 from repro.experiments.table2 import Table2Result, run_table2
@@ -58,6 +59,7 @@ __all__ = [
     "bench_seed",
     "bench_skip",
     "conventional_ipcs",
+    "resolve_spec",
     "virtual_physical_ipcs",
     "Table2Result",
     "run_table2",

@@ -62,11 +62,16 @@ def run_ablation(cache=None):
     """IPC of conventional / early-release / VP renaming at 64 registers."""
     cache = cache or SHARED_CACHE
     result = AblationResult()
-    conv = conventional_config()
-    early = ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE)
-    vp = virtual_physical_config(nrr=32)
-    for bench in ALL_BENCHMARKS:
-        result.conventional[bench] = cache.run(RunSpec(bench, conv)).ipc
-        result.early_release[bench] = cache.run(RunSpec(bench, early)).ipc
-        result.virtual_physical[bench] = cache.run(RunSpec(bench, vp)).ipc
+    tables = (result.conventional, result.early_release,
+              result.virtual_physical)
+    configs = (
+        conventional_config(),
+        ProcessorConfig(scheme=RenamingScheme.EARLY_RELEASE),
+        virtual_physical_config(nrr=32),
+    )
+    grid = [RunSpec(bench, cfg) for cfg in configs for bench in ALL_BENCHMARKS]
+    runs = iter(cache.run_specs(grid))
+    for table in tables:
+        for bench in ALL_BENCHMARKS:
+            table[bench] = next(runs).ipc
     return result

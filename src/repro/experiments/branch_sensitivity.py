@@ -74,7 +74,10 @@ def run_branch_sensitivity(cache=None):
         (result.virtual_oracle,
          virtual_physical_config(nrr=32, perfect_branch_prediction=True)),
     ]
-    for table, cfg in grids:
+    specs = [RunSpec(bench, cfg)
+             for _, cfg in grids for bench in ALL_BENCHMARKS]
+    runs = iter(cache.run_specs(specs))
+    for table, _ in grids:
         for bench in ALL_BENCHMARKS:
-            table[bench] = cache.run(RunSpec(bench, cfg)).ipc
+            table[bench] = next(runs).ipc
     return result

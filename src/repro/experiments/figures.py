@@ -16,13 +16,22 @@ from dataclasses import dataclass, field
 
 from repro.analysis.reports import format_table, harmonic_mean
 from repro.core.virtual_physical import AllocationStage
+from repro.engine import RunSpec
 from repro.experiments.runner import (
     ALL_BENCHMARKS,
     SHARED_CACHE,
-    conventional_ipcs,
-    virtual_physical_ipcs,
 )
 from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def _grid(cache, configs, benchmarks=ALL_BENCHMARKS):
+    """Run every config × benchmark in one batch; one IPC dict each."""
+    specs = [RunSpec(b, cfg) for cfg in configs for b in benchmarks]
+    results = iter(cache.run_specs(specs))
+    return [
+        {b: next(results).ipc for b in benchmarks} for _ in configs
+    ]
 
 NRR_SWEEP = (1, 4, 8, 16, 24, 32)
 PHYS_SWEEP = (48, 64, 96)
@@ -73,15 +82,18 @@ class NrrSweepResult:
 
 
 def run_nrr_sweep(allocation, nrr_values=NRR_SWEEP, cache=None):
-    """Shared engine for Figures 4 and 5."""
+    """Shared engine for Figures 4 and 5 (one batch for the whole grid)."""
     cache = cache or SHARED_CACHE
     result = NrrSweepResult(allocation=AllocationStage(allocation),
                             nrr_values=tuple(nrr_values))
-    result.baseline_ipc = conventional_ipcs(cache)
-    for nrr in result.nrr_values:
-        result.vp_ipc[nrr] = virtual_physical_ipcs(
-            nrr, allocation=result.allocation, cache=cache
-        )
+    configs = [conventional_config()] + [
+        virtual_physical_config(nrr=nrr, allocation=result.allocation)
+        for nrr in result.nrr_values
+    ]
+    tables = _grid(cache, configs)
+    result.baseline_ipc = tables[0]
+    for nrr, table in zip(result.nrr_values, tables[1:]):
+        result.vp_ipc[nrr] = table
     return result
 
 
@@ -132,12 +144,14 @@ def run_figure6(cache=None):
     """Figure 6: both allocation stages at NRR=32."""
     cache = cache or SHARED_CACHE
     result = Figure6Result()
-    result.baseline_ipc = conventional_ipcs(cache)
-    result.writeback_ipc = virtual_physical_ipcs(
-        32, allocation=AllocationStage.WRITEBACK, cache=cache
-    )
-    result.issue_ipc = virtual_physical_ipcs(
-        32, allocation=AllocationStage.ISSUE, cache=cache
+    result.baseline_ipc, result.writeback_ipc, result.issue_ipc = _grid(
+        cache,
+        [
+            conventional_config(),
+            virtual_physical_config(nrr=32,
+                                    allocation=AllocationStage.WRITEBACK),
+            virtual_physical_config(nrr=32, allocation=AllocationStage.ISSUE),
+        ],
     )
     return result
 
@@ -186,12 +200,13 @@ def run_figure7(phys_values=PHYS_SWEEP, cache=None):
     """Figure 7: register-file size sweep (NRR maxed at NPR-32)."""
     cache = cache or SHARED_CACHE
     result = Figure7Result(phys_values=tuple(phys_values))
+    configs = []
     for phys in result.phys_values:
-        nrr = phys - 32
-        result.conventional_ipc[phys] = conventional_ipcs(
-            cache, int_phys=phys, fp_phys=phys
-        )
-        result.virtual_ipc[phys] = virtual_physical_ipcs(
-            nrr, cache=cache, int_phys=phys, fp_phys=phys
-        )
+        configs.append(conventional_config(int_phys=phys, fp_phys=phys))
+        configs.append(virtual_physical_config(
+            nrr=phys - 32, int_phys=phys, fp_phys=phys))
+    tables = iter(_grid(cache, configs))
+    for phys in result.phys_values:
+        result.conventional_ipc[phys] = next(tables)
+        result.virtual_ipc[phys] = next(tables)
     return result

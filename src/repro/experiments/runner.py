@@ -5,16 +5,22 @@ warm-up, and can be scaled through environment variables so the same
 harness serves quick smoke runs and long reproduction runs::
 
     REPRO_BENCH_INSTRS=200000 REPRO_BENCH_SKIP=20000 pytest benchmarks/
+
+Every experiment submits its whole grid to the batch engine
+(:mod:`repro.engine`) through a :class:`ResultCache`, which layers an
+in-process memo and the persistent on-disk store over a pluggable
+executor.  ``ResultCache(jobs=4)`` runs a grid on four worker
+processes; results are identical to serial execution because each run
+is fully seeded.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
 
+from repro.engine import BatchEngine, ResultStore, RunSpec, make_executor
 from repro.trace.workloads import FP_BENCHMARKS, INT_BENCHMARKS
 from repro.uarch.config import virtual_physical_config, conventional_config
-from repro.uarch.processor import simulate
 
 ALL_BENCHMARKS = INT_BENCHMARKS + FP_BENCHMARKS
 
@@ -31,40 +37,43 @@ def bench_seed():
     return int(os.environ.get("REPRO_BENCH_SEED", 1234))
 
 
-@dataclass(frozen=True)
-class RunSpec:
-    """One simulation in an experiment grid."""
-
-    workload: str
-    config: object
-    label: str = ""
+def resolve_spec(spec):
+    """Fill a spec's ``None`` run-length fields from the environment."""
+    return spec.resolved(bench_instructions(), bench_skip(), bench_seed())
 
 
 class ResultCache:
-    """Memoizes simulation results inside one process.
+    """Experiment-facing facade over the batch engine.
 
     Several figures share runs (every sweep needs the conventional
-    baseline); the cache keys on (workload, config, run length) so each
-    distinct machine runs once per session.
+    baseline), so results are memoized on the spec's stable key —
+    in-process first, then the persistent store, so repeated figure or
+    sweep invocations are near-instant across processes.  Pass
+    ``persistent=False`` (or set ``REPRO_NO_CACHE=1``) to skip the
+    on-disk store, and ``jobs=N`` to execute cache misses on a worker
+    pool.
     """
 
-    def __init__(self):
-        self._store = {}
+    def __init__(self, jobs=1, persistent=None, store=None, progress=None):
+        if persistent is None:
+            persistent = not os.environ.get("REPRO_NO_CACHE")
+        if store is None and persistent:
+            store = ResultStore()
+        self.engine = BatchEngine(executor=make_executor(jobs), store=store,
+                                  progress=progress)
+
+    @property
+    def last_batch(self):
+        """Hit/miss accounting for the most recent grid submission."""
+        return self.engine.last_batch
+
+    def run_specs(self, specs):
+        """Run a whole grid; results come back in spec order."""
+        return self.engine.run(resolve_spec(spec) for spec in specs)
 
     def run(self, spec):
-        # repr() of the (frozen) config is a stable identity; the config
-        # itself is unhashable because it holds the FU-count dict.
-        key = (spec.workload, repr(spec.config), bench_instructions(),
-               bench_skip(), bench_seed())
-        if key not in self._store:
-            self._store[key] = simulate(
-                spec.config,
-                workload=spec.workload,
-                max_instructions=bench_instructions(),
-                skip=bench_skip(),
-                seed=bench_seed(),
-            )
-        return self._store[key]
+        """Run (or recall) a single spec."""
+        return self.run_specs([spec])[0]
 
 
 #: Module-level cache shared by all experiment entry points.
@@ -75,9 +84,8 @@ def conventional_ipcs(cache=None, benchmarks=ALL_BENCHMARKS, **config_changes):
     """Baseline IPC per benchmark under conventional renaming."""
     cache = cache or SHARED_CACHE
     cfg = conventional_config(**config_changes)
-    return {
-        b: cache.run(RunSpec(b, cfg)).ipc for b in benchmarks
-    }
+    results = cache.run_specs(RunSpec(b, cfg) for b in benchmarks)
+    return dict(zip(benchmarks, (r.ipc for r in results)))
 
 
 def virtual_physical_ipcs(nrr, allocation=None, cache=None,
@@ -89,7 +97,5 @@ def virtual_physical_ipcs(nrr, allocation=None, cache=None,
     allocation = allocation or AllocationStage.WRITEBACK
     cfg = virtual_physical_config(nrr=nrr, allocation=allocation,
                                   **config_changes)
-    return {
-        b: cache.run(RunSpec(b, cfg)).ipc for b in benchmarks
-    }
-
+    results = cache.run_specs(RunSpec(b, cfg) for b in benchmarks)
+    return dict(zip(benchmarks, (r.ipc for r in results)))

@@ -94,9 +94,11 @@ def run_table2(miss_penalty=50, cache=None):
     conv_cfg = conventional_config(cache=cache_cfg)
     vp_cfg = virtual_physical_config(nrr=32, cache=cache_cfg)
     result = Table2Result(miss_penalty=miss_penalty)
+    grid = [RunSpec(bench, cfg)
+            for bench in ALL_BENCHMARKS for cfg in (conv_cfg, vp_cfg)]
+    runs = iter(cache.run_specs(grid))
     for bench in ALL_BENCHMARKS:
-        conv = cache.run(RunSpec(bench, conv_cfg))
-        virt = cache.run(RunSpec(bench, vp_cfg))
+        conv, virt = next(runs), next(runs)
         result.conventional_ipc[bench] = conv.ipc
         result.virtual_ipc[bench] = virt.ipc
         result.executions_per_commit[bench] = virt.stats.executions_per_commit

@@ -61,13 +61,18 @@ def run_window_scaling(window_values=WINDOW_SWEEP, cache=None):
     """Sweep the ROB size with both schemes at 64 registers per file."""
     cache = cache or SHARED_CACHE
     result = WindowScalingResult(window_values=tuple(window_values))
+    specs = []
     for rob in result.window_values:
         conv_cfg = conventional_config(rob_size=rob, iq_size=rob)
         vp_cfg = virtual_physical_config(nrr=32, rob_size=rob, iq_size=rob)
+        specs += [RunSpec(b, cfg) for cfg in (conv_cfg, vp_cfg)
+                  for b in ALL_BENCHMARKS]
+    runs = iter(cache.run_specs(specs))
+    for rob in result.window_values:
         result.conventional_ipc[rob] = {
-            b: cache.run(RunSpec(b, conv_cfg)).ipc for b in ALL_BENCHMARKS
+            b: next(runs).ipc for b in ALL_BENCHMARKS
         }
         result.virtual_ipc[rob] = {
-            b: cache.run(RunSpec(b, vp_cfg)).ipc for b in ALL_BENCHMARKS
+            b: next(runs).ipc for b in ALL_BENCHMARKS
         }
     return result

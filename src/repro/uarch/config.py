@@ -8,13 +8,15 @@ and the 16 KB lockup-free L1 with a 50-cycle miss penalty.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 
 from repro.core.conventional import ConventionalRenamer
 from repro.core.early_release import EarlyReleaseRenamer
 from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
-from repro.isa.opcodes import DEFAULT_FU_COUNTS
+from repro.isa.opcodes import DEFAULT_FU_COUNTS, FUKind
 from repro.isa.registers import NUM_LOGICAL_FP, NUM_LOGICAL_INT
 from repro.memory.cache import CacheConfig
 
@@ -111,6 +113,52 @@ class ProcessorConfig:
     def with_(self, **changes):
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
         return replace(self, **changes)
+
+    def to_dict(self):
+        """Canonical JSON-compatible form (enums by name, nested configs
+        as dicts).  Round-trips through :meth:`from_dict`."""
+        d = {}
+        for f in fields(self):
+            value = getattr(self, f.name)
+            if f.name == "fu_counts":
+                value = {FUKind(k).name: v for k, v in value.items()}
+            elif f.name == "cache":
+                value = {cf.name: getattr(value, cf.name)
+                         for cf in fields(CacheConfig)}
+            elif isinstance(value, Enum):
+                value = value.value
+            d[f.name] = value
+        return d
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "scheme" in kwargs:
+            kwargs["scheme"] = RenamingScheme(kwargs["scheme"])
+        if "allocation" in kwargs:
+            kwargs["allocation"] = AllocationStage(kwargs["allocation"])
+        if "fu_counts" in kwargs:
+            kwargs["fu_counts"] = {
+                FUKind[k]: v for k, v in kwargs["fu_counts"].items()
+            }
+        if "cache" in kwargs and isinstance(kwargs["cache"], dict):
+            cache_known = {f.name for f in fields(CacheConfig)}
+            kwargs["cache"] = CacheConfig(**{
+                k: v for k, v in kwargs["cache"].items() if k in cache_known
+            })
+        return cls(**kwargs)
+
+    def key(self):
+        """Stable content-hash identity of this configuration.
+
+        Unlike ``repr()``, the hash is insensitive to dict ordering and
+        identical across processes and interpreter runs, so it can key a
+        persistent result store.
+        """
+        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 
 def conventional_config(**changes):

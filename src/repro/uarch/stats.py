@@ -7,7 +7,7 @@ plus the configuration and identity of the run).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 
 
 @dataclass
@@ -76,6 +76,16 @@ class SimStats:
         )
         return total / self.cycles
 
+    def to_dict(self):
+        """All raw counters as a flat, JSON-compatible dict."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`to_dict` output (ignores unknown keys)."""
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 @dataclass
 class SimResult:
@@ -99,4 +109,34 @@ class SimResult:
             f"mispredict={s.mispredict_rate:.1%}, "
             f"load-miss={s.load_miss_rate:.1%}, "
             f"exec/commit={s.executions_per_commit:.2f}"
+        )
+
+    def to_dict(self):
+        """JSON-compatible form shared by the persistent result store and
+        the CLI's JSON output.  Round-trips through :meth:`from_dict`."""
+        config = self.config
+        if config is not None and hasattr(config, "to_dict"):
+            config = config.to_dict()
+        return {
+            "workload": self.workload,
+            "seed": self.seed,
+            "stats": self.stats.to_dict(),
+            "config": config,
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict`."""
+        from repro.uarch.config import ProcessorConfig
+
+        config = data.get("config")
+        if isinstance(config, dict):
+            config = ProcessorConfig.from_dict(config)
+        return cls(
+            stats=SimStats.from_dict(data.get("stats", {})),
+            config=config,
+            workload=data.get("workload", ""),
+            seed=data.get("seed", 0),
+            extra=dict(data.get("extra", {})),
         )

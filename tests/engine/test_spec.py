@@ -1,0 +1,80 @@
+"""RunSpec identity: resolution and stable keys."""
+
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.engine import RunSpec
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def _subprocess_env():
+    """Child interpreters must see the same package as the test run."""
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
+
+
+class TestResolution:
+    def test_unresolved_by_default(self):
+        spec = RunSpec("go", conventional_config())
+        assert not spec.is_resolved
+
+    def test_resolved_fills_only_missing_fields(self):
+        spec = RunSpec("go", conventional_config(), instructions=500)
+        full = spec.resolved(1000, 100, 7)
+        assert full.instructions == 500  # explicit value kept
+        assert full.skip == 100 and full.seed == 7
+        assert full.is_resolved
+
+    def test_unresolved_spec_has_no_key(self):
+        with pytest.raises(ValueError):
+            RunSpec("go", conventional_config()).key()
+
+
+class TestKey:
+    def spec(self, **changes):
+        return RunSpec("go", conventional_config(), **changes).resolved()
+
+    def test_key_covers_every_identity_component(self):
+        base = self.spec().key()
+        assert self.spec(instructions=999).key() != base
+        assert self.spec(skip=1).key() != base
+        assert self.spec(seed=9).key() != base
+        other_workload = RunSpec("swim", conventional_config()).resolved()
+        assert other_workload.key() != base
+        other_config = RunSpec("go", virtual_physical_config(nrr=8)).resolved()
+        assert other_config.key() != base
+
+    def test_key_ignores_label(self):
+        assert self.spec(label="a").key() == self.spec(label="b").key()
+
+    def test_config_key_differs_on_any_field(self):
+        base = conventional_config()
+        assert base.key() == conventional_config().key()
+        assert base.key() != conventional_config(rob_size=64).key()
+        assert base.key() != conventional_config(retry_gating=True).key()
+
+    def test_config_key_stable_across_processes(self):
+        """The identity must survive interpreter restarts (hash seed,
+        dict order) — it keys the on-disk store."""
+        code = (
+            "from repro.uarch.config import virtual_physical_config;"
+            "print(virtual_physical_config(nrr=8, int_phys=96,"
+            " fp_phys=96).key())"
+        )
+        runs = [
+            subprocess.run([sys.executable, "-c", code],
+                           capture_output=True, text=True, check=True,
+                           env=_subprocess_env())
+            for _ in range(2)
+        ]
+        keys = {proc.stdout.strip() for proc in runs}
+        assert len(keys) == 1
+        here = virtual_physical_config(nrr=8, int_phys=96, fp_phys=96).key()
+        assert keys == {here}

@@ -1,0 +1,72 @@
+"""Persistent result store: round-trips, invalidation, resilience."""
+
+import json
+
+from repro.engine import ResultStore, RunSpec, execute_spec
+from repro.uarch.config import conventional_config
+
+
+def small_spec(workload="go"):
+    return RunSpec(workload, conventional_config()).resolved(400, 100, 1)
+
+
+def test_roundtrip_across_store_instances(tmp_path):
+    spec = small_spec()
+    result = execute_spec(spec)
+    ResultStore(tmp_path).put(spec.key(), result)
+
+    reloaded = ResultStore(tmp_path).get(spec.key())
+    assert reloaded is not None
+    assert reloaded.to_dict() == result.to_dict()
+    assert reloaded.config == spec.config
+
+
+def test_miss_returns_none(tmp_path):
+    assert ResultStore(tmp_path).get(small_spec().key()) is None
+
+
+def test_code_version_change_invalidates(tmp_path):
+    spec = small_spec()
+    ResultStore(tmp_path, version="v1").put(spec.key(), execute_spec(spec))
+    assert ResultStore(tmp_path, version="v1").get(spec.key()) is not None
+    assert ResultStore(tmp_path, version="v2").get(spec.key()) is None
+
+
+def test_corrupt_lines_are_skipped(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    with open(store.path, "a", encoding="utf-8") as fh:
+        fh.write("{truncated json\n")
+        fh.write("[1, 2, 3]\n")
+    assert ResultStore(tmp_path).get(spec.key()) is not None
+
+
+def test_last_record_wins(tmp_path):
+    spec = small_spec()
+    result = execute_spec(spec)
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), result)
+    newer = execute_spec(spec)
+    newer.extra["marker"] = "second"
+    store.put(spec.key(), newer)
+    assert ResultStore(tmp_path).get(spec.key()).extra["marker"] == "second"
+
+
+def test_unwritable_directory_degrades_to_noop(tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("not a directory")
+    store = ResultStore(blocker / "sub")  # mkdir will fail
+    spec = small_spec()
+    store.put(spec.key(), execute_spec(spec))  # must not raise
+    assert spec.key() in store  # still served from memory this session
+
+
+def test_records_are_json_lines(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    lines = store.path.read_text().strip().splitlines()
+    record = json.loads(lines[-1])
+    assert record["key"] == spec.key()
+    assert record["result"]["workload"] == "go"

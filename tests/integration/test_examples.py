@@ -1,18 +1,31 @@
 """Every example script runs end to end (tiny budgets via argv)."""
 
+import os
 import pathlib
 import subprocess
 import sys
 
 import pytest
 
+import repro
+
 EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def _env():
+    """Examples must import the same repro package as the test run,
+    even when pytest found it via the ini pythonpath rather than an
+    inherited PYTHONPATH."""
+    src = str(pathlib.Path(repro.__file__).resolve().parents[1])
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return env
 
 
 def run_example(name, *args, timeout=240):
     proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name), *args],
-        capture_output=True, text=True, timeout=timeout,
+        capture_output=True, text=True, timeout=timeout, env=_env(),
     )
     assert proc.returncode == 0, proc.stderr
     return proc.stdout
@@ -36,7 +49,7 @@ class TestExamples:
     def test_nrr_sweep_rejects_unknown_workload(self):
         proc = subprocess.run(
             [sys.executable, str(EXAMPLES / "nrr_sweep.py"), "gcc"],
-            capture_output=True, text=True, timeout=60,
+            capture_output=True, text=True, timeout=60, env=_env(),
         )
         assert proc.returncode != 0
         assert "unknown workload" in proc.stderr
