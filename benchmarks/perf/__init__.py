@@ -1,0 +1,7 @@
+"""Engine-throughput (KIPS) benchmark harness.
+
+Measurement logic lives in :mod:`repro.perf`; this package holds the
+pytest smoke coverage and the committed baseline the CI perf job gates
+against (``baseline.json``, refreshed with ``python -m repro bench
+--baseline benchmarks/perf/baseline.json --update-baseline``).
+"""

@@ -1,0 +1,80 @@
+"""Smoke coverage for the KIPS harness.
+
+These run tiny instruction budgets — they validate the harness shape
+and plumbing, not absolute throughput.  The CI perf-smoke job runs the
+real budgets through ``python -m repro bench`` and gates on
+``baseline.json``.
+"""
+
+import json
+import pathlib
+
+from repro import perf
+from repro.cli import main
+
+BASELINE = pathlib.Path(__file__).parent / "baseline.json"
+
+
+class TestMeasureKips:
+    def test_report_shape(self):
+        report = perf.measure_kips(workloads=["go"],
+                                   schemes=["conventional"],
+                                   instructions=2_000, skip=200, repeats=1)
+        run = report["runs"]["go/conventional"]
+        assert run["kips"] > 0
+        assert run["committed"] == 2_000
+        assert report["median_kips"] == run["kips"]
+        assert report["repeats"] == 1
+
+    def test_multiple_points_and_median(self):
+        report = perf.measure_kips(workloads=["go", "swim"],
+                                   schemes=["conventional", "vp-writeback"],
+                                   instructions=1_000, skip=100, repeats=1)
+        assert len(report["runs"]) == 4
+        kips = sorted(r["kips"] for r in report["runs"].values())
+        assert kips[0] <= report["median_kips"] <= kips[-1]
+
+    def test_unknown_scheme_rejected(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            perf.scheme_config("magic")
+
+
+class TestBaselineGate:
+    def test_regression_detected(self):
+        baseline = {"median_kips": 100.0}
+        ok, _ = perf.compare_to_baseline({"median_kips": 65.0}, baseline,
+                                         max_regression=0.30)
+        assert not ok
+        ok, _ = perf.compare_to_baseline({"median_kips": 75.0}, baseline,
+                                         max_regression=0.30)
+        assert ok
+
+    def test_committed_baseline_is_valid(self):
+        baseline = json.loads(BASELINE.read_text())
+        assert baseline["median_kips"] > 0
+        assert baseline["runs"]
+
+
+class TestBenchCli:
+    def test_bench_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_engine.json"
+        rc = main(["bench", "--workloads", "go",
+                   "--schemes", "conventional",
+                   "-n", "1500", "--skip", "150", "--repeats", "1",
+                   "--out", str(out), "--quiet"])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert "go/conventional" in report["runs"]
+        assert "median" in capsys.readouterr().out
+
+    def test_bench_gate_failure_returns_nonzero(self, tmp_path, capsys):
+        fake = tmp_path / "baseline.json"
+        fake.write_text(json.dumps({"median_kips": 10_000_000.0}))
+        rc = main(["bench", "--workloads", "go",
+                   "--schemes", "conventional",
+                   "-n", "1000", "--skip", "100", "--repeats", "1",
+                   "--out", "", "--baseline", str(fake), "--quiet"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out

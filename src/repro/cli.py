@@ -14,14 +14,22 @@ Commands
     Regenerate a paper artifact and print it.
 ``ablation`` / ``window-scaling`` / ``branch-sensitivity``
     Run the extra experiments that go beyond the paper's figures.
+``bench``
+    Measure engine throughput (KIPS) per workload × renamer and write
+    ``BENCH_engine.json``; optionally gate against a committed baseline.
+``cache compact``
+    Rewrite the persistent result store keeping the newest record per
+    key (``--prune-stale`` also drops records from older code versions).
 ``workloads``
     List the available benchmark models.
 ``dump-trace``
     Write the first N records of a workload's dynamic trace to a file.
 
 Every simulating command accepts ``--jobs N`` (worker processes;
-default ``REPRO_JOBS`` or the CPU count) and ``--no-cache`` (skip the
-persistent result store under ``REPRO_CACHE_DIR``).
+default ``REPRO_JOBS`` or the CPU count), ``--executor
+{serial,pool,persistent}`` (``persistent`` keeps a warm worker pool
+across batches), and ``--no-cache`` (skip the persistent result store
+under ``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -68,7 +76,8 @@ def _cache_for_args(args, progress=None):
     return ResultCache(jobs=getattr(args, "jobs", None),
                        persistent=(False if getattr(args, "no_cache", False)
                                    else None),
-                       progress=progress)
+                       progress=progress,
+                       executor=getattr(args, "executor", None))
 
 
 def _config_for(args):
@@ -90,9 +99,15 @@ def _config_for(args):
 
 
 def _add_engine_args(parser):
+    from repro.engine import EXECUTOR_KINDS
+
     parser.add_argument("--jobs", type=int, default=None,
                         help="worker processes (default: REPRO_JOBS or "
                              "the CPU count)")
+    parser.add_argument("--executor", choices=EXECUTOR_KINDS, default=None,
+                        help="execution strategy (default: serial for one "
+                             "job, a per-batch pool otherwise; 'persistent' "
+                             "reuses warm workers across batches)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent result store")
 
@@ -264,6 +279,58 @@ def cmd_sweep(args):
     return 0
 
 
+def cmd_bench(args):
+    """Measure engine throughput and write the tracked BENCH file."""
+    from repro import perf
+
+    def progress(done, total, label):
+        sys.stderr.write(f"\r  bench {done}/{total} ({label})        ")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    workloads = args.workloads.split(",") if args.workloads else None
+    schemes = args.schemes.split(",") if args.schemes else None
+    report = perf.measure_kips(
+        workloads=workloads, schemes=schemes,
+        instructions=args.instructions, skip=args.skip, seed=args.seed,
+        repeats=args.repeats, progress=progress if not args.quiet else None)
+    print(perf.format_report(report))
+    if args.out:
+        perf.write_report(args.out, report)
+        print(f"wrote {args.out}")
+    if args.update_baseline:
+        if not args.baseline:
+            raise SystemExit("--update-baseline requires --baseline PATH")
+        perf.write_report(args.baseline, report)
+        print(f"updated baseline {args.baseline}")
+        return 0
+    if args.baseline:
+        try:
+            baseline = perf.load_report(args.baseline)
+        except OSError:
+            print(f"no baseline at {args.baseline}; skipping the "
+                  "regression gate")
+            return 0
+        ok, message = perf.compare_to_baseline(
+            report, baseline, max_regression=args.max_regression)
+        print(("OK  " if ok else "FAIL ") + message)
+        return 0 if ok else 1
+    return 0
+
+
+def cmd_cache_compact(args):
+    from repro.engine import ResultStore
+
+    store = ResultStore()
+    before = store.path.stat().st_size if store.path.exists() else 0
+    kept, dropped = store.compact(prune_stale=args.prune_stale)
+    after = store.path.stat().st_size if store.path.exists() else 0
+    print(f"{store.path}: kept {kept} records, dropped {dropped} "
+          f"({before} -> {after} bytes)")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -316,6 +383,44 @@ def build_parser():
         p = sub.add_parser(name, help=f"regenerate {name} from the paper")
         _add_engine_args(p)
         p.set_defaults(fn=_experiment_command(runner))
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure engine throughput (KIPS) per workload x renamer")
+    bench.add_argument("--workloads", default=None,
+                       help="comma-separated benchmark names (default: all)")
+    bench.add_argument("--schemes", default=None,
+                       help="comma-separated renamer labels "
+                            "(default: conventional,vp-writeback)")
+    bench.add_argument("-n", "--instructions", type=int, default=30_000)
+    bench.add_argument("--skip", type=int, default=3_000)
+    bench.add_argument("--seed", type=int, default=1234)
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="runs per point; the median is kept (default 3)")
+    bench.add_argument("--out", default="BENCH_engine.json",
+                       help="report path (default: BENCH_engine.json; "
+                            "'' disables)")
+    bench.add_argument("--baseline", default=None,
+                       help="baseline report to gate against "
+                            "(e.g. benchmarks/perf/baseline.json)")
+    bench.add_argument("--max-regression", type=float, default=0.30,
+                       help="fail when median KIPS drops more than this "
+                            "fraction below the baseline (default 0.30)")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write the measured report to --baseline "
+                            "instead of gating")
+    bench.add_argument("--quiet", action="store_true",
+                       help="suppress the per-point progress line")
+    bench.set_defaults(fn=cmd_bench)
+
+    cache = sub.add_parser("cache", help="manage the persistent result store")
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    compact = cache_sub.add_parser(
+        "compact",
+        help="rewrite the store keeping only the newest record per key")
+    compact.add_argument("--prune-stale", action="store_true",
+                         help="also drop records from older code versions")
+    compact.set_defaults(fn=cmd_cache_compact)
 
     wl = sub.add_parser("workloads", help="list workload models")
     wl.set_defaults(fn=cmd_workloads)

@@ -14,10 +14,20 @@ Dependence tags are the physical register numbers themselves.
 from __future__ import annotations
 
 from repro.isa.opcodes import dest_class_for
-from repro.isa.registers import NO_REG, NUM_LOGICAL_FP, NUM_LOGICAL_INT, RegClass, reg_class, reg_index
+from repro.isa.registers import (
+    CLASS_SHIFT,
+    NO_REG,
+    NUM_LOGICAL_FP,
+    NUM_LOGICAL_INT,
+    RegClass,
+    reg_class,
+    reg_index,
+)
 from repro.core.freelist import FreeList
 from repro.core.renamer import Renamer
-from repro.core.tags import make_tag
+from repro.core.tags import TAG_CLASS_SHIFT, make_tag
+
+_INDEX_MASK = (1 << CLASS_SHIFT) - 1
 
 
 class ConventionalRenamer(Renamer):
@@ -56,25 +66,42 @@ class ConventionalRenamer(Renamer):
         return True
 
     def rename(self, instr):
+        # Per-fetch hot path: class/index extraction and tag packing are
+        # inlined shifts (see repro.isa.registers / repro.core.tags for
+        # the encodings) — IntEnum dict keys accept the raw class bit.
         rec = instr.rec
-        tags = []
-        for src in (rec.src1, rec.src2):
-            if src == NO_REG:
-                continue
-            cls = reg_class(src)
-            phys = self.map_table[cls][reg_index(src)]
-            tags.append(make_tag(cls, phys))
-        instr.src_tags = tags
+        map_table = self.map_table
+        src1 = rec.src1
+        src2 = rec.src2
+        if src1 >= 0:
+            cls = src1 >> CLASS_SHIFT
+            tag1 = (cls << TAG_CLASS_SHIFT) | map_table[cls][src1 & _INDEX_MASK]
+            if src2 >= 0:
+                cls = src2 >> CLASS_SHIFT
+                instr.src_tags = (
+                    tag1,
+                    (cls << TAG_CLASS_SHIFT) | map_table[cls][src2 & _INDEX_MASK],
+                )
+            else:
+                instr.src_tags = (tag1,)
+        elif src2 >= 0:
+            cls = src2 >> CLASS_SHIFT
+            instr.src_tags = (
+                (cls << TAG_CLASS_SHIFT) | map_table[cls][src2 & _INDEX_MASK],
+            )
+        else:
+            instr.src_tags = ()
         cls = instr.dest_cls
         if cls is None:
             instr.dest_tag = -1
             return
-        idx = reg_index(rec.dest)
+        idx = rec.dest & _INDEX_MASK
+        table = map_table[cls]
         new_phys = self.free[cls].allocate()
-        instr.prev_phys = self.map_table[cls][idx]
+        instr.prev_phys = table[idx]
         instr.dest_phys = new_phys
-        self.map_table[cls][idx] = new_phys
-        instr.dest_tag = make_tag(cls, new_phys)
+        table[idx] = new_phys
+        instr.dest_tag = (cls << TAG_CLASS_SHIFT) | new_phys
 
     def on_commit(self, instr):
         if instr.dest_cls is not None:

@@ -21,8 +21,11 @@ def make_tag(cls, ident):
     return (int(cls) << TAG_CLASS_SHIFT) | ident
 
 
+_TAG_CLASSES = (RegClass.INT, RegClass.FP)
+
+
 def tag_class(tag):
-    return RegClass(tag >> TAG_CLASS_SHIFT)
+    return _TAG_CLASSES[tag >> TAG_CLASS_SHIFT]
 
 
 def tag_ident(tag):

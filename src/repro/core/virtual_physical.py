@@ -34,11 +34,21 @@ from __future__ import annotations
 from enum import Enum
 
 from repro.isa.opcodes import dest_class_for
-from repro.isa.registers import NO_REG, NUM_LOGICAL_FP, NUM_LOGICAL_INT, RegClass, reg_class, reg_index
+from repro.isa.registers import (
+    CLASS_SHIFT,
+    NO_REG,
+    NUM_LOGICAL_FP,
+    NUM_LOGICAL_INT,
+    RegClass,
+    reg_class,
+    reg_index,
+)
 from repro.core.freelist import FreeList
 from repro.core.renamer import Renamer
 from repro.core.reserve import ReservePolicy
-from repro.core.tags import make_tag
+from repro.core.tags import TAG_CLASS_SHIFT, make_tag
+
+_INDEX_MASK = (1 << CLASS_SHIFT) - 1
 
 
 class AllocationStage(Enum):
@@ -105,6 +115,9 @@ class VirtualPhysicalRenamer(Renamer):
             cls: FreeList(range(self.nlr[cls], self.nvr[cls])) for cls in self.nlr
         }
         self.reserve = ReservePolicy(nrr_int, nrr_fp)
+        # Direct per-class reserve handles: dispatch/commit/allocate are
+        # per-instruction hot paths, so skip the policy-level re-dispatch.
+        self._reserve_by_cls = self.reserve._cls
         self.squashes = 0  # failed write-back allocations
         self.issue_blocks = 0  # failed issue-stage allocations
         self.vp_stalls = 0
@@ -123,31 +136,51 @@ class VirtualPhysicalRenamer(Renamer):
         return True
 
     def rename(self, instr):
+        # Per-fetch hot path: inlined class/index shifts, as in the
+        # conventional renamer.
         rec = instr.rec
-        tags = []
-        for src in (rec.src1, rec.src2):
-            if src == NO_REG:
-                continue
-            cls = reg_class(src)
-            vp = self.gmt[cls].vp[reg_index(src)]
-            tags.append(make_tag(cls, vp))
-        instr.src_tags = tags
+        gmt_by_cls = self.gmt
+        src1 = rec.src1
+        src2 = rec.src2
+        if src1 >= 0:
+            cls = src1 >> CLASS_SHIFT
+            tag1 = ((cls << TAG_CLASS_SHIFT)
+                    | gmt_by_cls[cls].vp[src1 & _INDEX_MASK])
+            if src2 >= 0:
+                cls = src2 >> CLASS_SHIFT
+                instr.src_tags = (
+                    tag1,
+                    (cls << TAG_CLASS_SHIFT)
+                    | gmt_by_cls[cls].vp[src2 & _INDEX_MASK],
+                )
+            else:
+                instr.src_tags = (tag1,)
+        elif src2 >= 0:
+            cls = src2 >> CLASS_SHIFT
+            instr.src_tags = (
+                (cls << TAG_CLASS_SHIFT)
+                | gmt_by_cls[cls].vp[src2 & _INDEX_MASK],
+            )
+        else:
+            instr.src_tags = ()
         cls = instr.dest_cls
         if cls is None:
             instr.dest_tag = -1
             return
-        idx = reg_index(rec.dest)
-        gmt = self.gmt[cls]
+        idx = rec.dest & _INDEX_MASK
+        gmt = gmt_by_cls[cls]
         new_vp = self.free_vp[cls].allocate()
         instr.vp_reg = new_vp
         instr.prev_vp = gmt.vp[idx]  # kept in the ROB for recovery/commit
         gmt.vp[idx] = new_vp
         gmt.v[idx] = False  # no physical register yet
-        instr.dest_tag = make_tag(cls, new_vp)
+        instr.dest_tag = (cls << TAG_CLASS_SHIFT) | new_vp
 
     def on_dispatch(self, instr):
         """Reserve-set bookkeeping; the pipeline calls this at dispatch."""
-        self.reserve.on_dispatch(instr)
+        cls = instr.dest_cls
+        if cls is not None:
+            self._reserve_by_cls[cls].on_dispatch(instr)
 
     def on_issue(self, instr, now):
         if self.allocation is not AllocationStage.ISSUE or instr.dest_cls is None:
@@ -188,7 +221,9 @@ class VirtualPhysicalRenamer(Renamer):
     def _try_allocate(self, instr):
         cls = instr.dest_cls
         free = self.free_phys[cls]
-        if not self.reserve.may_allocate(instr, free.free_count):
+        if not (instr.reserved
+                or self._reserve_by_cls[cls].may_allocate(instr,
+                                                          free.free_count)):
             return False
         if free.free_count == 0:
             raise RuntimeError(
@@ -206,14 +241,15 @@ class VirtualPhysicalRenamer(Renamer):
         if gmt.vp[idx] == vp:
             gmt.p[idx] = phys
             gmt.v[idx] = True
-        self.reserve.on_allocate(instr)
+        if instr.reserved:
+            self._reserve_by_cls[cls].used += 1
         return True
 
     def on_commit(self, instr):
-        self.reserve.on_commit(instr)
         cls = instr.dest_cls
         if cls is None:
             return
+        self._reserve_by_cls[cls].on_commit(instr)
         # Free the VP register of the previous instruction with the same
         # logical destination, and the physical register bound to it
         # (found through the PMT, hence the extra commit cycle).

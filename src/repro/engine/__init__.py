@@ -20,6 +20,8 @@ benchmark harness, examples — flows through this package:
 
 from repro.engine.core import BatchEngine, BatchStats
 from repro.engine.executors import (
+    EXECUTOR_KINDS,
+    PersistentPoolExecutor,
     ProcessPoolExecutor,
     SerialExecutor,
     default_jobs,
@@ -33,6 +35,8 @@ from repro.engine.version import code_version
 __all__ = [
     "BatchEngine",
     "BatchStats",
+    "EXECUTOR_KINDS",
+    "PersistentPoolExecutor",
     "ProcessPoolExecutor",
     "SerialExecutor",
     "RunSpec",

@@ -11,10 +11,17 @@ callback as runs finish.
   sized from :func:`os.cpu_count` (or ``REPRO_JOBS``).  Each simulation
   is fully seeded and shares no mutable state, so parallel results are
   identical to serial ones.
+* :class:`PersistentPoolExecutor` keeps one warm worker pool alive
+  across batches, so a session of many small grids (interactive sweeps,
+  experiment suites sharing a cache) pays the process-spawn cost once
+  instead of per batch.  Call :meth:`~PersistentPoolExecutor.close`
+  (or use it as a context manager) when done; an ``atexit`` hook cleans
+  up otherwise.
 """
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
 
@@ -84,9 +91,82 @@ class ProcessPoolExecutor:
         return results
 
 
-def make_executor(jobs=None):
-    """The executor a job count implies (``None`` = machine default)."""
+class PersistentPoolExecutor:
+    """A ``multiprocessing.Pool`` that survives across batches.
+
+    The pool is created lazily on the first parallel batch and reused by
+    every subsequent one, so a stream of small grids amortizes worker
+    spawn (and interpreter warm-up) once.  Results are identical to the
+    per-batch pool: work units are fully seeded and stateless.
+    """
+
+    def __init__(self, jobs=None):
+        self.jobs = jobs or default_jobs()
+        self._pool = None
+        self._atexit_registered = False
+
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = multiprocessing.Pool(self.jobs)
+            if not self._atexit_registered:
+                # Once per executor, however many close/reuse cycles.
+                atexit.register(self.close)
+                self._atexit_registered = True
+        return self._pool
+
+    def run(self, specs, progress=None):
+        if self.jobs <= 1:
+            return SerialExecutor().run(specs, progress=progress)
+        if len(specs) <= 1 and self._pool is None:
+            # Don't spawn a whole pool for a single first run.
+            return SerialExecutor().run(specs, progress=progress)
+        pool = self._ensure_pool()
+        results = [None] * len(specs)
+        done = 0
+        for index, result in pool.imap_unordered(
+                _pool_worker, list(enumerate(specs))):
+            results[index] = result
+            done += 1
+            if progress:
+                progress(done, len(specs), specs[index])
+        return results
+
+    def close(self):
+        """Shut the warm pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+            pool.join()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+        return False
+
+
+#: Executor registry for ``--executor`` / ``REPRO_EXECUTOR``.
+EXECUTOR_KINDS = ("serial", "pool", "persistent")
+
+
+def make_executor(jobs=None, kind=None):
+    """The executor a job count and kind imply.
+
+    ``kind`` is one of :data:`EXECUTOR_KINDS` (default: the
+    ``REPRO_EXECUTOR`` environment variable, else jobs-based — serial
+    for one job, a per-batch pool otherwise).
+    """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
-    if jobs == 1:
+    if kind is None:
+        kind = os.environ.get("REPRO_EXECUTOR") or None
+    if kind is None:
+        kind = "serial" if jobs == 1 else "pool"
+    if kind == "serial":
         return SerialExecutor()
-    return ProcessPoolExecutor(jobs)
+    if kind == "pool":
+        return ProcessPoolExecutor(jobs)
+    if kind == "persistent":
+        return PersistentPoolExecutor(jobs)
+    raise ValueError(
+        f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}")

@@ -91,6 +91,60 @@ class ResultStore:
         except OSError:
             self._broken = True  # unwritable cache dir: keep simulating
 
+    def compact(self, prune_stale=False):
+        """Rewrite the append-only JSONL keeping the newest record per key.
+
+        The store only ever appends, so a heavily reused cache directory
+        accumulates superseded records (same key written again) and, with
+        ``prune_stale=True``, records from older code versions that no
+        current reader can ever hit.  The rewrite is atomic (temp file +
+        ``os.replace``); corrupt lines are dropped.
+
+        Run it while the store is quiescent: a record appended by a
+        concurrently running sweep between the read and the replace is
+        lost (harmless — that result just re-simulates on its next
+        miss — but it wastes the work).
+
+        Returns ``(kept, dropped)`` record counts.
+        """
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                lines = fh.readlines()
+        except OSError:
+            return 0, 0
+        latest = {}  # qualified key -> json line (last wins, order kept)
+        dropped = 0
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                qualified = f"{record['key']}@{record['version']}"
+            except (ValueError, KeyError, TypeError):
+                dropped += 1  # truncated/corrupt line
+                continue
+            if prune_stale and record["version"] != self.version:
+                dropped += 1
+                continue
+            if qualified in latest:
+                dropped += 1  # superseded earlier record
+            latest[qualified] = line
+        tmp_path = self.path.with_suffix(".jsonl.tmp")
+        try:
+            with open(tmp_path, "w", encoding="utf-8") as fh:
+                for line in latest.values():
+                    fh.write(line + "\n")
+            os.replace(tmp_path, self.path)
+        except OSError:
+            try:
+                tmp_path.unlink()
+            except OSError:
+                pass
+            return 0, 0
+        self._index = None  # force a reload from the rewritten file
+        return len(latest), dropped
+
     def __contains__(self, key):
         return self._qualified(key) in self._load_index()
 

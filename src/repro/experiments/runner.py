@@ -54,18 +54,29 @@ class ResultCache:
     pool.
     """
 
-    def __init__(self, jobs=1, persistent=None, store=None, progress=None):
+    def __init__(self, jobs=1, persistent=None, store=None, progress=None,
+                 executor=None):
         if persistent is None:
             persistent = not os.environ.get("REPRO_NO_CACHE")
         if store is None and persistent:
             store = ResultStore()
-        self.engine = BatchEngine(executor=make_executor(jobs), store=store,
-                                  progress=progress)
+        self.engine = BatchEngine(executor=make_executor(jobs, kind=executor),
+                                  store=store, progress=progress)
 
     @property
     def last_batch(self):
         """Hit/miss accounting for the most recent grid submission."""
         return self.engine.last_batch
+
+    def compact(self, prune_stale=False):
+        """Compact the persistent store (see :meth:`ResultStore.compact`).
+
+        Returns ``(kept, dropped)``; ``(0, 0)`` when no store is attached.
+        """
+        store = self.engine.store
+        if store is None:
+            return 0, 0
+        return store.compact(prune_stale=prune_stale)
 
     def run_specs(self, specs):
         """Run a whole grid; results come back in spec order."""

@@ -50,6 +50,27 @@ class TraceRecord:
         self.target = target
         self._validate()
 
+    @classmethod
+    def trusted(cls, pc, op, dest=NO_REG, src1=NO_REG, src2=NO_REG,
+                addr=0, taken=False, target=0):
+        """Construct without validation.
+
+        For trace generators whose *static* statements were validated
+        once at compile time (every dynamic instance of a statement has
+        the same operand shape); per-record validation would re-check
+        the same facts millions of times.
+        """
+        rec = cls.__new__(cls)
+        rec.pc = pc
+        rec.op = op
+        rec.dest = dest
+        rec.src1 = src1
+        rec.src2 = src2
+        rec.addr = addr
+        rec.taken = taken
+        rec.target = target
+        return rec
+
     def _validate(self):
         op = self.op
         expected = dest_class_for(op)

@@ -110,6 +110,21 @@ DEFAULT_FU_COUNTS = {
 _LOADS = frozenset((OpClass.LOAD_INT, OpClass.LOAD_FP))
 _STORES = frozenset((OpClass.STORE_INT, OpClass.STORE_FP))
 
+_DEST_CLASS = {
+    OpClass.INT_ALU: RegClass.INT,
+    OpClass.INT_MUL: RegClass.INT,
+    OpClass.INT_DIV: RegClass.INT,
+    OpClass.LOAD_INT: RegClass.INT,
+    OpClass.LOAD_FP: RegClass.FP,
+    OpClass.FP_ADD: RegClass.FP,
+    OpClass.FP_MUL: RegClass.FP,
+    OpClass.FP_DIV: RegClass.FP,
+    OpClass.FP_SQRT: RegClass.FP,
+    OpClass.STORE_INT: None,
+    OpClass.STORE_FP: None,
+    OpClass.BRANCH: None,
+}
+
 
 def is_branch(op):
     """True for conditional branches."""
@@ -135,14 +150,22 @@ def dest_class_for(op):
     which rename file is consulted and the NRR reserved-register
     bookkeeping (kept separately for integer and FP destinations).
     """
-    if op in (OpClass.INT_ALU, OpClass.INT_MUL, OpClass.INT_DIV, OpClass.LOAD_INT):
-        return RegClass.INT
-    if op in (
-        OpClass.FP_ADD,
-        OpClass.FP_MUL,
-        OpClass.FP_DIV,
-        OpClass.FP_SQRT,
-        OpClass.LOAD_FP,
-    ):
-        return RegClass.FP
-    return None
+    return _DEST_CLASS[op]
+
+
+#: Static per-operation decode, indexed by ``int(op)``:
+#: ``(dest_cls, is_load, is_store, is_br, fu_kind, latency, pipelined)``.
+#: The pipeline's :class:`~repro.uarch.dynamic.DynInstr` copies one cached
+#: row per dynamic instruction instead of re-deriving each property.
+OP_DECODE = tuple(
+    (
+        _DEST_CLASS[op],
+        op in _LOADS,
+        op in _STORES,
+        op is OpClass.BRANCH,
+        FU_FOR_OP[op],
+        LATENCY[op],
+        PIPELINED[op],
+    )
+    for op in OpClass
+)

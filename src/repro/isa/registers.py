@@ -56,11 +56,16 @@ def make_reg(cls, index):
     return (int(cls) << CLASS_SHIFT) | index
 
 
+#: Class lookup by encoded-class bit; avoids an enum construction in the
+#: rename hot loop.
+_CLASSES = (RegClass.INT, RegClass.FP)
+
+
 def reg_class(reg):
     """Return the :class:`RegClass` of an encoded register reference."""
     if reg < 0:
         raise ValueError("NO_REG has no register class")
-    return RegClass(reg >> CLASS_SHIFT)
+    return _CLASSES[reg >> CLASS_SHIFT]
 
 
 def reg_index(reg):

@@ -133,6 +133,11 @@ class LockupFreeCache:
         for addr in addresses:
             self._install(self._line_of(addr))
 
+    def warm_address(self, addr):
+        """Pre-install the line holding one address (warm-up hot path)."""
+        line = addr // self.config.line_bytes
+        self._tags[line % self._num_lines] = line
+
     def contains(self, addr):
         """True when the line holding ``addr`` is resident (for tests)."""
         return self._probe(self._line_of(addr))

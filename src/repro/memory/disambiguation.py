@@ -16,6 +16,7 @@ We model that policy at 8-byte word granularity:
 
 from __future__ import annotations
 
+from collections import deque
 from enum import Enum, auto
 
 WORD_BYTES = 8
@@ -44,8 +45,15 @@ class StoreQueue:
 
     def __init__(self, capacity=None):
         self.capacity = capacity
-        self._entries = []  # kept in age order (ascending seq)
+        self._entries = deque()  # kept in age order (ascending seq)
         self._by_seq = {}
+        # Seqs inserted with an unknown address, oldest first; entries
+        # whose address has since become known (or that were removed) are
+        # discarded lazily when they reach the front.  This makes the
+        # dominant disambiguation outcome — "an older store's address is
+        # unknown, wait" — an O(1) check instead of a queue scan, which
+        # matters because blocked loads re-check every cycle.
+        self._unknown = deque()
         self.forwards = 0
         self.waits = 0
 
@@ -65,6 +73,7 @@ class StoreQueue:
         entry = _StoreEntry(seq)
         self._entries.append(entry)
         self._by_seq[seq] = entry
+        self._unknown.append(seq)
         return entry
 
     def set_address(self, seq, addr):
@@ -80,15 +89,41 @@ class StoreQueue:
     def remove(self, seq):
         """Drop the store (at commit, or when squashed by recovery)."""
         entry = self._by_seq.pop(seq)
-        self._entries.remove(entry)
+        entries = self._entries
+        if entries and entries[0] is entry:
+            entries.popleft()  # commits retire stores oldest-first
+        else:
+            entries.remove(entry)
 
     def remove_younger_than(self, seq):
         """Recovery: drop every store younger than ``seq``."""
         doomed = [e for e in self._entries if e.seq > seq]
         for entry in doomed:
             del self._by_seq[entry.seq]
-        self._entries = [e for e in self._entries if e.seq <= seq]
+        self._entries = deque(e for e in self._entries if e.seq <= seq)
         return len(doomed)
+
+    def oldest_unknown_seq(self):
+        """Seq of the oldest store whose address is unknown, or None.
+
+        A load younger than this store cannot disambiguate this cycle,
+        whatever its address — the pipeline uses that to cut short its
+        per-cycle scan of blocked loads.
+        """
+        return self._oldest_unknown()
+
+    def _oldest_unknown(self):
+        """Seq of the oldest store with an unknown address, or None."""
+        unknown = self._unknown
+        by_seq = self._by_seq
+        while unknown:
+            seq = unknown[0]
+            entry = by_seq.get(seq)
+            if entry is None or entry.addr_known:
+                unknown.popleft()  # resolved or removed; discard lazily
+                continue
+            return seq
+        return None
 
     def check_load(self, load_seq, addr, now):
         """Disambiguate a load against all older stores.
@@ -97,14 +132,19 @@ class StoreQueue:
         meaningful for ``FORWARD`` (cycle at which the forwarded value can
         be consumed, excluding the forwarding latency itself).
         """
+        if not self._entries:
+            return LoadOutcome.ACCESS_CACHE, None
+        # Fast path: the scan below would stop at the first older store
+        # with an unknown address, so resolve that test in O(1).
+        oldest_unknown = self._oldest_unknown()
+        if oldest_unknown is not None and oldest_unknown < load_seq:
+            self.waits += 1
+            return LoadOutcome.WAIT, None
         word = addr // WORD_BYTES
         match = None
         for entry in self._entries:
             if entry.seq >= load_seq:
                 break
-            if not entry.addr_known:
-                self.waits += 1
-                return LoadOutcome.WAIT, None
             if entry.word == word:
                 match = entry  # youngest older match wins
         if match is None:

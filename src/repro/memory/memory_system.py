@@ -23,6 +23,9 @@ class MemorySystem:
         self._port_cycle = -1
         self._ports_used = 0
         self.port_conflicts = 0
+        #: why the most recent :meth:`try_load` returned None:
+        #: "disambiguation", "port", or "mshr".
+        self.last_refusal = None
 
     def _port_available(self, now):
         if now != self._port_cycle:
@@ -41,6 +44,7 @@ class MemorySystem:
         """
         outcome, ready = self.store_queue.check_load(seq, addr, now)
         if outcome is LoadOutcome.WAIT:
+            self.last_refusal = "disambiguation"
             return None
         if outcome is LoadOutcome.FORWARD:
             # Forwarding moves data inside the load/store unit; it costs
@@ -48,9 +52,11 @@ class MemorySystem:
             return now + self.cache.config.hit_latency
         if not self._port_available(now):
             self.port_conflicts += 1
+            self.last_refusal = "port"
             return None
         done = self.cache.load(addr, now)
         if done is None:
+            self.last_refusal = "mshr"
             return None  # MSHRs full; port not consumed for a dead access
         self._take_port(now)
         return done

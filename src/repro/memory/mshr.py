@@ -5,9 +5,15 @@ accesses while misses are outstanding.  Each MSHR tracks one in-flight
 line; a second miss to the same line merges into the existing entry (no
 new bus transaction), and misses to new lines are rejected when all
 MSHRs are busy (the access retries a later cycle).
+
+Entries expire lazily through a min-heap of fill times: a blocked load
+re-probes the MSHR file every cycle of an MSHR-full stall, so expiry
+must not rescan the whole file per probe.
 """
 
 from __future__ import annotations
+
+from heapq import heappop, heappush
 
 
 class MSHRFile:
@@ -18,16 +24,22 @@ class MSHRFile:
             raise ValueError("MSHR file needs at least one entry")
         self.entries = entries
         self._pending = {}  # line address -> fill completion cycle
+        self._expiry = []  # heap of (fill cycle, line); may hold stale pairs
         self.allocations = 0
         self.merges = 0
         self.rejections = 0
 
     def _expire(self, now):
-        if not self._pending:
+        heap = self._expiry
+        if not heap or heap[0][0] > now:
             return
-        done = [line for line, t in self._pending.items() if t <= now]
-        for line in done:
-            del self._pending[line]
+        pending = self._pending
+        while heap and heap[0][0] <= now:
+            fill, line = heappop(heap)
+            # A stale pair (the line expired earlier and was re-allocated
+            # with a newer fill time) must not evict the live entry.
+            if pending.get(line) == fill:
+                del pending[line]
 
     def lookup(self, line, now):
         """Return the pending fill time for ``line``, or None."""
@@ -53,7 +65,26 @@ class MSHRFile:
         if len(self._pending) >= self.entries:
             raise RuntimeError("MSHR allocate without room; call has_room first")
         self._pending[line] = fill_time
+        heappush(self._expiry, (fill_time, line))
         self.allocations += 1
+
+    def next_fill_time(self, now):
+        """Earliest cycle at which a pending fill completes, or None.
+
+        While the file is full, this is the first cycle at which a
+        rejected miss could be accepted again — the pipeline uses it to
+        sleep rejected loads instead of re-probing every cycle.
+        """
+        self._expire(now)
+        heap = self._expiry
+        pending = self._pending
+        while heap:
+            fill, line = heap[0]
+            if pending.get(line) != fill:
+                heappop(heap)  # stale pair left by a lazy expiry
+                continue
+            return fill
+        return None
 
     def occupancy(self, now):
         """Number of live entries at cycle ``now``."""

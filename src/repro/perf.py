@@ -1,0 +1,134 @@
+"""KIPS throughput measurement for the cycle engine.
+
+The unit is **KIPS** — thousands of *simulated* (committed) instructions
+per wall-clock second.  Each measured point runs one workload under one
+renamer configuration straight through :func:`repro.uarch.processor
+.simulate` — in-process, serial, no result cache — ``repeats`` times and
+keeps the median, so the numbers measure the engine rather than the
+batch machinery in front of it.
+
+Entry points:
+
+* :func:`measure_kips` — run a grid, return the report dict.
+* :func:`compare_to_baseline` — regression check against a previously
+  written report (the CI perf-smoke job fails on >30% regression).
+* ``python -m repro bench`` — the CLI wrapper; writes
+  ``BENCH_engine.json`` so the throughput trajectory is tracked in-repo.
+"""
+
+from __future__ import annotations
+
+import json
+import statistics
+import time
+
+from repro.trace.workloads import WORKLOADS
+from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.processor import simulate
+
+#: The measured renamer configurations: the paper's baseline and its
+#: proposed scheme (write-back allocation, NRR=32).
+DEFAULT_SCHEMES = (
+    ("conventional", lambda: conventional_config()),
+    ("vp-writeback", lambda: virtual_physical_config(nrr=32)),
+)
+
+
+def scheme_config(label):
+    """Build the config a scheme label of :data:`DEFAULT_SCHEMES` names."""
+    for name, factory in DEFAULT_SCHEMES:
+        if name == label:
+            return factory()
+    raise ValueError(f"unknown scheme {label!r}; choose from "
+                     f"{', '.join(name for name, _ in DEFAULT_SCHEMES)}")
+
+
+def measure_kips(workloads=None, schemes=None, instructions=30_000,
+                 skip=3_000, seed=1234, repeats=3, progress=None):
+    """Measure KIPS for every workload × scheme point.
+
+    Returns a JSON-compatible report::
+
+        {"unit": "KIPS", "instructions": ..., "repeats": ...,
+         "runs": {"swim/conventional": {"kips": ..., "seconds": ...,
+                                        "committed": ..., "cycles": ...}},
+         "median_kips": ..., "total_seconds": ...}
+    """
+    workloads = list(workloads) if workloads else sorted(WORKLOADS)
+    schemes = list(schemes) if schemes else [name for name, _ in DEFAULT_SCHEMES]
+    runs = {}
+    started = time.perf_counter()
+    total = len(workloads) * len(schemes)
+    done = 0
+    for workload in workloads:
+        for label in schemes:
+            config = scheme_config(label)
+            times = []
+            result = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                result = simulate(config, workload=workload,
+                                  max_instructions=instructions,
+                                  skip=skip, seed=seed)
+                times.append(time.perf_counter() - t0)
+            seconds = statistics.median(times)
+            runs[f"{workload}/{label}"] = {
+                "kips": round(result.stats.committed / seconds / 1000, 1),
+                "seconds": round(seconds, 4),
+                "committed": result.stats.committed,
+                "cycles": result.stats.cycles,
+                "ipc": round(result.ipc, 3),
+            }
+            done += 1
+            if progress:
+                progress(done, total, f"{workload}/{label}")
+    return {
+        "unit": "KIPS (thousand simulated instructions / second)",
+        "instructions": instructions,
+        "skip": skip,
+        "seed": seed,
+        "repeats": repeats,
+        "runs": runs,
+        "median_kips": round(statistics.median(
+            r["kips"] for r in runs.values()), 1),
+        "total_seconds": round(time.perf_counter() - started, 2),
+    }
+
+
+def compare_to_baseline(report, baseline, max_regression=0.30):
+    """Regression check of ``report`` against a ``baseline`` report.
+
+    Compares the overall ``median_kips`` (per-point numbers are too noisy
+    across machines); returns ``(ok, message)``.
+    """
+    base = baseline.get("median_kips")
+    current = report.get("median_kips")
+    if not base:
+        return True, "baseline has no median_kips; nothing to compare"
+    floor = base * (1.0 - max_regression)
+    ratio = current / base
+    message = (f"median {current:.1f} KIPS vs baseline {base:.1f} KIPS "
+               f"({ratio:.2f}x, floor {floor:.1f})")
+    return current >= floor, message
+
+
+def load_report(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def write_report(path, report):
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def format_report(report):
+    """Human-readable table of a :func:`measure_kips` report."""
+    lines = [f"{'point':28s} {'KIPS':>8s} {'IPC':>6s} {'seconds':>8s}"]
+    for key in sorted(report["runs"]):
+        run = report["runs"][key]
+        lines.append(f"{key:28s} {run['kips']:8.1f} {run['ipc']:6.3f} "
+                     f"{run['seconds']:8.3f}")
+    lines.append(f"{'median':28s} {report['median_kips']:8.1f}")
+    return "\n".join(lines)

@@ -12,6 +12,18 @@ running each kernel's loop for its trip count and emitting one
 Everything is deterministic given ``(workload, seed)``; iterating the
 same trace twice yields the identical instruction stream, which the
 equivalence tests between renaming schemes rely on.
+
+**Hot-path structure.**  Each kernel body is compiled *once* into a flat
+emit program (a list of small tuples tagged by an integer opcode), so
+emitting a dynamic instruction costs one tuple dispatch instead of an
+``isinstance`` chain per record.  Statements whose record is fully
+static (ALU/FP ops, branches — both outcomes, the induction update, the
+back edge, the glue branch) pre-build immutable prototype
+:class:`TraceRecord` objects at compile time and yield the *same* record
+object for every dynamic instance; only loads and stores, whose
+effective address varies, construct a fresh (validation-free) record
+per instance.  The RNG consumption order is identical to the original
+statement-by-statement interpretation, so streams are bit-identical.
 """
 
 from __future__ import annotations
@@ -37,6 +49,76 @@ from repro.trace.program import (
 KERNEL_PC_STRIDE = 0x1000
 BASE_PC = 0x10000
 
+# Emit-program opcodes (first element of each compiled tuple).
+_EMIT_STATIC = 0  # (op, proto_record)
+_EMIT_MEM = 1  # (op, array_name, pc, record_op, dest, src1, src2)
+_EMIT_BRANCH = 2  # (op, p_taken, skip, proto_taken, proto_not_taken)
+
+
+class _KernelProgram:
+    """One kernel's compiled emit program plus its loop-closing records."""
+
+    __slots__ = ("body", "induction", "backedge_taken", "backedge_last",
+                 "glue", "iterations")
+
+    def __init__(self, kernel, binding, base, kernel_bases):
+        body_len = len(kernel.body)
+        ind_pc = base + 4 * body_len
+        backedge_pc = ind_pc + 4
+        glue_pc = backedge_pc + 4
+        ind_reg = binding[INDUCTION]
+        self.iterations = kernel.iterations
+        self.body = [
+            self._compile_stmt(stmt, base + 4 * pos, binding)
+            for pos, stmt in enumerate(kernel.body)
+        ]
+        self.induction = TraceRecord(ind_pc, OpClass.INT_ALU, dest=ind_reg,
+                                     src1=ind_reg)
+        self.backedge_taken = TraceRecord(backedge_pc, OpClass.BRANCH,
+                                          src1=ind_reg, taken=True, target=base)
+        self.backedge_last = TraceRecord(backedge_pc, OpClass.BRANCH,
+                                         src1=ind_reg, taken=False, target=base)
+        self.glue = [
+            TraceRecord(glue_pc, OpClass.BRANCH, src1=ind_reg, taken=True,
+                        target=target_base)
+            for target_base in kernel_bases
+        ]
+
+    @staticmethod
+    def _compile_stmt(stmt, pc, binding):
+        if isinstance(stmt, Load):
+            op = OpClass.LOAD_FP if stmt.fp else OpClass.LOAD_INT
+            # Validate the static shape once, through the checked
+            # constructor; dynamic instances go through the trusted one.
+            TraceRecord(pc, op, dest=binding[stmt.dst],
+                        src1=binding[stmt.base], addr=0)
+            return (_EMIT_MEM, stmt.array, pc, op, binding[stmt.dst],
+                    binding[stmt.base], NO_REG)
+        if isinstance(stmt, Store):
+            op = OpClass.STORE_FP if stmt.fp else OpClass.STORE_INT
+            TraceRecord(pc, op, src1=binding[stmt.base],
+                        src2=binding[stmt.value], addr=0)
+            return (_EMIT_MEM, stmt.array, pc, op, NO_REG,
+                    binding[stmt.base], binding[stmt.value])
+        if isinstance(stmt, (IntOp, FpOp)):
+            srcs = stmt.srcs
+            src1 = binding[srcs[0]]
+            src2 = binding[srcs[1]] if len(srcs) > 1 else NO_REG
+            proto = TraceRecord(pc, stmt.kind, dest=binding[stmt.dst],
+                                src1=src1, src2=src2)
+            return (_EMIT_STATIC, proto)
+        if isinstance(stmt, CondBranch):
+            target = pc + 4 + 4 * stmt.skip
+            src = binding[stmt.src]
+            return (
+                _EMIT_BRANCH, stmt.p_taken, stmt.skip,
+                TraceRecord(pc, OpClass.BRANCH, src1=src, taken=True,
+                            target=target),
+                TraceRecord(pc, OpClass.BRANCH, src1=src, taken=False,
+                            target=target),
+            )
+        raise TypeError(f"unknown statement: {stmt!r}")
+
 
 class SyntheticTrace:
     """Iterable over the dynamic instruction stream of a workload.
@@ -55,6 +137,11 @@ class SyntheticTrace:
             static_len = len(kernel.body) + 3  # + induction, back-edge, glue
             if static_len * 4 > KERNEL_PC_STRIDE:
                 raise ValueError(f"kernel {kernel.name!r} too large for PC region")
+        self._programs = [
+            _KernelProgram(kernel, binding, base, self._bases)
+            for kernel, binding, base
+            in zip(workload.kernels, self._bindings, self._bases)
+        ]
 
     def __iter__(self):
         return self._generate()
@@ -75,62 +162,57 @@ class SyntheticTrace:
         current = rng.choices(range(len(kernels)), weights)[0]
         while True:
             nxt = rng.choices(range(len(kernels)), weights)[0]
+            # One kernel visit is materialized eagerly and re-yielded at
+            # C speed: the consumer crosses a single generator frame per
+            # record instead of two.  The RNG draw order is unchanged
+            # (nothing interleaves with a visit), so streams stay
+            # bit-identical to lazy emission.
             yield from self._run_kernel(current, nxt, arrays[current], rng)
             current = nxt
 
     def _run_kernel(self, idx, next_idx, arrays, rng):
-        kernel = self.workload.kernels[idx]
-        binding = self._bindings[idx]
-        base = self._bases[idx]
-        body = kernel.body
+        """All records of one kernel visit, in emission order (a list)."""
+        program = self._programs[idx]
+        body = program.body
         body_len = len(body)
-        ind_pc = base + 4 * body_len
-        backedge_pc = ind_pc + 4
-        glue_pc = backedge_pc + 4
-        ind_reg = binding[INDUCTION]
+        trusted = TraceRecord.trusted
+        random = rng.random
+        induction = program.induction
+        backedge_taken = program.backedge_taken
+        last_iteration = program.iterations - 1
+        out = []
+        emit = out.append
 
-        for it in range(kernel.iterations):
+        for it in range(program.iterations):
             pos = 0
             while pos < body_len:
-                stmt = body[pos]
-                pc = base + 4 * pos
-                if isinstance(stmt, Load):
-                    addr = arrays[stmt.array].next_address(rng)
-                    op = OpClass.LOAD_FP if stmt.fp else OpClass.LOAD_INT
-                    yield TraceRecord(pc, op, dest=binding[stmt.dst],
-                                      src1=binding[stmt.base], addr=addr)
+                entry = body[pos]
+                kind = entry[0]
+                if kind == _EMIT_STATIC:
+                    emit(entry[1])
                     pos += 1
-                elif isinstance(stmt, Store):
-                    addr = arrays[stmt.array].next_address(rng)
-                    op = OpClass.STORE_FP if stmt.fp else OpClass.STORE_INT
-                    yield TraceRecord(pc, op, src1=binding[stmt.base],
-                                      src2=binding[stmt.value], addr=addr)
+                elif kind == _EMIT_MEM:
+                    _, array, pc, op, dest, src1, src2 = entry
+                    addr = arrays[array].next_address(rng)
+                    emit(trusted(pc, op, dest, src1, src2, addr))
                     pos += 1
-                elif isinstance(stmt, (IntOp, FpOp)):
-                    srcs = stmt.srcs
-                    src1 = binding[srcs[0]]
-                    src2 = binding[srcs[1]] if len(srcs) > 1 else NO_REG
-                    yield TraceRecord(pc, stmt.kind, dest=binding[stmt.dst],
-                                      src1=src1, src2=src2)
-                    pos += 1
-                elif isinstance(stmt, CondBranch):
-                    taken = rng.random() < stmt.p_taken
-                    target = pc + 4 + 4 * stmt.skip
-                    yield TraceRecord(pc, OpClass.BRANCH, src1=binding[stmt.src],
-                                      taken=taken, target=target)
-                    pos += 1 + (stmt.skip if taken else 0)
-                else:  # pragma: no cover - LoopKernel validated the body
-                    raise TypeError(f"unknown statement: {stmt!r}")
+                else:  # _EMIT_BRANCH
+                    taken = random() < entry[1]
+                    if taken:
+                        emit(entry[3])
+                        pos += 1 + entry[2]
+                    else:
+                        emit(entry[4])
+                        pos += 1
 
             # Induction update and loop back-edge.
-            yield TraceRecord(ind_pc, OpClass.INT_ALU, dest=ind_reg, src1=ind_reg)
-            last = it == kernel.iterations - 1
-            yield TraceRecord(backedge_pc, OpClass.BRANCH, src1=ind_reg,
-                              taken=not last, target=base)
+            emit(induction)
+            emit(backedge_taken if it != last_iteration
+                 else program.backedge_last)
 
         # Glue branch into the next kernel (always taken).
-        yield TraceRecord(glue_pc, OpClass.BRANCH, src1=ind_reg, taken=True,
-                          target=self._bases[next_idx])
+        emit(program.glue[next_idx])
+        return out
 
 
 def take(trace, n):

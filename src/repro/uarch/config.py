@@ -29,9 +29,13 @@ class RenamingScheme(Enum):
     EARLY_RELEASE = "early-release"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ProcessorConfig:
-    """All knobs of the simulated machine (defaults = the paper's §4.1)."""
+    """All knobs of the simulated machine (defaults = the paper's §4.1).
+
+    Slotted: the cycle engine reads these fields in its per-cycle hot
+    loop, and slot access skips the instance-dict lookup.
+    """
 
     # Widths.
     fetch_width: int = 8

@@ -4,33 +4,31 @@ One :class:`DynInstr` wraps each trace record while it is in the window;
 it carries the renaming fields (tags, allocated registers, undo state),
 the scheduling fields the pipeline uses, and a per-instruction timeline
 for statistics and golden tests.
+
+The static properties of an operation (destination class, functional
+unit, latency, memory/branch classification) are copied from the
+pre-decoded :data:`~repro.isa.opcodes.OP_DECODE` table rather than
+re-derived per record — construction is on the simulator's per-fetch
+hot path.
 """
 
 from __future__ import annotations
 
-from repro.isa.opcodes import (
-    FU_FOR_OP,
-    LATENCY,
-    PIPELINED,
-    dest_class_for,
-    is_branch,
-    is_load,
-    is_store,
-)
+from repro.isa.opcodes import OP_DECODE
 
 
 class DynInstr:
     """A trace record in flight through the pipeline."""
 
     __slots__ = (
-        "rec", "seq", "dest_cls",
+        "rec", "seq", "dest_cls", "heap_item",
         # renaming state
         "src_tags", "dest_tag", "dest_phys", "prev_phys", "prev_vp",
         "vp_reg", "src_phys", "reserved", "squashed",
         # scheduling state
         "wait_count", "not_before", "in_iq", "issued",
         "mem_ready_at", "data_ready_at", "completed", "completed_at",
-        "mispredicted",
+        "mispredicted", "need_int", "need_fp", "mshr_gated",
         # classification cache
         "is_load", "is_store", "is_br", "fu_kind", "latency", "pipelined",
         # timeline (for stats and golden tests)
@@ -41,8 +39,12 @@ class DynInstr:
     def __init__(self, rec, seq):
         self.rec = rec
         self.seq = seq
-        op = rec.op
-        self.dest_cls = dest_class_for(op)
+        # The (seq, instr) pair the scheduler's heaps order by; built
+        # once so re-queueing (issue retries, squash re-execution, cache
+        # retries) never allocates.
+        self.heap_item = (seq, self)
+        (self.dest_cls, self.is_load, self.is_store, self.is_br,
+         self.fu_kind, self.latency, self.pipelined) = OP_DECODE[rec.op]
         self.src_tags = ()
         self.dest_tag = -1
         self.dest_phys = -1
@@ -61,12 +63,9 @@ class DynInstr:
         self.completed = False
         self.completed_at = -1
         self.mispredicted = False
-        self.is_load = is_load(op)
-        self.is_store = is_store(op)
-        self.is_br = is_branch(op)
-        self.fu_kind = FU_FOR_OP[op]
-        self.latency = LATENCY[op]
-        self.pipelined = PIPELINED[op]
+        self.need_int = 0
+        self.need_fp = 0
+        self.mshr_gated = False
         self.fetch_at = -1
         self.rename_at = -1
         self.first_issue_at = -1

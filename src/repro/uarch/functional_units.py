@@ -27,13 +27,28 @@ class FunctionalUnitPool:
 
     def can_issue(self, kind, now):
         """Is a unit of ``kind`` available at cycle ``now``? (No claim.)"""
+        return self.find_free(kind, now) >= 0
+
+    def find_free(self, kind, now):
+        """Index of a free unit of ``kind`` at ``now``, or -1.
+
+        The pipeline pairs this with :meth:`claim_unit` so availability
+        check and claim cost one pool scan, not two.
+        """
         busy = self._busy_until[kind]
         issued = self._issued_cycle[kind]
         for i in range(len(busy)):
             if busy[i] <= now and issued[i] != now:
-                return True
+                return i
         self.structural_stalls[kind] += 1
-        return False
+        return -1
+
+    def claim_unit(self, kind, index, now, latency, pipelined):
+        """Claim the unit ``index`` returned by :meth:`find_free`."""
+        self._issued_cycle[kind][index] = now
+        if not pipelined:
+            self._busy_until[kind][index] = now + latency
+        self.issues[kind] += 1
 
     def claim(self, kind, now, latency, pipelined):
         """Claim a unit of ``kind``; callers check :meth:`can_issue` first."""

@@ -1,47 +1,81 @@
 """The out-of-order cycle engine.
 
 Stage order inside one simulated cycle (see DESIGN.md §5 for the timing
-contract each stage implements):
+contract each stage implements; all stages are inlined into
+:meth:`Processor._step`, the interpreter-level hot loop):
 
-1. **wakeup** — dependence tags scheduled to become ready this cycle fire
-   and release waiting instructions into the ready set.
-2. **write-back** — completion events for this cycle: write-port
+1. **write-back/wakeup** — completion events for this cycle: write-port
    arbitration, the renamer's completion hook (late allocation /
    squash-and-re-execute under the VP write-back policy), branch
-   resolution, publication of result tags.
+   resolution, publication of result tags.  Tag wakeup is fused into
+   publication: a value and its register exist exactly when the
+   producer completes, so waiters are released in the same pass and no
+   separate wakeup queue exists.
+2. **commit** — in-order retirement; stores write the cache here.  Commit
+   runs before the memory stage so committing stores (the oldest
+   instructions in the machine) win cache-port arbitration over younger
+   loads.
 3. **memory** — loads that have finished address generation attempt the
    cache (disambiguation, ports, MSHRs); failures retry next cycle.
 4. **issue** — oldest-first selection over ready instructions subject to
    issue width, register-file read ports, functional units, and the
    renamer's issue hook (issue-stage allocation).
-5. **commit** — in-order retirement; stores write the cache here.
-6. **rename/dispatch** — decode-stage renaming and insertion into
+5. **rename/dispatch** — decode-stage renaming and insertion into
    ROB/IQ/store-queue.
-7. **fetch** — up to 8 consecutive instructions; stalls at a mispredicted
+6. **fetch** — up to 8 consecutive instructions; stalls at a mispredicted
    branch until it resolves (trace-driven wrong-path model).
 
-Everything is driven by two event maps — ``wakeup_at`` (tag readiness)
-and ``complete_at`` (execution completions) — so a cycle costs time
-proportional to the work in it, not to the window size.
+Timing contract of the event machinery
+--------------------------------------
+
+Execution completions are driven by one
+:class:`~repro.uarch.events.EventWheel` — ``complete_at`` — so a cycle
+costs time proportional to the work in it, not to the window size.
+Loads between EA computation and their cache access wait in
+``pending_mem``, a min-heap ordered by sequence number (program order
+decides cache-port priority).
+
+**Idle-cycle skip.**  When a cycle ends with provably nothing to do —
+no ready instructions, no load awaiting a cache retry, no commit
+possible before a known future cycle, fetch blocked (mispredict stall,
+full fetch buffer, or trace exhausted) and rename blocked (or the fetch
+buffer empty) — the engine jumps ``now`` directly to the earliest
+future scheduled event instead of spinning through the empty cycles of
+a long miss stall or a division.  The jump is *exactly* accounted: the
+per-cycle counters the spin would have incremented
+(``fetch_stall_cycles``, the rename-stall cause charged to the oldest
+un-renamed instruction, and the register-occupancy integrals) are bulk
+added for the skipped cycles, so ``SimStats`` is bit-identical with the
+skip on or off (``Processor(config, idle_skip=False)`` disables it; the
+``idle_cycles_skipped`` attribute counts what was saved).  Renamer-
+internal diagnostic counters that are not part of ``SimStats`` (e.g.
+``decode_stalls``) are not spun during skipped cycles.  The deadlock
+horizon bounds every jump, so :class:`SimulationDeadlock` fires at the
+same cycle it would without the skip.
 """
 
 from __future__ import annotations
 
 import itertools
 from collections import defaultdict, deque
-from heapq import heappush, heappop
+from heapq import heapify, heappush, heappop
+from operator import attrgetter
 
 from repro.branch.bht import BranchHistoryTable
-from repro.core.tags import tag_class
+from repro.core.tags import TAG_CLASS_SHIFT
 from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.isa.opcodes import OpClass
 from repro.isa.registers import RegClass
 from repro.memory.memory_system import MemorySystem
 from repro.uarch.config import ProcessorConfig
 from repro.uarch.dynamic import DynInstr
+from repro.uarch.events import EventWheel
 from repro.uarch.functional_units import FunctionalUnitPool
 from repro.uarch.stats import SimResult, SimStats
 
 _FAR_FUTURE = 1 << 60
+
+_BY_SEQ = attrgetter("seq")
 
 
 class SimulationDeadlock(RuntimeError):
@@ -51,7 +85,7 @@ class SimulationDeadlock(RuntimeError):
 class Processor:
     """One simulated machine; create a fresh instance per run."""
 
-    def __init__(self, config=None):
+    def __init__(self, config=None, idle_skip=True):
         self.config = config or ProcessorConfig()
         cfg = self.config
         self.renamer = cfg.build_renamer()
@@ -64,6 +98,47 @@ class Processor:
             and self.renamer.allocation is AllocationStage.WRITEBACK
         )
         self._retry_gating = self._vp_writeback and cfg.retry_gating
+        self._commit_extra = self.renamer.commit_extra_latency
+        self._on_dispatch = getattr(self.renamer, "on_dispatch", None)
+        # Renamers without issue/completion hooks (the conventional and
+        # early-release schemes inherit the base no-ops) skip the hook
+        # call per issued/completed instruction.
+        from repro.core.renamer import Renamer as _RenamerBase
+        renamer_type = type(self.renamer)
+        self._issue_hook = (self.renamer.on_issue
+                            if renamer_type.on_issue
+                            is not _RenamerBase.on_issue else None)
+        if (renamer_type is VirtualPhysicalRenamer
+                and self.renamer.allocation is not AllocationStage.ISSUE):
+            # VP write-back allocation's on_issue is unconditionally True
+            # (allocation happens at completion); skip the call per issue.
+            self._issue_hook = None
+        self._complete_hook = (self.renamer.on_complete
+                               if renamer_type.on_complete
+                               is not _RenamerBase.on_complete else None)
+        # The free pools backing the per-cycle occupancy integrals; the
+        # attribute-chain walk through allocated_physical() would cost a
+        # measurable slice of every cycle.
+        pools = getattr(self.renamer, "free_phys",
+                        getattr(self.renamer, "free", None))
+        if isinstance(pools, dict) and RegClass.INT in pools:
+            # The underlying deques, counted with a plain len() per cycle.
+            self._int_free = pools[RegClass.INT]._free
+            self._fp_free = pools[RegClass.FP]._free
+            self._npr_int = self.renamer.npr[RegClass.INT]
+            self._npr_fp = self.renamer.npr[RegClass.FP]
+        else:  # custom renamer without the standard pool layout
+            self._int_free = self._fp_free = None
+            self._npr_int = self._npr_fp = 0
+        # Side-effect-free stand-in for can_rename() during idle-skip
+        # probing: renaming blocks exactly when the destination class's
+        # allocation pool (VP tags under the VP scheme, physical
+        # registers otherwise) is empty.  can_rename() itself bumps
+        # renamer-internal stall diagnostics, which a speculative probe
+        # must not touch.
+        gate = getattr(self.renamer, "free_vp",
+                       getattr(self.renamer, "free", None))
+        self._rename_gate = gate if isinstance(gate, dict) else None
         # Machine state.
         self.now = 0
         self.rob = deque()
@@ -73,12 +148,19 @@ class Processor:
         self.waiters = defaultdict(list)  # tag -> instrs waiting to become ready
         self.data_waiters = defaultdict(list)  # tag -> stores waiting for data
         self.ready_at = {}  # tag -> cycle its value is available
-        self.wakeup_at = defaultdict(list)  # cycle -> tags firing
-        self.complete_at = defaultdict(list)  # cycle -> completion events
-        self.pending_mem = []  # loads awaiting their cache access
+        self.complete_at = EventWheel()  # cycle -> completion events
+        self.pending_mem = []  # heap of (seq, load) awaiting cache access
+        # Loads rejected for lack of an MSHR sleep until the first cycle
+        # their rejection could be reconsidered (earliest fill completion);
+        # a committing store can install lines earlier, so it wakes them.
+        self._mshr_gated = []
         self.fetch_resume_at = 0
         self._next_seq = 0
         self._last_commit_cycle = 0
+        self._wb_ports = [0, 0]  # reused write-port scratch (INT, FP)
+        self._idle_skip = idle_skip
+        self.idle_skips = 0  # jumps taken (diagnostic)
+        self.idle_cycles_skipped = 0  # cycles not simulated (diagnostic)
         # Precise-exception injection: the K-th committing instruction
         # faults, flushing and replaying everything younger (§3.2.2).
         self._fault_at_commits = set()
@@ -115,12 +197,14 @@ class Processor:
             stream = itertools.islice(stream, max_instructions)
         self._trace = stream
         self._exhausted = False
+        step = self._step  # honors per-instance test instrumentation
+        horizon = self.config.deadlock_horizon
         while not (self._exhausted and not self.fetch_buffer
                    and not self.rob and not self._replay):
-            self._step()
-            if self.now - self._last_commit_cycle > self.config.deadlock_horizon:
+            step()
+            if self.now - self._last_commit_cycle > horizon:
                 raise SimulationDeadlock(
-                    f"no commit for {self.config.deadlock_horizon} cycles at "
+                    f"no commit for {horizon} cycles at "
                     f"cycle {self.now}; ROB head: "
                     f"{self.rob[0] if self.rob else None}"
                 )
@@ -131,48 +215,526 @@ class Processor:
     # -- warm-up ------------------------------------------------------------
 
     def _warm_up(self, stream, skip):
-        cache = self.mem.cache
-        bht = self.bht
+        warm = self.mem.cache.warm_address
+        bht_update = self.bht.update
+        branch = OpClass.BRANCH
         for rec in itertools.islice(stream, skip):
             if rec.addr:
-                cache.warm((rec.addr,))
-            if rec.op.name == "BRANCH":
-                bht.update(rec.pc, rec.taken)
+                warm(rec.addr)
+            if rec.op is branch:
+                bht_update(rec.pc, rec.taken)
 
-    # -- per-cycle machinery --------------------------------------------------
+    # -- the per-cycle hot loop ----------------------------------------------
 
     def _step(self):
-        now = self.now
-        self._fire_wakeups(now)
-        self._writeback(now)
-        # Commit runs before the memory stage so committing stores (the
-        # oldest instructions in the machine) win cache-port arbitration
-        # over younger loads; otherwise a squash-and-retry storm can
-        # starve the store at the ROB head forever.
-        self._commit(now)
-        self._memory_access(now)
-        self._issue(now)
-        self._rename_dispatch(now)
-        self._fetch(now)
-        self.stats.int_reg_occupancy_sum += self.renamer.allocated_physical(RegClass.INT)
-        self.stats.fp_reg_occupancy_sum += self.renamer.allocated_physical(RegClass.FP)
-        self.now = now + 1
+        """Simulate one cycle: every pipeline stage, inlined.
 
-    def _publish(self, tag, when):
-        """Announce that ``tag``'s value (and register) exist from ``when``."""
-        self.ready_at[tag] = when
-        if when <= self.now:
-            self._fire_tag(tag)
+        The stage bodies live in one function on purpose — the engine's
+        throughput is bounded by interpreter overhead, and the inlining
+        saves both the per-stage call and the re-hoisting of shared
+        locals.  Section banners mark the stage boundaries; the stage
+        semantics are documented in the module docstring and DESIGN.md §5.
+        """
+        now = self.now
+        cfg = self.config
+        stats = self.stats
+        renamer = self.renamer
+
+        # ---- write-back: completion events ------------------------------
+        # (Tag wakeup is folded into publication below: a completing
+        # producer publishes its tag and releases waiters in the same
+        # cycle, so no separate wakeup queue exists.)
+        events = self.complete_at.pop(now) if self.complete_at.due(now) else ()
+        if events:
+            events.sort(key=_BY_SEQ)
+            ports_left = self._wb_ports
+            ports_left[0] = ports_left[1] = cfg.write_ports
+            on_complete = self._complete_hook
+            ready_at = self.ready_at
+            ready_heap = self.ready_heap
+            waiters_pop = self.waiters.pop
+            data_waiters = self.data_waiters
+            defer_push = self.complete_at.push
+            for instr in events:
+                if instr.squashed:
+                    continue  # flushed by precise-exception recovery
+                if instr.is_store:
+                    # EA computation done: hand the address to the store
+                    # queue; the store completes once its data is ready.
+                    self.mem.store_queue.set_address(instr.seq, instr.rec.addr)
+                    instr.mem_ready_at = now
+                    if instr.data_ready_at >= 0:
+                        instr.completed = True
+                        instr.completed_at = now
+                    continue
+                if instr.is_br:
+                    rec = instr.rec
+                    stats.branches += 1
+                    self.bht.update(rec.pc, rec.taken)
+                    if instr.mispredicted:
+                        stats.mispredicts += 1
+                        self.fetch_resume_at = now + 1
+                    instr.completed = True
+                    instr.completed_at = now
+                    continue
+                cls = instr.dest_cls
+                if cls is not None and ports_left[cls] == 0:
+                    stats.wb_port_defers += 1
+                    defer_push(now + 1, instr)
+                    continue
+                if on_complete is not None and not on_complete(instr, now):
+                    # VP write-back allocation failed: squash to the IQ.
+                    stats.squashes += 1
+                    instr.not_before = now + 1
+                    heappush(ready_heap, instr.heap_item)
+                    continue
+                if cls is not None:
+                    ports_left[cls] -= 1
+                instr.completed = True
+                instr.completed_at = now
+                if instr.in_iq:
+                    instr.in_iq = False
+                    self.iq_count -= 1
+                tag = instr.dest_tag
+                if tag != -1:
+                    # Publish the result tag and wake its waiters (a
+                    # completion's value is always ready this cycle).
+                    ready_at[tag] = now
+                    waiting = waiters_pop(tag, None)
+                    if waiting:
+                        for waiter in waiting:
+                            waiter.wait_count -= 1
+                            if waiter.wait_count == 0 and not waiter.squashed:
+                                heappush(ready_heap, waiter.heap_item)
+                    if data_waiters:
+                        stores = data_waiters.pop(tag, None)
+                        if stores:
+                            self._fire_stores(stores, now)
+
+        # ---- commit: in-order retirement --------------------------------
+        rob = self.rob
+        if rob:
+            budget = cfg.commit_width
+            extra = self._commit_extra
+            on_commit = renamer.on_commit
+            faults = self._fault_at_commits
+            committed = stats.committed
+            while budget and rob:
+                instr = rob[0]
+                if not instr.completed or instr.completed_at + 1 + extra > now:
+                    break
+                if faults and committed in faults:
+                    faults.discard(committed)
+                    self._recover_from_fault(instr, now)
+                    # The offending instruction itself commits below (its
+                    # fault is now "handled"); everything younger replays.
+                if instr.is_store:
+                    if not self.mem.try_store_commit(instr.rec.addr, now):
+                        break  # no cache port this cycle; retry in order
+                    self.mem.store_queue.remove(instr.seq)
+                    if self._mshr_gated:
+                        # The store may have installed a line a sleeping
+                        # load needs; let them all re-check this cycle
+                        # (the memory stage runs after commit).
+                        for gated in self._mshr_gated:
+                            gated.mem_ready_at = now
+                            gated.mshr_gated = False
+                        self._mshr_gated.clear()
+                on_commit(instr)
+                rob.popleft()
+                instr.commit_at = now
+                committed += 1
+                budget -= 1
+            if committed != stats.committed:
+                stats.committed = committed
+                self._last_commit_cycle = now
+
+        # ---- memory: loads attempt the cache ----------------------------
+        pending = self.pending_mem
+        if pending:
+            mem = self.mem
+            try_load = mem.try_load
+            push_complete = self.complete_at.push
+            still_pending = []
+            append = still_pending.append
+            # A load younger than the oldest store with an unknown
+            # address cannot disambiguate this cycle; since the heap
+            # drains in ascending sequence order, the first such load
+            # ends the scan for everyone behind it.  (Store state cannot
+            # change during this stage, so one snapshot is valid.)
+            blocking_store = self.mem.store_queue.oldest_unknown_seq()
+            # Draining a heap yields ascending sequence numbers: program
+            # order decides who gets the cache ports.
+            while pending:
+                item = heappop(pending)
+                instr = item[1]
+                if instr.squashed:
+                    continue
+                if blocking_store is not None and item[0] > blocking_store:
+                    # Keep the store queue's waits diagnostic faithful:
+                    # every cut-short load that would have attempted the
+                    # cache this cycle would have been told to WAIT.
+                    waits = 0 if instr.mem_ready_at > now else 1
+                    waits += sum(1 for _, cut in pending
+                                 if not cut.squashed
+                                 and cut.mem_ready_at <= now)
+                    self.mem.store_queue.waits += waits
+                    append(item)
+                    # The remaining heap items all have higher seqs, so
+                    # sorting them keeps the rebuilt list a valid heap.
+                    pending.sort()
+                    still_pending.extend(pending)
+                    pending.clear()
+                    break
+                if instr.mem_ready_at > now:
+                    append(item)
+                    continue
+                done = try_load(item[0], instr.rec.addr, now)
+                if done is None:
+                    if mem.last_refusal == "mshr":
+                        # MSHRs full: nothing changes for this load until
+                        # a fill completes (or a store commit wakes it);
+                        # sleep instead of re-probing every cycle.
+                        gate = mem.cache.mshrs.next_fill_time(now)
+                        if gate is not None and gate > now:
+                            instr.mem_ready_at = gate
+                            if not instr.mshr_gated:
+                                # One wake-list entry per load, however
+                                # many times its sleep is re-gated.
+                                instr.mshr_gated = True
+                                self._mshr_gated.append(instr)
+                    append(item)
+                    continue
+                push_complete(done, instr)
+            # Built in ascending order, so the list is already a valid heap.
+            self.pending_mem = still_pending
+
+        # ---- issue: oldest-first over the ready set ---------------------
+        heap = self.ready_heap
+        if heap:
+            budget = cfg.issue_width
+            int_reads = fp_reads = cfg.read_ports
+            retry = []
+            fus = self.fus
+            retry_gating = self._retry_gating
+            vp_writeback = self._vp_writeback
+            on_issue = self._issue_hook
+            # A unit kind found fully busy stays busy for the rest of the
+            # cycle (claims only consume); memoize the verdict so a deep
+            # ready queue doesn't re-scan the pool per blocked instruction.
+            fu_blocked = 0
+            launched = 0
+            complete_push = self.complete_at.push
+            pending_mem = self.pending_mem
+            while budget and heap:
+                item = heappop(heap)
+                instr = item[1]
+                if instr.squashed:
+                    continue
+                if instr.not_before > now:
+                    retry.append(item)
+                    continue
+                # Optional engineering improvement (retry_gating): a
+                # squashed instruction re-executes only when the
+                # allocation rule could currently admit it; spinning
+                # pointlessly would burn functional units and cache ports
+                # that first-time issues (branch resolution in particular)
+                # need.  The paper's machine spins, so gating defaults off.
+                if (
+                    retry_gating
+                    and instr.exec_count > 0
+                    and instr.dest_cls is not None
+                    and instr.dest_phys < 0
+                    and not renamer.may_allocate_now(instr)
+                ):
+                    retry.append(item)
+                    continue
+                # Register-file read ports (pre-counted at dispatch).
+                need_int = instr.need_int
+                need_fp = instr.need_fp
+                if need_int > int_reads or need_fp > fp_reads:
+                    retry.append(item)
+                    continue
+                # Functional unit (checked before allocation so a failed
+                # issue-stage allocation does not waste a unit).
+                kind = instr.fu_kind
+                kind_bit = 1 << kind
+                if fu_blocked & kind_bit:
+                    # Memoized verdict; keep the per-blocked-instruction
+                    # structural-stall diagnostic faithful to a re-scan.
+                    fus.structural_stalls[kind] += 1
+                    retry.append(item)
+                    continue
+                unit = fus.find_free(kind, now)
+                if unit < 0:
+                    fu_blocked |= kind_bit
+                    retry.append(item)
+                    continue
+                if on_issue is not None and not on_issue(instr, now):
+                    stats.issue_alloc_blocks += 1
+                    retry.append(item)
+                    continue
+                fus.claim_unit(kind, unit, now, instr.latency, instr.pipelined)
+                int_reads -= need_int
+                fp_reads -= need_fp
+                budget -= 1
+                # Launch (inlined): schedule completion / memory access.
+                instr.issued = True
+                instr.exec_count += 1
+                launched += 1
+                if instr.first_issue_at < 0:
+                    instr.first_issue_at = now
+                instr.last_issue_at = now
+                if instr.is_load:
+                    instr.mem_ready_at = now + 1  # EA ready next cycle
+                    heappush(pending_mem, item)
+                elif instr.is_store or instr.is_br:
+                    complete_push(now + 1, instr)
+                else:
+                    complete_push(now + instr.latency, instr)
+                # Under VP write-back allocation, destination writers stay
+                # in the IQ until their completion succeeds (they may be
+                # squashed and re-executed); everything else frees its IQ
+                # entry at issue.
+                if instr.in_iq and not (vp_writeback
+                                        and instr.dest_cls is not None):
+                    instr.in_iq = False
+                    self.iq_count -= 1
+            if not heap:
+                # Nothing left un-popped: the retries were collected in
+                # ascending order, so the sorted list IS a valid heap —
+                # the common stall cycle restores without any pushes.
+                heap.extend(retry)
+            else:
+                for item in retry:
+                    heappush(heap, item)
+            if launched:
+                stats.executions += launched
+
+        # ---- rename/dispatch --------------------------------------------
+        buffer = self.fetch_buffer
+        if buffer:
+            budget = cfg.rename_width
+            rename = renamer.rename
+            can_rename = renamer.can_rename
+            on_dispatch = self._on_dispatch
+            rob_size = cfg.rob_size
+            iq_size = cfg.iq_size
+            store_queue = self.mem.store_queue
+            ready_at = self.ready_at
+            waiters = self.waiters
+            ready_heap = self.ready_heap
+            while budget and buffer:
+                instr = buffer[0]
+                if len(rob) >= rob_size:
+                    stats.stall_rob_full += 1
+                    break
+                if self.iq_count >= iq_size:
+                    stats.stall_iq_full += 1
+                    break
+                if instr.is_store and store_queue.full:
+                    stats.stall_sq_full += 1
+                    break
+                if instr.dest_cls is not None and not can_rename(instr.rec):
+                    # (Dest-less instructions always pass can_rename; the
+                    # call is skipped for them.)
+                    stats.stall_no_reg += 1
+                    break
+                buffer.popleft()
+                instr.rename_at = now
+                rename(instr)
+                if instr.dest_tag != -1:
+                    # A fresh name starts a new lifetime: clear readiness.
+                    ready_at.pop(instr.dest_tag, None)
+                if on_dispatch is not None:
+                    on_dispatch(instr)
+                rob.append(instr)
+                if len(rob) > stats.peak_rob:
+                    stats.peak_rob = len(rob)
+                instr.in_iq = True
+                self.iq_count += 1
+                instr.not_before = now + 1
+                budget -= 1
+                # Wire dependences (inlined).  ``wait_tags`` is exactly
+                # the set of register-file reads at issue (a store reads
+                # only its base; the value moves at completion), so the
+                # per-class read-port needs are counted here once.
+                tags = instr.src_tags
+                if instr.is_store:
+                    store_queue.insert(instr.seq)
+                    wait_tags = tags[:1]
+                    value_tag = tags[1]
+                    if ready_at.get(value_tag, _FAR_FUTURE) <= now:
+                        instr.data_ready_at = now
+                        store_queue.set_data_ready(instr.seq, now)
+                    else:
+                        self.data_waiters[value_tag].append(instr)
+                else:
+                    wait_tags = tags
+                need_int = need_fp = 0
+                waiting = 0
+                for tag in wait_tags:
+                    if tag >> TAG_CLASS_SHIFT:
+                        need_fp += 1
+                    else:
+                        need_int += 1
+                    if ready_at.get(tag, _FAR_FUTURE) > now:
+                        waiters[tag].append(instr)
+                        waiting += 1
+                instr.need_int = need_int
+                instr.need_fp = need_fp
+                instr.wait_count = waiting
+                if waiting == 0:
+                    heappush(ready_heap, instr.heap_item)
+
+        # ---- fetch -------------------------------------------------------
+        if not self._exhausted or self._replay:
+            if now < self.fetch_resume_at:
+                stats.fetch_stall_cycles += 1
+            else:
+                budget = cfg.fetch_width
+                room = cfg.fetch_buffer_size - len(buffer)
+                if room < budget:
+                    budget = room  # the buffer only grows inside this loop
+                replay = self._replay
+                perfect = cfg.perfect_branch_prediction
+                # Inlined BHT predict: counter top bit decides direction.
+                bht_counters = self.bht._counters
+                bht_mask = self.bht._mask
+                trace = self._trace
+                seq = self._next_seq
+                first_seq = seq
+                while budget:
+                    if replay:
+                        rec = replay.popleft()
+                    else:
+                        rec = next(trace, None)
+                        if rec is None:
+                            self._exhausted = True
+                            break
+                    instr = DynInstr(rec, seq)
+                    seq += 1
+                    instr.fetch_at = now
+                    buffer.append(instr)
+                    budget -= 1
+                    if instr.is_br:
+                        predicted_taken = (
+                            rec.taken if perfect
+                            else bht_counters[(rec.pc >> 2) & bht_mask] >= 2)
+                        if predicted_taken != rec.taken:
+                            # Trace-driven wrong-path model: stop fetching
+                            # until the branch resolves (resolution sets
+                            # the resume cycle).
+                            instr.mispredicted = True
+                            self.fetch_resume_at = _FAR_FUTURE
+                            break
+                        if predicted_taken:
+                            break  # predicted-taken ends the fetch group
+                self._next_seq = seq
+                stats.fetched += seq - first_seq
+
+        # ---- occupancy integrals + cycle advance ------------------------
+        int_free = self._int_free
+        if int_free is not None:
+            stats.int_reg_occupancy_sum += self._npr_int - len(int_free)
+            stats.fp_reg_occupancy_sum += self._npr_fp - len(self._fp_free)
         else:
-            self.wakeup_at[when].append(tag)
+            stats.int_reg_occupancy_sum += renamer.allocated_physical(
+                RegClass.INT)
+            stats.fp_reg_occupancy_sum += renamer.allocated_physical(
+                RegClass.FP)
+        if self._idle_skip and not self.ready_heap:
+            self.now = self._advance(now)
+        else:
+            self.now = now + 1
 
-    def _fire_tag(self, tag):
-        now = self.now
-        for instr in self.waiters.pop(tag, ()):
-            instr.wait_count -= 1
-            if instr.wait_count == 0 and not instr.squashed:
-                heappush(self.ready_heap, (instr.seq, instr))
-        for store in self.data_waiters.pop(tag, ()):
+    def _advance(self, now):
+        """The next cycle to simulate: ``now + 1``, or the next scheduled
+        event when every intermediate cycle is provably a no-op.  Callers
+        guarantee the idle skip is enabled and the ready set is empty."""
+        nxt = now + 1
+        if (self._exhausted and not self.fetch_buffer and not self.rob
+                and not self._replay):
+            return nxt  # drained: the run loop exits at the current cycle
+        # A load past EA computation retries the cache every cycle; one
+        # still waiting for its EA bounds the jump.
+        next_mem = None
+        for _, instr in self.pending_mem:
+            if instr.squashed:
+                continue
+            t = instr.mem_ready_at
+            if t <= now:
+                return nxt
+            if next_mem is None or t < next_mem:
+                next_mem = t
+        rob = self.rob
+        commit_bound = None
+        if rob:
+            head = rob[0]
+            if head.completed:
+                commit_bound = head.completed_at + 1 + self._commit_extra
+                if commit_bound <= now:
+                    return nxt  # a commit is due (or port-blocked): step
+        cfg = self.config
+        buffer = self.fetch_buffer
+        fetch_dead = self._exhausted and not self._replay
+        fetch_bound = None
+        if not fetch_dead and len(buffer) < cfg.fetch_buffer_size:
+            if self.fetch_resume_at <= nxt:
+                return nxt  # fetch runs next cycle
+            fetch_bound = self.fetch_resume_at
+        stall_attr = None
+        if buffer:
+            head = buffer[0]
+            if len(rob) >= cfg.rob_size:
+                stall_attr = "stall_rob_full"
+            elif self.iq_count >= cfg.iq_size:
+                stall_attr = "stall_iq_full"
+            elif head.is_store and self.mem.store_queue.full:
+                stall_attr = "stall_sq_full"
+            elif head.dest_cls is None:
+                return nxt  # dest-less: rename always proceeds
+            elif self._rename_gate is not None:
+                if self._rename_gate[head.dest_cls].free_count:
+                    return nxt  # rename makes progress next cycle
+                stall_attr = "stall_no_reg"
+            elif self.renamer.can_rename(head.rec):
+                return nxt  # rename makes progress next cycle
+            else:
+                stall_attr = "stall_no_reg"
+        bounds = [
+            t for t in (self.complete_at.next_time(),
+                        next_mem, commit_bound, fetch_bound)
+            if t is not None
+        ]
+        horizon_bound = self._last_commit_cycle + cfg.deadlock_horizon + 1
+        target = min(min(bounds), horizon_bound) if bounds else horizon_bound
+        if target <= nxt:
+            return nxt
+        # Bulk-account the counters the skipped no-op cycles would have
+        # incremented, exactly as the spin would.
+        skipped = target - nxt
+        stats = self.stats
+        renamer = self.renamer
+        stats.int_reg_occupancy_sum += (
+            skipped * renamer.allocated_physical(RegClass.INT))
+        stats.fp_reg_occupancy_sum += (
+            skipped * renamer.allocated_physical(RegClass.FP))
+        if not fetch_dead:
+            stalled = min(target - 1, self.fetch_resume_at - 1) - now
+            if stalled > 0:
+                stats.fetch_stall_cycles += stalled
+        if stall_attr is not None:
+            setattr(stats, stall_attr, getattr(stats, stall_attr) + skipped)
+        self.idle_skips += 1
+        self.idle_cycles_skipped += skipped
+        return target
+
+    # -- event helpers --------------------------------------------------------
+
+    def _fire_stores(self, stores, now):
+        """Deliver a fired tag's value to stores waiting on their data."""
+        for store in stores:
             if store.squashed:
                 continue
             store.data_ready_at = now
@@ -180,193 +742,6 @@ class Processor:
             if store.mem_ready_at >= 0 and not store.completed:
                 store.completed = True
                 store.completed_at = now
-
-    def _fire_wakeups(self, now):
-        for tag in self.wakeup_at.pop(now, ()):
-            self._fire_tag(tag)
-
-    # -- write-back -----------------------------------------------------------
-
-    def _writeback(self, now):
-        events = self.complete_at.pop(now, None)
-        if not events:
-            return
-        events.sort(key=lambda i: i.seq)
-        ports_left = {
-            RegClass.INT: self.config.write_ports,
-            RegClass.FP: self.config.write_ports,
-        }
-        for instr in events:
-            if instr.squashed:
-                continue  # flushed by precise-exception recovery
-            if instr.is_store:
-                self._store_ea_done(instr, now)
-                continue
-            if instr.is_br:
-                self._resolve_branch(instr, now)
-                continue
-            cls = instr.dest_cls
-            if cls is not None and ports_left[cls] == 0:
-                self.stats.wb_port_defers += 1
-                self.complete_at[now + 1].append(instr)
-                continue
-            if not self.renamer.on_complete(instr, now):
-                # VP write-back allocation failed: squash back to the IQ.
-                self.stats.squashes += 1
-                instr.not_before = now + 1
-                heappush(self.ready_heap, (instr.seq, instr))
-                continue
-            if cls is not None:
-                ports_left[cls] -= 1
-            instr.completed = True
-            instr.completed_at = now
-            if instr.in_iq:
-                instr.in_iq = False
-                self.iq_count -= 1
-            if instr.dest_tag != -1:
-                self._publish(instr.dest_tag, now)
-
-    def _store_ea_done(self, instr, now):
-        self.mem.store_queue.set_address(instr.seq, instr.rec.addr)
-        instr.mem_ready_at = now
-        if instr.data_ready_at >= 0:
-            instr.completed = True
-            instr.completed_at = now
-
-    def _resolve_branch(self, instr, now):
-        rec = instr.rec
-        self.stats.branches += 1
-        self.bht.update(rec.pc, rec.taken)
-        if instr.mispredicted:
-            self.stats.mispredicts += 1
-            self.fetch_resume_at = now + 1
-        instr.completed = True
-        instr.completed_at = now
-
-    # -- memory ---------------------------------------------------------------
-
-    def _memory_access(self, now):
-        if not self.pending_mem:
-            return
-        self.pending_mem.sort(key=lambda i: i.seq)
-        still_pending = []
-        for instr in self.pending_mem:
-            if instr.squashed:
-                continue
-            if instr.mem_ready_at > now:
-                still_pending.append(instr)
-                continue
-            done = self.mem.try_load(instr.seq, instr.rec.addr, now)
-            if done is None:
-                still_pending.append(instr)
-                continue
-            self.complete_at[done].append(instr)
-        self.pending_mem = still_pending
-
-    # -- issue ----------------------------------------------------------------
-
-    def _issue(self, now):
-        budget = self.config.issue_width
-        reads_left = {
-            RegClass.INT: self.config.read_ports,
-            RegClass.FP: self.config.read_ports,
-        }
-        retry = []
-        heap = self.ready_heap
-        while budget and heap:
-            seq, instr = heappop(heap)
-            if instr.squashed:
-                continue
-            if instr.not_before > now:
-                retry.append((seq, instr))
-                continue
-            # Optional engineering improvement (retry_gating): a squashed
-            # instruction re-executes only when the allocation rule could
-            # currently admit it; spinning pointlessly would burn
-            # functional units and cache ports that first-time issues
-            # (branch resolution in particular) need.  The paper's
-            # machine spins, so gating defaults to off.
-            if (
-                self._retry_gating
-                and instr.exec_count > 0
-                and instr.dest_cls is not None
-                and instr.dest_phys < 0
-                and not self.renamer.may_allocate_now(instr)
-            ):
-                retry.append((seq, instr))
-                continue
-            # Register-file read ports.
-            need = defaultdict(int)
-            read_tags = instr.src_tags[:1] if instr.is_store else instr.src_tags
-            for tag in read_tags:
-                need[tag_class(tag)] += 1
-            if any(reads_left[cls] < n for cls, n in need.items()):
-                retry.append((seq, instr))
-                continue
-            # Functional unit (checked before allocation so a failed
-            # issue-stage allocation does not waste a unit).
-            if not self.fus.can_issue(instr.fu_kind, now):
-                retry.append((seq, instr))
-                continue
-            if not self.renamer.on_issue(instr, now):
-                self.stats.issue_alloc_blocks += 1
-                retry.append((seq, instr))
-                continue
-            self.fus.claim(instr.fu_kind, now, instr.latency, instr.pipelined)
-            for cls, n in need.items():
-                reads_left[cls] -= n
-            budget -= 1
-            self._launch(instr, now)
-        for item in retry:
-            heappush(heap, item)
-
-    def _launch(self, instr, now):
-        instr.issued = True
-        instr.exec_count += 1
-        self.stats.executions += 1
-        if instr.first_issue_at < 0:
-            instr.first_issue_at = now
-        instr.last_issue_at = now
-        if instr.is_load:
-            instr.mem_ready_at = now + 1  # EA ready next cycle
-            self.pending_mem.append(instr)
-        elif instr.is_store or instr.is_br:
-            self.complete_at[now + 1].append(instr)
-        else:
-            self.complete_at[now + instr.latency].append(instr)
-        # Under VP write-back allocation, destination writers stay in the
-        # IQ until their completion succeeds (they may be squashed and
-        # re-executed); everything else frees its IQ entry at issue.
-        holds_iq = self._vp_writeback and instr.dest_cls is not None
-        if instr.in_iq and not holds_iq:
-            instr.in_iq = False
-            self.iq_count -= 1
-
-    # -- commit ---------------------------------------------------------------
-
-    def _commit(self, now):
-        budget = self.config.commit_width
-        extra = self.renamer.commit_extra_latency
-        rob = self.rob
-        while budget and rob:
-            instr = rob[0]
-            if not instr.completed or instr.completed_at + 1 + extra > now:
-                break
-            if self.stats.committed in self._fault_at_commits:
-                self._fault_at_commits.discard(self.stats.committed)
-                self._recover_from_fault(instr, now)
-                # The offending instruction itself commits below (its
-                # fault is now "handled"); everything younger replays.
-            if instr.is_store:
-                if not self.mem.try_store_commit(instr.rec.addr, now):
-                    break  # no cache port this cycle; retry in order
-                self.mem.store_queue.remove(instr.seq)
-            self.renamer.on_commit(instr)
-            rob.popleft()
-            instr.commit_at = now
-            self.stats.committed += 1
-            self._last_commit_cycle = now
-            budget -= 1
 
     # -- precise-exception recovery ---------------------------------------------
 
@@ -396,7 +771,10 @@ class Processor:
         self.mem.store_queue.remove_younger_than(offender.seq)
         # Loads waiting on the memory system are dropped (their MSHRs, if
         # any, simply fill unused — as in real lockup-free caches).
-        self.pending_mem = [i for i in self.pending_mem if not i.squashed]
+        alive = [e for e in self.pending_mem if not e[1].squashed]
+        heapify(alive)
+        self.pending_mem = alive
+        self._mshr_gated = [g for g in self._mshr_gated if not g.squashed]
         # Replay in program order: the flushed window, then the
         # un-renamed fetch buffer, then anything an *earlier* fault left
         # queued (everything flushed now is older than those records).
@@ -407,107 +785,6 @@ class Processor:
         # Fetch restarts after the exception is handled.
         self.fetch_resume_at = now + 1
         self.stats.faults += 1
-
-    # -- rename / dispatch ------------------------------------------------------
-
-    def _rename_dispatch(self, now):
-        cfg = self.config
-        budget = cfg.rename_width
-        buffer = self.fetch_buffer
-        renamer = self.renamer
-        stats = self.stats
-        while budget and buffer:
-            instr = buffer[0]
-            if len(self.rob) >= cfg.rob_size:
-                stats.stall_rob_full += 1
-                break
-            if self.iq_count >= cfg.iq_size:
-                stats.stall_iq_full += 1
-                break
-            if instr.is_store and self.mem.store_queue.full:
-                stats.stall_sq_full += 1
-                break
-            if not renamer.can_rename(instr.rec):
-                stats.stall_no_reg += 1
-                break
-            buffer.popleft()
-            instr.rename_at = now
-            renamer.rename(instr)
-            if instr.dest_tag != -1:
-                # A fresh name starts a new lifetime: clear stale readiness.
-                self.ready_at.pop(instr.dest_tag, None)
-            if hasattr(renamer, "on_dispatch"):
-                renamer.on_dispatch(instr)
-            self.rob.append(instr)
-            if len(self.rob) > stats.peak_rob:
-                stats.peak_rob = len(self.rob)
-            instr.in_iq = True
-            self.iq_count += 1
-            instr.not_before = now + 1
-            self._wire_dependences(instr, now)
-            budget -= 1
-
-    def _wire_dependences(self, instr, now):
-        tags = instr.src_tags
-        if instr.is_store:
-            self.mem.store_queue.insert(instr.seq)
-            wait_tags = tags[:1]
-            value_tag = tags[1]
-            ready = self.ready_at.get(value_tag, _FAR_FUTURE)
-            if ready <= now:
-                instr.data_ready_at = now
-                self.mem.store_queue.set_data_ready(instr.seq, now)
-            else:
-                self.data_waiters[value_tag].append(instr)
-        else:
-            wait_tags = tags
-        pending = 0
-        for tag in wait_tags:
-            if self.ready_at.get(tag, _FAR_FUTURE) > now:
-                self.waiters[tag].append(instr)
-                pending += 1
-        instr.wait_count = pending
-        if pending == 0:
-            heappush(self.ready_heap, (instr.seq, instr))
-
-    # -- fetch ----------------------------------------------------------------
-
-    def _fetch(self, now):
-        if self._exhausted and not self._replay:
-            return
-        if now < self.fetch_resume_at:
-            self.stats.fetch_stall_cycles += 1
-            return
-        cfg = self.config
-        budget = cfg.fetch_width
-        buffer = self.fetch_buffer
-        while budget and len(buffer) < cfg.fetch_buffer_size:
-            if self._replay:
-                rec = self._replay.popleft()
-            else:
-                rec = next(self._trace, None)
-            if rec is None:
-                self._exhausted = True
-                return
-            instr = DynInstr(rec, self._next_seq)
-            self._next_seq += 1
-            instr.fetch_at = now
-            buffer.append(instr)
-            self.stats.fetched += 1
-            budget -= 1
-            if instr.is_br:
-                if self.config.perfect_branch_prediction:
-                    predicted_taken = rec.taken
-                else:
-                    predicted_taken = self.bht.predict(rec.pc)
-                if predicted_taken != rec.taken:
-                    # Trace-driven wrong-path model: stop fetching until
-                    # the branch resolves (its resolution sets resume).
-                    instr.mispredicted = True
-                    self.fetch_resume_at = _FAR_FUTURE
-                    return
-                if predicted_taken:
-                    return  # a predicted-taken branch ends the fetch group
 
     # -- final bookkeeping -----------------------------------------------------
 

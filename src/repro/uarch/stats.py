@@ -10,9 +10,13 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields
 
 
-@dataclass
+@dataclass(slots=True)
 class SimStats:
-    """Raw counters accumulated during one simulation."""
+    """Raw counters accumulated during one simulation.
+
+    Slotted: the pipeline bumps these counters many times per simulated
+    cycle, and slot access skips the instance-dict lookup.
+    """
 
     cycles: int = 0
     committed: int = 0

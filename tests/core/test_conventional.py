@@ -35,7 +35,7 @@ class TestRename:
         i = instr(src1=R2)
         r.rename(i)
         # Logical r2 starts mapped to physical 2.
-        assert i.src_tags == [make_tag(RegClass.INT, 2)]
+        assert i.src_tags == (make_tag(RegClass.INT, 2),)
 
     def test_dest_gets_fresh_physical(self):
         r = renamer()

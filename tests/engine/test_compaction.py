@@ -1,0 +1,92 @@
+"""Result-store compaction: the append-only JSONL stops growing forever."""
+
+import json
+
+from repro.engine import ResultStore, RunSpec, execute_spec
+from repro.uarch.config import conventional_config
+
+
+def small_spec(workload="go"):
+    return RunSpec(workload, conventional_config()).resolved(400, 100, 1)
+
+
+def line_count(store):
+    with open(store.path, "r", encoding="utf-8") as fh:
+        return sum(1 for line in fh if line.strip())
+
+
+def test_superseded_records_are_dropped(tmp_path):
+    spec = small_spec()
+    result = execute_spec(spec)
+    store = ResultStore(tmp_path)
+    for _ in range(5):
+        store.put(spec.key(), result)
+    assert line_count(store) == 5
+
+    kept, dropped = store.compact()
+    assert (kept, dropped) == (1, 4)
+    assert line_count(store) == 1
+    # The surviving record still round-trips.
+    assert ResultStore(tmp_path).get(spec.key()).to_dict() == result.to_dict()
+
+
+def test_corrupt_lines_count_as_dropped(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    with open(store.path, "a", encoding="utf-8") as fh:
+        fh.write("{not json\n")
+    kept, dropped = store.compact()
+    assert kept == 1
+    assert dropped == 1
+
+
+def test_prune_stale_drops_old_versions(tmp_path):
+    spec = small_spec()
+    result = execute_spec(spec)
+    ResultStore(tmp_path, version="v1").put(spec.key(), result)
+    store_v2 = ResultStore(tmp_path, version="v2")
+    store_v2.put(spec.key(), result)
+
+    # Without pruning, both versions survive.
+    kept, dropped = store_v2.compact()
+    assert (kept, dropped) == (2, 0)
+
+    kept, dropped = store_v2.compact(prune_stale=True)
+    assert (kept, dropped) == (1, 1)
+    assert ResultStore(tmp_path, version="v2").get(spec.key()) is not None
+    assert ResultStore(tmp_path, version="v1").get(spec.key()) is None
+
+
+def test_compact_missing_file_is_noop(tmp_path):
+    assert ResultStore(tmp_path).compact() == (0, 0)
+
+
+def test_last_record_wins_after_compaction(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    result = execute_spec(spec)
+    store.put(spec.key(), result)
+    # Hand-append a doctored newer record for the same key: compaction
+    # must keep the *newest*, not the first.
+    doctored = result.to_dict()
+    doctored["extra"] = {"marker": "newest"}
+    with open(store.path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps({"key": spec.key(), "version": store.version,
+                             "result": doctored}) + "\n")
+    kept, _ = store.compact()
+    assert kept == 1
+    assert ResultStore(tmp_path).get(spec.key()).extra == {"marker": "newest"}
+
+
+def test_result_cache_compact_passthrough(tmp_path, monkeypatch):
+    from repro.experiments.runner import ResultCache
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    cache = ResultCache(jobs=1)
+    spec = small_spec()
+    cache.engine.store.put(spec.key(), execute_spec(spec))
+    cache.engine.store.put(spec.key(), execute_spec(spec))
+    kept, dropped = cache.compact()
+    assert kept == 1 and dropped == 1
+    assert ResultCache(jobs=1, persistent=False).compact() == (0, 0)

@@ -1,0 +1,63 @@
+"""Executor selection and the warm persistent pool."""
+
+import pytest
+
+from repro.engine import (
+    PersistentPoolExecutor,
+    ProcessPoolExecutor,
+    RunSpec,
+    SerialExecutor,
+    make_executor,
+)
+from repro.uarch.config import conventional_config
+
+
+def specs(n, workload="go"):
+    return [RunSpec(workload, conventional_config()).resolved(300, 50, seed)
+            for seed in range(1, n + 1)]
+
+
+class TestMakeExecutor:
+    def test_kind_overrides_job_heuristic(self):
+        assert isinstance(make_executor(4, kind="serial"), SerialExecutor)
+        assert isinstance(make_executor(1, kind="pool"), ProcessPoolExecutor)
+        assert isinstance(make_executor(2, kind="persistent"),
+                          PersistentPoolExecutor)
+
+    def test_env_kind(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "persistent")
+        assert isinstance(make_executor(2), PersistentPoolExecutor)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            make_executor(2, kind="quantum")
+
+
+class TestPersistentPool:
+    def test_results_identical_to_serial_across_batches(self):
+        batch = specs(3)
+        serial = SerialExecutor().run(batch)
+        with PersistentPoolExecutor(jobs=2) as warm:
+            first = warm.run(batch)
+            pool_after_first = warm._pool
+            second = warm.run(batch)
+            # The same pool object served both batches: warm workers.
+            assert warm._pool is pool_after_first
+            assert pool_after_first is not None
+        for got in (first, second):
+            assert [r.to_dict() for r in got] == \
+                   [r.to_dict() for r in serial]
+
+    def test_single_first_run_stays_serial(self):
+        warm = PersistentPoolExecutor(jobs=2)
+        result = warm.run(specs(1))
+        assert warm._pool is None  # no pool spawned for one spec
+        assert result[0].stats.committed == 300
+        warm.close()
+
+    def test_close_is_idempotent(self):
+        warm = PersistentPoolExecutor(jobs=2)
+        warm.run(specs(2))
+        warm.close()
+        warm.close()
+        assert warm._pool is None

@@ -1,0 +1,66 @@
+"""Determinism under optimization: the engine rewrite changed *speed*,
+never *timing*.
+
+``data/golden_stats.json`` holds complete ``SimStats.to_dict()`` dumps
+captured from the pre-optimization engine (before the event wheel,
+pre-decoded traces, inlined hot loop, and idle-cycle skip).  Every
+renamer mode on two workloads must still reproduce them bit-for-bit,
+with the idle skip on and off.
+
+If a deliberate timing-model change ever invalidates these, regenerate
+the file with the capture snippet in its git history — but know that
+doing so also invalidates every persisted result and paper artifact.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import load_workload
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CONFIGS = {
+    "conventional": lambda: conventional_config(),
+    "early_release": lambda: ProcessorConfig(
+        scheme=RenamingScheme.EARLY_RELEASE),
+    "vp_issue_nrr8": lambda: virtual_physical_config(
+        nrr=8, allocation=AllocationStage.ISSUE),
+    "vp_wb_nrr8": lambda: virtual_physical_config(nrr=8),
+    "vp_wb_nrr8_gated": lambda: virtual_physical_config(
+        nrr=8, retry_gating=True),
+}
+
+
+def _run(entry, idle_skip):
+    processor = Processor(CONFIGS[entry["label"]](), idle_skip=idle_skip)
+    trace = SyntheticTrace(load_workload(entry["workload"]), entry["seed"])
+    result = processor.run(trace, max_instructions=entry["instructions"],
+                           skip=entry["skip"])
+    return processor, result
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_stats_identical_to_pre_optimization_engine(key):
+    entry = GOLDEN[key]
+    _, result = _run(entry, idle_skip=True)
+    assert result.stats.to_dict() == entry["stats"]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_idle_skip_changes_nothing(key):
+    entry = GOLDEN[key]
+    _, skipping = _run(entry, idle_skip=True)
+    _, spinning = _run(entry, idle_skip=False)
+    assert skipping.stats.to_dict() == spinning.stats.to_dict()
