@@ -15,8 +15,15 @@ Quickstart::
     late = simulate(virtual_physical_config(nrr=32), workload="swim")
     print(base.ipc, late.ipc)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record of every table and figure.
+Grids run through the batch engine (:class:`BatchEngine` /
+:class:`RunSpec`), which layers an in-process memo, the persistent
+sharded :class:`ResultStore`, and a pluggable executor — serial,
+process pools, or a cluster of ``repro worker`` daemons via
+:class:`RemoteExecutor`.
+
+See ``docs/architecture.md`` for the layer map, ``docs/engine.md`` for
+the execution layer, and ``docs/reproducing-the-paper.md`` for the
+table-by-table reproduction walkthrough.
 """
 
 from repro.core import (
@@ -25,7 +32,13 @@ from repro.core import (
     EarlyReleaseRenamer,
     VirtualPhysicalRenamer,
 )
-from repro.engine import BatchEngine, ResultStore, RunSpec
+from repro.engine import (
+    BatchEngine,
+    RemoteExecutor,
+    ResultStore,
+    RunSpec,
+    WorkerServer,
+)
 from repro.isa import OpClass, RegClass, TraceRecord
 from repro.memory import CacheConfig
 from repro.trace import (
@@ -48,15 +61,17 @@ from repro.uarch import (
     virtual_physical_config,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AllocationStage",
     "BatchEngine",
     "ConventionalRenamer",
     "EarlyReleaseRenamer",
+    "RemoteExecutor",
     "ResultStore",
     "RunSpec",
+    "WorkerServer",
     "VirtualPhysicalRenamer",
     "OpClass",
     "RegClass",

@@ -18,8 +18,15 @@ Commands
     Measure engine throughput (KIPS) per workload × renamer and write
     ``BENCH_engine.json``; optionally gate against a committed baseline.
 ``cache compact``
-    Rewrite the persistent result store keeping the newest record per
-    key (``--prune-stale`` also drops records from older code versions).
+    Merge the persistent store's writer segments and rewrite it keeping
+    the newest record per key (``--prune-stale`` also drops records
+    from older code versions).
+``worker``
+    Serve simulations to remote coordinators: ``repro worker --serve``
+    runs the daemon behind ``--executor remote``.
+``cluster``
+    Inspect or stop a set of workers: ``repro cluster status --workers
+    host1,host2`` pings each; ``repro cluster stop`` shuts them down.
 ``workloads``
     List the available benchmark models.
 ``dump-trace``
@@ -27,9 +34,11 @@ Commands
 
 Every simulating command accepts ``--jobs N`` (worker processes;
 default ``REPRO_JOBS`` or the CPU count), ``--executor
-{serial,pool,persistent}`` (``persistent`` keeps a warm worker pool
-across batches), and ``--no-cache`` (skip the persistent result store
-under ``REPRO_CACHE_DIR``).
+{serial,pool,persistent,remote}`` (``persistent`` keeps a warm worker
+pool across batches; ``remote`` fans out across ``repro worker``
+daemons), ``--workers host1[:port],host2`` (implies ``remote``), and
+``--no-cache`` (skip the persistent result store under
+``REPRO_CACHE_DIR``).
 """
 
 from __future__ import annotations
@@ -77,7 +86,8 @@ def _cache_for_args(args, progress=None):
                        persistent=(False if getattr(args, "no_cache", False)
                                    else None),
                        progress=progress,
-                       executor=getattr(args, "executor", None))
+                       executor=getattr(args, "executor", None),
+                       workers=getattr(args, "workers", None))
 
 
 def _config_for(args):
@@ -107,7 +117,13 @@ def _add_engine_args(parser):
     parser.add_argument("--executor", choices=EXECUTOR_KINDS, default=None,
                         help="execution strategy (default: serial for one "
                              "job, a per-batch pool otherwise; 'persistent' "
-                             "reuses warm workers across batches)")
+                             "reuses warm workers across batches; 'remote' "
+                             "fans out across `repro worker` daemons)")
+    parser.add_argument("--workers", default=None,
+                        help="comma-separated worker addresses "
+                             "host[:port] for the remote executor "
+                             "(implies --executor remote; default port "
+                             "8642 or REPRO_WORKER_PORT)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent result store")
 
@@ -230,7 +246,8 @@ def cmd_sweep(args):
         # The compared run must also execute for real — a store-served
         # batch would time cache lookups, not the executor.
         cache = ResultCache(jobs=args.jobs, persistent=False,
-                            progress=_progress_line)
+                            progress=_progress_line,
+                            executor=args.executor, workers=args.workers)
     else:
         cache = _cache_for_args(args, progress=_progress_line)
     start = time.perf_counter()
@@ -273,6 +290,13 @@ def cmd_sweep(args):
     print(f"wall clock       : {elapsed:.2f}s with {jobs} job(s) — "
           f"{batch.executed} simulated, {batch.store_hits} from disk cache, "
           f"{batch.memo_hits} in-memory")
+    report = getattr(cache.engine.executor, "last_run_report", None)
+    if report:
+        print(f"remote           : {len(report['workers'])} worker(s), "
+              f"{report['tasks']} chunk(s) of <= {report['chunk_size']} "
+              f"spec(s), {report['retries']} retried, "
+              f"{report['straggler_redispatches']} straggler "
+              f"re-dispatch(es)")
     if serial_elapsed is not None and elapsed > 0:
         print(f"speedup          : {serial_elapsed / elapsed:.2f}x "
               f"over serial execution")
@@ -322,13 +346,108 @@ def cmd_bench(args):
 def cmd_cache_compact(args):
     from repro.engine import ResultStore
 
+    def total_bytes(store):
+        size = 0
+        for path in [store.path, *store.segment_paths()]:
+            try:
+                size += path.stat().st_size
+            except OSError:
+                pass
+        return size
+
     store = ResultStore()
-    before = store.path.stat().st_size if store.path.exists() else 0
+    before = total_bytes(store)
+    segments = len(store.segment_paths())
     kept, dropped = store.compact(prune_stale=args.prune_stale)
-    after = store.path.stat().st_size if store.path.exists() else 0
-    print(f"{store.path}: kept {kept} records, dropped {dropped} "
-          f"({before} -> {after} bytes)")
+    after = total_bytes(store)
+    print(f"{store.path}: merged {segments} segment(s), kept {kept} "
+          f"records, dropped {dropped} ({before} -> {after} bytes)")
     return 0
+
+
+def cmd_worker(args):
+    """Run the remote-execution worker daemon (blocks until shutdown)."""
+    from repro.engine import ResultStore, WorkerServer, make_executor
+    from repro.engine.remote import default_port
+
+    if not args.serve:
+        raise SystemExit("repro worker: pass --serve to start the daemon "
+                         "(guards against accidental foreground starts)")
+    if args.port is None:
+        args.port = default_port()
+    store = None if args.no_cache else ResultStore()
+    # Default the batch executor explicitly so a stray
+    # REPRO_EXECUTOR=remote in the daemon's environment cannot make the
+    # worker try to coordinate itself.
+    kind = args.executor or ("pool" if args.jobs and args.jobs > 1
+                             else "serial")
+    executor = make_executor(args.jobs, kind=kind)
+    server = WorkerServer(host=args.host, port=args.port, store=store,
+                          executor=executor)
+    host, port = server.address
+    print(f"repro worker: serving on {host}:{port} "
+          f"(version {server.version}, pid {server.status()['pid']})",
+          flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+    print(f"repro worker: stopped after serving {server.served} spec(s)")
+    return 0
+
+
+def _cluster_workers(args):
+    import os
+
+    from repro.engine import parse_workers
+
+    workers = parse_workers(args.workers
+                            or os.environ.get("REPRO_WORKERS"))
+    if not workers:
+        raise SystemExit("repro cluster: --workers host[:port],... "
+                         "(or REPRO_WORKERS) is required")
+    return workers
+
+
+def cmd_cluster_status(args):
+    """Ping every worker and report reachability and code version."""
+    from repro.engine import code_version, ping_worker
+
+    local = code_version()
+    failures = 0
+    for host, port in _cluster_workers(args):
+        try:
+            status = ping_worker((host, port), timeout=args.timeout)
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"{host}:{port}  UNREACHABLE  {exc}")
+            failures += 1
+            continue
+        match = ("ok" if status.get("version") == local
+                 else f"VERSION MISMATCH (local {local})")
+        print(f"{host}:{port}  up  pid={status.get('pid')} "
+              f"served={status.get('served')} "
+              f"version={status.get('version')} [{match}]")
+        if status.get("version") != local:
+            failures += 1
+    return 1 if failures else 0
+
+
+def cmd_cluster_stop(args):
+    """Send a shutdown request to every worker."""
+    from repro.engine import shutdown_worker
+
+    failures = 0
+    for host, port in _cluster_workers(args):
+        try:
+            status = shutdown_worker((host, port), timeout=args.timeout)
+            print(f"{host}:{port}  stopped "
+                  f"(served {status.get('served')} spec(s))")
+        except (OSError, ValueError, RuntimeError) as exc:
+            print(f"{host}:{port}  UNREACHABLE  {exc}")
+            failures += 1
+    return 1 if failures else 0
 
 
 def build_parser():
@@ -412,6 +531,48 @@ def build_parser():
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the per-point progress line")
     bench.set_defaults(fn=cmd_bench)
+
+    worker = sub.add_parser(
+        "worker",
+        help="serve simulations to remote coordinators (--executor remote)")
+    worker.add_argument("--serve", action="store_true",
+                        help="start the daemon (required; blocks until "
+                             "`repro cluster stop` or Ctrl-C)")
+    worker.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1; use "
+                             "0.0.0.0 to serve other hosts)")
+    worker.add_argument("--port", type=int, default=None,
+                        help="TCP port (default: REPRO_WORKER_PORT or "
+                             "8642; 0 picks an ephemeral port)")
+    worker.add_argument("--jobs", type=int, default=None,
+                        help="local worker processes per batch (default "
+                             "1: serial in-process execution)")
+    worker.add_argument("--executor",
+                        choices=("serial", "pool", "persistent"),
+                        default=None,
+                        help="local execution strategy for incoming "
+                             "batches (default: serial, or pool when "
+                             "--jobs > 1)")
+    worker.add_argument("--no-cache", action="store_true",
+                        help="skip the persistent result store")
+    worker.set_defaults(fn=cmd_worker)
+
+    cluster = sub.add_parser(
+        "cluster", help="inspect or stop a set of remote workers")
+    cluster_sub = cluster.add_subparsers(dest="cluster_command",
+                                         required=True)
+    for name, fn, help_text in (
+        ("status", cmd_cluster_status,
+         "ping every worker and report version/liveness"),
+        ("stop", cmd_cluster_stop, "shut every worker down"),
+    ):
+        p = cluster_sub.add_parser(name, help=help_text)
+        p.add_argument("--workers", default=None,
+                       help="comma-separated worker addresses host[:port] "
+                            "(default: REPRO_WORKERS)")
+        p.add_argument("--timeout", type=float, default=5.0,
+                       help="per-worker connection timeout in seconds")
+        p.set_defaults(fn=fn)
 
     cache = sub.add_parser("cache", help="manage the persistent result store")
     cache_sub = cache.add_subparsers(dest="cache_command", required=True)

@@ -57,6 +57,8 @@ class ConventionalRenamer(Renamer):
     # -- Renamer interface ---------------------------------------------------
 
     def can_rename(self, rec):
+        """Whether a physical register is free for ``rec``'s destination
+        (a miss counts one decode stall)."""
         cls = dest_class_for(rec.op)
         if cls is None:
             return True
@@ -66,6 +68,12 @@ class ConventionalRenamer(Renamer):
         return True
 
     def rename(self, instr):
+        """Map sources to tags and allocate the destination register.
+
+        Conventional renaming allocates at decode: the instruction
+        leaves with ``dest_phys`` bound and the previous mapping saved
+        in ``prev_phys`` for commit-time release or rollback.
+        """
         # Per-fetch hot path: class/index extraction and tag packing are
         # inlined shifts (see repro.isa.registers / repro.core.tags for
         # the encodings) — IntEnum dict keys accept the raw class bit.
@@ -104,6 +112,8 @@ class ConventionalRenamer(Renamer):
         instr.dest_tag = (cls << TAG_CLASS_SHIFT) | new_phys
 
     def on_commit(self, instr):
+        """Release the previous mapping of the committed destination —
+        the conventional scheme's (late) register-free point."""
         if instr.dest_cls is not None:
             self.free[instr.dest_cls].release(instr.prev_phys)
 
@@ -120,6 +130,7 @@ class ConventionalRenamer(Renamer):
             self.free[cls].release(instr.dest_phys)
 
     def initial_ready_tags(self):
+        """Tags holding architectural values at reset (all ready)."""
         tags = []
         for cls in (RegClass.INT, RegClass.FP):
             tags.extend(make_tag(cls, p) for p in range(self.nlr[cls]))

@@ -53,6 +53,9 @@ class EarlyReleaseRenamer(ConventionalRenamer):
         self.early_frees = 0
 
     def rename(self, instr):
+        """Conventional rename plus read tracking: sources charge
+        pending-read counters so superseded registers free as soon as
+        their last reader retires."""
         rec = instr.rec
         # Record which physical registers the sources read, so commit can
         # decrement their pending-read counters.
@@ -79,6 +82,9 @@ class EarlyReleaseRenamer(ConventionalRenamer):
             fresh.producer_committed = False
 
     def on_commit(self, instr):
+        """Retire the instruction's reads and mark its producer
+        committed; any register whose free condition completes (superseded
+        + committed + no pending reads) is released immediately."""
         # Consumers retire their reads.
         for cls, phys in instr.src_phys:
             state = self._state[cls][phys]

@@ -125,6 +125,8 @@ class VirtualPhysicalRenamer(Renamer):
     # -- Renamer interface ---------------------------------------------------
 
     def can_rename(self, rec):
+        """Whether a *virtual* register is free for ``rec``'s destination
+        (the VP scheme never stalls decode on physical registers)."""
         cls = dest_class_for(rec.op)
         if cls is None:
             return True
@@ -136,6 +138,12 @@ class VirtualPhysicalRenamer(Renamer):
         return True
 
     def rename(self, instr):
+        """Bind the destination to a fresh virtual-physical register.
+
+        Physical allocation is deferred to :meth:`on_issue` /
+        :meth:`on_complete` (per the configured allocation stage); the
+        GMT tracks the logical→VP mapping so consumers wake on VP tags.
+        """
         # Per-fetch hot path: inlined class/index shifts, as in the
         # conventional renamer.
         rec = instr.rec
@@ -183,6 +191,8 @@ class VirtualPhysicalRenamer(Renamer):
             self._reserve_by_cls[cls].on_dispatch(instr)
 
     def on_issue(self, instr, now):
+        """Issue-stage allocation attempt (ISSUE configs only); a
+        ``False`` return blocks issue and counts an issue-alloc block."""
         if self.allocation is not AllocationStage.ISSUE or instr.dest_cls is None:
             return True
         if instr.dest_phys >= 0:
@@ -193,6 +203,8 @@ class VirtualPhysicalRenamer(Renamer):
         return True
 
     def on_complete(self, instr, now):
+        """Write-back allocation attempt: a ``False`` return squashes
+        the instruction for re-execution (paper §4.2.1)."""
         if instr.dest_cls is None:
             return True
         if instr.dest_phys >= 0:
@@ -246,6 +258,8 @@ class VirtualPhysicalRenamer(Renamer):
         return True
 
     def on_commit(self, instr):
+        """Free the superseded previous mapping — both its VP name and,
+        through the PMT, the physical register bound to it."""
         cls = instr.dest_cls
         if cls is None:
             return
@@ -308,6 +322,7 @@ class VirtualPhysicalRenamer(Renamer):
             self.reserve.drop_younger_than(instrs[-1].seq - 1)
 
     def initial_ready_tags(self):
+        """VP tags holding architectural values at reset (all ready)."""
         tags = []
         for cls in (RegClass.INT, RegClass.FP):
             tags.extend(make_tag(cls, vp) for vp in range(self.nlr[cls]))

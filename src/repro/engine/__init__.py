@@ -5,17 +5,24 @@ benchmark harness, examples — flows through this package:
 
 * :class:`~repro.engine.spec.RunSpec` names one simulation and gives it
   a stable cross-process identity (config content hash × workload ×
-  run length × seed).
-* :class:`~repro.engine.executors.SerialExecutor` and
-  :class:`~repro.engine.executors.ProcessPoolExecutor` are the pluggable
-  execution strategies; the pool is sized from ``os.cpu_count()`` (or
-  ``REPRO_JOBS``).
-* :class:`~repro.engine.store.ResultStore` persists results as JSON
-  lines under ``REPRO_CACHE_DIR`` (default ``~/.cache/repro``), keyed
+  run length × seed); it serializes losslessly, so specs travel to
+  remote workers.
+* :class:`~repro.engine.executors.SerialExecutor`,
+  :class:`~repro.engine.executors.ProcessPoolExecutor`,
+  :class:`~repro.engine.executors.PersistentPoolExecutor`, and
+  :class:`~repro.engine.remote.RemoteExecutor` are the pluggable
+  execution strategies (one process, fresh pool, warm pool, worker
+  cluster); :func:`~repro.engine.executors.make_executor` picks one
+  from the CLI/environment selection.
+* :class:`~repro.engine.store.ResultStore` persists results as sharded
+  JSON-lines segments under ``REPRO_CACHE_DIR`` (default
+  ``~/.cache/repro``), one segment per concurrent writer, keyed
   additionally on a hash of the package source so any simulator change
   invalidates stale results.
 * :class:`~repro.engine.core.BatchEngine` ties the layers together:
   grid in, results (in spec order) out.
+
+See ``docs/engine.md`` for the full execution-layer reference.
 """
 
 from repro.engine.core import BatchEngine, BatchStats
@@ -28,6 +35,14 @@ from repro.engine.executors import (
     execute_spec,
     make_executor,
 )
+from repro.engine.remote import (
+    DEFAULT_PORT,
+    RemoteExecutor,
+    WorkerServer,
+    parse_workers,
+    ping_worker,
+    shutdown_worker,
+)
 from repro.engine.spec import RunSpec
 from repro.engine.store import ResultStore, default_cache_dir
 from repro.engine.version import code_version
@@ -35,15 +50,21 @@ from repro.engine.version import code_version
 __all__ = [
     "BatchEngine",
     "BatchStats",
+    "DEFAULT_PORT",
     "EXECUTOR_KINDS",
     "PersistentPoolExecutor",
     "ProcessPoolExecutor",
+    "RemoteExecutor",
     "SerialExecutor",
     "RunSpec",
     "ResultStore",
+    "WorkerServer",
     "code_version",
     "default_cache_dir",
     "default_jobs",
     "execute_spec",
     "make_executor",
+    "parse_workers",
+    "ping_worker",
+    "shutdown_worker",
 ]

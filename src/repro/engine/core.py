@@ -10,6 +10,11 @@ spec order.  For each spec it consults, in order:
    so a grid that names the conventional baseline nine times runs it
    once.
 
+The executor seam is where the engine scales: the same ``run()`` call
+executes in-process, on local process pools, or across a cluster of
+``repro worker`` daemons (:class:`~repro.engine.remote.RemoteExecutor`)
+without the caller changing anything.
+
 Execution counters (``memo_hits`` / ``store_hits`` / ``executed``) are
 kept per ``run()`` call so callers can report cache effectiveness.
 """
@@ -50,6 +55,17 @@ class BatchEngine:
         """An engine whose executor matches a requested job count."""
         return cls(executor=make_executor(jobs), store=store,
                    progress=progress)
+
+    @classmethod
+    def with_workers(cls, workers, store=None, progress=None):
+        """An engine that executes misses on a remote worker cluster.
+
+        ``workers`` is a ``host[:port],...`` string or iterable naming
+        ``repro worker --serve`` daemons (see
+        :mod:`repro.engine.remote`).
+        """
+        return cls(executor=make_executor(kind="remote", workers=workers),
+                   store=store, progress=progress)
 
     def run(self, specs):
         """Simulate every spec, returning results in spec order."""

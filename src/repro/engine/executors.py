@@ -17,6 +17,14 @@ callback as runs finish.
   instead of per batch.  Call :meth:`~PersistentPoolExecutor.close`
   (or use it as a context manager) when done; an ``atexit`` hook cleans
   up otherwise.
+* :class:`~repro.engine.remote.RemoteExecutor` (in
+  :mod:`repro.engine.remote`) fans batches out across ``repro worker``
+  daemons on other hosts — the cluster-scale backend behind
+  ``--executor remote``.
+
+:func:`make_executor` maps the CLI/environment selection
+(``--executor`` / ``REPRO_EXECUTOR`` / ``--workers`` /
+``REPRO_WORKERS``) onto these classes.
 """
 
 from __future__ import annotations
@@ -58,6 +66,7 @@ class SerialExecutor:
     jobs = 1
 
     def run(self, specs, progress=None):
+        """Simulate each spec in submission order; results match it."""
         results = []
         for index, spec in enumerate(specs):
             results.append(execute_spec(spec))
@@ -77,6 +86,7 @@ class ProcessPoolExecutor:
         self.jobs = jobs or default_jobs()
 
     def run(self, specs, progress=None):
+        """Simulate the specs on a fresh pool; results in spec order."""
         if self.jobs <= 1 or len(specs) <= 1:
             return SerialExecutor().run(specs, progress=progress)
         results = [None] * len(specs)
@@ -115,6 +125,7 @@ class PersistentPoolExecutor:
         return self._pool
 
     def run(self, specs, progress=None):
+        """Simulate the specs on the warm pool; results in spec order."""
         if self.jobs <= 1:
             return SerialExecutor().run(specs, progress=progress)
         if len(specs) <= 1 and self._pool is None:
@@ -147,17 +158,26 @@ class PersistentPoolExecutor:
 
 
 #: Executor registry for ``--executor`` / ``REPRO_EXECUTOR``.
-EXECUTOR_KINDS = ("serial", "pool", "persistent")
+EXECUTOR_KINDS = ("serial", "pool", "persistent", "remote")
 
 
-def make_executor(jobs=None, kind=None):
-    """The executor a job count and kind imply.
+def make_executor(jobs=None, kind=None, workers=None):
+    """The executor a job count, kind, and worker list imply.
 
     ``kind`` is one of :data:`EXECUTOR_KINDS` (default: the
     ``REPRO_EXECUTOR`` environment variable, else jobs-based — serial
-    for one job, a per-batch pool otherwise).
+    for one job, a per-batch pool otherwise).  Naming ``workers``
+    (a ``host[:port],...`` list, or the ``REPRO_WORKERS`` environment
+    variable for ``kind="remote"``) selects the distributed
+    :class:`~repro.engine.remote.RemoteExecutor`, which fans batches
+    out across ``repro worker --serve`` daemons.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
+    # Precedence: explicit kind > explicit workers (implies remote) >
+    # REPRO_EXECUTOR > jobs-based default.  A --workers flag must not
+    # be silently overridden by a leftover environment variable.
+    if kind is None and workers:
+        kind = "remote"
     if kind is None:
         kind = os.environ.get("REPRO_EXECUTOR") or None
     if kind is None:
@@ -168,5 +188,10 @@ def make_executor(jobs=None, kind=None):
         return ProcessPoolExecutor(jobs)
     if kind == "persistent":
         return PersistentPoolExecutor(jobs)
+    if kind == "remote":
+        from repro.engine.remote import RemoteExecutor
+
+        workers = workers or os.environ.get("REPRO_WORKERS")
+        return RemoteExecutor(workers)
     raise ValueError(
         f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}")

@@ -1,0 +1,483 @@
+"""Distributed execution: worker daemons and the remote executor.
+
+This module is the cluster seam of the batch engine.  It has two
+halves that speak a one-line-JSON-per-connection TCP protocol:
+
+* :class:`WorkerServer` — the daemon behind ``repro worker --serve``.
+  It accepts serialized :class:`~repro.engine.spec.RunSpec` batches,
+  simulates them (optionally through a local worker pool and a local
+  :class:`~repro.engine.store.ResultStore`), and streams the serialized
+  :class:`~repro.uarch.stats.SimResult`\\ s back.  Workers sharing a
+  cache directory each append to their own store segment, so any number
+  of daemons can serve the same grid concurrently.
+* :class:`RemoteExecutor` — the coordinator.  It fans a spec grid out
+  across registered workers in chunks, so large grids stream instead of
+  blocking on one giant request, with per-task **retry** (a failed
+  chunk is re-dispatched to another worker), **heartbeat** probing
+  (dead workers are dropped before and during the run), and
+  **straggler re-dispatch** (idle workers duplicate the oldest
+  still-running chunk; the first finisher wins).
+
+Wire protocol (one JSON object per line, one request per connection)::
+
+    -> {"op": "ping"}
+    <- {"ok": true, "version": "<code hash>", "pid": 123, "served": 42}
+    -> {"op": "run_batch", "specs": [<RunSpec.to_dict()>, ...]}
+    <- {"ok": true, "results": [<SimResult.to_dict()>, ...],
+        "version": "<code hash>"}
+    -> {"op": "shutdown"}
+    <- {"ok": true}
+
+Every run is fully seeded and the worker executes the same
+:func:`~repro.engine.executors.execute_spec` work unit as the local
+executors, so remote results are bit-identical to serial ones.  The
+coordinator refuses workers whose ``version`` fingerprint differs from
+its own: results are keyed by code version, and silently mixing
+simulator builds would poison the store.
+
+Select the backend with ``--executor remote --workers host1,host2:port``
+(or ``REPRO_EXECUTOR=remote`` + ``REPRO_WORKERS=...``) on any
+simulating CLI command; the default port is :data:`DEFAULT_PORT`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import socket
+import socketserver
+import threading
+import time
+
+from repro.engine.spec import RunSpec
+from repro.engine.version import code_version
+from repro.uarch.stats import SimResult
+
+#: Default TCP port for ``repro worker --serve`` (``REPRO_WORKER_PORT``).
+DEFAULT_PORT = 8642
+
+#: Hard cap on one request line (a grid chunk of serialized specs).
+_MAX_LINE = 64 * 1024 * 1024
+
+
+def default_port():
+    """The worker port: ``REPRO_WORKER_PORT`` or :data:`DEFAULT_PORT`."""
+    env = os.environ.get("REPRO_WORKER_PORT")
+    if env:
+        return int(env)
+    return DEFAULT_PORT
+
+
+def parse_workers(spec):
+    """Parse a worker list: ``"host1,host2:7000"`` → ``[(host, port)]``.
+
+    Accepts a comma-separated string or an iterable of ``host[:port]``
+    strings / ``(host, port)`` pairs; the port defaults to
+    :func:`default_port`.
+    """
+    if spec is None:
+        return []
+    if isinstance(spec, str):
+        items = [part.strip() for part in spec.split(",") if part.strip()]
+    else:
+        items = list(spec)
+    workers = []
+    for item in items:
+        if isinstance(item, (tuple, list)):
+            host, port = item
+            workers.append((str(host), int(port)))
+            continue
+        host, _, port = str(item).partition(":")
+        if not host:
+            raise ValueError(f"empty worker host in {spec!r}")
+        workers.append((host, int(port) if port else default_port()))
+    return workers
+
+
+def _request(address, payload, timeout):
+    """One protocol round trip: connect, send a line, read a line."""
+    with socket.create_connection(address, timeout=timeout) as sock:
+        sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
+        sock.shutdown(socket.SHUT_WR)
+        with sock.makefile("rb") as fh:
+            line = fh.readline(_MAX_LINE)
+    if not line:
+        raise ConnectionError(f"worker {address[0]}:{address[1]} closed "
+                              "the connection without replying")
+    response = json.loads(line.decode("utf-8"))
+    if not response.get("ok"):
+        raise RuntimeError(f"worker {address[0]}:{address[1]} error: "
+                           f"{response.get('error', 'unknown')}")
+    return response
+
+
+def ping_worker(address, timeout=5.0):
+    """Probe one worker; returns its status dict or raises."""
+    return _request(address, {"op": "ping"}, timeout)
+
+
+def shutdown_worker(address, timeout=5.0):
+    """Ask one worker daemon to exit; returns its final status dict."""
+    return _request(address, {"op": "shutdown"}, timeout)
+
+
+class _WorkerHandler(socketserver.StreamRequestHandler):
+    """One connection = one JSON request line = one JSON response line."""
+
+    def handle(self):
+        server = self.server
+        try:
+            line = self.rfile.readline(_MAX_LINE)
+            request = json.loads(line.decode("utf-8"))
+            op = request.get("op")
+            if op == "ping":
+                response = server.status()
+            elif op == "run_batch":
+                response = server.run_batch(request.get("specs") or [])
+            elif op == "shutdown":
+                response = server.status()
+                # shutdown() blocks until serve_forever() returns, so it
+                # must run outside this handler thread.
+                threading.Thread(target=server.shutdown,
+                                 daemon=True).start()
+            else:
+                response = {"ok": False, "error": f"unknown op {op!r}"}
+        except Exception as exc:  # never kill the daemon on a bad request
+            response = {"ok": False,
+                        "error": f"{type(exc).__name__}: {exc}"}
+        try:
+            self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
+        except OSError:
+            pass  # client went away; nothing to tell it
+
+
+class WorkerServer(socketserver.ThreadingTCPServer):
+    """The ``repro worker --serve`` daemon.
+
+    Listens on ``host:port`` (port ``0`` picks an ephemeral port —
+    handy for tests; read it back from :attr:`address`), executes
+    incoming spec batches with ``executor`` (default: serial,
+    in-process), and optionally consults/feeds a local ``store`` so
+    repeated grids are served from cache.  Thread-per-connection, so
+    several coordinators (or chunks) can be in flight at once.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, host="127.0.0.1", port=0, store=None, executor=None):
+        super().__init__((host, port), _WorkerHandler)
+        from repro.engine.executors import SerialExecutor
+
+        self.store = store
+        self.executor = executor or SerialExecutor()
+        self.version = code_version()
+        self.served = 0  # specs executed or served from cache
+        self._lock = threading.Lock()
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — resolves an ephemeral port."""
+        return self.server_address[:2]
+
+    def status(self):
+        """The ping/shutdown response body."""
+        return {"ok": True, "version": self.version, "pid": os.getpid(),
+                "served": self.served}
+
+    def run_batch(self, spec_dicts):
+        """Execute one serialized chunk; returns the response body."""
+        specs = [RunSpec.from_dict(d) for d in spec_dicts]
+        results = [None] * len(specs)
+        misses = []  # (position, spec)
+        for pos, spec in enumerate(specs):
+            stored = self.store.get(spec.key()) if self.store else None
+            if stored is not None:
+                results[pos] = stored
+            else:
+                misses.append((pos, spec))
+        if misses:
+            executed = self.executor.run([spec for _, spec in misses])
+            for (pos, spec), result in zip(misses, executed):
+                results[pos] = result
+                if self.store is not None:
+                    self.store.put(spec.key(), result)
+        with self._lock:
+            self.served += len(specs)
+        return {"ok": True, "version": self.version,
+                "results": [r.to_dict() for r in results]}
+
+    def serve_in_thread(self):
+        """Start serving on a daemon thread (tests / embedded use)."""
+        thread = threading.Thread(target=self.serve_forever, daemon=True)
+        thread.start()
+        return thread
+
+
+class _Task:
+    """One dispatch unit: a contiguous chunk of the spec grid."""
+
+    __slots__ = ("task_id", "indices", "specs", "attempts", "done",
+                 "started_at", "in_flight")
+
+    def __init__(self, task_id, indices, specs):
+        self.task_id = task_id
+        self.indices = indices
+        self.specs = specs
+        self.attempts = 0
+        self.done = False
+        self.started_at = None
+        self.in_flight = 0
+
+
+class RemoteExecutor:
+    """Fans spec grids out across ``repro worker`` daemons.
+
+    Plugs into :class:`~repro.engine.core.BatchEngine` exactly like the
+    local executors: ``run(specs, progress)`` returns results in spec
+    order.  The grid is split into chunks of ``chunk_size`` specs
+    (default: enough chunks for every worker to get several, so
+    progress streams and load balances); each worker runs a coordinator
+    thread that pulls chunks from a shared queue.
+
+    Fault handling:
+
+    * **heartbeat** — every worker is pinged before the run and, while
+      idle, every ``heartbeat_interval`` seconds; unreachable or
+      version-mismatched workers are dropped (including mid-run drift:
+      every batch response's version is re-checked).
+    * **retry** — a chunk whose dispatch fails is re-queued and picked
+      up by another worker, up to ``max_task_attempts`` tries; a worker
+      accumulating ``max_worker_failures`` consecutive failures is
+      abandoned.
+    * **straggler re-dispatch** — once the queue drains, idle workers
+      duplicate the oldest chunk still in flight for more than
+      ``straggler_after`` seconds; whichever copy finishes first wins
+      (results are deterministic, so both copies agree).
+
+    The run raises :class:`RuntimeError` if no worker is reachable or
+    some chunk exhausts its attempts everywhere.
+    """
+
+    def __init__(self, workers, chunk_size=None, connect_timeout=5.0,
+                 run_timeout=900.0, max_task_attempts=3,
+                 max_worker_failures=3, straggler_after=30.0,
+                 heartbeat_interval=5.0):
+        self.workers = parse_workers(workers)
+        if not self.workers:
+            raise ValueError(
+                "RemoteExecutor needs at least one worker address "
+                "(--workers host[:port],... or REPRO_WORKERS)")
+        self.chunk_size = chunk_size
+        self.connect_timeout = connect_timeout
+        self.run_timeout = run_timeout
+        self.max_task_attempts = max_task_attempts
+        self.max_worker_failures = max_worker_failures
+        self.straggler_after = straggler_after
+        self.heartbeat_interval = heartbeat_interval
+        self.version = code_version()
+        #: Worker count, for the CLI's "N job(s)" accounting line.
+        self.jobs = len(self.workers)
+        self.last_run_report = {}
+
+    # -- cluster probing ---------------------------------------------
+
+    def probe(self):
+        """Ping every registered worker.
+
+        Returns ``(alive, rejected)``: reachable same-version workers,
+        and ``(address, reason)`` pairs for the rest.
+        """
+        alive, rejected = [], []
+        for address in self.workers:
+            try:
+                status = ping_worker(address, timeout=self.connect_timeout)
+            except (OSError, ValueError, RuntimeError) as exc:
+                rejected.append((address, f"unreachable: {exc}"))
+                continue
+            if status.get("version") != self.version:
+                rejected.append((address,
+                                 f"code version {status.get('version')!r} "
+                                 f"!= local {self.version!r}"))
+                continue
+            alive.append(address)
+        return alive, rejected
+
+    # -- the run -----------------------------------------------------
+
+    def _chunk(self, count, workers):
+        if self.chunk_size:
+            return max(1, int(self.chunk_size))
+        # Aim for ~4 chunks per worker so the queue streams and slow
+        # chunks don't serialize the tail, without per-spec round trips.
+        return max(1, -(-count // (4 * workers)))
+
+    def run(self, specs, progress=None):
+        """Execute every spec on the cluster; results in spec order."""
+        specs = list(specs)
+        if not specs:
+            return []
+        alive, rejected = self.probe()
+        if not alive:
+            detail = "; ".join(f"{h}:{p} ({why})"
+                               for (h, p), why in rejected)
+            raise RuntimeError(f"no usable remote workers: {detail}")
+        self.jobs = len(alive)
+
+        chunk = self._chunk(len(specs), len(alive))
+        tasks = [
+            _Task(task_id, list(range(start, min(start + chunk, len(specs)))),
+                  specs[start:min(start + chunk, len(specs))])
+            for task_id, start in enumerate(range(0, len(specs), chunk))
+        ]
+        todo = queue.Queue()
+        for task in tasks:
+            todo.put(task)
+
+        results = [None] * len(specs)
+        state = {
+            "done": 0, "dispatched": 0, "retries": 0, "stolen": 0,
+            "errors": [],  # (address, task_id, message)
+        }
+        lock = threading.Lock()
+        all_done = threading.Event()
+
+        def finish(task, batch):
+            with lock:
+                if task.done:
+                    return
+                task.done = True
+                for index, rdict in zip(task.indices, batch):
+                    results[index] = SimResult.from_dict(rdict)
+                state["done"] += len(task.indices)
+                done_now = state["done"]
+                if done_now == len(specs):
+                    all_done.set()
+            if progress:
+                progress(done_now, len(specs), task.specs[-1])
+
+        def next_task():
+            """A queued task, or a straggler to duplicate, or None."""
+            try:
+                task = todo.get_nowait()
+                if task.done:
+                    return next_task()
+                return task
+            except queue.Empty:
+                pass
+            with lock:
+                now = time.monotonic()
+                candidates = [
+                    t for t in tasks
+                    if not t.done and t.in_flight > 0
+                    and t.started_at is not None
+                    and now - t.started_at >= self.straggler_after
+                ]
+                if not candidates:
+                    return None
+                task = min(candidates, key=lambda t: t.started_at)
+                state["stolen"] += 1
+                return task
+
+        def worker_loop(address):
+            failures = 0
+            last_ping = time.monotonic()
+            while not all_done.is_set():
+                task = next_task()
+                if task is None:
+                    if all_done.wait(timeout=0.25):
+                        return
+                    # Idle heartbeat (rate-limited — no point hammering
+                    # the daemon with connects while a straggler runs):
+                    # drop off if the daemon died.
+                    now = time.monotonic()
+                    if now - last_ping < self.heartbeat_interval:
+                        continue
+                    last_ping = now
+                    try:
+                        ping_worker(address, timeout=self.connect_timeout)
+                    except (OSError, ValueError, RuntimeError):
+                        return
+                    continue
+                with lock:
+                    if task.done:
+                        continue
+                    task.attempts += 1
+                    task.in_flight += 1
+                    if task.started_at is None:
+                        task.started_at = time.monotonic()
+                    state["dispatched"] += 1
+                try:
+                    response = _request(
+                        address,
+                        {"op": "run_batch",
+                         "specs": [s.to_dict() for s in task.specs]},
+                        timeout=self.run_timeout)
+                    if response.get("version") != self.version:
+                        # The daemon was restarted with different code
+                        # between the probe and this batch: its results
+                        # would poison the store under our version key.
+                        raise RuntimeError(
+                            f"worker {address[0]}:{address[1]} now runs "
+                            f"code version {response.get('version')!r} "
+                            f"!= local {self.version!r}")
+                    finish(task, response["results"])
+                    failures = 0
+                    last_ping = time.monotonic()
+                except (OSError, ValueError, KeyError,
+                        RuntimeError) as exc:
+                    with lock:
+                        task.in_flight -= 1
+                        state["errors"].append(
+                            (address, task.task_id,
+                             f"{type(exc).__name__}: {exc}"))
+                        failures += 1
+                        if not task.done:
+                            if task.attempts < self.max_task_attempts:
+                                state["retries"] += 1
+                                todo.put(task)
+                            elif task.in_flight == 0:
+                                # Exhausted everywhere: give up the run.
+                                all_done.set()
+                    if failures >= self.max_worker_failures:
+                        return
+                else:
+                    with lock:
+                        task.in_flight -= 1
+
+        threads = [threading.Thread(
+            target=worker_loop, args=(address,), daemon=True,
+            name=f"remote-{address[0]}:{address[1]}") for address in alive]
+        for thread in threads:
+            thread.start()
+        # Wait for completion OR every thread giving up — but never for
+        # a thread wedged inside a request whose results a straggler
+        # re-dispatch already delivered: once all_done is set the run
+        # is over, and stuck daemon threads are abandoned after a short
+        # grace period (they time out and exit on their own).
+        while not all_done.is_set() and any(t.is_alive() for t in threads):
+            all_done.wait(timeout=0.1)
+        for thread in threads:
+            thread.join(timeout=1.0)
+
+        with lock:  # abandoned threads may still touch state
+            self.last_run_report = {
+                "workers": [f"{h}:{p}" for h, p in alive],
+                "rejected": [f"{h}:{p}: {why}"
+                             for (h, p), why in rejected],
+                "chunk_size": chunk, "tasks": len(tasks),
+                "dispatched": state["dispatched"],
+                "retries": state["retries"],
+                "straggler_redispatches": state["stolen"],
+                "errors": [f"{h}:{p} task {t}: {msg}"
+                           for (h, p), t, msg in state["errors"]],
+            }
+            completed = state["done"]
+        if completed != len(specs):
+            pending = [t.task_id for t in tasks if not t.done]
+            detail = "; ".join(self.last_run_report["errors"][-5:])
+            raise RuntimeError(
+                f"remote run incomplete: chunks {pending} failed after "
+                f"{self.max_task_attempts} attempt(s) each ({detail})")
+        return results

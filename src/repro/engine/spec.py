@@ -6,7 +6,9 @@ by callers that want the environment defaults (``REPRO_BENCH_*``); such
 specs are *unresolved* and must pass through :meth:`RunSpec.resolved`
 before execution.  A resolved spec has a stable string :meth:`key` built
 from the config's content hash, which identifies the run across
-processes and interpreter sessions.
+processes and interpreter sessions, and serializes losslessly through
+:meth:`RunSpec.to_dict` / :meth:`RunSpec.from_dict` — the wire format
+the remote executor ships to ``repro worker`` daemons.
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ class RunSpec:
 
     @property
     def is_resolved(self):
+        """Whether every run-length field is filled (spec is keyable)."""
         return None not in (self.instructions, self.skip, self.seed)
 
     def resolved(self, instructions=30_000, skip=3_000, seed=1234):
@@ -50,3 +53,39 @@ class RunSpec:
                              "call .resolved() first")
         return (f"{self.workload}:{self.config.key()}"
                 f":{self.instructions}:{self.skip}:{self.seed}")
+
+    def to_dict(self):
+        """JSON-compatible form (the remote-executor wire format).
+
+        Round-trips through :meth:`from_dict`: the nested config is
+        serialized with ``ProcessorConfig.to_dict``, so a deserialized
+        spec produces the identical :meth:`key`.
+        """
+        config = self.config
+        if config is not None and hasattr(config, "to_dict"):
+            config = config.to_dict()
+        return {
+            "workload": self.workload,
+            "config": config,
+            "label": self.label,
+            "instructions": self.instructions,
+            "skip": self.skip,
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        from repro.uarch.config import ProcessorConfig
+
+        config = data.get("config")
+        if isinstance(config, dict):
+            config = ProcessorConfig.from_dict(config)
+        return cls(
+            workload=data["workload"],
+            config=config,
+            label=data.get("label", ""),
+            instructions=data.get("instructions"),
+            skip=data.get("skip"),
+            seed=data.get("seed"),
+        )

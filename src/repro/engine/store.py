@@ -1,17 +1,40 @@
-"""Persistent on-disk result store (JSON lines).
+"""Persistent on-disk result store (sharded JSON-lines segments).
 
-Results live in ``$REPRO_CACHE_DIR/results.jsonl`` (default
-``~/.cache/repro``), one self-contained record per line::
+Results live under ``$REPRO_CACHE_DIR`` (default ``~/.cache/repro``) as
+one *base* file plus any number of per-writer *segment* files::
+
+    results.jsonl                    # the merged base (compact target)
+    results-<host>-<pid>-<tok>.jsonl # one segment per concurrent writer
+
+Every file holds self-contained records, one per line::
 
     {"key": "<spec key>", "version": "<code hash>", "result": {...}}
 
-Records are append-only; on load the last record for a key wins.  Keys
-combine the spec identity (config content hash × workload × run length
-× seed) with the package's code-version fingerprint, so editing any
-simulator source invalidates every stored result.  Corrupt or truncated
-lines (e.g. from an interrupted run) are skipped, and an unwritable
-cache directory degrades the store to a no-op rather than failing the
-run.
+Each :class:`ResultStore` instance appends only to its **own** segment
+file, so any number of processes — local sweep workers, ``repro worker``
+daemons sharing a cache directory over NFS — can write concurrently
+without locks and without ever interleaving bytes inside a record.
+Readers merge the base file and every segment into one index
+(base first, then segments in name order; the newest record for a key
+wins), so a record is visible to other processes as soon as its
+``put`` returns.
+
+Consistency guarantee: each appended record is written with a *single*
+``os.write`` of one complete ``line + "\\n"`` to a file opened with
+``O_APPEND``.  POSIX makes such appends atomic with respect to
+concurrent readers and writers of the same file, so a reader never
+observes a torn (half-written) record — it sees the whole line or no
+line at all.  Corrupt or truncated lines (e.g. a hard kill mid-write on
+a non-POSIX filesystem) are skipped on load, and an unwritable cache
+directory degrades the store to a no-op rather than failing the run.
+
+Keys combine the spec identity (config content hash × workload × run
+length × seed) with the package's code-version fingerprint, so editing
+any simulator source invalidates every stored result.
+
+:meth:`ResultStore.compact` folds every segment (and superseded base
+records) back into a single fresh ``results.jsonl`` and deletes the
+merged segments — run it between sweeps to keep the directory tidy.
 """
 
 from __future__ import annotations
@@ -19,52 +42,109 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import socket
+import uuid
 
 from repro.engine.version import code_version
 from repro.uarch.stats import SimResult
 
 _STORE_FILE = "results.jsonl"
+_SEGMENT_GLOB = "results-*.jsonl"
 
 
 def default_cache_dir():
+    """The store directory: ``REPRO_CACHE_DIR`` or ``~/.cache/repro``."""
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
         return pathlib.Path(env)
     return pathlib.Path.home() / ".cache" / "repro"
 
 
+def _writer_id():
+    """A segment name component unique to this writer.
+
+    Hostname × pid disambiguates writers sharing a network filesystem;
+    the random token disambiguates pid reuse and multiple stores in one
+    process.
+    """
+    host = socket.gethostname().split(".")[0][:24] or "host"
+    return f"{host}-{os.getpid()}-{uuid.uuid4().hex[:6]}"
+
+
 class ResultStore:
-    """Append-only JSONL store mapping spec keys to ``SimResult``s."""
+    """Sharded append-only JSONL store mapping spec keys to results.
+
+    Each instance lazily creates its own segment file on first
+    :meth:`put` and reads the union of the base file and every segment.
+    All methods are best-effort with respect to I/O errors: an
+    unwritable directory silently disables persistence (the in-memory
+    index keeps serving the current process).
+
+    Parameters
+    ----------
+    directory:
+        Cache directory (default :func:`default_cache_dir`).
+    version:
+        Code-version fingerprint qualifying every key (default: the
+        real :func:`~repro.engine.version.code_version` of the package).
+    """
 
     def __init__(self, directory=None, version=None):
         self.directory = pathlib.Path(directory or default_cache_dir())
         self.path = self.directory / _STORE_FILE
         self.version = version or code_version()
-        self._index = None  # key -> result dict (lazy)
+        self._index = None  # qualified key -> result dict (lazy)
         self._broken = False
+        self._segment_path = None  # created on first put
+
+    # -- identity ----------------------------------------------------
 
     def _qualified(self, key):
         return f"{key}@{self.version}"
+
+    # -- reading -----------------------------------------------------
+
+    def segment_paths(self):
+        """Every segment file currently in the directory (name order)."""
+        try:
+            return sorted(self.directory.glob(_SEGMENT_GLOB))
+        except OSError:
+            return []
+
+    def _read_files(self):
+        """The base file plus every segment, in merge order."""
+        return [self.path, *self.segment_paths()]
 
     def _load_index(self):
         if self._index is not None:
             return self._index
         self._index = {}
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                for line in fh:
-                    line = line.strip()
-                    if not line:
-                        continue
-                    try:
-                        record = json.loads(line)
-                        qualified = f"{record['key']}@{record['version']}"
-                        self._index[qualified] = record["result"]
-                    except (ValueError, KeyError, TypeError):
-                        continue  # truncated/corrupt line
-        except OSError:
-            pass
+        for path in self._read_files():
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        line = line.strip()
+                        if not line:
+                            continue
+                        try:
+                            record = json.loads(line)
+                            qualified = (f"{record['key']}"
+                                         f"@{record['version']}")
+                            self._index[qualified] = record["result"]
+                        except (ValueError, KeyError, TypeError):
+                            continue  # truncated/corrupt line
+            except OSError:
+                continue
         return self._index
+
+    def refresh(self):
+        """Drop the in-memory index so the next read re-scans disk.
+
+        Concurrent writers append to their own segments; a long-lived
+        reader calls this to pick up records written after its first
+        load.
+        """
+        self._index = None
 
     def get(self, key):
         """The stored :class:`SimResult` for ``key``, or ``None``."""
@@ -76,60 +156,88 @@ class ResultStore:
         except (TypeError, ValueError):
             return None
 
+    # -- writing -----------------------------------------------------
+
+    def _segment(self):
+        if self._segment_path is None:
+            self._segment_path = (self.directory
+                                  / f"results-{_writer_id()}.jsonl")
+        return self._segment_path
+
     def put(self, key, result):
-        """Persist one result (appends immediately; best-effort)."""
+        """Persist one result (appends immediately; best-effort).
+
+        The record lands in this store's private segment file as one
+        atomic ``O_APPEND`` write, so concurrent readers of the cache
+        directory either see the whole record or none of it.
+        """
         record = result.to_dict()
         self._load_index()[self._qualified(key)] = record
         if self._broken:
             return
         line = json.dumps({"key": key, "version": self.version,
                            "result": record}, sort_keys=True)
+        data = (line + "\n").encode("utf-8")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as fh:
-                fh.write(line + "\n")
+            fd = os.open(self._segment(),
+                         os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, data)  # one write: never torn for readers
+            finally:
+                os.close(fd)
         except OSError:
             self._broken = True  # unwritable cache dir: keep simulating
 
-    def compact(self, prune_stale=False):
-        """Rewrite the append-only JSONL keeping the newest record per key.
+    # -- maintenance -------------------------------------------------
 
-        The store only ever appends, so a heavily reused cache directory
-        accumulates superseded records (same key written again) and, with
-        ``prune_stale=True``, records from older code versions that no
-        current reader can ever hit.  The rewrite is atomic (temp file +
-        ``os.replace``); corrupt lines are dropped.
+    def compact(self, prune_stale=False):
+        """Merge every segment and superseded record into a fresh base.
+
+        Reads the base file plus all segments, keeps the newest record
+        per qualified key (``prune_stale=True`` also drops records from
+        older code versions that no current reader can hit), rewrites
+        ``results.jsonl`` atomically (temp file + ``os.replace``), and
+        deletes the segments that were merged in.  Corrupt lines are
+        dropped.
 
         Run it while the store is quiescent: a record appended by a
-        concurrently running sweep between the read and the replace is
+        concurrently running sweep between the read and the delete is
         lost (harmless — that result just re-simulates on its next
         miss — but it wastes the work).
 
         Returns ``(kept, dropped)`` record counts.
         """
-        try:
-            with open(self.path, "r", encoding="utf-8") as fh:
-                lines = fh.readlines()
-        except OSError:
-            return 0, 0
+        sources = self._read_files()
+        merged_segments = sources[1:]
         latest = {}  # qualified key -> json line (last wins, order kept)
         dropped = 0
-        for line in lines:
-            line = line.strip()
-            if not line:
-                continue
+        saw_any = False
+        for path in sources:
             try:
-                record = json.loads(line)
-                qualified = f"{record['key']}@{record['version']}"
-            except (ValueError, KeyError, TypeError):
-                dropped += 1  # truncated/corrupt line
+                with open(path, "r", encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            except OSError:
                 continue
-            if prune_stale and record["version"] != self.version:
-                dropped += 1
-                continue
-            if qualified in latest:
-                dropped += 1  # superseded earlier record
-            latest[qualified] = line
+            saw_any = True
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                    qualified = f"{record['key']}@{record['version']}"
+                except (ValueError, KeyError, TypeError):
+                    dropped += 1  # truncated/corrupt line
+                    continue
+                if prune_stale and record["version"] != self.version:
+                    dropped += 1
+                    continue
+                if qualified in latest:
+                    dropped += 1  # superseded earlier record
+                latest[qualified] = line
+        if not saw_any:
+            return 0, 0
         tmp_path = self.path.with_suffix(".jsonl.tmp")
         try:
             with open(tmp_path, "w", encoding="utf-8") as fh:
@@ -142,8 +250,17 @@ class ResultStore:
             except OSError:
                 pass
             return 0, 0
+        for path in merged_segments:
+            try:
+                path.unlink()
+            except OSError:
+                pass  # another compactor got there first
+        if self._segment_path in merged_segments:
+            self._segment_path = None  # next put starts a fresh segment
         self._index = None  # force a reload from the rewritten file
         return len(latest), dropped
+
+    # -- container protocol ------------------------------------------
 
     def __contains__(self, key):
         return self._qualified(key) in self._load_index()

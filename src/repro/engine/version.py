@@ -1,10 +1,16 @@
-"""Code-version fingerprint for cache invalidation.
+"""Code-version fingerprint for cache invalidation and cluster safety.
 
 Persistent cache entries must die when the simulator changes, otherwise
 a figure regenerated after a model fix would silently serve stale
 numbers.  The fingerprint is a hash of every ``.py`` source file in the
 ``repro`` package, so *any* code change — timing model, trace
 generator, renamer — invalidates every stored result.
+
+The same fingerprint guards the distributed backend: ``repro worker``
+daemons report it in their ping response, and the coordinator
+(:class:`~repro.engine.remote.RemoteExecutor`) refuses workers whose
+fingerprint differs from its own — mixing simulator builds in one sweep
+would poison the shared result store.
 """
 
 from __future__ import annotations

@@ -50,18 +50,20 @@ class ResultCache:
     in-process first, then the persistent store, so repeated figure or
     sweep invocations are near-instant across processes.  Pass
     ``persistent=False`` (or set ``REPRO_NO_CACHE=1``) to skip the
-    on-disk store, and ``jobs=N`` to execute cache misses on a worker
-    pool.
+    on-disk store, ``jobs=N`` to execute cache misses on a worker
+    pool, and ``executor="remote"`` with ``workers="host[:port],..."``
+    to fan them out across ``repro worker`` daemons instead.
     """
 
     def __init__(self, jobs=1, persistent=None, store=None, progress=None,
-                 executor=None):
+                 executor=None, workers=None):
         if persistent is None:
             persistent = not os.environ.get("REPRO_NO_CACHE")
         if store is None and persistent:
             store = ResultStore()
-        self.engine = BatchEngine(executor=make_executor(jobs, kind=executor),
-                                  store=store, progress=progress)
+        self.engine = BatchEngine(
+            executor=make_executor(jobs, kind=executor, workers=workers),
+            store=store, progress=progress)
 
     @property
     def last_batch(self):

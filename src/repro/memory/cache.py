@@ -43,6 +43,7 @@ class CacheConfig:
 
     @property
     def num_lines(self):
+        """Direct-mapped line count (``size_bytes / line_bytes``)."""
         return self.size_bytes // self.line_bytes
 
 

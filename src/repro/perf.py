@@ -82,6 +82,8 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
             done += 1
             if progress:
                 progress(done, total, f"{workload}/{label}")
+    from repro.engine.version import code_version
+
     return {
         "unit": "KIPS (thousand simulated instructions / second)",
         "instructions": instructions,
@@ -92,6 +94,9 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
         "median_kips": round(statistics.median(
             r["kips"] for r in runs.values()), 1),
         "total_seconds": round(time.perf_counter() - started, 2),
+        # Provenance: which simulator build produced these numbers (the
+        # same fingerprint that qualifies result-store keys).
+        "code_version": code_version(),
     }
 
 
@@ -113,11 +118,13 @@ def compare_to_baseline(report, baseline, max_regression=0.30):
 
 
 def load_report(path):
+    """Read a previously written report (the baseline-gate input)."""
     with open(path, "r", encoding="utf-8") as fh:
         return json.load(fh)
 
 
 def write_report(path, report):
+    """Write a report as stable, diff-friendly JSON."""
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=1, sort_keys=True)
         fh.write("\n")

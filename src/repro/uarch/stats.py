@@ -46,6 +46,7 @@ class SimStats:
 
     @property
     def ipc(self):
+        """Committed instructions per cycle (0.0 before any cycle)."""
         if self.cycles == 0:
             return 0.0
         return self.committed / self.cycles
@@ -59,12 +60,14 @@ class SimStats:
 
     @property
     def mispredict_rate(self):
+        """Mispredicted fraction of executed branches."""
         if self.branches == 0:
             return 0.0
         return self.mispredicts / self.branches
 
     @property
     def load_miss_rate(self):
+        """L1 miss fraction of committed loads."""
         if self.loads == 0:
             return 0.0
         return self.load_misses / self.loads
@@ -103,9 +106,11 @@ class SimResult:
 
     @property
     def ipc(self):
+        """Shortcut for ``stats.ipc``."""
         return self.stats.ipc
 
     def summary(self):
+        """One-line human summary: IPC, rates, executions/commit."""
         s = self.stats
         return (
             f"{self.workload or 'trace'}: IPC={s.ipc:.3f} "

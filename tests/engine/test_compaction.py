@@ -1,4 +1,4 @@
-"""Result-store compaction: the append-only JSONL stops growing forever."""
+"""Result-store compaction: segments and superseded records fold away."""
 
 import json
 
@@ -11,8 +11,14 @@ def small_spec(workload="go"):
 
 
 def line_count(store):
-    with open(store.path, "r", encoding="utf-8") as fh:
-        return sum(1 for line in fh if line.strip())
+    """Total records across the base file and every segment."""
+    total = 0
+    for path in [store.path, *store.segment_paths()]:
+        if not path.exists():
+            continue
+        with open(path, "r", encoding="utf-8") as fh:
+            total += sum(1 for line in fh if line.strip())
+    return total
 
 
 def test_superseded_records_are_dropped(tmp_path):
@@ -34,7 +40,8 @@ def test_corrupt_lines_count_as_dropped(tmp_path):
     spec = small_spec()
     store = ResultStore(tmp_path)
     store.put(spec.key(), execute_spec(spec))
-    with open(store.path, "a", encoding="utf-8") as fh:
+    (segment,) = store.segment_paths()
+    with open(segment, "a", encoding="utf-8") as fh:
         fh.write("{not json\n")
     kept, dropped = store.compact()
     assert kept == 1
@@ -67,11 +74,12 @@ def test_last_record_wins_after_compaction(tmp_path):
     store = ResultStore(tmp_path)
     result = execute_spec(spec)
     store.put(spec.key(), result)
-    # Hand-append a doctored newer record for the same key: compaction
-    # must keep the *newest*, not the first.
+    # Hand-append a doctored newer record for the same key to the same
+    # segment: compaction must keep the *newest*, not the first.
+    (segment,) = store.segment_paths()
     doctored = result.to_dict()
     doctored["extra"] = {"marker": "newest"}
-    with open(store.path, "a", encoding="utf-8") as fh:
+    with open(segment, "a", encoding="utf-8") as fh:
         fh.write(json.dumps({"key": spec.key(), "version": store.version,
                              "result": doctored}) + "\n")
     kept, _ = store.compact()

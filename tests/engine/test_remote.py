@@ -1,0 +1,246 @@
+"""Remote execution backend: protocol, fan-out, retry, determinism."""
+
+import socket
+import threading
+
+import pytest
+
+from repro.engine import (
+    RemoteExecutor,
+    ResultStore,
+    RunSpec,
+    SerialExecutor,
+    WorkerServer,
+    make_executor,
+    parse_workers,
+    ping_worker,
+    shutdown_worker,
+)
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def small_grid():
+    return [RunSpec(w, c).resolved(600, 100, 1)
+            for w in ("go", "swim")
+            for c in (conventional_config(),
+                      virtual_physical_config(nrr=8))]
+
+
+@pytest.fixture
+def worker():
+    server = WorkerServer(port=0)
+    server.serve_in_thread()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+@pytest.fixture
+def worker_pair():
+    servers = [WorkerServer(port=0), WorkerServer(port=0)]
+    for server in servers:
+        server.serve_in_thread()
+    yield servers
+    for server in servers:
+        server.shutdown()
+        server.server_close()
+
+
+class BadWorker:
+    """A fake worker that accepts connections and slams them shut."""
+
+    def __init__(self):
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.address = self.sock.getsockname()
+        self._stop = threading.Event()
+        threading.Thread(target=self._loop, daemon=True).start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self.sock.accept()
+                conn.close()
+            except OSError:
+                return
+
+    def close(self):
+        self._stop.set()
+        self.sock.close()
+
+
+class TestParseWorkers:
+    def test_string_forms(self):
+        assert parse_workers("a:1,b:2") == [("a", 1), ("b", 2)]
+        assert parse_workers("host") == [("host", 8642)]
+        assert parse_workers(None) == []
+        assert parse_workers("") == []
+
+    def test_iterable_forms(self):
+        assert parse_workers([("a", 1), "b:2"]) == [("a", 1), ("b", 2)]
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ValueError):
+            parse_workers(":7000")
+
+
+class TestProtocol:
+    def test_ping_reports_version_and_pid(self, worker):
+        status = ping_worker(worker.address)
+        assert status["ok"]
+        assert status["version"] == worker.version
+        assert status["served"] == 0
+
+    def test_shutdown_stops_the_daemon(self):
+        server = WorkerServer(port=0)
+        thread = server.serve_in_thread()
+        status = shutdown_worker(server.address)
+        assert status["ok"]
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        server.server_close()
+
+    def test_unknown_op_is_an_error_not_a_crash(self, worker):
+        with pytest.raises(RuntimeError, match="unknown op"):
+            from repro.engine.remote import _request
+
+            _request(worker.address, {"op": "frobnicate"}, timeout=5)
+        assert ping_worker(worker.address)["ok"]  # daemon survived
+
+    def test_malformed_specs_reported_as_error(self, worker):
+        from repro.engine.remote import _request
+
+        with pytest.raises(RuntimeError):
+            _request(worker.address,
+                     {"op": "run_batch", "specs": [{"bogus": 1}]},
+                     timeout=5)
+        assert ping_worker(worker.address)["ok"]
+
+
+class TestRemoteExecutor:
+    def test_roundtrip_matches_serial_bit_identical(self, worker_pair):
+        """The acceptance check: remote == serial on the same grid."""
+        specs = small_grid()
+        executor = RemoteExecutor([s.address for s in worker_pair],
+                                  chunk_size=1)
+        remote = executor.run(specs)
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in remote]
+                == [r.to_dict() for r in serial])
+        # Both workers actually participated.
+        assert all(server.served > 0 for server in worker_pair)
+        assert executor.last_run_report["retries"] == 0
+
+    def test_chunked_scheduling_covers_whole_grid(self, worker):
+        specs = small_grid()
+        executor = RemoteExecutor([worker.address], chunk_size=3)
+        results = executor.run(specs)
+        assert len(results) == len(specs)
+        assert executor.last_run_report["tasks"] == 2  # ceil(4 / 3)
+
+    def test_progress_callback_counts_every_spec(self, worker):
+        seen = []
+        executor = RemoteExecutor([worker.address], chunk_size=2)
+        executor.run(small_grid(),
+                     progress=lambda done, total, spec: seen.append(
+                         (done, total)))
+        assert seen[-1] == (4, 4)
+
+    def test_worker_death_retries_on_the_survivor(self, worker):
+        """A worker that dies mid-run only costs retries, not results."""
+        bad = BadWorker()
+        try:
+            specs = small_grid()
+            executor = RemoteExecutor([bad.address, worker.address],
+                                      chunk_size=1)
+            results = executor.run(specs)
+            assert ([r.to_dict() for r in results]
+                    == [r.to_dict() for r in SerialExecutor().run(specs)])
+            report = executor.last_run_report
+            assert report["retries"] > 0 or not report["errors"]
+        finally:
+            bad.close()
+
+    def test_all_workers_unreachable_raises(self):
+        with pytest.raises(RuntimeError, match="no usable remote workers"):
+            RemoteExecutor([("127.0.0.1", 1)]).run(small_grid()[:1])
+
+    def test_mid_run_version_drift_is_rejected(self, worker):
+        """A worker restarted with different code between the probe and
+        the batch must not contribute results (they'd be stored under
+        the coordinator's version key)."""
+        executor = RemoteExecutor([worker.address], max_task_attempts=2)
+        # Probe sees a matching version; run_batch then reports drift.
+        worker.version = "drifted-build"
+        worker.status = lambda: {"ok": True, "version": executor.version,
+                                 "pid": 0, "served": 0}
+        with pytest.raises(RuntimeError, match="incomplete"):
+            executor.run(small_grid()[:1])
+        assert any("drifted-build" in err
+                   for err in executor.last_run_report["errors"])
+
+    def test_version_mismatch_is_rejected(self, worker):
+        worker.version = "somebody-elses-build"
+        executor = RemoteExecutor([worker.address])
+        alive, rejected = executor.probe()
+        assert alive == []
+        assert "version" in rejected[0][1]
+        with pytest.raises(RuntimeError, match="no usable remote workers"):
+            executor.run(small_grid()[:1])
+
+    def test_empty_grid_short_circuits(self):
+        assert RemoteExecutor([("127.0.0.1", 1)]).run([]) == []
+
+    def test_needs_at_least_one_worker(self):
+        with pytest.raises(ValueError):
+            RemoteExecutor([])
+
+
+class TestWorkerStore:
+    def test_worker_serves_repeats_from_its_store(self, tmp_path):
+        server = WorkerServer(port=0, store=ResultStore(tmp_path))
+        server.serve_in_thread()
+        try:
+            spec = small_grid()[0]
+            executor = RemoteExecutor([server.address])
+            first = executor.run([spec])[0]
+            assert len(ResultStore(tmp_path).segment_paths()) == 1
+            again = executor.run([spec])[0]
+            assert again.to_dict() == first.to_dict()
+            # Second batch hit the worker's store: still one record.
+            store = ResultStore(tmp_path)
+            assert len(store) == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+
+class TestMakeExecutor:
+    def test_remote_kind_from_workers_argument(self):
+        executor = make_executor(kind="remote", workers="h1:7000,h2")
+        assert isinstance(executor, RemoteExecutor)
+        assert executor.workers == [("h1", 7000), ("h2", 8642)]
+
+    def test_workers_argument_implies_remote(self, monkeypatch):
+        monkeypatch.delenv("REPRO_EXECUTOR", raising=False)
+        executor = make_executor(workers="h1:7000")
+        assert isinstance(executor, RemoteExecutor)
+
+    def test_explicit_workers_beat_env_kind(self, monkeypatch):
+        """--workers must not be silently overridden by a leftover
+        REPRO_EXECUTOR in the environment."""
+        monkeypatch.setenv("REPRO_EXECUTOR", "persistent")
+        executor = make_executor(workers="h1:7000")
+        assert isinstance(executor, RemoteExecutor)
+
+    def test_remote_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "remote")
+        monkeypatch.setenv("REPRO_WORKERS", "h1:7000")
+        executor = make_executor()
+        assert isinstance(executor, RemoteExecutor)
+
+    def test_remote_without_workers_raises(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(ValueError):
+            make_executor(kind="remote")

@@ -60,6 +60,22 @@ class TestKey:
         assert base.key() != conventional_config(rob_size=64).key()
         assert base.key() != conventional_config(retry_gating=True).key()
 
+    def test_wire_roundtrip_preserves_identity(self):
+        """to_dict/from_dict is the remote wire format: a spec shipped
+        to a worker must rebuild with the identical key."""
+        spec = RunSpec("swim", virtual_physical_config(nrr=8),
+                       label="vp").resolved(2000, 200, 7)
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone == spec
+        assert clone.key() == spec.key()
+
+    def test_wire_roundtrip_survives_json(self):
+        import json
+
+        spec = RunSpec("go", conventional_config()).resolved()
+        wire = json.loads(json.dumps(spec.to_dict()))
+        assert RunSpec.from_dict(wire).key() == spec.key()
+
     def test_config_key_stable_across_processes(self):
         """The identity must survive interpreter restarts (hash seed,
         dict order) — it keys the on-disk store."""

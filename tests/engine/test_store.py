@@ -66,7 +66,8 @@ def test_records_are_json_lines(tmp_path):
     spec = small_spec()
     store = ResultStore(tmp_path)
     store.put(spec.key(), execute_spec(spec))
-    lines = store.path.read_text().strip().splitlines()
+    (segment,) = store.segment_paths()
+    lines = segment.read_text().strip().splitlines()
     record = json.loads(lines[-1])
     assert record["key"] == spec.key()
     assert record["result"]["workload"] == "go"

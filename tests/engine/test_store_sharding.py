@@ -1,0 +1,120 @@
+"""Sharded result store: concurrent writers, segments, merged reads."""
+
+import json
+import multiprocessing
+
+from repro.engine import ResultStore, RunSpec, execute_spec
+from repro.uarch.config import conventional_config
+
+N_WRITERS = 4
+RECORDS_PER_WRITER = 5
+
+
+def small_spec(workload="go"):
+    return RunSpec(workload, conventional_config()).resolved(400, 100, 1)
+
+
+def template_result():
+    return execute_spec(small_spec()).to_dict()
+
+
+def _append_records(job):
+    """One concurrent writer: its own store instance, its own segment."""
+    directory, writer, template = job
+    from repro.engine import ResultStore
+    from repro.uarch.stats import SimResult
+
+    store = ResultStore(directory, version="vX")
+    result = SimResult.from_dict(template)
+    for i in range(RECORDS_PER_WRITER):
+        store.put(f"w{writer}-r{i}", result)
+    return writer
+
+
+def test_multiprocess_writers_all_visible(tmp_path):
+    """N processes append concurrently; a merged read index sees every
+    record and compaction folds all segments into one base file."""
+    template = template_result()
+    jobs = [(str(tmp_path), w, template) for w in range(N_WRITERS)]
+    with multiprocessing.Pool(N_WRITERS) as pool:
+        writers = pool.map(_append_records, jobs)
+    assert sorted(writers) == list(range(N_WRITERS))
+
+    reader = ResultStore(tmp_path, version="vX")
+    assert len(reader.segment_paths()) == N_WRITERS
+    assert len(reader) == N_WRITERS * RECORDS_PER_WRITER
+    for w in range(N_WRITERS):
+        for i in range(RECORDS_PER_WRITER):
+            assert f"w{w}-r{i}" in reader
+
+    kept, dropped = reader.compact()
+    assert kept == N_WRITERS * RECORDS_PER_WRITER
+    assert dropped == 0
+    assert reader.segment_paths() == []
+    assert reader.path.exists()
+    # The merged base still serves every record.
+    fresh = ResultStore(tmp_path, version="vX")
+    assert len(fresh) == N_WRITERS * RECORDS_PER_WRITER
+
+
+def test_one_segment_per_store_instance(tmp_path):
+    result_dict = template_result()
+    from repro.uarch.stats import SimResult
+
+    result = SimResult.from_dict(result_dict)
+    a = ResultStore(tmp_path, version="vX")
+    b = ResultStore(tmp_path, version="vX")
+    a.put("ka", result)
+    b.put("kb", result)
+    a.put("ka2", result)
+    segments = a.segment_paths()
+    assert len(segments) == 2  # one per writer, not per put
+    # Each instance's records live in exactly one of the segments.
+    texts = [p.read_text() for p in segments]
+    assert sum("ka" in t for t in texts) == 1
+    assert sum("kb" in t for t in texts) == 1
+
+
+def test_writers_are_mutually_visible_after_refresh(tmp_path):
+    from repro.uarch.stats import SimResult
+
+    result = SimResult.from_dict(template_result())
+    a = ResultStore(tmp_path, version="vX")
+    b = ResultStore(tmp_path, version="vX")
+    a.put("ka", result)  # also loads a's index
+    b.put("kb", result)
+    assert "kb" not in a  # index already loaded before b wrote
+    a.refresh()
+    assert "kb" in a and "ka" in a
+
+
+def test_appends_are_single_complete_lines(tmp_path):
+    """The torn-index fix: every record is one complete JSON line."""
+    from repro.uarch.stats import SimResult
+
+    result = SimResult.from_dict(template_result())
+    store = ResultStore(tmp_path, version="vX")
+    for i in range(10):
+        store.put(f"k{i}", result)
+    (segment,) = store.segment_paths()
+    raw = segment.read_bytes()
+    assert raw.endswith(b"\n")
+    lines = raw.decode("utf-8").splitlines()
+    assert len(lines) == 10
+    for line in lines:
+        json.loads(line)  # every line parses on its own
+
+
+def test_compact_starts_fresh_segment_for_live_writer(tmp_path):
+    from repro.uarch.stats import SimResult
+
+    result = SimResult.from_dict(template_result())
+    store = ResultStore(tmp_path, version="vX")
+    store.put("before", result)
+    store.compact()
+    assert store.segment_paths() == []
+    store.put("after", result)
+    (segment,) = store.segment_paths()
+    assert "after" in segment.read_text()
+    fresh = ResultStore(tmp_path, version="vX")
+    assert "before" in fresh and "after" in fresh

@@ -66,6 +66,55 @@ class TestCommands:
 
         assert len(load_trace(out_file)) == 100
 
+    def test_worker_requires_serve_flag(self):
+        with pytest.raises(SystemExit):
+            main(["worker"])
+
+    def test_cluster_requires_workers(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        with pytest.raises(SystemExit):
+            main(["cluster", "status"])
+
+    def test_cluster_status_reports_unreachable(self, capsys):
+        rc = main(["cluster", "status", "--workers", "127.0.0.1:1",
+                   "--timeout", "0.2"])
+        assert rc == 1
+        assert "UNREACHABLE" in capsys.readouterr().out
+
+    def test_run_through_remote_worker(self, capsys):
+        """End to end: `repro run --workers` round-trips a daemon."""
+        from repro.engine import WorkerServer
+
+        server = WorkerServer(port=0)
+        server.serve_in_thread()
+        try:
+            host, port = server.address
+            rc = main(["run", "go", "-n", "400", "--skip", "50",
+                       "--no-cache", "--workers", f"{host}:{port}"])
+            assert rc == 0
+            assert "IPC" in capsys.readouterr().out
+            assert server.served == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_cluster_status_and_stop_live_worker(self, capsys):
+        from repro.engine import WorkerServer
+
+        server = WorkerServer(port=0)
+        thread = server.serve_in_thread()
+        host, port = server.address
+        address = f"{host}:{port}"
+        try:
+            assert main(["cluster", "status", "--workers", address]) == 0
+            assert "[ok]" in capsys.readouterr().out
+            assert main(["cluster", "stop", "--workers", address]) == 0
+            assert "stopped" in capsys.readouterr().out
+            thread.join(timeout=5)
+            assert not thread.is_alive()
+        finally:
+            server.server_close()
+
     def test_experiment_command(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_INSTRS", "300")
         monkeypatch.setenv("REPRO_BENCH_SKIP", "50")

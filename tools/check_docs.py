@@ -1,0 +1,178 @@
+#!/usr/bin/env python3
+"""Docs checker: intra-repo links resolve, quickstart code blocks run.
+
+Two checks over the repository's markdown (``README.md`` + ``docs/``):
+
+* **links** — every relative markdown link ``[text](target)`` must
+  point at a file that exists (anchors are stripped; ``http(s)://`` and
+  ``mailto:`` targets are skipped).
+* **smoke** — every fenced ``bash`` or ``python`` code block directly
+  preceded by an ``<!-- smoke -->`` comment is executed from the repo
+  root (``bash -euo pipefail`` / ``python``) with ``PYTHONPATH=src``, a
+  throwaway ``REPRO_CACHE_DIR``, and reduced run budgets, so the
+  documented quickstarts can never rot silently.
+
+Usage::
+
+    python tools/check_docs.py             # both checks
+    python tools/check_docs.py --links     # links only
+    python tools/check_docs.py --smoke     # smoke blocks only
+
+Exit status is non-zero on any failure; findings are printed per file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import re
+import subprocess
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+
+#: ``[text](target)`` — good enough for our docs; images share the form.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^```(\w*)\s*$")
+_SMOKE_MARK = "<!-- smoke -->"
+
+
+def doc_files():
+    """README plus everything under docs/, sorted for stable output."""
+    files = [REPO_ROOT / "README.md"]
+    files.extend(sorted((REPO_ROOT / "docs").glob("**/*.md")))
+    return [f for f in files if f.exists()]
+
+
+def iter_links(text):
+    """Yield link targets outside fenced code blocks."""
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line.strip()):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        for match in _LINK.finditer(line):
+            yield match.group(1)
+
+
+def check_links(files):
+    """Return a list of ``(file, target, reason)`` failures."""
+    failures = []
+    for path in files:
+        for target in iter_links(path.read_text(encoding="utf-8")):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            bare, _, _anchor = target.partition("#")
+            if not bare:
+                continue  # pure in-page anchor
+            resolved = (path.parent / bare).resolve()
+            if not resolved.exists():
+                failures.append((path, target, "missing file"))
+            elif REPO_ROOT not in resolved.parents and resolved != REPO_ROOT:
+                failures.append((path, target, "points outside the repo"))
+    return failures
+
+
+def iter_smoke_blocks(text):
+    """Yield ``(language, source)`` for every marked fenced block."""
+    lines = text.splitlines()
+    armed = False
+    language, block = None, None
+    for line in lines:
+        stripped = line.strip()
+        fence = _FENCE.match(stripped)
+        if block is not None:
+            if stripped == "```":
+                yield language, "\n".join(block) + "\n"
+                block = None
+            else:
+                block.append(line)
+            continue
+        if fence and armed:
+            language = fence.group(1) or "bash"
+            block = []
+            armed = False
+            continue
+        if stripped == _SMOKE_MARK:
+            armed = True
+        elif stripped:
+            armed = False  # marker must directly precede the fence
+
+
+def smoke_env(cache_dir):
+    """A hermetic environment for the documented commands."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src")
+                         + os.pathsep + env.get("PYTHONPATH", ""))
+    env["REPRO_CACHE_DIR"] = cache_dir
+    # Keep the documented commands honest but quick.
+    env.setdefault("REPRO_BENCH_INSTRS", "2000")
+    env.setdefault("REPRO_BENCH_SKIP", "200")
+    env.setdefault("REPRO_JOBS", "2")
+    return env
+
+
+def run_smoke(files):
+    """Execute every marked block; returns failures as ``(file, n, msg)``."""
+    failures = []
+    for path in files:
+        blocks = list(iter_smoke_blocks(path.read_text(encoding="utf-8")))
+        for n, (language, source) in enumerate(blocks, 1):
+            if language == "bash":
+                argv = ["bash", "-euo", "pipefail", "-c", source]
+            elif language == "python":
+                argv = [sys.executable, "-c", source]
+            else:
+                failures.append((path, n, f"unsupported language "
+                                          f"{language!r}"))
+                continue
+            with tempfile.TemporaryDirectory() as cache_dir:
+                proc = subprocess.run(
+                    argv, cwd=REPO_ROOT, env=smoke_env(cache_dir),
+                    capture_output=True, text=True, timeout=600)
+            label = f"{path.relative_to(REPO_ROOT)} block {n} ({language})"
+            if proc.returncode != 0:
+                tail = (proc.stdout + proc.stderr)[-2000:]
+                failures.append((path, n,
+                                 f"exit {proc.returncode}\n{tail}"))
+                print(f"FAIL {label}")
+            else:
+                print(f"ok   {label}")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--links", action="store_true",
+                        help="only check markdown links")
+    parser.add_argument("--smoke", action="store_true",
+                        help="only run marked code blocks")
+    args = parser.parse_args(argv)
+    do_links = args.links or not args.smoke
+    do_smoke = args.smoke or not args.links
+
+    files = doc_files()
+    status = 0
+    if do_links:
+        failures = check_links(files)
+        for path, target, reason in failures:
+            print(f"FAIL {path.relative_to(REPO_ROOT)}: "
+                  f"link {target!r} — {reason}")
+        print(f"links: {len(files)} file(s), {len(failures)} broken")
+        status |= bool(failures)
+    if do_smoke:
+        failures = run_smoke(files)
+        for path, n, message in failures:
+            print(f"FAIL {path.relative_to(REPO_ROOT)} block {n}: "
+                  f"{message}")
+        print(f"smoke: {len(failures)} failing block(s)")
+        status |= bool(failures)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
