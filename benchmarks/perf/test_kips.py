@@ -37,11 +37,43 @@ class TestMeasureKips:
     def test_unknown_scheme_rejected(self):
         import pytest
 
-        with pytest.raises(ValueError):
+        # The registry's one unknown-policy error, listing known names.
+        with pytest.raises(KeyError, match="unknown renaming policy"):
             perf.scheme_config("magic")
+
+    def test_any_registry_policy_is_benchable(self):
+        from repro.core.policy import policy_names
+
+        for name in policy_names():
+            assert perf.scheme_config(name).policy == name
+
+    def test_report_records_port_model(self):
+        report = perf.measure_kips(workloads=["go"],
+                                   schemes=["conventional"],
+                                   instructions=1_000, skip=100, repeats=1)
+        regfile = report["runs"]["go/conventional"]["regfile"]
+        assert regfile["model"] is False
+        assert regfile["read_ports"] == 16
 
 
 class TestBaselineGate:
+    def test_port_model_mismatch_refused(self):
+        """A port-enabled baseline is a different machine — the gate
+        must refuse the comparison, not report a regression."""
+        free = {"median_kips": 100.0, "runs": {
+            "go/conventional": {"kips": 100.0,
+                                "regfile": {"model": False}}}}
+        ported = {"median_kips": 100.0, "runs": {
+            "go/conventional": {"kips": 100.0,
+                                "regfile": {"model": True}}}}
+        ok, message = perf.compare_to_baseline(free, ported)
+        assert not ok and "port-model mismatch" in message
+        # Pre-provenance baselines (no regfile key) still compare.
+        legacy = {"median_kips": 100.0, "runs": {
+            "go/conventional": {"kips": 100.0}}}
+        ok, _ = perf.compare_to_baseline(free, legacy)
+        assert ok
+
     def test_regression_detected(self):
         baseline = {"median_kips": 100.0}
         ok, _ = perf.compare_to_baseline({"median_kips": 65.0}, baseline,

@@ -1,0 +1,46 @@
+"""Port sensitivity: IPC vs. register-file read ports, per policy.
+
+The read-port-reduction scenario (Los): ports dominate register-file
+cost, so how far can they shrink before IPC collapses?  Shape claims
+checked:
+
+* IPC is monotonically non-increasing as read ports shrink for every
+  policy without squash-and-re-execute (fewer ports can only delay
+  issues);
+* vp-writeback still loses IPC overall from the widest to the
+  narrowest file, even though throttled re-executions can locally
+  *raise* its IPC (see the experiment's module docstring);
+* at the paper's 16 ports the contention model is not binding (no read
+  stalls at this budget), while a 2-port file visibly throttles the
+  8-wide issue stage (read stalls appear and IPC drops).
+"""
+
+from repro.experiments.port_sensitivity import (
+    DEFAULT_POLICIES,
+    MONOTONE_POLICIES,
+    PORT_SWEEP,
+    run_port_sensitivity,
+)
+
+from benchmarks.conftest import once
+
+
+def test_port_sensitivity(benchmark, record_table):
+    result = once(benchmark, run_port_sensitivity)
+    record_table("port_sensitivity", result.format())
+
+    # Monotone degradation — the acceptance shape of the model — for
+    # every swept policy that never re-executes.
+    for policy in DEFAULT_POLICIES:
+        if policy in MONOTONE_POLICIES:
+            assert result.is_monotone(policy), policy
+
+    # 16 ports (the paper's machine) never bind an 8-wide issue stage;
+    # the 2-port file does, with the stalls to prove it.  This holds
+    # for vp-writeback too: re-execution throttling softens but never
+    # cancels the net port-starvation loss.
+    for policy in DEFAULT_POLICIES:
+        assert result.read_stalls[policy][max(PORT_SWEEP)] == 0
+        assert result.read_stalls[policy][min(PORT_SWEEP)] > 0
+        assert (result.hmean_ipc(policy, min(PORT_SWEEP))
+                < result.hmean_ipc(policy, max(PORT_SWEEP)))

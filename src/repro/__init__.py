@@ -7,6 +7,14 @@ scheduled superscalar processor with two register-renaming schemes:
 * the paper's **virtual-physical** renaming (allocation delayed to issue
   or write-back, with NRR deadlock avoidance).
 
+Renaming schemes are **policies**: every scheme implements the
+:class:`RenamingPolicy` lifecycle-hook interface and is resolved by
+name through the policy registry (:func:`policy_names` /
+:func:`resolve_policy`; ``policy_config("vp-issue", nrr=8)`` builds a
+ready configuration).  The optional register-file port/bank contention
+model (:class:`RegisterFilePorts`, ``ProcessorConfig.rf_model``) adds
+read/write-port and bank-conflict stalls on top of any policy.
+
 Quickstart::
 
     from repro import simulate, conventional_config, virtual_physical_config
@@ -30,7 +38,12 @@ from repro.core import (
     AllocationStage,
     ConventionalRenamer,
     EarlyReleaseRenamer,
+    PolicyInfo,
+    RenamingPolicy,
     VirtualPhysicalRenamer,
+    policy_names,
+    register_policy,
+    resolve_policy,
 )
 from repro.engine import (
     BatchEngine,
@@ -52,27 +65,36 @@ from repro.trace import (
 from repro.uarch import (
     Processor,
     ProcessorConfig,
+    RegisterFilePorts,
     RenamingScheme,
     SimResult,
     SimStats,
     SimulationDeadlock,
     conventional_config,
+    policy_config,
     simulate,
     virtual_physical_config,
 )
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AllocationStage",
     "BatchEngine",
     "ConventionalRenamer",
     "EarlyReleaseRenamer",
+    "PolicyInfo",
+    "RenamingPolicy",
+    "RegisterFilePorts",
     "RemoteExecutor",
     "ResultStore",
     "RunSpec",
     "WorkerServer",
     "VirtualPhysicalRenamer",
+    "policy_names",
+    "policy_config",
+    "register_policy",
+    "resolve_policy",
     "OpClass",
     "RegClass",
     "TraceRecord",

@@ -1,20 +1,38 @@
 """The paper's contribution: register renaming schemes.
 
-* :class:`ConventionalRenamer` — the baseline (allocate at decode, free
-  at commit of the next writer of the same logical register).
-* :class:`VirtualPhysicalRenamer` — the proposed scheme: VP tags at
-  decode, physical registers allocated at issue or write-back, NRR
-  deadlock avoidance with squash-and-re-execute.
-* :class:`EarlyReleaseRenamer` — the counter-based early-freeing scheme
-  of the paper's refs [8][10], as an ablation baseline.
+Every scheme implements the :class:`RenamingPolicy` lifecycle-hook
+interface and is registered by name in the **policy registry**
+(:mod:`repro.core.policy`), which is how every entry layer — the CLI,
+``ProcessorConfig``, experiments, benchmarks, examples — resolves a
+renamer.  Built-in policies:
+
+* ``conventional`` — :class:`ConventionalRenamer`, the baseline
+  (allocate at decode, free at commit of the next writer of the same
+  logical register).
+* ``vp-writeback`` / ``vp-issue`` — :class:`VirtualPhysicalRenamer`,
+  the proposed scheme: VP tags at decode, physical registers allocated
+  at write-back or issue, NRR deadlock avoidance with
+  squash-and-re-execute.
+* ``early-release`` — :class:`EarlyReleaseRenamer`, the counter-based
+  early-freeing scheme of the paper's refs [8][10], as an ablation
+  baseline.
 """
 
 from repro.core.freelist import FreeList
 from repro.core.tags import make_tag, tag_class, tag_ident
+from repro.core.policy import (
+    AllocationStage,
+    PolicyInfo,
+    RenamingPolicy,
+    policy_name_for,
+    policy_names,
+    register_policy,
+    resolve_policy,
+)
 from repro.core.renamer import Renamer
 from repro.core.conventional import ConventionalRenamer
 from repro.core.reserve import ReservePolicy
-from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.core.virtual_physical import VirtualPhysicalRenamer
 from repro.core.early_release import EarlyReleaseRenamer
 
 __all__ = [
@@ -22,6 +40,12 @@ __all__ = [
     "make_tag",
     "tag_class",
     "tag_ident",
+    "RenamingPolicy",
+    "PolicyInfo",
+    "policy_name_for",
+    "policy_names",
+    "register_policy",
+    "resolve_policy",
     "Renamer",
     "ConventionalRenamer",
     "ReservePolicy",

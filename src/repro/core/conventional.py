@@ -16,22 +16,26 @@ from __future__ import annotations
 from repro.isa.opcodes import dest_class_for
 from repro.isa.registers import (
     CLASS_SHIFT,
-    NO_REG,
     NUM_LOGICAL_FP,
     NUM_LOGICAL_INT,
     RegClass,
-    reg_class,
     reg_index,
 )
 from repro.core.freelist import FreeList
-from repro.core.renamer import Renamer
+from repro.core.policy import RenamingPolicy
 from repro.core.tags import TAG_CLASS_SHIFT, make_tag
 
 _INDEX_MASK = (1 << CLASS_SHIFT) - 1
 
 
-class ConventionalRenamer(Renamer):
-    """Physical-register-file renaming with decode-stage allocation."""
+class ConventionalRenamer(RenamingPolicy):
+    """Physical-register-file renaming with decode-stage allocation.
+
+    Registered in the policy registry as ``conventional``; uses none of
+    the optional lifecycle hooks (the capability flags keep the base
+    class defaults), so the cycle engine's issue and completion paths
+    never call into it.
+    """
 
     def __init__(self, int_phys, fp_phys,
                  nlr_int=NUM_LOGICAL_INT, nlr_fp=NUM_LOGICAL_FP):
@@ -52,6 +56,10 @@ class ConventionalRenamer(Renamer):
             cls: FreeList(range(self.nlr[cls], self.npr[cls]))
             for cls in (RegClass.INT, RegClass.FP)
         }
+        # Dependence tags ARE the mapped physical registers, so the map
+        # table doubles as the source-tag table of the shared
+        # RenamingPolicy._rename_sources fast path.
+        self._tag_tables = self.map_table
         self.decode_stalls = 0
 
     # -- Renamer interface ---------------------------------------------------
@@ -74,37 +82,14 @@ class ConventionalRenamer(Renamer):
         leaves with ``dest_phys`` bound and the previous mapping saved
         in ``prev_phys`` for commit-time release or rollback.
         """
-        # Per-fetch hot path: class/index extraction and tag packing are
-        # inlined shifts (see repro.isa.registers / repro.core.tags for
-        # the encodings) — IntEnum dict keys accept the raw class bit.
-        rec = instr.rec
-        map_table = self.map_table
-        src1 = rec.src1
-        src2 = rec.src2
-        if src1 >= 0:
-            cls = src1 >> CLASS_SHIFT
-            tag1 = (cls << TAG_CLASS_SHIFT) | map_table[cls][src1 & _INDEX_MASK]
-            if src2 >= 0:
-                cls = src2 >> CLASS_SHIFT
-                instr.src_tags = (
-                    tag1,
-                    (cls << TAG_CLASS_SHIFT) | map_table[cls][src2 & _INDEX_MASK],
-                )
-            else:
-                instr.src_tags = (tag1,)
-        elif src2 >= 0:
-            cls = src2 >> CLASS_SHIFT
-            instr.src_tags = (
-                (cls << TAG_CLASS_SHIFT) | map_table[cls][src2 & _INDEX_MASK],
-            )
-        else:
-            instr.src_tags = ()
+        self._rename_sources(instr)
         cls = instr.dest_cls
         if cls is None:
             instr.dest_tag = -1
             return
+        rec = instr.rec
         idx = rec.dest & _INDEX_MASK
-        table = map_table[cls]
+        table = self.map_table[cls]
         new_phys = self.free[cls].allocate()
         instr.prev_phys = table[idx]
         instr.dest_phys = new_phys
@@ -162,7 +147,17 @@ class ConventionalRenamer(Renamer):
         )
 
     def free_physical(self, cls):
+        """Number of free physical registers of ``cls``."""
         return self.free[cls].free_count
 
     def allocated_physical(self, cls):
+        """Number of allocated physical registers of ``cls``."""
         return self.npr[cls] - self.free[cls].free_count
+
+    def phys_pools(self):
+        """Per-class physical pools (the engine's occupancy fast path)."""
+        return self.free
+
+    def rename_gate_pools(self):
+        """Renaming blocks exactly when the physical pool is empty."""
+        return self.free

@@ -1,66 +1,20 @@
-"""The renaming-scheme interface the pipeline drives.
+"""Back-compat alias for the renaming-policy interface.
 
-The pipeline owns all *timing* (readiness, wakeup, scheduling); a
-renamer owns all *naming* (map tables, free pools, allocation policy).
-The contract, in pipeline order:
-
-1. ``can_rename(rec)`` — decode-stage structural check (free physical
-   register under the conventional scheme; free VP tag under the
-   virtual-physical scheme).
-2. ``rename(instr)`` — rewrite the instruction's operands into tags:
-   fills ``instr.src_tags`` (dependence tags to wait on) and
-   ``instr.dest_tag``; records whatever undo/free information commit and
-   rollback will need on the instruction itself.
-3. ``on_issue(instr, now) -> bool`` — issue-stage hook; returning False
-   vetoes the issue this cycle (used by issue-stage allocation).
-4. ``on_complete(instr, now) -> bool`` — completion hook; returning
-   False squashes the instruction back to the issue queue (write-back
-   allocation finding no free register).  When it returns True the
-   pipeline publishes ``instr.dest_tag`` as ready.
-5. ``on_commit(instr)`` — release the resources the instruction's
-   predecessor held.
-6. ``rollback(instrs)`` — undo mappings, youngest first (precise-state
-   recovery).
-
-``initial_ready_tags()`` lists tags whose values exist at reset (the
-architectural state), so the pipeline can mark them ready at cycle 0.
+The renamer interface grew into the formal :class:`RenamingPolicy`
+(lifecycle hooks + capability flags + registry) in
+:mod:`repro.core.policy`; ``Renamer`` remains as an alias so older
+imports resolve.  Note one contract change for subclasses: the engine
+no longer auto-detects overridden hooks — a scheme that overrides
+``on_dispatch`` / ``on_issue`` / ``on_complete`` must also set the
+matching capability flag (``has_dispatch_hook`` / ``has_issue_hook`` /
+``has_complete_hook``), and pool introspection goes through
+``phys_pools()`` / ``rename_gate_pools()`` instead of ``free`` /
+``free_phys`` attribute sniffing.  See ``docs/renaming-policies.md``.
 """
 
 from __future__ import annotations
 
+from repro.core.policy import RenamingPolicy
 
-class Renamer:
-    """Base class; concrete schemes override every hook they need."""
-
-    #: extra commit latency in cycles (the paper charges the VP scheme one
-    #: cycle for the PMT lookup at commit).
-    commit_extra_latency = 0
-
-    def can_rename(self, rec):
-        raise NotImplementedError
-
-    def rename(self, instr):
-        raise NotImplementedError
-
-    def on_issue(self, instr, now):
-        return True
-
-    def on_complete(self, instr, now):
-        return True
-
-    def on_commit(self, instr):
-        raise NotImplementedError
-
-    def rollback(self, instrs):
-        raise NotImplementedError
-
-    def initial_ready_tags(self):
-        raise NotImplementedError
-
-    def free_physical(self, cls):
-        """Number of free physical registers of ``cls`` (diagnostics)."""
-        raise NotImplementedError
-
-    def allocated_physical(self, cls):
-        """Number of allocated physical registers of ``cls``."""
-        raise NotImplementedError
+#: Historical name of :class:`repro.core.policy.RenamingPolicy`.
+Renamer = RenamingPolicy

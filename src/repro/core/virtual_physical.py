@@ -31,31 +31,20 @@ like the conventional scheme).
 
 from __future__ import annotations
 
-from enum import Enum
-
 from repro.isa.opcodes import dest_class_for
 from repro.isa.registers import (
     CLASS_SHIFT,
-    NO_REG,
     NUM_LOGICAL_FP,
     NUM_LOGICAL_INT,
     RegClass,
-    reg_class,
     reg_index,
 )
 from repro.core.freelist import FreeList
-from repro.core.renamer import Renamer
+from repro.core.policy import AllocationStage, RenamingPolicy
 from repro.core.reserve import ReservePolicy
 from repro.core.tags import TAG_CLASS_SHIFT, make_tag
 
 _INDEX_MASK = (1 << CLASS_SHIFT) - 1
-
-
-class AllocationStage(Enum):
-    """Pipeline stage at which physical registers are allocated."""
-
-    ISSUE = "issue"
-    WRITEBACK = "writeback"
 
 
 class _GMT:
@@ -69,12 +58,21 @@ class _GMT:
         self.v = [True] * nlr  # V bit: physical register already allocated?
 
 
-class VirtualPhysicalRenamer(Renamer):
-    """Late-allocation renaming with NRR deadlock avoidance."""
+class VirtualPhysicalRenamer(RenamingPolicy):
+    """Late-allocation renaming with NRR deadlock avoidance.
+
+    One class backs the registry's two VP policies: ``vp-writeback``
+    (allocation at completion, squash-and-re-execute on failure) and
+    ``vp-issue`` (allocation at issue, failure blocks the issue).  The
+    capability flags are set per instance from the allocation stage, so
+    the engine binds exactly the hooks the variant needs.
+    """
 
     #: the paper: commit "may be delayed by one cycle due to the
     #: requirement to look up the PMT".
     commit_extra_latency = 1
+    #: both variants dispatch destination writers into the NRR reserve.
+    has_dispatch_hook = True
 
     def __init__(self, int_phys, fp_phys, window_size,
                  nrr_int, nrr_fp,
@@ -117,7 +115,21 @@ class VirtualPhysicalRenamer(Renamer):
         self.reserve = ReservePolicy(nrr_int, nrr_fp)
         # Direct per-class reserve handles: dispatch/commit/allocate are
         # per-instruction hot paths, so skip the policy-level re-dispatch.
+        # (The base class's on_dispatch consumes this table.)
         self._reserve_by_cls = self.reserve._cls
+        # Dependence tags are VP register numbers: the GMT's VP columns
+        # are the source-tag tables of the shared _rename_sources path.
+        self._tag_tables = {cls: self.gmt[cls].vp for cls in self.gmt}
+        # Per-variant capabilities: write-back allocation needs the
+        # completion veto (and keeps writers in the IQ for possible
+        # re-execution); issue allocation needs the issue veto.  The
+        # unused hook of each variant is unconditionally True, so
+        # leaving it unbound keeps the engine's fast path exact.
+        writeback = self.allocation is AllocationStage.WRITEBACK
+        self.has_issue_hook = not writeback
+        self.has_complete_hook = writeback
+        self.holds_writers_in_iq = writeback
+        self.supports_retry_gating = writeback
         self.squashes = 0  # failed write-back allocations
         self.issue_blocks = 0  # failed issue-stage allocations
         self.vp_stalls = 0
@@ -144,39 +156,14 @@ class VirtualPhysicalRenamer(Renamer):
         :meth:`on_complete` (per the configured allocation stage); the
         GMT tracks the logical→VP mapping so consumers wake on VP tags.
         """
-        # Per-fetch hot path: inlined class/index shifts, as in the
-        # conventional renamer.
-        rec = instr.rec
-        gmt_by_cls = self.gmt
-        src1 = rec.src1
-        src2 = rec.src2
-        if src1 >= 0:
-            cls = src1 >> CLASS_SHIFT
-            tag1 = ((cls << TAG_CLASS_SHIFT)
-                    | gmt_by_cls[cls].vp[src1 & _INDEX_MASK])
-            if src2 >= 0:
-                cls = src2 >> CLASS_SHIFT
-                instr.src_tags = (
-                    tag1,
-                    (cls << TAG_CLASS_SHIFT)
-                    | gmt_by_cls[cls].vp[src2 & _INDEX_MASK],
-                )
-            else:
-                instr.src_tags = (tag1,)
-        elif src2 >= 0:
-            cls = src2 >> CLASS_SHIFT
-            instr.src_tags = (
-                (cls << TAG_CLASS_SHIFT)
-                | gmt_by_cls[cls].vp[src2 & _INDEX_MASK],
-            )
-        else:
-            instr.src_tags = ()
+        self._rename_sources(instr)
         cls = instr.dest_cls
         if cls is None:
             instr.dest_tag = -1
             return
+        rec = instr.rec
         idx = rec.dest & _INDEX_MASK
-        gmt = gmt_by_cls[cls]
+        gmt = self.gmt[cls]
         new_vp = self.free_vp[cls].allocate()
         instr.vp_reg = new_vp
         instr.prev_vp = gmt.vp[idx]  # kept in the ROB for recovery/commit
@@ -184,11 +171,8 @@ class VirtualPhysicalRenamer(Renamer):
         gmt.v[idx] = False  # no physical register yet
         instr.dest_tag = (cls << TAG_CLASS_SHIFT) | new_vp
 
-    def on_dispatch(self, instr):
-        """Reserve-set bookkeeping; the pipeline calls this at dispatch."""
-        cls = instr.dest_cls
-        if cls is not None:
-            self._reserve_by_cls[cls].on_dispatch(instr)
+    # on_dispatch: inherited — the base class dispatches destination
+    # writers into the per-class NRR reserve (``_reserve_by_cls``).
 
     def on_issue(self, instr, now):
         """Issue-stage allocation attempt (ISSUE configs only); a
@@ -362,7 +346,18 @@ class VirtualPhysicalRenamer(Renamer):
         return gmt, pmt, pools
 
     def free_physical(self, cls):
+        """Number of free physical registers of ``cls``."""
         return self.free_phys[cls].free_count
 
     def allocated_physical(self, cls):
+        """Number of allocated physical registers of ``cls``."""
         return self.npr[cls] - self.free_phys[cls].free_count
+
+    def phys_pools(self):
+        """Per-class physical pools (the engine's occupancy fast path)."""
+        return self.free_phys
+
+    def rename_gate_pools(self):
+        """Renaming blocks only when the VP-tag pool is empty (the VP
+        scheme never stalls decode on physical registers)."""
+        return self.free_vp

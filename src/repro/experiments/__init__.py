@@ -9,6 +9,7 @@ Figure 5          :func:`repro.experiments.figures.run_figure5`
 Figure 6          :func:`repro.experiments.figures.run_figure6`
 Figure 7          :func:`repro.experiments.figures.run_figure7`
 (extra) ablation  :func:`repro.experiments.ablation.run_ablation`
+(extra) ports     :func:`repro.experiments.port_sensitivity.run_port_sensitivity`
 ================  ==========================================
 """
 
@@ -39,6 +40,13 @@ from repro.experiments.figures import (
     run_nrr_sweep,
 )
 from repro.experiments.ablation import AblationResult, run_ablation
+from repro.experiments.port_sensitivity import (
+    DEFAULT_POLICIES,
+    MONOTONE_POLICIES,
+    PORT_SWEEP,
+    PortSensitivityResult,
+    run_port_sensitivity,
+)
 from repro.experiments.window_scaling import (
     WINDOW_SWEEP,
     WindowScalingResult,
@@ -74,6 +82,11 @@ __all__ = [
     "run_figure7",
     "run_nrr_sweep",
     "run_ablation",
+    "DEFAULT_POLICIES",
+    "MONOTONE_POLICIES",
+    "PORT_SWEEP",
+    "PortSensitivityResult",
+    "run_port_sensitivity",
     "WINDOW_SWEEP",
     "WindowScalingResult",
     "run_window_scaling",

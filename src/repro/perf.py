@@ -23,24 +23,19 @@ import statistics
 import time
 
 from repro.trace.workloads import WORKLOADS
-from repro.uarch.config import conventional_config, virtual_physical_config
+from repro.uarch.config import policy_config
 from repro.uarch.processor import simulate
 
-#: The measured renamer configurations: the paper's baseline and its
-#: proposed scheme (write-back allocation, NRR=32).
-DEFAULT_SCHEMES = (
-    ("conventional", lambda: conventional_config()),
-    ("vp-writeback", lambda: virtual_physical_config(nrr=32)),
-)
+#: The measured renamer policies by default: the paper's baseline and
+#: its proposed scheme (write-back allocation, NRR=32).  Any registry
+#: policy name is accepted by ``measure_kips(schemes=...)``.
+DEFAULT_SCHEMES = ("conventional", "vp-writeback")
 
 
 def scheme_config(label):
-    """Build the config a scheme label of :data:`DEFAULT_SCHEMES` names."""
-    for name, factory in DEFAULT_SCHEMES:
-        if name == label:
-            return factory()
-    raise ValueError(f"unknown scheme {label!r}; choose from "
-                     f"{', '.join(name for name, _ in DEFAULT_SCHEMES)}")
+    """Build the config a policy-registry name selects (KeyError with
+    the registered names for a typo)."""
+    return policy_config(label)
 
 
 def measure_kips(workloads=None, schemes=None, instructions=30_000,
@@ -55,7 +50,7 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
          "median_kips": ..., "total_seconds": ...}
     """
     workloads = list(workloads) if workloads else sorted(WORKLOADS)
-    schemes = list(schemes) if schemes else [name for name, _ in DEFAULT_SCHEMES]
+    schemes = list(schemes) if schemes else list(DEFAULT_SCHEMES)
     runs = {}
     started = time.perf_counter()
     total = len(workloads) * len(schemes)
@@ -78,6 +73,10 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
                 "committed": result.stats.committed,
                 "cycles": result.stats.cycles,
                 "ipc": round(result.ipc, 3),
+                # Port-model provenance: a point measured with the
+                # register-file contention model on can never be
+                # confused with (or gated against) a port-free one.
+                "regfile": config.port_model(),
             }
             done += 1
             if progress:
@@ -104,12 +103,23 @@ def compare_to_baseline(report, baseline, max_regression=0.30):
     """Regression check of ``report`` against a ``baseline`` report.
 
     Compares the overall ``median_kips`` (per-point numbers are too noisy
-    across machines); returns ``(ok, message)``.
+    across machines); returns ``(ok, message)``.  Refuses to gate when
+    the two reports measured different register-file port-model
+    configurations for the same point — a port-enabled baseline is a
+    different machine, not a slower one.
     """
     base = baseline.get("median_kips")
     current = report.get("median_kips")
     if not base:
         return True, "baseline has no median_kips; nothing to compare"
+    for key, run in report.get("runs", {}).items():
+        other = baseline.get("runs", {}).get(key)
+        if other is None or "regfile" not in run or "regfile" not in other:
+            continue  # point not shared, or a pre-provenance report
+        if run["regfile"] != other["regfile"]:
+            return False, (f"port-model mismatch on {key}: report "
+                           f"{run['regfile']} vs baseline "
+                           f"{other['regfile']}; not comparable")
     floor = base * (1.0 - max_regression)
     ratio = current / base
     message = (f"median {current:.1f} KIPS vs baseline {base:.1f} KIPS "

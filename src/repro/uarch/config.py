@@ -13,16 +13,19 @@ import json
 from dataclasses import dataclass, field, fields, replace
 from enum import Enum
 
-from repro.core.conventional import ConventionalRenamer
-from repro.core.early_release import EarlyReleaseRenamer
-from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
+from repro.core.policy import AllocationStage, policy_name_for, resolve_policy
 from repro.isa.opcodes import DEFAULT_FU_COUNTS, FUKind
 from repro.isa.registers import NUM_LOGICAL_FP, NUM_LOGICAL_INT
 from repro.memory.cache import CacheConfig
 
 
 class RenamingScheme(Enum):
-    """Which renamer drives the pipeline."""
+    """Which renamer family drives the pipeline.
+
+    The enum values double as the ``scheme`` strings of the policy
+    registry (:mod:`repro.core.policy`); a ``(scheme, allocation)`` pair
+    names exactly one registered policy (``ProcessorConfig.policy``).
+    """
 
     CONVENTIONAL = "conventional"
     VIRTUAL_PHYSICAL = "virtual-physical"
@@ -53,6 +56,19 @@ class ProcessorConfig:
     nlr_fp: int = NUM_LOGICAL_FP
     read_ports: int = 16
     write_ports: int = 8
+    # Register-file port/bank contention model (uarch/regfile.py) — off
+    # by default: the engine then runs the legacy fixed per-class port
+    # checks and golden SimStats stay bit-identical.  With rf_model on,
+    # issue and write-back arbitrate through RegisterFilePorts:
+    # per-class budgets (rf_read_ports/rf_write_ports, None = reuse the
+    # legacy budgets above) and, when rf_banks > 1, per-bank port limits
+    # with conflict stalls.
+    rf_model: bool = False
+    rf_read_ports: int | None = None
+    rf_write_ports: int | None = None
+    rf_banks: int = 1
+    rf_bank_read_ports: int = 1
+    rf_bank_write_ports: int = 1
     # Renaming.
     scheme: RenamingScheme = RenamingScheme.CONVENTIONAL
     allocation: AllocationStage = AllocationStage.WRITEBACK
@@ -85,6 +101,30 @@ class ProcessorConfig:
             raise ValueError("pipeline widths must be at least 1")
         if self.rob_size < 1 or self.iq_size < 1:
             raise ValueError("window structures need at least one entry")
+        if self.rf_model:
+            # An instruction reads at most two registers of one class
+            # per issue, so two read ports (per class; per bank when
+            # banked) is the narrowest deadlock-free file — below that
+            # a two-source instruction can never issue and the machine
+            # livelocks on the ROB head.
+            effective_reads = (self.rf_read_ports
+                               if self.rf_read_ports is not None
+                               else self.read_ports)
+            if effective_reads < 2:
+                raise ValueError(
+                    f"rf_read_ports={effective_reads} deadlocks: an "
+                    "instruction may read two registers of one class, "
+                    "so the model needs at least 2 read ports")
+            if self.rf_write_ports is not None and self.rf_write_ports < 1:
+                raise ValueError("rf_write_ports must be >= 1")
+            if self.rf_banks < 1:
+                raise ValueError("rf_banks must be >= 1")
+            if self.rf_banks > 1 and self.rf_bank_read_ports < 2:
+                raise ValueError(
+                    "rf_bank_read_ports must be >= 2 when banked (two "
+                    "sources of one instruction may map to one bank)")
+            if self.rf_bank_write_ports < 1:
+                raise ValueError("rf_bank_write_ports must be >= 1")
         if self.scheme is RenamingScheme.VIRTUAL_PHYSICAL:
             for nrr, npr, nlr, label in (
                 (self.nrr_int, self.int_phys, self.nlr_int, "int"),
@@ -95,24 +135,33 @@ class ProcessorConfig:
                         f"NRR({label})={nrr} outside 1..{npr - nlr}"
                     )
 
+    @property
+    def policy(self):
+        """The registry name of the policy this configuration selects
+        (e.g. ``"conventional"``, ``"vp-writeback"``)."""
+        return policy_name_for(self.scheme.value, self.allocation)
+
     def build_renamer(self):
-        """Instantiate the renamer this configuration selects."""
-        if self.scheme is RenamingScheme.CONVENTIONAL:
-            return ConventionalRenamer(
-                self.int_phys, self.fp_phys,
-                nlr_int=self.nlr_int, nlr_fp=self.nlr_fp,
-            )
-        if self.scheme is RenamingScheme.EARLY_RELEASE:
-            return EarlyReleaseRenamer(
-                self.int_phys, self.fp_phys,
-                nlr_int=self.nlr_int, nlr_fp=self.nlr_fp,
-            )
-        return VirtualPhysicalRenamer(
-            self.int_phys, self.fp_phys, self.rob_size,
-            self.nrr_int, self.nrr_fp,
-            allocation=self.allocation,
-            nlr_int=self.nlr_int, nlr_fp=self.nlr_fp,
-        )
+        """Instantiate the renaming policy this configuration selects,
+        resolved through the policy registry."""
+        return resolve_policy(self.policy).build(self)
+
+    def port_model(self):
+        """The effective register-file port configuration, as a flat
+        JSON-compatible dict — recorded per point by ``repro bench`` so
+        port-enabled baselines can't be confused with port-free ones."""
+        return {
+            "model": self.rf_model,
+            "read_ports": (self.rf_read_ports
+                           if self.rf_read_ports is not None
+                           else self.read_ports),
+            "write_ports": (self.rf_write_ports
+                            if self.rf_write_ports is not None
+                            else self.write_ports),
+            "banks": self.rf_banks,
+            "bank_read_ports": self.rf_bank_read_ports,
+            "bank_write_ports": self.rf_bank_write_ports,
+        }
 
     def with_(self, **changes):
         """A modified copy (sugar over :func:`dataclasses.replace`)."""
@@ -132,13 +181,27 @@ class ProcessorConfig:
             elif isinstance(value, Enum):
                 value = value.value
             d[f.name] = value
+        # Derived, self-describing extra: the registry name the enum
+        # fields resolve to (from_dict accepts it in place of them).
+        d["policy"] = self.policy
         return d
 
     @classmethod
     def from_dict(cls, data):
-        """Inverse of :meth:`to_dict` (ignores unknown keys)."""
+        """Inverse of :meth:`to_dict` (ignores unknown keys).
+
+        Accepts a ``"policy"`` registry name in place of the
+        ``scheme``/``allocation`` pair, so hand-written configs can say
+        ``{"policy": "vp-issue"}``; explicit ``scheme``/``allocation``
+        keys win when both are present.
+        """
         known = {f.name for f in fields(cls)}
         kwargs = {k: v for k, v in data.items() if k in known}
+        if "policy" in data:
+            info = resolve_policy(data["policy"])
+            kwargs.setdefault("scheme", info.scheme)
+            if info.allocation is not None:
+                kwargs.setdefault("allocation", info.allocation.value)
         if "scheme" in kwargs:
             kwargs["scheme"] = RenamingScheme(kwargs["scheme"])
         if "allocation" in kwargs:
@@ -185,3 +248,25 @@ def virtual_physical_config(nrr=32, allocation=AllocationStage.WRITEBACK, **chan
     )
     fields.update(changes)
     return ProcessorConfig(**fields)
+
+
+def policy_config(policy, *, nrr=None, **changes):
+    """A :class:`ProcessorConfig` for a registry policy name.
+
+    The one construction path every entry layer (CLI, experiments,
+    benchmarks, examples) shares: ``policy_config("vp-issue", nrr=8)``
+    is the registry-driven spelling of
+    ``virtual_physical_config(nrr=8, allocation=AllocationStage.ISSUE)``.
+    ``nrr`` applies only to policies that use the NRR knob (it is an
+    error to pass it to one that doesn't); ``changes`` are arbitrary
+    config-field overrides applied in the same construction.
+    """
+    info = resolve_policy(policy)
+    if not info.uses_nrr:
+        if nrr is not None:
+            raise ValueError(f"policy {policy!r} does not take an NRR value")
+        return ProcessorConfig(
+            scheme=RenamingScheme(info.scheme)).with_(**changes)
+    return virtual_physical_config(
+        nrr=32 if nrr is None else nrr,
+        allocation=info.allocation, **changes)

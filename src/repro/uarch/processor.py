@@ -63,7 +63,6 @@ from operator import attrgetter
 
 from repro.branch.bht import BranchHistoryTable
 from repro.core.tags import TAG_CLASS_SHIFT
-from repro.core.virtual_physical import AllocationStage, VirtualPhysicalRenamer
 from repro.isa.opcodes import OpClass
 from repro.isa.registers import RegClass
 from repro.memory.memory_system import MemorySystem
@@ -71,6 +70,7 @@ from repro.uarch.config import ProcessorConfig
 from repro.uarch.dynamic import DynInstr
 from repro.uarch.events import EventWheel
 from repro.uarch.functional_units import FunctionalUnitPool
+from repro.uarch.regfile import RegisterFilePorts
 from repro.uarch.stats import SimResult, SimStats
 
 _FAR_FUTURE = 1 << 60
@@ -93,52 +93,40 @@ class Processor:
         self.mem = MemorySystem(cfg.cache, cfg.cache_ports, cfg.store_queue_size)
         self.fus = FunctionalUnitPool(cfg.fu_counts)
         self.stats = SimStats()
-        self._vp_writeback = (
-            isinstance(self.renamer, VirtualPhysicalRenamer)
-            and self.renamer.allocation is AllocationStage.WRITEBACK
-        )
-        self._retry_gating = self._vp_writeback and cfg.retry_gating
-        self._commit_extra = self.renamer.commit_extra_latency
-        self._on_dispatch = getattr(self.renamer, "on_dispatch", None)
-        # Renamers without issue/completion hooks (the conventional and
-        # early-release schemes inherit the base no-ops) skip the hook
-        # call per issued/completed instruction.
-        from repro.core.renamer import Renamer as _RenamerBase
-        renamer_type = type(self.renamer)
-        self._issue_hook = (self.renamer.on_issue
-                            if renamer_type.on_issue
-                            is not _RenamerBase.on_issue else None)
-        if (renamer_type is VirtualPhysicalRenamer
-                and self.renamer.allocation is not AllocationStage.ISSUE):
-            # VP write-back allocation's on_issue is unconditionally True
-            # (allocation happens at completion); skip the call per issue.
-            self._issue_hook = None
-        self._complete_hook = (self.renamer.on_complete
-                               if renamer_type.on_complete
-                               is not _RenamerBase.on_complete else None)
+        # The policy's declared capabilities drive every engine fast
+        # path: no-op hooks are never bound, so the hot loop stays
+        # branch-free for policies that don't use them, with zero
+        # knowledge of concrete renamer classes.
+        renamer = self.renamer
+        self._vp_writeback = renamer.holds_writers_in_iq
+        self._retry_gating = renamer.supports_retry_gating and cfg.retry_gating
+        self._commit_extra = renamer.commit_extra_latency
+        self._on_dispatch = (renamer.on_dispatch
+                             if renamer.has_dispatch_hook else None)
+        self._issue_hook = renamer.on_issue if renamer.has_issue_hook else None
+        self._complete_hook = (renamer.on_complete
+                               if renamer.has_complete_hook else None)
         # The free pools backing the per-cycle occupancy integrals; the
         # attribute-chain walk through allocated_physical() would cost a
         # measurable slice of every cycle.
-        pools = getattr(self.renamer, "free_phys",
-                        getattr(self.renamer, "free", None))
-        if isinstance(pools, dict) and RegClass.INT in pools:
+        pools = renamer.phys_pools()
+        if pools is not None:
             # The underlying deques, counted with a plain len() per cycle.
             self._int_free = pools[RegClass.INT]._free
             self._fp_free = pools[RegClass.FP]._free
-            self._npr_int = self.renamer.npr[RegClass.INT]
-            self._npr_fp = self.renamer.npr[RegClass.FP]
-        else:  # custom renamer without the standard pool layout
+            self._npr_int = renamer.npr[RegClass.INT]
+            self._npr_fp = renamer.npr[RegClass.FP]
+        else:  # custom policy without the standard pool layout
             self._int_free = self._fp_free = None
             self._npr_int = self._npr_fp = 0
         # Side-effect-free stand-in for can_rename() during idle-skip
-        # probing: renaming blocks exactly when the destination class's
-        # allocation pool (VP tags under the VP scheme, physical
-        # registers otherwise) is empty.  can_rename() itself bumps
-        # renamer-internal stall diagnostics, which a speculative probe
-        # must not touch.
-        gate = getattr(self.renamer, "free_vp",
-                       getattr(self.renamer, "free", None))
-        self._rename_gate = gate if isinstance(gate, dict) else None
+        # probing (see RenamingPolicy.rename_gate_pools): can_rename()
+        # itself bumps policy-internal stall diagnostics, which a
+        # speculative probe must not touch.
+        self._rename_gate = renamer.rename_gate_pools()
+        # Register-file port/bank contention model; None = the legacy
+        # fixed per-class port checks (bit-identical golden stats).
+        self.regfile = RegisterFilePorts(cfg) if cfg.rf_model else None
         # Machine state.
         self.now = 0
         self.rob = deque()
@@ -247,6 +235,9 @@ class Processor:
         events = self.complete_at.pop(now) if self.complete_at.due(now) else ()
         if events:
             events.sort(key=_BY_SEQ)
+            regfile = self.regfile
+            if regfile is not None:
+                regfile.start_write_cycle()
             ports_left = self._wb_ports
             ports_left[0] = ports_left[1] = cfg.write_ports
             on_complete = self._complete_hook
@@ -278,7 +269,9 @@ class Processor:
                     instr.completed_at = now
                     continue
                 cls = instr.dest_cls
-                if cls is not None and ports_left[cls] == 0:
+                if cls is not None and (
+                        ports_left[cls] == 0 if regfile is None
+                        else not regfile.can_write(instr)):
                     stats.wb_port_defers += 1
                     defer_push(now + 1, instr)
                     continue
@@ -289,7 +282,10 @@ class Processor:
                     heappush(ready_heap, instr.heap_item)
                     continue
                 if cls is not None:
-                    ports_left[cls] -= 1
+                    if regfile is None:
+                        ports_left[cls] -= 1
+                    else:
+                        regfile.claim_write(instr)
                 instr.completed = True
                 instr.completed_at = now
                 if instr.in_iq:
@@ -414,6 +410,9 @@ class Processor:
         if heap:
             budget = cfg.issue_width
             int_reads = fp_reads = cfg.read_ports
+            regfile = self.regfile
+            if regfile is not None:
+                regfile.start_read_cycle()
             retry = []
             fus = self.fus
             retry_gating = self._retry_gating
@@ -449,10 +448,16 @@ class Processor:
                 ):
                     retry.append(item)
                     continue
-                # Register-file read ports (pre-counted at dispatch).
-                need_int = instr.need_int
-                need_fp = instr.need_fp
-                if need_int > int_reads or need_fp > fp_reads:
+                # Register-file read ports (pre-counted at dispatch;
+                # checked here, charged after the FU and issue-hook
+                # checks pass so a refused issue consumes nothing).
+                if regfile is None:
+                    need_int = instr.need_int
+                    need_fp = instr.need_fp
+                    if need_int > int_reads or need_fp > fp_reads:
+                        retry.append(item)
+                        continue
+                elif not regfile.can_read(instr):
                     retry.append(item)
                     continue
                 # Functional unit (checked before allocation so a failed
@@ -475,8 +480,11 @@ class Processor:
                     retry.append(item)
                     continue
                 fus.claim_unit(kind, unit, now, instr.latency, instr.pipelined)
-                int_reads -= need_int
-                fp_reads -= need_fp
+                if regfile is None:
+                    int_reads -= need_int
+                    fp_reads -= need_fp
+                else:
+                    regfile.claim_read(instr)
                 budget -= 1
                 # Launch (inlined): schedule completion / memory access.
                 instr.issued = True
@@ -794,6 +802,9 @@ class Processor:
         self.stats.load_misses = cache.load_misses
         self.stats.stores = cache.stores
         self.stats.store_forwards = self.mem.store_queue.forwards
+        if self.regfile is not None:
+            self.stats.rf_read_stalls = self.regfile.read_stalls
+            self.stats.rf_bank_conflicts = self.regfile.bank_conflicts
 
 
 def simulate(config=None, trace=None, workload=None,

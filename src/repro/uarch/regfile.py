@@ -1,0 +1,185 @@
+"""Register-file port & bank contention model.
+
+The paper's machine charges register-file *capacity* (the number of
+physical registers) but reads and writes an idealized file: the engine's
+legacy port checks are fixed per-class budgets (``read_ports`` /
+``write_ports``) with no structure below them.  The read-port-reduction
+literature (Los, "Efficient Read-Port-Count Reduction Schemes for the
+Centralized Physical Register File") shows the other half of the
+register-file cost story: ports dominate area/energy, and reducing them
+costs IPC through contention.  This module models that dimension.
+
+:class:`RegisterFilePorts` arbitrates, per simulated cycle:
+
+* a per-class **read-port budget** — an instruction issues only if its
+  pre-counted read-port needs (``DynInstr.need_int`` / ``need_fp``,
+  counted once at dispatch from the tags it will read at issue) fit in
+  the ports remaining this cycle;
+* a per-class **write-port budget** — completion defers to the next
+  cycle when the class's write ports are exhausted (same contract as
+  the legacy check);
+* optional **banking** — each class's file is split into
+  ``rf_banks`` banks (a register lives in bank ``ident % banks``); a
+  bank serves at most ``rf_bank_read_ports`` reads and
+  ``rf_bank_write_ports`` writes per cycle, so two sources hitting the
+  same bank can conflict even when class-level ports are free.  Banks
+  are addressed by *dependence tag*, which is exactly the name the
+  issuing hardware has in hand — physical registers under conventional
+  renaming, VP tags under the virtual-physical scheme — so port
+  pressure is accounted per renaming policy.
+
+The model is **off by default** (``ProcessorConfig.rf_model = False``):
+with it off the engine runs the legacy inline checks and every golden
+``SimStats`` dump stays bit-identical.  With it on and the neutral
+configuration (ports equal to the legacy budgets, one bank), timing is
+also identical — only the new ``rf_*`` diagnostic counters appear —
+which ``tests/uarch/test_regfile.py`` pins.
+"""
+
+from __future__ import annotations
+
+from repro.core.tags import TAG_CLASS_SHIFT
+
+_IDENT_MASK = (1 << TAG_CLASS_SHIFT) - 1
+
+
+class RegisterFilePorts:
+    """Per-cycle read/write port and bank arbitration for one run."""
+
+    __slots__ = (
+        "read_ports", "write_ports", "banks",
+        "bank_read_ports", "bank_write_ports",
+        "_reads_left", "_writes_left", "_bank_reads", "_bank_writes",
+        "_granted_slots", "read_stalls", "bank_conflicts",
+    )
+
+    def __init__(self, config):
+        self.read_ports = (config.rf_read_ports
+                           if config.rf_read_ports is not None
+                           else config.read_ports)
+        self.write_ports = (config.rf_write_ports
+                            if config.rf_write_ports is not None
+                            else config.write_ports)
+        self.banks = config.rf_banks
+        self.bank_read_ports = config.rf_bank_read_ports
+        self.bank_write_ports = config.rf_bank_write_ports
+        self._reads_left = [0, 0]  # (INT, FP) budgets, reset per cycle
+        self._writes_left = [0, 0]
+        # One slot per (class, bank); index = cls * banks + ident % banks.
+        self._bank_reads = [0] * (2 * self.banks)
+        self._bank_writes = [0] * (2 * self.banks)
+        self._granted_slots = ()  # the slots the last granting can_read saw
+        self.read_stalls = 0  # issues blocked by ports or banks
+        self.bank_conflicts = 0  # blocks caused specifically by a bank
+
+    # -- per-cycle resets --------------------------------------------------
+
+    def start_read_cycle(self):
+        """Reset the read-side budgets (the engine's issue stage)."""
+        reads = self._reads_left
+        reads[0] = reads[1] = self.read_ports
+        if self.banks > 1:
+            ports = self.bank_read_ports
+            bank_reads = self._bank_reads
+            for i in range(len(bank_reads)):
+                bank_reads[i] = ports
+
+    def start_write_cycle(self):
+        """Reset the write-side budgets (the engine's write-back stage)."""
+        writes = self._writes_left
+        writes[0] = writes[1] = self.write_ports
+        if self.banks > 1:
+            ports = self.bank_write_ports
+            bank_writes = self._bank_writes
+            for i in range(len(bank_writes)):
+                bank_writes[i] = ports
+
+    # -- arbitration -------------------------------------------------------
+
+    def _read_slots(self, instr):
+        """The (class, bank) slot of every tag ``instr`` reads at issue.
+
+        A store reads only its base address at issue (the value moves
+        at completion) — the same rule the dispatch-time need counting
+        applies.
+        """
+        tags = instr.src_tags
+        if instr.is_store:
+            tags = tags[:1]
+        banks = self.banks
+        return [((tag >> TAG_CLASS_SHIFT) * banks
+                 + (tag & _IDENT_MASK) % banks) for tag in tags]
+
+    def can_read(self, instr):
+        """Whether this cycle's read ports can serve ``instr``'s issue.
+
+        Check only — the engine probes ports before the functional-unit
+        and issue-hook checks and charges the grant with
+        :meth:`claim_read` once the issue actually launches, so a
+        refused issue never consumes ports.  A refusal bumps the stall
+        counters (``read_stalls``; ``bank_conflicts`` when a bank, not
+        the class budget, was the blocker).  A grant caches the
+        computed bank slots, which the immediately following
+        :meth:`claim_read` for the same instruction reuses.
+        """
+        need_int = instr.need_int
+        need_fp = instr.need_fp
+        reads_left = self._reads_left
+        if need_int > reads_left[0] or need_fp > reads_left[1]:
+            self.read_stalls += 1
+            return False
+        if self.banks > 1 and (need_int or need_fp):
+            slots = self._read_slots(instr)
+            bank_reads = self._bank_reads
+            if len(slots) == 2 and slots[0] == slots[1]:
+                if bank_reads[slots[0]] < 2:
+                    self.read_stalls += 1
+                    self.bank_conflicts += 1
+                    return False
+            elif any(bank_reads[slot] < 1 for slot in slots):
+                self.read_stalls += 1
+                self.bank_conflicts += 1
+                return False
+            self._granted_slots = slots
+        return True
+
+    def claim_read(self, instr):
+        """Charge the read ports the granting :meth:`can_read` for the
+        same instruction just saw (its cached bank slots included)."""
+        reads_left = self._reads_left
+        reads_left[0] -= instr.need_int
+        reads_left[1] -= instr.need_fp
+        if self.banks > 1 and (instr.need_int or instr.need_fp):
+            bank_reads = self._bank_reads
+            for slot in self._granted_slots:
+                bank_reads[slot] -= 1
+
+    def can_write(self, instr):
+        """Whether a write port is free for ``instr``'s destination.
+
+        The caller guarantees the instruction writes a register
+        (``dest_cls is not None``).  Check only — the engine probes
+        availability *before* running the policy's completion hook (a
+        port-blocked completion defers without attempting allocation,
+        the legacy contract) and charges the grant with
+        :meth:`claim_write` once the hook succeeds.  A bank refusal
+        counts one bank conflict.
+        """
+        if self._writes_left[instr.dest_cls] == 0:
+            return False
+        if self.banks > 1:
+            tag = instr.dest_tag
+            slot = ((tag >> TAG_CLASS_SHIFT) * self.banks
+                    + (tag & _IDENT_MASK) % self.banks)
+            if self._bank_writes[slot] == 0:
+                self.bank_conflicts += 1
+                return False
+        return True
+
+    def claim_write(self, instr):
+        """Charge the write port(s) :meth:`can_write` just granted."""
+        self._writes_left[instr.dest_cls] -= 1
+        if self.banks > 1:
+            tag = instr.dest_tag
+            self._bank_writes[(tag >> TAG_CLASS_SHIFT) * self.banks
+                              + (tag & _IDENT_MASK) % self.banks] -= 1

@@ -39,6 +39,10 @@ class SimStats:
     stall_sq_full: int = 0
     fetch_stall_cycles: int = 0  # cycles fetch sat waiting on a mispredict
     wb_port_defers: int = 0
+    # Register-file port/bank contention model (uarch/regfile.py; both
+    # counters stay 0 with the model off — the default).
+    rf_read_stalls: int = 0  # issues blocked by read ports or banks
+    rf_bank_conflicts: int = 0  # blocks caused specifically by a bank
     # Register-pressure accounting: sum over cycles of allocated registers.
     int_reg_occupancy_sum: int = 0
     fp_reg_occupancy_sum: int = 0

@@ -58,6 +58,13 @@ class TestExamples:
         out = run_example("register_file_sizing.py", "1200")
         assert "registers/file" in out and "hmean" in out
 
+    def test_port_pressure(self):
+        out = run_example("port_pressure.py", "li", "1500")
+        assert "read ports" in out
+        # Every registered policy appears in the table.
+        for policy in repro.policy_names():
+            assert policy in out
+
     def test_custom_workload(self):
         out = run_example("custom_workload.py", "2000")
         assert "SpMV" in out and "speedup" in out

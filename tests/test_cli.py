@@ -58,6 +58,49 @@ class TestCommands:
         assert "speedup" in out
         assert "conventional" in out and "vp-writeback" in out
 
+    def test_port_sweep_monotone(self, capsys):
+        rc = main(["port-sweep", "--read-ports", "16,2",
+                   "--policies", "conventional", "--workloads", "go",
+                   "-n", "600", "--skip", "50", "--check-monotone",
+                   "--no-cache"])
+        out = capsys.readouterr().out
+        assert "Port sensitivity" in out and "16 ports" in out
+        assert rc == 0
+        assert "monotonicity: OK" in out
+
+    def test_port_sweep_monotone_gate_skips_writeback(self, capsys):
+        """vp-writeback is documented as legitimately non-monotone, so
+        --check-monotone must not gate it."""
+        rc = main(["port-sweep", "--read-ports", "16,2",
+                   "--policies", "vp-writeback", "--workloads", "go",
+                   "-n", "400", "--skip", "40", "--check-monotone",
+                   "--no-cache"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "not gated for vp-writeback" in out
+        assert "nothing gated" in out  # no malformed empty OK line
+        assert "monotonicity: OK" not in out
+
+    def test_port_sweep_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit, match="unknown renaming policy"):
+            main(["port-sweep", "--policies", "magic"])
+
+    def test_port_sweep_rejects_bad_ports(self):
+        with pytest.raises(SystemExit, match="read-ports"):
+            main(["port-sweep", "--read-ports", "sixteen"])
+        # Below the structural floor: a clean message, not a traceback.
+        with pytest.raises(SystemExit, match=">= 2"):
+            main(["port-sweep", "--read-ports", "16,1"])
+
+    def test_run_scheme_choices_come_from_registry(self):
+        from repro.core.policy import policy_names
+
+        parser = build_parser()
+        args = parser.parse_args(["run", "swim"])
+        assert args.scheme == "conventional"
+        for name in policy_names():
+            parser.parse_args(["run", "swim", "--scheme", name])
+
     def test_dump_trace(self, tmp_path, capsys):
         out_file = tmp_path / "t.trace"
         rc = main(["dump-trace", "li", str(out_file), "-n", "100"])

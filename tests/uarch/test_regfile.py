@@ -1,0 +1,193 @@
+"""Register-file port/bank contention model tests.
+
+Covers the arbitration unit (budgets, banks, check-then-claim), the
+neutral-configuration equivalence (model on with the legacy budgets ==
+model off, bit for bit), and the contention behavior the port-sweep
+experiment relies on (fewer ports never raise IPC).
+"""
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.tags import TAG_CLASS_SHIFT, make_tag
+from repro.isa.registers import RegClass
+from repro.uarch.config import ProcessorConfig, policy_config
+from repro.uarch.processor import simulate
+from repro.uarch.regfile import RegisterFilePorts
+
+
+def rf_config(**changes):
+    return ProcessorConfig(rf_model=True, **changes)
+
+
+def grant(rf, instr):
+    """The documented arbitration order: a claim follows its grant."""
+    assert rf.can_read(instr)
+    rf.claim_read(instr)
+
+
+def reader(*tags, is_store=False):
+    """A stand-in instruction reading ``tags`` at issue."""
+    need_int = sum(1 for t in tags if not (t >> TAG_CLASS_SHIFT))
+    need_fp = len(tags) - need_int
+    if is_store:
+        issue_tags = tags[:1]
+        need_int = sum(1 for t in issue_tags if not (t >> TAG_CLASS_SHIFT))
+        need_fp = len(issue_tags) - need_int
+    return SimpleNamespace(src_tags=tuple(tags), is_store=is_store,
+                           need_int=need_int, need_fp=need_fp)
+
+
+def writer(cls, ident):
+    return SimpleNamespace(dest_cls=cls, dest_tag=make_tag(cls, ident))
+
+
+class TestReadPorts:
+    def test_budget_exhaustion_blocks(self):
+        rf = RegisterFilePorts(rf_config(rf_read_ports=2))
+        rf.start_read_cycle()
+        first = reader(make_tag(RegClass.INT, 1), make_tag(RegClass.INT, 2))
+        assert rf.can_read(first)
+        rf.claim_read(first)
+        second = reader(make_tag(RegClass.INT, 3))
+        assert not rf.can_read(second)
+        assert rf.read_stalls == 1
+        assert rf.bank_conflicts == 0  # class budget, not a bank
+
+    def test_classes_have_independent_budgets(self):
+        rf = RegisterFilePorts(rf_config(rf_read_ports=2))
+        rf.start_read_cycle()
+        ints = reader(make_tag(RegClass.INT, 1), make_tag(RegClass.INT, 2))
+        rf.claim_read(ints)
+        fps = reader(make_tag(RegClass.FP, 1), make_tag(RegClass.FP, 2))
+        assert rf.can_read(fps)
+
+    def test_refused_check_charges_nothing(self):
+        rf = RegisterFilePorts(rf_config(rf_read_ports=2))
+        rf.start_read_cycle()
+        wide = reader(make_tag(RegClass.INT, 1), make_tag(RegClass.INT, 2))
+        rf.claim_read(wide)
+        assert not rf.can_read(wide)
+        # The refusal left the FP budget (and next cycle's state) alone.
+        rf.start_read_cycle()
+        assert rf.can_read(wide)
+
+    def test_store_reads_only_its_base_at_issue(self):
+        rf = RegisterFilePorts(rf_config(rf_read_ports=2))
+        rf.start_read_cycle()
+        store = reader(make_tag(RegClass.INT, 1), make_tag(RegClass.INT, 2),
+                       is_store=True)
+        rf.claim_read(store)
+        # Only one port went: another single-read instruction still fits.
+        assert rf.can_read(reader(make_tag(RegClass.INT, 3)))
+
+    def test_bank_conflict_between_instructions(self):
+        rf = RegisterFilePorts(rf_config(
+            rf_read_ports=16, rf_banks=4, rf_bank_read_ports=2))
+        rf.start_read_cycle()
+        # Registers 4 and 8 both live in bank 0 (ident % 4).
+        grant(rf, reader(make_tag(RegClass.INT, 4),
+                         make_tag(RegClass.INT, 8)))
+        blocked = reader(make_tag(RegClass.INT, 12))  # bank 0 again
+        assert not rf.can_read(blocked)
+        assert rf.bank_conflicts == 1
+        other_bank = reader(make_tag(RegClass.INT, 13))  # bank 1
+        assert rf.can_read(other_bank)
+
+    def test_same_bank_dual_source_needs_two_ports(self):
+        rf = RegisterFilePorts(rf_config(
+            rf_read_ports=16, rf_banks=4, rf_bank_read_ports=2))
+        rf.start_read_cycle()
+        grant(rf, reader(make_tag(RegClass.INT, 4)))  # bank 0: 1 left
+        dual = reader(make_tag(RegClass.INT, 8), make_tag(RegClass.INT, 12))
+        assert not rf.can_read(dual)  # needs 2 from bank 0
+        assert rf.bank_conflicts == 1
+
+    def test_banks_are_per_class(self):
+        rf = RegisterFilePorts(rf_config(
+            rf_read_ports=16, rf_banks=4, rf_bank_read_ports=2))
+        rf.start_read_cycle()
+        grant(rf, reader(make_tag(RegClass.INT, 4),
+                         make_tag(RegClass.INT, 8)))
+        # FP bank 0 is a different bank than INT bank 0.
+        assert rf.can_read(reader(make_tag(RegClass.FP, 4)))
+
+
+class TestWritePorts:
+    def test_class_budget(self):
+        rf = RegisterFilePorts(rf_config(rf_write_ports=1))
+        rf.start_write_cycle()
+        first = writer(RegClass.INT, 5)
+        assert rf.can_write(first)
+        rf.claim_write(first)
+        assert not rf.can_write(writer(RegClass.INT, 6))
+        assert rf.can_write(writer(RegClass.FP, 6))
+
+    def test_bank_conflict(self):
+        rf = RegisterFilePorts(rf_config(
+            rf_banks=4, rf_bank_read_ports=2, rf_bank_write_ports=1))
+        rf.start_write_cycle()
+        rf.claim_write(writer(RegClass.INT, 4))  # bank 0
+        assert not rf.can_write(writer(RegClass.INT, 8))  # bank 0 again
+        assert rf.bank_conflicts == 1
+        assert rf.can_write(writer(RegClass.INT, 9))  # bank 1
+
+
+class TestValidation:
+    def test_single_read_port_rejected(self):
+        with pytest.raises(ValueError, match="deadlocks"):
+            ProcessorConfig(rf_model=True, rf_read_ports=1)
+
+    def test_single_bank_read_port_rejected_when_banked(self):
+        with pytest.raises(ValueError, match="rf_bank_read_ports"):
+            ProcessorConfig(rf_model=True, rf_banks=2, rf_bank_read_ports=1)
+
+    def test_fields_ignored_when_model_off(self):
+        ProcessorConfig(rf_read_ports=1)  # no validation error
+
+    def test_port_model_summary(self):
+        cfg = ProcessorConfig(rf_model=True, rf_read_ports=4)
+        assert cfg.port_model() == {
+            "model": True, "read_ports": 4, "write_ports": 8,
+            "banks": 1, "bank_read_ports": 1, "bank_write_ports": 1,
+        }
+        assert ProcessorConfig().port_model()["model"] is False
+
+
+class TestModelTiming:
+    def run(self, policy, **changes):
+        cfg = policy_config(policy, **changes)
+        return simulate(cfg, workload="go", max_instructions=3_000,
+                        skip=300)
+
+    @pytest.mark.parametrize("policy", ["conventional", "vp-writeback",
+                                        "vp-issue", "early-release"])
+    def test_neutral_model_is_bit_identical(self, policy):
+        """rf_model with the legacy budgets and one bank changes no
+        timing — only the (zero) rf_* counters exist either way."""
+        off = self.run(policy).stats.to_dict()
+        on = self.run(policy, rf_model=True).stats.to_dict()
+        assert on == off
+
+    @pytest.mark.parametrize("policy", ["conventional", "vp-writeback"])
+    def test_fewer_ports_never_raise_ipc(self, policy):
+        ipcs = [self.run(policy, rf_model=True, rf_read_ports=p).ipc
+                for p in (16, 8, 4, 2)]
+        assert all(b <= a for a, b in zip(ipcs, ipcs[1:]))
+
+    def test_two_ports_count_stalls(self):
+        result = self.run("conventional", rf_model=True, rf_read_ports=2)
+        assert result.stats.rf_read_stalls > 0
+        assert result.stats.rf_bank_conflicts == 0  # unbanked
+
+    def test_banked_run_counts_conflicts(self):
+        result = self.run("conventional", rf_model=True, rf_banks=4,
+                          rf_bank_read_ports=2)
+        assert result.stats.rf_bank_conflicts > 0
+
+    def test_narrow_write_ports_defer_completions(self):
+        wide = self.run("conventional")
+        narrow = self.run("conventional", rf_model=True, rf_write_ports=1)
+        assert narrow.stats.wb_port_defers > wide.stats.wb_port_defers
+        assert narrow.ipc <= wide.ipc
