@@ -27,11 +27,15 @@ Grids run through the batch engine (:class:`BatchEngine` /
 :class:`RunSpec`), which layers an in-process memo, the persistent
 sharded :class:`ResultStore`, and a pluggable executor — serial,
 process pools, or a cluster of ``repro worker`` daemons via
-:class:`RemoteExecutor`.
+:class:`RemoteExecutor`.  On top of the engine, the service layer
+(:class:`Gateway` / :class:`GatewayClient`, ``repro serve``) exposes
+simulations over HTTP: clients POST spec grids and stream results
+back point by point, with shared-token auth (``REPRO_TOKEN``).
 
 See ``docs/architecture.md`` for the layer map, ``docs/engine.md`` for
-the execution layer, and ``docs/reproducing-the-paper.md`` for the
-table-by-table reproduction walkthrough.
+the execution layer, ``docs/service.md`` for the HTTP gateway, and
+``docs/reproducing-the-paper.md`` for the table-by-table reproduction
+walkthrough.
 """
 
 from repro.core import (
@@ -53,6 +57,7 @@ from repro.engine import (
     WorkerServer,
 )
 from repro.isa import OpClass, RegClass, TraceRecord
+from repro.service import Gateway, GatewayClient
 from repro.memory import CacheConfig
 from repro.trace import (
     FP_BENCHMARKS,
@@ -76,13 +81,15 @@ from repro.uarch import (
     virtual_physical_config,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AllocationStage",
     "BatchEngine",
     "ConventionalRenamer",
     "EarlyReleaseRenamer",
+    "Gateway",
+    "GatewayClient",
     "PolicyInfo",
     "RenamingPolicy",
     "RegisterFilePorts",

@@ -25,12 +25,25 @@ Commands
     Merge the persistent store's writer segments and rewrite it keeping
     the newest record per key (``--prune-stale`` also drops records
     from older code versions).
+``cache stats``
+    Operator summary of the store: record/segment counts, bytes, and a
+    per-workload breakdown.
+``serve``
+    Run the simulation-as-a-service HTTP gateway
+    (:mod:`repro.service`): clients POST RunSpec grids and stream
+    results back as NDJSON; set ``REPRO_TOKEN`` to require auth.
+``submit`` / ``status`` / ``fetch``
+    The gateway's client side: submit a sweep grid over HTTP (streams
+    points as they finish), poll a job, or collect its results.
 ``worker``
     Serve simulations to remote coordinators: ``repro worker --serve``
-    runs the daemon behind ``--executor remote``.
+    runs the daemon behind ``--executor remote`` and records a
+    ``worker-<host>-<pid>.json`` descriptor under ``REPRO_CACHE_DIR``.
 ``cluster``
     Inspect or stop a set of workers: ``repro cluster status --workers
     host1,host2`` pings each; ``repro cluster stop`` shuts them down.
+    With no ``--workers``, addresses come from the worker descriptors
+    in the cache directory.
 ``workloads``
     List the available benchmark models.
 ``dump-trace``
@@ -40,9 +53,11 @@ Every simulating command accepts ``--jobs N`` (worker processes;
 default ``REPRO_JOBS`` or the CPU count), ``--executor
 {serial,pool,persistent,remote}`` (``persistent`` keeps a warm worker
 pool across batches; ``remote`` fans out across ``repro worker``
-daemons), ``--workers host1[:port],host2`` (implies ``remote``), and
+daemons), ``--workers host1[:port],host2`` (implies ``remote``),
 ``--no-cache`` (skip the persistent result store under
-``REPRO_CACHE_DIR``).
+``REPRO_CACHE_DIR``), and the remote fault-handling knobs
+``--heartbeat`` / ``--retries`` / ``--connect-timeout``
+(``REPRO_HEARTBEAT`` / ``REPRO_RETRIES`` / ``REPRO_CONNECT_TIMEOUT``).
 """
 
 from __future__ import annotations
@@ -93,7 +108,11 @@ def _cache_for_args(args, progress=None):
                                    else None),
                        progress=progress,
                        executor=getattr(args, "executor", None),
-                       workers=getattr(args, "workers", None))
+                       workers=getattr(args, "workers", None),
+                       heartbeat=getattr(args, "heartbeat", None),
+                       retries=getattr(args, "retries", None),
+                       connect_timeout=getattr(args, "connect_timeout",
+                                               None))
 
 
 def _config_for(args):
@@ -129,6 +148,16 @@ def _add_engine_args(parser):
                              "8642 or REPRO_WORKER_PORT)")
     parser.add_argument("--no-cache", action="store_true",
                         help="skip the persistent result store")
+    parser.add_argument("--heartbeat", type=float, default=None,
+                        help="remote executor: idle heartbeat interval "
+                             "in seconds (default: REPRO_HEARTBEAT or 5)")
+    parser.add_argument("--retries", type=int, default=None,
+                        help="remote executor: attempts per chunk before "
+                             "the run fails (default: REPRO_RETRIES or 3)")
+    parser.add_argument("--connect-timeout", type=float, default=None,
+                        help="remote executor: per-worker connect timeout "
+                             "in seconds (default: REPRO_CONNECT_TIMEOUT "
+                             "or 5)")
 
 
 def _add_run_args(parser):
@@ -250,7 +279,9 @@ def cmd_sweep(args):
         # batch would time cache lookups, not the executor.
         cache = ResultCache(jobs=args.jobs, persistent=False,
                             progress=_progress_line,
-                            executor=args.executor, workers=args.workers)
+                            executor=args.executor, workers=args.workers,
+                            heartbeat=args.heartbeat, retries=args.retries,
+                            connect_timeout=args.connect_timeout)
     else:
         cache = _cache_for_args(args, progress=_progress_line)
     start = time.perf_counter()
@@ -428,9 +459,159 @@ def cmd_cache_compact(args):
     return 0
 
 
+def cmd_cache_stats(args):
+    from repro.engine import ResultStore
+
+    stats = ResultStore().stats()
+    if args.json:
+        print(json.dumps(stats, indent=2, sort_keys=True))
+        return 0
+    print(f"{stats['directory']}: {stats['records']} record(s), "
+          f"{stats['segments']} segment(s), {stats['bytes']} bytes "
+          f"({stats['files']} file(s))")
+    print(f"  lines: {stats['lines']} stored, {stats['superseded']} "
+          f"superseded, {stats['corrupt']} corrupt")
+    if stats["workloads"]:
+        width = max(len(name) for name in stats["workloads"])
+        for workload, count in stats["workloads"].items():
+            print(f"  {workload:<{width}}  {count} record(s)")
+    if stats["versions"]:
+        print("  versions: " + ", ".join(
+            f"{version} ({count})"
+            for version, count in stats["versions"].items()))
+    return 0
+
+
+def cmd_serve(args):
+    """Run the simulation-as-a-service HTTP gateway (blocks)."""
+    import asyncio
+
+    from repro.engine import BatchEngine, ResultStore, make_executor
+    from repro.service import DEFAULT_GATEWAY_PORT, Gateway
+
+    store = None if args.no_cache else ResultStore()
+    executor = make_executor(args.jobs, kind=args.executor,
+                             workers=args.workers,
+                             heartbeat=args.heartbeat, retries=args.retries,
+                             connect_timeout=args.connect_timeout)
+    engine = BatchEngine(executor=executor, store=store)
+    port = DEFAULT_GATEWAY_PORT if args.port is None else args.port
+    gateway = Gateway(host=args.host, port=port, engine=engine,
+                      max_inflight=args.max_inflight)
+
+    def on_ready(gw):
+        host, bound_port = gw.address
+        print(f"repro serve: listening on http://{host}:{bound_port} "
+              f"(version {gw.version}, auth "
+              f"{'on' if gw.token else 'off'}, executor "
+              f"{type(executor).__name__}, max-inflight "
+              f"{gw.max_inflight})", flush=True)
+
+    try:
+        asyncio.run(gateway.serve_forever(on_ready))
+    except KeyboardInterrupt:
+        pass
+    print(f"repro serve: stopped after {gateway.requests} request(s), "
+          f"{gateway.points_executed} point(s) executed")
+    return 0
+
+
+def _gateway_client(args):
+    from repro.service import GatewayClient
+
+    return GatewayClient(args.url, client_id=getattr(args, "client", None))
+
+
+def cmd_submit(args):
+    """Submit a sweep grid to a gateway and stream results back."""
+    from repro.service import GatewayError
+    from repro.uarch.stats import SimResult
+
+    benches, columns, specs = _sweep_grid(args)
+    client = _gateway_client(args)
+    try:
+        job = client.submit(specs)
+    except (ConnectionError, GatewayError) as exc:
+        raise SystemExit(f"repro submit: {exc}")
+    print(f"job {job['id']}: {job['points']} point(s) submitted "
+          f"({len(benches)} workload(s) x {len(columns)} column(s))")
+    if args.detach:
+        url_flag = f" --url {args.url}" if args.url else ""
+        print(f"  status : repro status {job['id']}{url_flag}")
+        print(f"  fetch  : repro fetch {job['id']}{url_flag}")
+        return 0
+    state = "unknown"
+    try:
+        for event in client.stream(job["id"]):
+            if event.get("event") == "point":
+                result = SimResult.from_dict(event["result"])
+                label = event.get("label") or "conventional"
+                print(f"  {event['done']:3d}/{event['points']} "
+                      f"{event['workload']:<10s} {label:<20s} "
+                      f"IPC={result.ipc:.3f}")
+            elif event.get("event") == "end":
+                state = event.get("state")
+                if event.get("error"):
+                    print(f"  error: {event['error']}")
+    except (ConnectionError, GatewayError) as exc:
+        raise SystemExit(f"repro submit: stream failed: {exc}")
+    print(f"job {job['id']}: {state}")
+    return 0 if state == "done" else 1
+
+
+def cmd_status(args):
+    """Print one job's gateway-side snapshot."""
+    from repro.service import GatewayError
+
+    try:
+        snapshot = _gateway_client(args).status(args.job)
+    except (ConnectionError, GatewayError) as exc:
+        raise SystemExit(f"repro status: {exc}")
+    if args.json:
+        print(json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    print(f"job {snapshot['id']}: {snapshot['state']} "
+          f"({snapshot['done']}/{snapshot['points']} point(s), "
+          f"client {snapshot['client']})")
+    if snapshot.get("error"):
+        print(f"  error: {snapshot['error']}")
+    return 0
+
+
+def cmd_fetch(args):
+    """Collect a job's results from a gateway."""
+    from repro.service import GatewayError
+    from repro.uarch.stats import SimResult
+
+    client = _gateway_client(args)
+    try:
+        payload = client.results(args.job)
+    except (ConnectionError, GatewayError) as exc:
+        raise SystemExit(f"repro fetch: {exc}")
+    if args.json:
+        print(json.dumps(payload["results"], indent=2, sort_keys=True))
+        return 0
+    missing = 0
+    for record in payload["results"]:
+        if record is None:
+            missing += 1
+            continue
+        print(SimResult.from_dict(record).summary())
+    if missing:
+        print(f"({missing} point(s) not finished; job state: "
+              f"{payload['state']})")
+    return 0 if payload["state"] == "done" else 1
+
+
 def cmd_worker(args):
     """Run the remote-execution worker daemon (blocks until shutdown)."""
-    from repro.engine import ResultStore, WorkerServer, make_executor
+    from repro.engine import (
+        ResultStore,
+        WorkerServer,
+        make_executor,
+        remove_worker_descriptor,
+        write_worker_descriptor,
+    )
     from repro.engine.remote import default_port
 
     if not args.serve:
@@ -448,15 +629,22 @@ def cmd_worker(args):
     server = WorkerServer(host=args.host, port=args.port, store=store,
                           executor=executor)
     host, port = server.address
+    # The machine-readable record of this daemon: `repro cluster
+    # status` (no --workers) discovers local daemons through it.
+    descriptor = write_worker_descriptor(
+        server.address, auth=server.token is not None)
     print(f"repro worker: serving on {host}:{port} "
-          f"(version {server.version}, pid {server.status()['pid']})",
-          flush=True)
+          f"(version {server.version}, pid {server.status()['pid']}, "
+          f"auth {'on' if server.token else 'off'})", flush=True)
+    if descriptor is not None:
+        print(f"repro worker: descriptor {descriptor}", flush=True)
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server.server_close()
+        remove_worker_descriptor(descriptor)
     print(f"repro worker: stopped after serving {server.served} spec(s)")
     return 0
 
@@ -464,13 +652,24 @@ def cmd_worker(args):
 def _cluster_workers(args):
     import os
 
-    from repro.engine import parse_workers
+    from repro.engine import parse_workers, read_worker_descriptors
 
     workers = parse_workers(args.workers
                             or os.environ.get("REPRO_WORKERS"))
     if not workers:
+        # Fall back to the worker-<host>-<pid>.json descriptors that
+        # `repro worker --serve` leaves under the cache directory.
+        descriptors = read_worker_descriptors()
+        workers = [(record["host"], record["port"])
+                   for _, record in descriptors]
+        if workers:
+            print(f"(discovered {len(workers)} worker(s) from "
+                  "descriptors in the cache directory)")
+    if not workers:
         raise SystemExit("repro cluster: --workers host[:port],... "
-                         "(or REPRO_WORKERS) is required")
+                         "(or REPRO_WORKERS) is required, and no "
+                         "worker-*.json descriptors were found under "
+                         "the cache directory")
     return workers
 
 
@@ -491,6 +690,7 @@ def cmd_cluster_status(args):
                  else f"VERSION MISMATCH (local {local})")
         print(f"{host}:{port}  up  pid={status.get('pid')} "
               f"served={status.get('served')} "
+              f"auth={'on' if status.get('auth') else 'off'} "
               f"version={status.get('version')} [{match}]")
         if status.get("version") != local:
             failures += 1
@@ -623,6 +823,69 @@ def build_parser():
                        help="suppress the per-point progress line")
     bench.set_defaults(fn=cmd_bench)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the simulation-as-a-service HTTP gateway "
+             "(POST /v1/jobs, NDJSON streaming; REPRO_TOKEN for auth)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1; use "
+                            "0.0.0.0 to serve other hosts)")
+    serve.add_argument("--port", type=int, default=None,
+                       help="TCP port (default 8750; 0 picks an "
+                            "ephemeral port)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="points simulated concurrently per "
+                            "scheduling round (default 8)")
+    _add_engine_args(serve)
+    serve.set_defaults(fn=cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep grid to a gateway over HTTP and stream "
+             "results as they finish")
+    submit.add_argument("--url", default=None,
+                        help="gateway base URL (default: REPRO_GATEWAY "
+                             "or http://127.0.0.1:8750)")
+    submit.add_argument("--client", default=None,
+                        help="fair-share client identity (default: the "
+                             "gateway uses the peer address)")
+    submit.add_argument("--detach", action="store_true",
+                        help="print the job id and exit instead of "
+                             "streaming")
+    submit.add_argument("--nrr", default="1,4,8,16,24,32",
+                        help="comma-separated NRR values (default: the "
+                             "paper's Figure 4 sweep)")
+    submit.add_argument("--allocation", choices=sorted(_ALLOCATIONS),
+                        default="writeback")
+    submit.add_argument("--workloads", default=None,
+                        help="comma-separated benchmark names "
+                             "(default: all)")
+    submit.add_argument("-n", "--instructions", type=int, default=30_000)
+    submit.add_argument("--skip", type=int, default=3_000)
+    submit.add_argument("--seed", type=int, default=1234)
+    submit.set_defaults(fn=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="show a gateway job's progress snapshot")
+    status.add_argument("job", help="job id returned by `repro submit`")
+    status.add_argument("--url", default=None,
+                        help="gateway base URL (default: REPRO_GATEWAY "
+                             "or http://127.0.0.1:8750)")
+    status.add_argument("--json", action="store_true",
+                        help="emit the raw snapshot JSON")
+    status.set_defaults(fn=cmd_status)
+
+    fetch = sub.add_parser(
+        "fetch", help="collect a gateway job's results")
+    fetch.add_argument("job", help="job id returned by `repro submit`")
+    fetch.add_argument("--url", default=None,
+                       help="gateway base URL (default: REPRO_GATEWAY "
+                            "or http://127.0.0.1:8750)")
+    fetch.add_argument("--json", action="store_true",
+                       help="emit the result list as JSON (the store "
+                            "format; unfinished points are null)")
+    fetch.set_defaults(fn=cmd_fetch)
+
     worker = sub.add_parser(
         "worker",
         help="serve simulations to remote coordinators (--executor remote)")
@@ -673,6 +936,13 @@ def build_parser():
     compact.add_argument("--prune-stale", action="store_true",
                          help="also drop records from older code versions")
     compact.set_defaults(fn=cmd_cache_compact)
+    cache_stats = cache_sub.add_parser(
+        "stats",
+        help="summarize the store: records, segments, bytes, and a "
+             "per-workload breakdown")
+    cache_stats.add_argument("--json", action="store_true",
+                             help="emit the raw stats JSON")
+    cache_stats.set_defaults(fn=cmd_cache_stats)
 
     wl = sub.add_parser("workloads", help="list workload models")
     wl.set_defaults(fn=cmd_workloads)

@@ -20,9 +20,18 @@ benchmark harness, examples — flows through this package:
   additionally on a hash of the package source so any simulator change
   invalidates stale results.
 * :class:`~repro.engine.core.BatchEngine` ties the layers together:
-  grid in, results (in spec order) out.
+  grid in, results (in spec order) out — or streamed incrementally via
+  :meth:`~repro.engine.core.BatchEngine.run_specs_iter`, which every
+  executor backs with a ``run_iter`` seam (the service gateway in
+  :mod:`repro.service` streams from it).
 
-See ``docs/engine.md`` for the full execution-layer reference.
+The worker protocol and the HTTP gateway share one shared-secret
+authentication scheme (``REPRO_TOKEN``; :func:`service_token` /
+:func:`token_matches`), and serving daemons advertise themselves
+through worker descriptors (:func:`write_worker_descriptor`).
+
+See ``docs/engine.md`` for the full execution-layer reference and
+``docs/service.md`` for the HTTP gateway.
 """
 
 from repro.engine.core import BatchEngine, BatchStats
@@ -34,6 +43,7 @@ from repro.engine.executors import (
     default_jobs,
     execute_spec,
     make_executor,
+    run_from_iter,
 )
 from repro.engine.remote import (
     DEFAULT_PORT,
@@ -41,7 +51,13 @@ from repro.engine.remote import (
     WorkerServer,
     parse_workers,
     ping_worker,
+    read_worker_descriptors,
+    remove_worker_descriptor,
+    service_token,
     shutdown_worker,
+    token_matches,
+    worker_descriptor_path,
+    write_worker_descriptor,
 )
 from repro.engine.spec import RunSpec
 from repro.engine.store import ResultStore, default_cache_dir
@@ -66,5 +82,12 @@ __all__ = [
     "make_executor",
     "parse_workers",
     "ping_worker",
+    "read_worker_descriptors",
+    "remove_worker_descriptor",
+    "run_from_iter",
+    "service_token",
     "shutdown_worker",
+    "token_matches",
+    "worker_descriptor_path",
+    "write_worker_descriptor",
 ]

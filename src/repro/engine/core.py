@@ -70,6 +70,27 @@ class BatchEngine:
     def run(self, specs):
         """Simulate every spec, returning results in spec order."""
         specs = list(specs)
+        results = [None] * len(specs)
+        for position, _, result in self.run_specs_iter(specs):
+            results[position] = result
+        return results
+
+    def run_specs_iter(self, specs):
+        """Stream ``(position, spec, result)`` as each result lands.
+
+        The incremental face of :meth:`run`, and the seam the service
+        gateway streams from.  Memo and store hits are yielded
+        immediately (before the executor is even invoked), then
+        executed results follow in **completion order** — whatever the
+        executor's ``run_iter`` yields first (serial: submission order;
+        pools and the remote backend: whichever run finishes first).
+        Every position of the input grid is yielded exactly once;
+        duplicate specs are yielded as soon as their shared key
+        resolves.  Cache layers, deduplication, and ``last_batch``
+        accounting are identical to :meth:`run` — collecting this
+        stream IS :meth:`run`.
+        """
+        specs = list(specs)
         for spec in specs:
             if not spec.is_resolved:
                 raise ValueError(f"unresolved spec submitted: {spec!r}")
@@ -87,17 +108,35 @@ class BatchEngine:
                     continue
             pending[key] = spec
         batch.memo_hits = len(batch.keys) - batch.store_hits - len(pending)
-        if pending:
-            items = list(pending.items())
-            results = self.executor.run([spec for _, spec in items],
-                                        progress=self.progress)
-            for (key, _), result in zip(items, results):
-                self._memo[key] = result
-                if self.store is not None:
-                    self.store.put(key, result)
-            batch.executed = len(items)
         self.last_batch = batch
-        return [self._memo[key] for key in keys]
+        # Cache hits flush first: every position already servable.
+        for position, key in enumerate(keys):
+            if key not in pending:
+                yield position, specs[position], self._memo[key]
+        if not pending:
+            return
+        positions = {}  # key -> positions awaiting the executed result
+        for position, key in enumerate(keys):
+            if key in pending:
+                positions.setdefault(key, []).append(position)
+        items = list(pending.items())
+        run_iter = getattr(self.executor, "run_iter", None)
+        if run_iter is not None:
+            stream = run_iter([spec for _, spec in items],
+                              progress=self.progress)
+        else:  # executor predates the streaming seam: barrier, then flush
+            stream = enumerate(self.executor.run(
+                [spec for _, spec in items], progress=self.progress))
+        for index, result in stream:
+            key = items[index][0]
+            self._memo[key] = result
+            if self.store is not None:
+                self.store.put(key, result)
+            # Counted as each result lands, so a failed or abandoned
+            # run reports only the work that actually happened.
+            batch.executed += 1
+            for position in positions[key]:
+                yield position, specs[position], result
 
     def run_one(self, spec):
         """Convenience wrapper: a one-spec batch."""

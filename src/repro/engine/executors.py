@@ -60,6 +60,19 @@ def _pool_worker(indexed_spec):
     return index, execute_spec(spec)
 
 
+def run_from_iter(executor, specs, progress=None):
+    """Collect an executor's :meth:`run_iter` stream into spec order.
+
+    The shared ``run()`` implementation for executors whose native
+    operation is streaming: results are identical to a barrier run
+    because every work unit is fully seeded.
+    """
+    results = [None] * len(specs)
+    for index, result in executor.run_iter(specs, progress=progress):
+        results[index] = result
+    return results
+
+
 class SerialExecutor:
     """Runs every spec in the calling process, in order."""
 
@@ -67,12 +80,18 @@ class SerialExecutor:
 
     def run(self, specs, progress=None):
         """Simulate each spec in submission order; results match it."""
-        results = []
+        return run_from_iter(self, specs, progress=progress)
+
+    def run_iter(self, specs, progress=None):
+        """Yield ``(index, result)`` pairs as each run completes.
+
+        Serial execution completes specs in submission order, so the
+        stream is simply ordered.
+        """
         for index, spec in enumerate(specs):
-            results.append(execute_spec(spec))
+            yield index, execute_spec(spec)
             if progress:
                 progress(index + 1, len(specs), spec)
-        return results
 
 
 class ProcessPoolExecutor:
@@ -87,18 +106,26 @@ class ProcessPoolExecutor:
 
     def run(self, specs, progress=None):
         """Simulate the specs on a fresh pool; results in spec order."""
+        return run_from_iter(self, specs, progress=progress)
+
+    def run_iter(self, specs, progress=None):
+        """Yield ``(index, result)`` pairs in completion order.
+
+        Results stream off the pool as workers finish, so a caller can
+        forward each one (e.g. to an HTTP stream) while later specs are
+        still simulating.
+        """
         if self.jobs <= 1 or len(specs) <= 1:
-            return SerialExecutor().run(specs, progress=progress)
-        results = [None] * len(specs)
+            yield from SerialExecutor().run_iter(specs, progress=progress)
+            return
         done = 0
         with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
             for index, result in pool.imap_unordered(
                     _pool_worker, list(enumerate(specs))):
-                results[index] = result
                 done += 1
+                yield index, result
                 if progress:
                     progress(done, len(specs), specs[index])
-        return results
 
 
 class PersistentPoolExecutor:
@@ -126,21 +153,22 @@ class PersistentPoolExecutor:
 
     def run(self, specs, progress=None):
         """Simulate the specs on the warm pool; results in spec order."""
-        if self.jobs <= 1:
-            return SerialExecutor().run(specs, progress=progress)
-        if len(specs) <= 1 and self._pool is None:
-            # Don't spawn a whole pool for a single first run.
-            return SerialExecutor().run(specs, progress=progress)
+        return run_from_iter(self, specs, progress=progress)
+
+    def run_iter(self, specs, progress=None):
+        """Yield ``(index, result)`` pairs in completion order."""
+        if self.jobs <= 1 or (len(specs) <= 1 and self._pool is None):
+            # Serial fallback; never spawn a pool for a single first run.
+            yield from SerialExecutor().run_iter(specs, progress=progress)
+            return
         pool = self._ensure_pool()
-        results = [None] * len(specs)
         done = 0
         for index, result in pool.imap_unordered(
                 _pool_worker, list(enumerate(specs))):
-            results[index] = result
             done += 1
+            yield index, result
             if progress:
                 progress(done, len(specs), specs[index])
-        return results
 
     def close(self):
         """Shut the warm pool down (idempotent)."""
@@ -161,7 +189,8 @@ class PersistentPoolExecutor:
 EXECUTOR_KINDS = ("serial", "pool", "persistent", "remote")
 
 
-def make_executor(jobs=None, kind=None, workers=None):
+def make_executor(jobs=None, kind=None, workers=None, heartbeat=None,
+                  retries=None, connect_timeout=None):
     """The executor a job count, kind, and worker list imply.
 
     ``kind`` is one of :data:`EXECUTOR_KINDS` (default: the
@@ -170,7 +199,11 @@ def make_executor(jobs=None, kind=None, workers=None):
     (a ``host[:port],...`` list, or the ``REPRO_WORKERS`` environment
     variable for ``kind="remote"``) selects the distributed
     :class:`~repro.engine.remote.RemoteExecutor`, which fans batches
-    out across ``repro worker --serve`` daemons.
+    out across ``repro worker --serve`` daemons.  ``heartbeat``,
+    ``retries``, and ``connect_timeout`` tune that backend's fault
+    handling (defaults: ``REPRO_HEARTBEAT`` / ``REPRO_RETRIES`` /
+    ``REPRO_CONNECT_TIMEOUT``, then 5s / 3 / 5s); they are ignored by
+    the local executors.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     # Precedence: explicit kind > explicit workers (implies remote) >
@@ -192,6 +225,8 @@ def make_executor(jobs=None, kind=None, workers=None):
         from repro.engine.remote import RemoteExecutor
 
         workers = workers or os.environ.get("REPRO_WORKERS")
-        return RemoteExecutor(workers)
+        return RemoteExecutor(workers, heartbeat_interval=heartbeat,
+                              max_task_attempts=retries,
+                              connect_timeout=connect_timeout)
     raise ValueError(
         f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}")

@@ -20,13 +20,21 @@ halves that speak a one-line-JSON-per-connection TCP protocol:
 
 Wire protocol (one JSON object per line, one request per connection)::
 
-    -> {"op": "ping"}
+    -> {"op": "ping", "token": "<shared secret, when auth is on>"}
     <- {"ok": true, "version": "<code hash>", "pid": 123, "served": 42}
     -> {"op": "run_batch", "specs": [<RunSpec.to_dict()>, ...]}
     <- {"ok": true, "results": [<SimResult.to_dict()>, ...],
         "version": "<code hash>"}
     -> {"op": "shutdown"}
     <- {"ok": true}
+
+**Authentication**: when the ``REPRO_TOKEN`` environment variable is
+set (or a ``token`` is passed explicitly), every request must carry the
+matching shared secret or the worker refuses it with an
+``unauthorized`` error — compared in constant time, so a cluster can
+run on a non-trusted network.  Coordinator and workers read the same
+variable, so ``REPRO_TOKEN=s3cret repro worker --serve`` pairs with
+``REPRO_TOKEN=s3cret repro sweep --workers ...`` with no extra flags.
 
 Every run is fully seeded and the worker executes the same
 :func:`~repro.engine.executors.execute_spec` work unit as the local
@@ -42,8 +50,10 @@ simulating CLI command; the default port is :data:`DEFAULT_PORT`.
 
 from __future__ import annotations
 
+import hmac
 import json
 import os
+import pathlib
 import queue
 import socket
 import socketserver
@@ -67,6 +77,42 @@ def default_port():
     if env:
         return int(env)
     return DEFAULT_PORT
+
+
+def _env_number(name, fallback, convert=float):
+    """An optional numeric environment override (ignored when unset)."""
+    env = os.environ.get(name)
+    if env:
+        try:
+            return convert(env)
+        except ValueError:
+            raise ValueError(f"invalid {name}={env!r}: expected a number")
+    return fallback
+
+
+def service_token():
+    """The cluster/service shared secret: ``REPRO_TOKEN``, or ``None``.
+
+    ``None`` (unset or empty) means authentication is off — the
+    pre-auth trusted-network behavior.  The same token protects the
+    worker TCP protocol and the HTTP gateway
+    (:mod:`repro.service`).
+    """
+    return os.environ.get("REPRO_TOKEN") or None
+
+
+def token_matches(expected, presented):
+    """Constant-time shared-secret check.
+
+    ``expected is None`` means auth is off — everything passes.  A
+    non-string ``presented`` (absent, or a JSON non-string) never
+    matches.
+    """
+    if expected is None:
+        return True
+    if not isinstance(presented, str):
+        return False
+    return hmac.compare_digest(expected, presented)
 
 
 def parse_workers(spec):
@@ -95,8 +141,15 @@ def parse_workers(spec):
     return workers
 
 
-def _request(address, payload, timeout):
-    """One protocol round trip: connect, send a line, read a line."""
+def _request(address, payload, timeout, token=None):
+    """One protocol round trip: connect, send a line, read a line.
+
+    ``token`` (default: :func:`service_token`) is attached to the
+    request when set, satisfying authenticated workers.
+    """
+    token = service_token() if token is None else token
+    if token is not None:
+        payload = dict(payload, token=token)
     with socket.create_connection(address, timeout=timeout) as sock:
         sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
         sock.shutdown(socket.SHUT_WR)
@@ -112,14 +165,102 @@ def _request(address, payload, timeout):
     return response
 
 
-def ping_worker(address, timeout=5.0):
+def ping_worker(address, timeout=5.0, token=None):
     """Probe one worker; returns its status dict or raises."""
-    return _request(address, {"op": "ping"}, timeout)
+    return _request(address, {"op": "ping"}, timeout, token=token)
 
 
-def shutdown_worker(address, timeout=5.0):
+def shutdown_worker(address, timeout=5.0, token=None):
     """Ask one worker daemon to exit; returns its final status dict."""
-    return _request(address, {"op": "shutdown"}, timeout)
+    return _request(address, {"op": "shutdown"}, timeout, token=token)
+
+
+# -- worker descriptors ---------------------------------------------------
+#
+# ``repro worker --serve`` leaves a machine-readable record of its
+# listen address under the cache directory, so operators (and ``repro
+# cluster status`` with no --workers) can discover a machine's daemons
+# without scraping stdout.
+
+def worker_descriptor_path(pid=None, directory=None):
+    """Where this host × pid's worker descriptor lives.
+
+    ``worker-<host>-<pid>.json`` under ``directory`` (default:
+    ``REPRO_CACHE_DIR``) — daemons sharing a cache directory each get
+    their own file, exactly like store segments.
+    """
+    from repro.engine.store import default_cache_dir
+
+    host = socket.gethostname().split(".")[0][:24] or "host"
+    pid = os.getpid() if pid is None else pid
+    return (pathlib.Path(directory or default_cache_dir())
+            / f"worker-{host}-{pid}.json")
+
+
+def write_worker_descriptor(address, directory=None, **fields):
+    """Record a serving worker's address; returns the path (or ``None``).
+
+    ``address`` is the daemon's bound ``(host, port)``; a wildcard bind
+    (``0.0.0.0`` / ``::``) is advertised as the machine's hostname so
+    the recorded address is connectable from elsewhere.  Extra keyword
+    fields are stored verbatim.  Best-effort: an unwritable cache
+    directory returns ``None`` instead of failing the daemon.
+    """
+    host, port = address
+    if host in ("", "0.0.0.0", "::"):
+        host = socket.gethostname()
+    record = {"host": str(host), "port": int(port), "pid": os.getpid(),
+              "version": code_version(), "started": time.time(),
+              "auth": service_token() is not None}
+    record.update(fields)
+    path = worker_descriptor_path(directory=directory)
+    tmp = path.with_suffix(".json.tmp")
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_text(json.dumps(record, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, path)
+    except OSError:
+        return None
+    return path
+
+
+def remove_worker_descriptor(path):
+    """Delete a descriptor written by :func:`write_worker_descriptor`."""
+    if path is None:
+        return
+    try:
+        pathlib.Path(path).unlink()
+    except OSError:
+        pass  # already gone, or the directory became unreadable
+
+
+def read_worker_descriptors(directory=None):
+    """Every ``worker-*.json`` descriptor in a cache directory.
+
+    Returns ``(path, record)`` pairs in name order; corrupt or
+    unreadable files are skipped.  Liveness is NOT checked — a crashed
+    daemon leaves its descriptor behind; ``repro cluster status`` pings
+    each recorded address and reports the dead ones.
+    """
+    from repro.engine.store import default_cache_dir
+
+    directory = pathlib.Path(directory or default_cache_dir())
+    descriptors = []
+    try:
+        paths = sorted(directory.glob("worker-*.json"))
+    except OSError:
+        return []
+    for path in paths:
+        try:
+            record = json.loads(path.read_text(encoding="utf-8"))
+            descriptors.append((path, {"host": str(record["host"]),
+                                       "port": int(record["port"]),
+                                       **{k: v for k, v in record.items()
+                                          if k not in ("host", "port")}}))
+        except (OSError, ValueError, KeyError, TypeError):
+            continue
+    return descriptors
 
 
 class _WorkerHandler(socketserver.StreamRequestHandler):
@@ -131,7 +272,13 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
             line = self.rfile.readline(_MAX_LINE)
             request = json.loads(line.decode("utf-8"))
             op = request.get("op")
-            if op == "ping":
+            if not token_matches(server.token, request.get("token")):
+                # Refused before any op dispatch: an unauthenticated
+                # peer can neither run work nor shut the daemon down.
+                response = {"ok": False,
+                            "error": "unauthorized: this worker requires "
+                                     "the shared REPRO_TOKEN"}
+            elif op == "ping":
                 response = server.status()
             elif op == "run_batch":
                 response = server.run_batch(request.get("specs") or [])
@@ -161,17 +308,23 @@ class WorkerServer(socketserver.ThreadingTCPServer):
     in-process), and optionally consults/feeds a local ``store`` so
     repeated grids are served from cache.  Thread-per-connection, so
     several coordinators (or chunks) can be in flight at once.
+
+    When ``token`` (default: the ``REPRO_TOKEN`` environment variable)
+    is set, every request must present the matching shared secret; the
+    worker refuses the rest, so it can listen on a non-trusted network.
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, host="127.0.0.1", port=0, store=None, executor=None):
+    def __init__(self, host="127.0.0.1", port=0, store=None, executor=None,
+                 token=None):
         super().__init__((host, port), _WorkerHandler)
         from repro.engine.executors import SerialExecutor
 
         self.store = store
         self.executor = executor or SerialExecutor()
+        self.token = service_token() if token is None else (token or None)
         self.version = code_version()
         self.served = 0  # specs executed or served from cache
         self._lock = threading.Lock()
@@ -184,7 +337,7 @@ class WorkerServer(socketserver.ThreadingTCPServer):
     def status(self):
         """The ping/shutdown response body."""
         return {"ok": True, "version": self.version, "pid": os.getpid(),
-                "served": self.served}
+                "served": self.served, "auth": self.token is not None}
 
     def run_batch(self, spec_dicts):
         """Execute one serialized chunk; returns the response body."""
@@ -258,24 +411,41 @@ class RemoteExecutor:
 
     The run raises :class:`RuntimeError` if no worker is reachable or
     some chunk exhausts its attempts everywhere.
+
+    The fault-handling knobs are configurable per invocation or per
+    environment: ``heartbeat_interval`` (``REPRO_HEARTBEAT`` /
+    ``--heartbeat``, seconds), ``max_task_attempts`` (``REPRO_RETRIES``
+    / ``--retries``, tries per chunk), and ``connect_timeout``
+    (``REPRO_CONNECT_TIMEOUT`` / ``--connect-timeout``, seconds).
+    ``token`` (default ``REPRO_TOKEN``) authenticates every request to
+    token-protected workers.
     """
 
-    def __init__(self, workers, chunk_size=None, connect_timeout=5.0,
-                 run_timeout=900.0, max_task_attempts=3,
+    def __init__(self, workers, chunk_size=None, connect_timeout=None,
+                 run_timeout=900.0, max_task_attempts=None,
                  max_worker_failures=3, straggler_after=30.0,
-                 heartbeat_interval=5.0):
+                 heartbeat_interval=None, token=None):
         self.workers = parse_workers(workers)
         if not self.workers:
             raise ValueError(
                 "RemoteExecutor needs at least one worker address "
                 "(--workers host[:port],... or REPRO_WORKERS)")
         self.chunk_size = chunk_size
-        self.connect_timeout = connect_timeout
+        # The fault-handling knobs fall back to environment overrides
+        # (--connect-timeout / --retries / --heartbeat on the CLI), so
+        # a slow or flaky network is tuned once, not per call site.
+        self.connect_timeout = (connect_timeout if connect_timeout is not None
+                                else _env_number("REPRO_CONNECT_TIMEOUT", 5.0))
         self.run_timeout = run_timeout
-        self.max_task_attempts = max_task_attempts
+        self.max_task_attempts = max(1, (
+            max_task_attempts if max_task_attempts is not None
+            else _env_number("REPRO_RETRIES", 3, convert=int)))
         self.max_worker_failures = max_worker_failures
         self.straggler_after = straggler_after
-        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None
+            else _env_number("REPRO_HEARTBEAT", 5.0))
+        self.token = service_token() if token is None else (token or None)
         self.version = code_version()
         #: Worker count, for the CLI's "N job(s)" accounting line.
         self.jobs = len(self.workers)
@@ -292,7 +462,8 @@ class RemoteExecutor:
         alive, rejected = [], []
         for address in self.workers:
             try:
-                status = ping_worker(address, timeout=self.connect_timeout)
+                status = ping_worker(address, timeout=self.connect_timeout,
+                                     token=self.token)
             except (OSError, ValueError, RuntimeError) as exc:
                 rejected.append((address, f"unreachable: {exc}"))
                 continue
@@ -316,8 +487,24 @@ class RemoteExecutor:
     def run(self, specs, progress=None):
         """Execute every spec on the cluster; results in spec order."""
         specs = list(specs)
+        results = [None] * len(specs)
+        for index, result in self.run_iter(specs, progress=progress):
+            results[index] = result
+        return results
+
+    def run_iter(self, specs, progress=None):
+        """Yield ``(index, result)`` pairs as chunks finish on workers.
+
+        The streaming face of the cluster backend: every result is
+        yielded the moment its chunk's response arrives, so a consumer
+        (``BatchEngine.run_specs_iter``, the service gateway) forwards
+        grid points while the rest of the grid is still in flight.
+        Closing the generator early aborts the run: queued chunks stop
+        dispatching and the coordinator threads wind down.
+        """
+        specs = list(specs)
         if not specs:
-            return []
+            return
         alive, rejected = self.probe()
         if not alive:
             detail = "; ".join(f"{h}:{p} ({why})"
@@ -335,7 +522,7 @@ class RemoteExecutor:
         for task in tasks:
             todo.put(task)
 
-        results = [None] * len(specs)
+        out = queue.Queue()  # finished (index, SimResult) pairs
         state = {
             "done": 0, "dispatched": 0, "retries": 0, "stolen": 0,
             "errors": [],  # (address, task_id, message)
@@ -349,7 +536,7 @@ class RemoteExecutor:
                     return
                 task.done = True
                 for index, rdict in zip(task.indices, batch):
-                    results[index] = SimResult.from_dict(rdict)
+                    out.put((index, SimResult.from_dict(rdict)))
                 state["done"] += len(task.indices)
                 done_now = state["done"]
                 if done_now == len(specs):
@@ -396,7 +583,8 @@ class RemoteExecutor:
                         continue
                     last_ping = now
                     try:
-                        ping_worker(address, timeout=self.connect_timeout)
+                        ping_worker(address, timeout=self.connect_timeout,
+                                    token=self.token)
                     except (OSError, ValueError, RuntimeError):
                         return
                     continue
@@ -413,7 +601,7 @@ class RemoteExecutor:
                         address,
                         {"op": "run_batch",
                          "specs": [s.to_dict() for s in task.specs]},
-                        timeout=self.run_timeout)
+                        timeout=self.run_timeout, token=self.token)
                     if response.get("version") != self.version:
                         # The daemon was restarted with different code
                         # between the probe and this batch: its results
@@ -451,13 +639,35 @@ class RemoteExecutor:
             name=f"remote-{address[0]}:{address[1]}") for address in alive]
         for thread in threads:
             thread.start()
-        # Wait for completion OR every thread giving up — but never for
-        # a thread wedged inside a request whose results a straggler
-        # re-dispatch already delivered: once all_done is set the run
-        # is over, and stuck daemon threads are abandoned after a short
-        # grace period (they time out and exit on their own).
-        while not all_done.is_set() and any(t.is_alive() for t in threads):
-            all_done.wait(timeout=0.1)
+        # Stream results until completion OR every thread giving up —
+        # but never wait for a thread wedged inside a request whose
+        # results a straggler re-dispatch already delivered: once
+        # all_done is set the run is over, and stuck daemon threads are
+        # abandoned after a short grace period (they time out and exit
+        # on their own).  The finally arm covers the consumer closing
+        # the generator early: it stops dispatch so coordinator threads
+        # drain instead of working for nobody.
+        try:
+            yielded = 0
+            while yielded < len(specs):
+                try:
+                    index, result = out.get(timeout=0.1)
+                except queue.Empty:
+                    if all_done.is_set() or not any(t.is_alive()
+                                                    for t in threads):
+                        while True:  # drain the last finished chunk(s)
+                            try:
+                                index, result = out.get_nowait()
+                            except queue.Empty:
+                                break
+                            yielded += 1
+                            yield index, result
+                        break
+                    continue
+                yielded += 1
+                yield index, result
+        finally:
+            all_done.set()
         for thread in threads:
             thread.join(timeout=1.0)
 
@@ -480,4 +690,3 @@ class RemoteExecutor:
             raise RuntimeError(
                 f"remote run incomplete: chunks {pending} failed after "
                 f"{self.max_task_attempts} attempt(s) each ({detail})")
-        return results

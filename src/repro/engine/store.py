@@ -198,44 +198,57 @@ class ResultStore:
         per qualified key (``prune_stale=True`` also drops records from
         older code versions that no current reader can hit), rewrites
         ``results.jsonl`` atomically (temp file + ``os.replace``), and
-        deletes the segments that were merged in.  Corrupt lines are
+        retires the segments that were merged in.  Corrupt lines are
         dropped.
 
-        Run it while the store is quiescent: a record appended by a
-        concurrently running sweep between the read and the delete is
-        lost (harmless — that result just re-simulates on its next
-        miss — but it wastes the work).
+        **Safe against live writers.**  A record appended concurrently
+        with compaction is never lost: each segment is retired by
+        *renaming* it out of the read set (a writer's next ``put``
+        recreates a fresh segment at the original path), and the
+        renamed inode is re-read through a held descriptor — including
+        one final check after the unlink — so any record a concurrent
+        ``put`` squeezed in through a pre-rename descriptor is caught
+        and appended to the new base.  Segments created after the scan
+        simply survive to the next compaction.
 
-        Returns ``(kept, dropped)`` record counts.
+        Returns ``(kept, dropped)`` record counts; late-arriving
+        records rescued from a racing writer count as kept.
         """
         sources = self._read_files()
-        merged_segments = sources[1:]
         latest = {}  # qualified key -> json line (last wins, order kept)
+        consumed = {}  # segment path -> bytes merged from it
         dropped = 0
         saw_any = False
+
+        def merge_line(line):
+            nonlocal dropped
+            line = line.strip()
+            if not line:
+                return 0
+            try:
+                record = json.loads(line)
+                qualified = f"{record['key']}@{record['version']}"
+            except (ValueError, KeyError, TypeError):
+                dropped += 1  # truncated/corrupt line
+                return 0
+            if prune_stale and record["version"] != self.version:
+                dropped += 1
+                return 0
+            if qualified in latest:
+                dropped += 1  # superseded earlier record
+            latest[qualified] = line
+            return 1
+
         for path in sources:
             try:
-                with open(path, "r", encoding="utf-8") as fh:
-                    lines = fh.readlines()
+                with open(path, "rb") as fh:
+                    data = fh.read()
             except OSError:
                 continue
             saw_any = True
-            for line in lines:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = json.loads(line)
-                    qualified = f"{record['key']}@{record['version']}"
-                except (ValueError, KeyError, TypeError):
-                    dropped += 1  # truncated/corrupt line
-                    continue
-                if prune_stale and record["version"] != self.version:
-                    dropped += 1
-                    continue
-                if qualified in latest:
-                    dropped += 1  # superseded earlier record
-                latest[qualified] = line
+            consumed[path] = len(data)
+            for line in data.decode("utf-8", errors="replace").splitlines():
+                merge_line(line)
         if not saw_any:
             return 0, 0
         tmp_path = self.path.with_suffix(".jsonl.tmp")
@@ -250,15 +263,140 @@ class ResultStore:
             except OSError:
                 pass
             return 0, 0
-        for path in merged_segments:
-            try:
-                path.unlink()
-            except OSError:
-                pass  # another compactor got there first
-        if self._segment_path in merged_segments:
+        kept = len(latest)
+        for path in sources[1:]:
+            kept += self._retire_segment(path, consumed.get(path, 0))
+        if self._segment_path in sources[1:]:
             self._segment_path = None  # next put starts a fresh segment
-        self._index = None  # force a reload from the rewritten file
-        return len(latest), dropped
+        self._index = None  # force a reload from the rewritten files
+        return kept, dropped
+
+    def _retire_segment(self, path, consumed):
+        """Remove one merged segment without losing racing appends.
+
+        Renames the segment (so writers re-open a fresh file at the
+        original path and readers stop seeing the already-merged copy),
+        then drains any bytes appended past ``consumed`` through a held
+        descriptor — re-checking after the unlink, when only a write
+        already in flight through a pre-rename descriptor could still
+        land — and appends those whole lines to the base.  Returns the
+        number of rescued records.
+        """
+        retired = path.with_suffix(".jsonl.compacting")
+        try:
+            os.replace(path, retired)
+            fd = os.open(retired, os.O_RDONLY)
+        except OSError:
+            return 0  # vanished, or another compactor claimed it
+        rescued = 0
+        try:
+            count, consumed = self._drain_tail(fd, consumed)
+            rescued += count
+            try:
+                os.unlink(retired)
+            except OSError:
+                pass
+            # Post-unlink check: a put() that opened the segment before
+            # the rename writes into this (now anonymous) inode; the
+            # descriptor still reads it.
+            count, consumed = self._drain_tail(fd, consumed)
+            rescued += count
+        finally:
+            os.close(fd)
+        return rescued
+
+    def _drain_tail(self, fd, offset):
+        """Append records past ``offset`` of a retired segment to the base.
+
+        Reads until two consecutive size checks agree (a racing writer
+        appends whole lines, so the tail always ends on a newline once
+        quiescent), then appends the complete lines to ``results.jsonl``
+        with one ``O_APPEND`` write — later lines win on merge, so the
+        rescued records override nothing newer.  Returns
+        ``(record count, new offset)``.
+        """
+        tail = b""
+        while True:
+            size = os.fstat(fd).st_size
+            if size <= offset + len(tail):
+                break
+            os.lseek(fd, offset + len(tail), os.SEEK_SET)
+            tail += os.read(fd, size - offset - len(tail))
+        offset += len(tail)
+        if not tail.rstrip():
+            return 0, offset
+        lines = [line for line in tail.split(b"\n") if line.strip()]
+        try:
+            base_fd = os.open(self.path,
+                              os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(base_fd, b"\n".join(lines) + b"\n")
+            finally:
+                os.close(base_fd)
+        except OSError:
+            return 0, offset
+        return len(lines), offset
+
+    def stats(self):
+        """Operator-facing store summary (``repro cache stats``).
+
+        Scans the base file and every segment fresh from disk (so a
+        serving store's live writers are reflected) and returns::
+
+            {"directory": ..., "files": N, "segments": N, "bytes": N,
+             "records": N,        # unique (key, version) pairs
+             "lines": N,          # raw stored lines incl. superseded
+             "superseded": N, "corrupt": N,
+             "workloads": {workload: unique records},
+             "versions": {code version: unique records}}
+
+        The per-workload breakdown parses each key's leading
+        ``workload:`` component, so an operator can see which
+        benchmarks dominate a serving cache without grepping JSONL.
+        """
+        seen = {}  # qualified key -> workload
+        lines = corrupt = total_bytes = files = 0
+        paths = [path for path in self._read_files()]
+        segments = 0
+        for position, path in enumerate(paths):
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            files += 1
+            segments += position > 0
+            total_bytes += len(data)
+            for line in data.decode("utf-8", errors="replace").splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                lines += 1
+                try:
+                    record = json.loads(line)
+                    key = record["key"]
+                    qualified = f"{key}@{record['version']}"
+                except (ValueError, KeyError, TypeError):
+                    corrupt += 1
+                    continue
+                workload = str(key).partition(":")[0] or "?"
+                seen[qualified] = (workload, str(record["version"]))
+        workloads, versions = {}, {}
+        for workload, version in seen.values():
+            workloads[workload] = workloads.get(workload, 0) + 1
+            versions[version] = versions.get(version, 0) + 1
+        return {
+            "directory": str(self.directory),
+            "files": files,
+            "segments": segments,
+            "bytes": total_bytes,
+            "records": len(seen),
+            "lines": lines,
+            "superseded": lines - corrupt - len(seen),
+            "corrupt": corrupt,
+            "workloads": dict(sorted(workloads.items())),
+            "versions": dict(sorted(versions.items())),
+        }
 
     # -- container protocol ------------------------------------------
 

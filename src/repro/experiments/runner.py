@@ -56,13 +56,16 @@ class ResultCache:
     """
 
     def __init__(self, jobs=1, persistent=None, store=None, progress=None,
-                 executor=None, workers=None):
+                 executor=None, workers=None, heartbeat=None, retries=None,
+                 connect_timeout=None):
         if persistent is None:
             persistent = not os.environ.get("REPRO_NO_CACHE")
         if store is None and persistent:
             store = ResultStore()
         self.engine = BatchEngine(
-            executor=make_executor(jobs, kind=executor, workers=workers),
+            executor=make_executor(jobs, kind=executor, workers=workers,
+                                   heartbeat=heartbeat, retries=retries,
+                                   connect_timeout=connect_timeout),
             store=store, progress=progress)
 
     @property
@@ -83,6 +86,16 @@ class ResultCache:
     def run_specs(self, specs):
         """Run a whole grid; results come back in spec order."""
         return self.engine.run(resolve_spec(spec) for spec in specs)
+
+    def run_specs_iter(self, specs):
+        """Stream ``(position, spec, result)`` as each result lands.
+
+        The incremental variant of :meth:`run_specs` (see
+        :meth:`BatchEngine.run_specs_iter`); specs are resolved through
+        the same environment defaults.
+        """
+        return self.engine.run_specs_iter(
+            [resolve_spec(spec) for spec in specs])
 
     def run(self, spec):
         """Run (or recall) a single spec."""

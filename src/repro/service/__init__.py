@@ -1,0 +1,46 @@
+"""Simulation-as-a-service: the HTTP gateway over the batch engine.
+
+This package turns the repository's execution layer into a *service*:
+instead of every consumer being a local Python process, clients POST
+:class:`~repro.engine.spec.RunSpec` grids to a long-running gateway and
+stream results back as each point completes.
+
+* :class:`~repro.service.gateway.Gateway` — the asyncio HTTP server
+  behind ``repro serve``: job submission, status, NDJSON result
+  streaming, health and metrics, all stdlib.
+* :class:`~repro.service.jobs.JobQueue` /
+  :class:`~repro.service.jobs.Job` — the fair-share in-process queue:
+  per-client round-robin with a bounded number of in-flight points,
+  feeding :meth:`BatchEngine.run_specs_iter
+  <repro.engine.core.BatchEngine.run_specs_iter>` so every executor
+  backend (serial / pool / persistent / remote) streams.
+* :mod:`~repro.service.auth` — shared-token authentication
+  (``REPRO_TOKEN``), the same secret that protects the worker TCP
+  protocol.
+* :class:`~repro.service.client.GatewayClient` — the blocking client
+  behind ``repro submit|status|fetch``.
+
+See ``docs/service.md`` for the API reference and a curl walkthrough.
+"""
+
+from repro.service.auth import authorized, presented_token
+from repro.service.client import (
+    DEFAULT_GATEWAY_PORT,
+    GatewayClient,
+    GatewayError,
+    default_gateway_url,
+)
+from repro.service.gateway import Gateway
+from repro.service.jobs import Job, JobQueue
+
+__all__ = [
+    "DEFAULT_GATEWAY_PORT",
+    "Gateway",
+    "GatewayClient",
+    "GatewayError",
+    "Job",
+    "JobQueue",
+    "authorized",
+    "default_gateway_url",
+    "presented_token",
+]

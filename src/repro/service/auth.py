@@ -1,0 +1,50 @@
+"""Shared-token authentication for the HTTP gateway.
+
+One secret protects the whole serving stack: the ``REPRO_TOKEN``
+environment variable guards both the worker TCP protocol
+(:mod:`repro.engine.remote`) and the HTTP API here, so a cluster plus
+its gateway is secured by exporting a single variable on every host.
+The token itself and the constant-time comparison live in
+:func:`repro.engine.remote.service_token` /
+:func:`repro.engine.remote.token_matches`; this module adds the HTTP
+framing — where a request carries the secret and how the gateway
+refuses one that doesn't.
+
+Clients present the token as either header::
+
+    Authorization: Bearer <token>
+    X-Repro-Token: <token>
+
+When no token is configured, authentication is off (the pre-auth
+trusted-network behavior) and every request passes.
+``GET /v1/healthz`` is always exempt so load balancers can probe
+liveness without credentials.
+"""
+
+from __future__ import annotations
+
+from repro.engine.remote import service_token, token_matches
+
+__all__ = ["presented_token", "authorized", "service_token",
+           "token_matches"]
+
+
+def presented_token(headers):
+    """The token an HTTP request presents, or ``None``.
+
+    ``headers`` is a lowercase-keyed mapping.  ``Authorization: Bearer``
+    wins over ``X-Repro-Token`` when both are present.
+    """
+    auth = headers.get("authorization", "")
+    if auth[:7].lower() == "bearer ":
+        return auth[7:].strip()
+    return headers.get("x-repro-token")
+
+
+def authorized(headers, token):
+    """Whether a request's headers satisfy the gateway's ``token``.
+
+    ``token=None`` means auth is off; otherwise the presented token is
+    compared in constant time.
+    """
+    return token_matches(token, presented_token(headers))

@@ -1,0 +1,221 @@
+"""Blocking HTTP client for the simulation gateway.
+
+:class:`GatewayClient` is what ``repro submit|status|fetch`` (and any
+script) uses to talk to a running ``repro serve`` — stdlib
+``http.client`` only, one connection per call, token attached
+automatically from ``REPRO_TOKEN``.  The NDJSON stream endpoint is
+exposed as a plain generator::
+
+    client = GatewayClient("http://gw:8750")
+    job = client.submit(specs)
+    for event in client.stream(job["id"]):
+        print(event["workload"], event["result"]["stats"]["ipc"])
+
+Every method raises :class:`GatewayError` (carrying the HTTP status)
+when the gateway refuses a request, so a 401 from a missing token is
+a clear one-line failure, not a JSON parse crash.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import os
+import urllib.parse
+
+from repro.engine.remote import service_token
+from repro.uarch.stats import SimResult
+
+#: Default TCP port for ``repro serve`` (override with ``--port``).
+DEFAULT_GATEWAY_PORT = 8750
+
+
+def default_gateway_url():
+    """The gateway base URL: ``REPRO_GATEWAY`` or localhost's default."""
+    return (os.environ.get("REPRO_GATEWAY")
+            or f"http://127.0.0.1:{DEFAULT_GATEWAY_PORT}")
+
+
+class GatewayError(RuntimeError):
+    """A non-2xx gateway response, carrying the HTTP ``status``."""
+
+    def __init__(self, status, message):
+        super().__init__(f"gateway returned {status}: {message}")
+        self.status = status
+
+
+class GatewayClient:
+    """Talks the gateway's ``/v1`` API (see :mod:`repro.service.gateway`).
+
+    Parameters
+    ----------
+    url:
+        Base URL, e.g. ``http://gw:8750`` (default:
+        :func:`default_gateway_url`).  Only ``http`` is spoken.
+    token:
+        Shared secret sent as ``Authorization: Bearer`` (default: the
+        ``REPRO_TOKEN`` environment variable).
+    client_id:
+        Fair-share identity sent as ``X-Repro-Client`` (default: the
+        gateway falls back to the peer address).
+    timeout:
+        Per-request socket timeout in seconds (streams are exempt —
+        they stay open while a job runs).
+    """
+
+    def __init__(self, url=None, token=None, client_id=None, timeout=30.0):
+        parsed = urllib.parse.urlsplit(url or default_gateway_url())
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"unsupported gateway scheme {parsed.scheme!r}"
+                             " (the gateway speaks plain http)")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or DEFAULT_GATEWAY_PORT
+        self.token = service_token() if token is None else (token or None)
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------
+
+    def _headers(self):
+        headers = {"Accept": "application/json"}
+        if self.token is not None:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if self.client_id:
+            headers["X-Repro-Client"] = str(self.client_id)
+        return headers
+
+    def _request(self, method, path, payload=None, timeout="default"):
+        """One round trip; returns the parsed JSON body (or raises)."""
+        connection, response = self._open(method, path, payload, timeout)
+        try:
+            body = response.read()
+        finally:
+            connection.close()
+        return self._parse(response.status, body)
+
+    def _open(self, method, path, payload=None, timeout="default"):
+        """Send one request; returns ``(connection, live response)``."""
+        timeout = self.timeout if timeout == "default" else timeout
+        connection = http.client.HTTPConnection(self.host, self.port,
+                                                timeout=timeout)
+        headers = self._headers()
+        body = None
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+        except (OSError, http.client.HTTPException) as exc:
+            connection.close()
+            raise ConnectionError(
+                f"gateway {self.host}:{self.port} unreachable: {exc}")
+        return connection, response
+
+    @staticmethod
+    def _parse(status, body):
+        try:
+            payload = json.loads(body.decode("utf-8")) if body else {}
+        except (ValueError, UnicodeDecodeError):
+            payload = {"error": body[:200].decode("latin-1")}
+        if status >= 400:
+            raise GatewayError(status, payload.get("error", "unknown"))
+        return payload
+
+    # -- the API -----------------------------------------------------
+
+    def healthz(self):
+        """``GET /v1/healthz`` — liveness, version, auth mode."""
+        return self._request("GET", "/v1/healthz")
+
+    def metrics(self):
+        """``GET /v1/metrics`` — gateway/queue/engine counters."""
+        return self._request("GET", "/v1/metrics")
+
+    def submit(self, specs, client=None):
+        """``POST /v1/jobs`` — submit a grid of specs.
+
+        ``specs`` may be :class:`~repro.engine.spec.RunSpec` objects or
+        already-serialized dicts.  Returns the submission document
+        (``{"id": ..., "points": N, ...}``).
+        """
+        serialized = [spec.to_dict() if hasattr(spec, "to_dict") else spec
+                      for spec in specs]
+        payload = {"specs": serialized}
+        if client or self.client_id:
+            payload["client"] = client or self.client_id
+        return self._request("POST", "/v1/jobs", payload)
+
+    def status(self, job_id):
+        """``GET /v1/jobs/<id>`` — the job's progress snapshot."""
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def cancel(self, job_id):
+        """``DELETE /v1/jobs/<id>`` — cancel; unscheduled points die."""
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def stream(self, job_id, timeout=None):
+        """``GET /v1/jobs/<id>/stream`` — yield events as they arrive.
+
+        A generator of decoded NDJSON events: backlog first, then live
+        points the moment the gateway publishes them, ending after the
+        terminal ``{"event": "end", ...}`` record.  ``timeout=None``
+        keeps the socket open for as long as the job runs.
+        """
+        connection, response = self._open(
+            "GET", f"/v1/jobs/{job_id}/stream", timeout=timeout)
+        try:
+            if response.status >= 400:
+                self._parse(response.status, response.read())  # raises
+            while True:
+                try:
+                    line = response.readline()
+                except (http.client.HTTPException, OSError) as exc:
+                    # e.g. IncompleteRead when the gateway dies
+                    # mid-chunk: surface one clean error type.
+                    raise ConnectionError(
+                        f"stream from {self.host}:{self.port} "
+                        f"interrupted: {exc}")
+                if not line:
+                    return
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        finally:
+            connection.close()
+
+    def results(self, job_id):
+        """``GET /v1/jobs/<id>/results`` — collected result dicts.
+
+        Unfinished points are ``None``; check ``status()`` (or consume
+        :meth:`stream`) to wait for completion.
+        """
+        return self._request("GET", f"/v1/jobs/{job_id}/results")
+
+    def fetch(self, job_id):
+        """Collected :class:`~repro.uarch.stats.SimResult` objects.
+
+        The deserialized form of :meth:`results`, with ``None`` holes
+        for unfinished points.
+        """
+        payload = self.results(job_id)
+        return [SimResult.from_dict(r) if r is not None else None
+                for r in payload.get("results", [])]
+
+    def run(self, specs, client=None):
+        """Submit, stream to completion, and return the results.
+
+        The blocking convenience path: bit-identical to running the
+        same specs through a local :class:`~repro.engine.core
+        .BatchEngine`, because the gateway executes the same fully
+        seeded work units.  Raises :class:`GatewayError` if the job
+        fails or is cancelled.
+        """
+        job = self.submit(specs, client=client)
+        for event in self.stream(job["id"]):
+            if (event.get("event") == "end"
+                    and event.get("state") != "done"):
+                raise GatewayError(
+                    500, f"job {job['id']} ended {event.get('state')}: "
+                         f"{event.get('error')}")
+        return self.fetch(job["id"])

@@ -1,0 +1,456 @@
+"""The asyncio HTTP gateway: simulations as a service.
+
+:class:`Gateway` serves the batch engine over HTTP/1.1 — stdlib only,
+one asyncio event loop, no framework.  The API (all JSON; auth per
+:mod:`repro.service.auth`):
+
+==========================  ============================================
+``POST /v1/jobs``           submit a grid: ``{"specs": [RunSpec.to_dict()
+                            , ...]}`` → ``201 {"id": ..., "points": N}``
+``GET /v1/jobs/<id>``       status + progress snapshot
+``GET /v1/jobs/<id>/stream``  NDJSON: every finished point streams the
+                            moment its result lands (cache hits flush
+                            immediately), then one terminal event
+``GET /v1/jobs/<id>/results``  collected results (nulls until done)
+``DELETE /v1/jobs/<id>``    cancel: unscheduled points never run
+``GET /v1/healthz``         liveness + version (never needs auth)
+``GET /v1/metrics``         queue/engine/uptime counters
+==========================  ============================================
+
+Execution model: a single scheduler task repeatedly asks the
+:class:`~repro.service.jobs.JobQueue` for a fair-share **round** of at
+most ``max_inflight`` points (per-client round-robin — a huge grid
+cannot starve a small one), then drives the round through
+:meth:`BatchEngine.run_specs_iter
+<repro.engine.core.BatchEngine.run_specs_iter>` on a worker thread.
+Each yielded result is marshalled back onto the event loop and
+published to the owning job's stream immediately — so with a pool or
+remote executor behind the engine, points stream to clients while the
+rest of the round is still simulating, and store/memo hits stream
+before the executor even starts.  Identical specs across concurrent
+jobs deduplicate within a round for free (engine semantics).
+
+One request per connection (``Connection: close``), bodies capped at
+64 MB, streams chunk-encoded.  Start it from the CLI (``repro serve``),
+embed it (``await Gateway(...).start()``), or spin it on a thread in
+tests (:meth:`Gateway.serve_in_thread`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.engine import BatchEngine
+from repro.engine.spec import RunSpec
+from repro.engine.version import code_version
+from repro.service.auth import authorized, service_token
+from repro.service.jobs import JobQueue
+from repro.trace.workloads import WORKLOADS
+
+#: Hard cap on one request body (matches the worker protocol's line cap).
+MAX_BODY = 64 * 1024 * 1024
+
+#: Points one job may submit (a runaway client cannot OOM the queue).
+MAX_POINTS_PER_JOB = 100_000
+
+_JSON = "application/json"
+_NDJSON = "application/x-ndjson"
+
+
+class _HttpError(Exception):
+    """Route-level failure that maps straight to a status + JSON body."""
+
+    def __init__(self, status, message):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class Gateway:
+    """The simulation-as-a-service HTTP front end.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (read it back
+        from :attr:`address` after :meth:`start`).
+    engine:
+        The :class:`~repro.engine.core.BatchEngine` runs execute on
+        (default: a fresh serial engine with no store).  Configure its
+        executor/store for pools, clusters, and persistent caching —
+        the gateway only ever touches the engine from its single
+        scheduler thread.
+    token:
+        Shared secret (default: the ``REPRO_TOKEN`` environment
+        variable); ``None``/empty disables authentication.
+    max_inflight:
+        Point budget per scheduling round — the bound on concurrently
+        executing points (default 8).
+    """
+
+    def __init__(self, host="127.0.0.1", port=0, engine=None, token=None,
+                 max_inflight=8):
+        self.host = host
+        self.port = port
+        self.engine = engine or BatchEngine()
+        self.queue = JobQueue()
+        self.token = service_token() if token is None else (token or None)
+        self.max_inflight = max(1, int(max_inflight))
+        self.version = code_version()
+        self.started_at = time.time()
+        self.requests = 0
+        self.rounds = 0
+        self.points_executed = 0
+        self.points_cached = 0
+        self.unauthorized = 0
+        self._server = None
+        self._scheduler = None
+        self._work = None  # asyncio.Event, created on the loop in start()
+
+    # -- lifecycle ---------------------------------------------------
+
+    @property
+    def address(self):
+        """The bound ``(host, port)`` — resolves an ephemeral port."""
+        if self._server is None:
+            return (self.host, self.port)
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def start(self):
+        """Bind the listener and start the scheduler task."""
+        self._work = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port)
+        self._scheduler = asyncio.create_task(self._scheduler_loop())
+        return self
+
+    async def stop(self):
+        """Stop accepting, cancel the scheduler, close the listener."""
+        if self._scheduler is not None:
+            self._scheduler.cancel()
+            try:
+                await self._scheduler
+            except asyncio.CancelledError:
+                pass
+            self._scheduler = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def serve_forever(self, on_ready=None):
+        """:meth:`start` then serve until cancelled (the CLI entry).
+
+        ``on_ready(gateway)`` is called once the listener is bound —
+        the CLI prints its "listening on" line from it.
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    def serve_in_thread(self):
+        """Run the gateway on a daemon thread; returns a stop handle.
+
+        For tests and embedding: blocks until the listener is bound,
+        then returns an object with ``address`` and ``stop()``.
+        """
+        loop = asyncio.new_event_loop()
+        bound = threading.Event()
+
+        async def boot():
+            await self.start()
+            bound.set()
+
+        def main():
+            asyncio.set_event_loop(loop)
+            loop.run_until_complete(boot())
+            loop.run_forever()
+
+        thread = threading.Thread(target=main, daemon=True,
+                                  name="repro-gateway")
+        thread.start()
+        bound.wait(timeout=10)
+        gateway = self
+
+        class _Handle:
+            """Thread-side remote control for a running gateway."""
+
+            address = self.address
+
+            @staticmethod
+            def stop():
+                """Stop the gateway and join its thread."""
+                async def shutdown():
+                    await gateway.stop()
+                    loop.stop()
+                asyncio.run_coroutine_threadsafe(shutdown(), loop)
+                thread.join(timeout=10)
+                if not loop.is_running():
+                    loop.close()
+
+        return _Handle()
+
+    # -- scheduling --------------------------------------------------
+
+    def _signal_work(self):
+        if self._work is not None:
+            self._work.set()
+
+    async def _scheduler_loop(self):
+        while True:
+            await self._work.wait()
+            round_ = self.queue.next_round(self.max_inflight)
+            if not round_:
+                self._work.clear()
+                continue
+            await self._run_round(round_)
+
+    async def _run_round(self, round_):
+        loop = asyncio.get_running_loop()
+        now = time.time()
+        for job, _ in round_:
+            if job.state == "queued":
+                job.state = "running"
+                job.started = now
+        specs = [job.specs[index] for job, index in round_]
+
+        def execute():
+            # Worker thread: the only thread that touches the engine.
+            for position, _, result in self.engine.run_specs_iter(specs):
+                job, index = round_[position]
+                try:
+                    loop.call_soon_threadsafe(job.deliver, index, result)
+                except RuntimeError:
+                    # The loop closed mid-round (gateway shutdown with
+                    # work in flight): stop simulating for nobody.
+                    return
+
+        try:
+            await asyncio.to_thread(execute)
+        except Exception as exc:  # noqa: BLE001 — jobs must not wedge
+            # Fail every job in the round; their remaining queued
+            # points drain out of the rotation as terminal jobs.
+            message = f"{type(exc).__name__}: {exc}"
+            for job, _ in round_:
+                job.fail(message)
+        self.rounds += 1
+        batch = self.engine.last_batch
+        self.points_executed += batch.executed
+        self.points_cached += batch.store_hits + batch.memo_hits
+
+    # -- request handling --------------------------------------------
+
+    async def _handle_connection(self, reader, writer):
+        try:
+            try:
+                method, path, headers = await self._read_head(reader)
+            except _HttpError as exc:
+                await self._send_json(writer, exc.status,
+                                      {"error": exc.message})
+                return
+            except (asyncio.IncompleteReadError, ValueError, OSError):
+                return  # peer hung up or spoke garbage mid-request
+            self.requests += 1
+            try:
+                await self._dispatch(reader, writer, method, path, headers)
+            except _HttpError as exc:
+                await self._send_json(writer, exc.status,
+                                      {"error": exc.message})
+            except (asyncio.IncompleteReadError, ValueError):
+                return  # body shorter than declared / garbage mid-read
+        except (ConnectionError, asyncio.CancelledError):
+            pass  # client went away; nothing to tell it
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _read_head(self, reader):
+        """Parse the request line and headers — never the body.
+
+        The body (bounded by :data:`MAX_BODY`) is read separately in
+        :meth:`_read_body`, *after* authentication, so an
+        unauthenticated client can never make the gateway buffer a
+        64 MB payload.
+        """
+        try:
+            request_line = (await reader.readline()).decode("latin-1")
+        except ValueError:
+            raise _HttpError(431, "request line too long")
+        parts = request_line.split()
+        if len(parts) != 3:
+            raise ValueError("malformed request line")
+        method, target, _version = parts
+        headers = {}
+        for _ in range(200):  # header-count cap: no unbounded loops
+            line = (await reader.readline()).decode("latin-1")
+            if line in ("\r\n", "\n", ""):
+                break
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        else:
+            raise _HttpError(431, "too many headers")
+        return method.upper(), target.split("?", 1)[0], headers
+
+    @staticmethod
+    async def _read_body(reader, headers):
+        try:
+            length = int(headers.get("content-length") or 0)
+        except ValueError:
+            raise _HttpError(400, "bad Content-Length header")
+        if length > MAX_BODY:
+            raise _HttpError(413, f"body exceeds {MAX_BODY} bytes")
+        return await reader.readexactly(length) if length else b""
+
+    async def _dispatch(self, reader, writer, method, path, headers):
+        if path == "/v1/healthz" and method == "GET":
+            await self._send_json(writer, 200, self._healthz())
+            return
+        if not authorized(headers, self.token):
+            self.unauthorized += 1
+            raise _HttpError(401, "unauthorized: set REPRO_TOKEN and "
+                                  "send 'Authorization: Bearer <token>'")
+        if path == "/v1/metrics" and method == "GET":
+            await self._send_json(writer, 200, self.metrics())
+            return
+        if path == "/v1/jobs" and method == "POST":
+            body = await self._read_body(reader, headers)
+            await self._submit(writer, headers, body)
+            return
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            job = self.queue.get(parts[2])
+            if job is None:
+                raise _HttpError(404, f"unknown job {parts[2]!r}")
+            tail = parts[3] if len(parts) == 4 else None
+            if tail is None and method == "GET":
+                await self._send_json(writer, 200, job.snapshot())
+                return
+            if tail is None and method == "DELETE":
+                self.queue.cancel(job.job_id)
+                await self._send_json(writer, 200, job.snapshot())
+                return
+            if tail == "results" and method == "GET":
+                await self._send_json(writer, 200, {
+                    "id": job.job_id,
+                    "state": job.state,
+                    "results": [r.to_dict() if r is not None else None
+                                for r in job.results],
+                })
+                return
+            if tail == "stream" and method == "GET":
+                await self._stream(writer, job)
+                return
+        raise _HttpError(404, f"no route for {method} {path}")
+
+    async def _submit(self, writer, headers, body):
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise _HttpError(400, "body is not valid JSON")
+        if not isinstance(payload, dict):
+            raise _HttpError(400, "body must be a JSON object")
+        spec_dicts = payload.get("specs")
+        if not isinstance(spec_dicts, list) or not spec_dicts:
+            raise _HttpError(400, "'specs' must be a non-empty list of "
+                                  "RunSpec objects")
+        if len(spec_dicts) > MAX_POINTS_PER_JOB:
+            raise _HttpError(413, f"grid exceeds {MAX_POINTS_PER_JOB} "
+                                  "points")
+        specs = []
+        for n, data in enumerate(spec_dicts):
+            try:
+                spec = RunSpec.from_dict(data).resolved()
+                if spec.config is None:
+                    raise ValueError("missing config")
+                spec.key()  # force full validation of the identity
+            except (KeyError, TypeError, ValueError, AttributeError) as exc:
+                raise _HttpError(400, f"specs[{n}] is not a valid "
+                                      f"RunSpec: {exc}")
+            if spec.workload not in WORKLOADS:
+                raise _HttpError(400, f"specs[{n}]: unknown workload "
+                                      f"{spec.workload!r}")
+            specs.append(spec)
+        client = (headers.get("x-repro-client")
+                  or str(payload.get("client") or "")
+                  or self._peer_name(writer))
+        job = self.queue.submit(client, specs)
+        self._signal_work()
+        await self._send_json(writer, 201, {
+            "id": job.job_id,
+            "points": len(specs),
+            "state": job.state,
+            "client": client,
+            "links": {
+                "status": f"/v1/jobs/{job.job_id}",
+                "stream": f"/v1/jobs/{job.job_id}/stream",
+                "results": f"/v1/jobs/{job.job_id}/results",
+            },
+        })
+
+    async def _stream(self, writer, job):
+        """NDJSON: replay the backlog, then push points as they land."""
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: " + _NDJSON.encode() + b"\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        await writer.drain()
+        async for event in job.events_from(0):
+            line = json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+            writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+
+    # -- plumbing ----------------------------------------------------
+
+    @staticmethod
+    def _peer_name(writer):
+        peer = writer.get_extra_info("peername")
+        return peer[0] if peer else "unknown"
+
+    async def _send_json(self, writer, status, payload):
+        body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
+        reason = {200: "OK", 201: "Created", 400: "Bad Request",
+                  401: "Unauthorized", 404: "Not Found",
+                  405: "Method Not Allowed", 413: "Payload Too Large",
+                  431: "Request Header Fields Too Large",
+                  500: "Internal Server Error"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {_JSON}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body)
+        await writer.drain()
+
+    def _healthz(self):
+        return {"ok": True, "version": self.version,
+                "auth": self.token is not None,
+                "uptime": time.time() - self.started_at,
+                "jobs": self.queue.counters()["jobs"]}
+
+    def metrics(self):
+        """The ``/v1/metrics`` document: queue + engine + gateway counters."""
+        executor = type(self.engine.executor).__name__
+        return {
+            "uptime": time.time() - self.started_at,
+            "version": self.version,
+            "requests": self.requests,
+            "unauthorized": self.unauthorized,
+            "rounds": self.rounds,
+            "max_inflight": self.max_inflight,
+            "points_executed": self.points_executed,
+            "points_cached": self.points_cached,
+            "executor": executor,
+            "store": self.engine.store is not None,
+            "queue": self.queue.counters(),
+        }

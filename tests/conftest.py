@@ -98,6 +98,14 @@ def run_trace(records, config=None, warm_addresses=()):
 # ---------------------------------------------------------------------------
 
 
+@pytest.fixture(autouse=True)
+def _no_ambient_service_token(monkeypatch):
+    """Auth is opt-in per test: a developer's exported ``REPRO_TOKEN``
+    must not silently secure every worker and gateway the suite
+    starts."""
+    monkeypatch.delenv("REPRO_TOKEN", raising=False)
+
+
 @pytest.fixture
 def tb():
     return TraceBuilder()

@@ -1,6 +1,7 @@
 """Result-store compaction: segments and superseded records fold away."""
 
 import json
+import threading
 
 from repro.engine import ResultStore, RunSpec, execute_spec
 from repro.uarch.config import conventional_config
@@ -85,6 +86,62 @@ def test_last_record_wins_after_compaction(tmp_path):
     kept, _ = store.compact()
     assert kept == 1
     assert ResultStore(tmp_path).get(spec.key()).extra == {"marker": "newest"}
+
+
+def test_compaction_never_loses_a_racing_append(tmp_path):
+    """Satellite acceptance: a record appended concurrently with
+    ``compact()`` must survive — either rescued into the base or left
+    in a fresh segment for the next compaction — never silently lost.
+    """
+    result = execute_spec(small_spec())
+    writer = ResultStore(tmp_path)
+    total = 400
+    written = []
+    stop = threading.Event()
+
+    def write_loop():
+        for n in range(total):
+            key = f"go:racer{n}:400:100:1"
+            writer.put(key, result)
+            written.append(key)
+            if stop.is_set() and n >= 50:
+                return
+
+    thread = threading.Thread(target=write_loop)
+    thread.start()
+    try:
+        compactor = ResultStore(tmp_path)
+        # Hammer compaction while the writer streams appends, so some
+        # compactions overlap segment writes mid-flight.
+        for _ in range(25):
+            compactor.compact()
+            if not thread.is_alive():
+                break
+    finally:
+        stop.set()
+        thread.join(timeout=30)
+    assert not thread.is_alive()
+    ResultStore(tmp_path).compact()  # quiescent: folds any leftovers
+    reader = ResultStore(tmp_path)
+    missing = [key for key in written if key not in reader]
+    assert not missing, (f"compaction lost {len(missing)}/{len(written)} "
+                         f"racing appends, e.g. {missing[:3]}")
+    assert len(reader.segment_paths()) == 0
+    assert not list(tmp_path.glob("*.compacting"))
+
+
+def test_segment_created_after_compaction_scan_survives(tmp_path):
+    """A writer whose segment appears mid-compaction keeps it: only
+    segments seen by the scan are retired."""
+    spec = small_spec()
+    result = execute_spec(spec)
+    early = ResultStore(tmp_path)
+    early.put(spec.key(), result)
+    late = ResultStore(tmp_path)
+    late.put("go:late:400:100:1", result)  # second segment, same dir
+    kept, _ = ResultStore(tmp_path).compact()
+    assert kept == 2
+    assert ResultStore(tmp_path).get("go:late:400:100:1") is not None
 
 
 def test_result_cache_compact_passthrough(tmp_path, monkeypatch):

@@ -216,6 +216,147 @@ class TestWorkerStore:
             server.server_close()
 
 
+class TestWorkerAuth:
+    """Shared-token auth on the worker TCP protocol (REPRO_TOKEN)."""
+
+    @pytest.fixture
+    def secured(self):
+        server = WorkerServer(port=0, token="hunter2")
+        server.serve_in_thread()
+        yield server
+        server.shutdown()
+        server.server_close()
+
+    def test_request_without_token_is_refused(self, secured, monkeypatch):
+        monkeypatch.delenv("REPRO_TOKEN", raising=False)
+        with pytest.raises(RuntimeError, match="unauthorized"):
+            ping_worker(secured.address)
+
+    def test_wrong_token_is_refused(self, secured):
+        with pytest.raises(RuntimeError, match="unauthorized"):
+            ping_worker(secured.address, token="wrong")
+
+    def test_shutdown_needs_the_token_too(self, secured):
+        with pytest.raises(RuntimeError, match="unauthorized"):
+            shutdown_worker(secured.address, token="nope")
+        assert ping_worker(secured.address, token="hunter2")["ok"]
+
+    def test_matching_token_runs_batches(self, secured):
+        executor = RemoteExecutor([secured.address], token="hunter2")
+        specs = small_grid()[:2]
+        results = executor.run(specs)
+        assert ([r.to_dict() for r in results]
+                == [r.to_dict() for r in SerialExecutor().run(specs)])
+
+    def test_unauthenticated_executor_finds_no_workers(self, secured,
+                                                       monkeypatch):
+        monkeypatch.delenv("REPRO_TOKEN", raising=False)
+        executor = RemoteExecutor([secured.address], token="")
+        alive, rejected = executor.probe()
+        assert alive == []
+        assert "unauthorized" in rejected[0][1]
+
+    def test_env_token_pairs_both_sides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TOKEN", "s3cret")
+        server = WorkerServer(port=0)  # picks the env token up
+        server.serve_in_thread()
+        try:
+            status = ping_worker(server.address)  # ditto
+            assert status["ok"] and status["auth"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_open_worker_ignores_stray_tokens(self, worker):
+        # Auth off: a client configured with a token still gets served.
+        assert ping_worker(worker.address, token="anything")["ok"]
+        assert worker.status()["auth"] is False
+
+
+class TestConfigurableKnobs:
+    """REPRO_HEARTBEAT / REPRO_RETRIES / REPRO_CONNECT_TIMEOUT."""
+
+    def test_defaults(self, monkeypatch):
+        for name in ("REPRO_HEARTBEAT", "REPRO_RETRIES",
+                     "REPRO_CONNECT_TIMEOUT"):
+            monkeypatch.delenv(name, raising=False)
+        executor = RemoteExecutor("h:1")
+        assert executor.heartbeat_interval == 5.0
+        assert executor.max_task_attempts == 3
+        assert executor.connect_timeout == 5.0
+
+    def test_environment_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_HEARTBEAT", "0.5")
+        monkeypatch.setenv("REPRO_RETRIES", "7")
+        monkeypatch.setenv("REPRO_CONNECT_TIMEOUT", "2.5")
+        executor = RemoteExecutor("h:1")
+        assert executor.heartbeat_interval == 0.5
+        assert executor.max_task_attempts == 7
+        assert executor.connect_timeout == 2.5
+
+    def test_explicit_arguments_beat_environment(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "7")
+        executor = RemoteExecutor("h:1", max_task_attempts=2,
+                                  heartbeat_interval=1.0,
+                                  connect_timeout=0.1)
+        assert executor.max_task_attempts == 2
+        assert executor.heartbeat_interval == 1.0
+        assert executor.connect_timeout == 0.1
+
+    def test_make_executor_passes_the_knobs(self):
+        executor = make_executor(kind="remote", workers="h:1",
+                                 heartbeat=9.0, retries=5,
+                                 connect_timeout=1.5)
+        assert executor.heartbeat_interval == 9.0
+        assert executor.max_task_attempts == 5
+        assert executor.connect_timeout == 1.5
+
+    def test_garbage_environment_value_is_an_error(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RETRIES", "lots")
+        with pytest.raises(ValueError, match="REPRO_RETRIES"):
+            RemoteExecutor("h:1")
+
+
+class TestWorkerDescriptors:
+    """worker-<host>-<pid>.json records under the cache directory."""
+
+    def test_write_read_remove_roundtrip(self, tmp_path):
+        from repro.engine import (
+            read_worker_descriptors,
+            remove_worker_descriptor,
+            write_worker_descriptor,
+        )
+
+        path = write_worker_descriptor(("127.0.0.1", 8642),
+                                       directory=tmp_path, auth=True)
+        assert path is not None and path.name.startswith("worker-")
+        ((found, record),) = read_worker_descriptors(tmp_path)
+        assert found == path
+        assert (record["host"], record["port"]) == ("127.0.0.1", 8642)
+        assert record["auth"] is True
+        assert record["pid"] > 0
+        remove_worker_descriptor(path)
+        assert read_worker_descriptors(tmp_path) == []
+
+    def test_wildcard_bind_advertises_hostname(self, tmp_path):
+        import socket as socket_module
+
+        from repro.engine import (
+            read_worker_descriptors,
+            write_worker_descriptor,
+        )
+
+        write_worker_descriptor(("0.0.0.0", 7000), directory=tmp_path)
+        ((_, record),) = read_worker_descriptors(tmp_path)
+        assert record["host"] == socket_module.gethostname()
+
+    def test_corrupt_descriptor_skipped(self, tmp_path):
+        from repro.engine import read_worker_descriptors
+
+        (tmp_path / "worker-bad-1.json").write_text("{nope")
+        assert read_worker_descriptors(tmp_path) == []
+
+
 class TestMakeExecutor:
     def test_remote_kind_from_workers_argument(self):
         executor = make_executor(kind="remote", workers="h1:7000,h2")

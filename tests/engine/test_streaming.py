@@ -1,0 +1,130 @@
+"""The streaming executor seam: run_iter and BatchEngine.run_specs_iter."""
+
+import pytest
+
+from repro.engine import (
+    BatchEngine,
+    ProcessPoolExecutor,
+    ResultStore,
+    RunSpec,
+    SerialExecutor,
+    WorkerServer,
+    make_executor,
+)
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def grid():
+    return [RunSpec(w, c).resolved(600, 100, 1)
+            for w in ("go", "swim")
+            for c in (conventional_config(),
+                      virtual_physical_config(nrr=8))]
+
+
+@pytest.mark.parametrize("executor_factory", [
+    SerialExecutor,
+    lambda: ProcessPoolExecutor(jobs=2),
+], ids=["serial", "pool"])
+def test_run_iter_yields_every_spec_once(executor_factory):
+    specs = grid()
+    seen = dict(executor_factory().run_iter(specs))
+    assert sorted(seen) == list(range(len(specs)))
+    serial = SerialExecutor().run(specs)
+    assert all(seen[i].to_dict() == serial[i].to_dict()
+               for i in range(len(specs)))
+
+
+def test_remote_run_iter_streams_chunks(tmp_path):
+    server = WorkerServer(port=0)
+    server.serve_in_thread()
+    try:
+        executor = make_executor(kind="remote", workers=[server.address])
+        specs = grid()
+        pairs = list(executor.run_iter(specs, progress=None))
+        assert sorted(index for index, _ in pairs) == list(range(len(specs)))
+        serial = SerialExecutor().run(specs)
+        by_index = dict(pairs)
+        assert all(by_index[i].to_dict() == serial[i].to_dict()
+                   for i in range(len(specs)))
+    finally:
+        server.shutdown()
+        server.server_close()
+
+
+def test_serial_streaming_preserves_submission_order():
+    specs = grid()
+    indices = [i for i, _ in SerialExecutor().run_iter(specs)]
+    assert indices == list(range(len(specs)))
+
+
+class TestEngineStreaming:
+    def test_stream_equals_barrier_run(self):
+        specs = grid()
+        streaming = BatchEngine(SerialExecutor())
+        barrier = BatchEngine(SerialExecutor())
+        streamed = [None] * len(specs)
+        for position, spec, result in streaming.run_specs_iter(specs):
+            assert spec is specs[position]
+            streamed[position] = result
+        collected = barrier.run(specs)
+        assert ([r.to_dict() for r in streamed]
+                == [r.to_dict() for r in collected])
+
+    def test_cache_hits_flush_before_execution(self, tmp_path):
+        specs = grid()
+        store = ResultStore(tmp_path)
+        warm = BatchEngine(SerialExecutor(), store=store)
+        warm.run(specs[:2])  # pre-populate the store with two points
+
+        executed = []
+
+        class TracingExecutor(SerialExecutor):
+            """Serial executor that records when execution starts."""
+
+            def run_iter(self, inner_specs, progress=None):
+                executed.append(len(inner_specs))
+                yield from super().run_iter(inner_specs, progress=progress)
+
+        engine = BatchEngine(TracingExecutor(), store=ResultStore(tmp_path))
+        stream = engine.run_specs_iter(specs)
+        first = next(stream)
+        second = next(stream)
+        # Both stored points arrived before any execution began.
+        assert {first[0], second[0]} == {0, 1}
+        assert executed == []
+        rest = list(stream)
+        assert len(rest) == len(specs) - 2
+        assert executed == [2]
+        assert engine.last_batch.store_hits == 2
+        assert engine.last_batch.executed == 2
+
+    def test_duplicate_specs_yield_every_position(self):
+        spec = grid()[0]
+        engine = BatchEngine(SerialExecutor())
+        positions = [pos for pos, _, _ in
+                     engine.run_specs_iter([spec, spec, spec])]
+        assert sorted(positions) == [0, 1, 2]
+        assert engine.last_batch.executed == 1
+        assert engine.last_batch.memo_hits == 0
+
+    def test_unresolved_spec_rejected(self):
+        engine = BatchEngine(SerialExecutor())
+        bare = RunSpec("go", conventional_config())
+        with pytest.raises(ValueError, match="unresolved"):
+            list(engine.run_specs_iter([bare]))
+
+    def test_barrier_only_executor_still_streams_at_end(self):
+        class BarrierExecutor:
+            """An executor predating the streaming seam (no run_iter)."""
+
+            jobs = 1
+
+            def run(self, specs, progress=None):
+                return SerialExecutor().run(specs, progress=progress)
+
+        specs = grid()[:2]
+        engine = BatchEngine(BarrierExecutor())
+        results = engine.run(specs)
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in results]
+                == [r.to_dict() for r in serial])

@@ -1,0 +1,235 @@
+"""End-to-end gateway tests over real HTTP connections.
+
+Covers the PR's acceptance criteria: POST a grid and get a job id,
+stream at least one point before the job completes, collected stats
+bit-identical to a local serial run, and 401s without the shared
+token.
+"""
+
+import http.client
+import json
+import socket
+
+import pytest
+
+from repro.engine import BatchEngine, ResultStore, RunSpec, SerialExecutor
+from repro.service import Gateway, GatewayClient, GatewayError
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def grid():
+    """The acceptance grid: conventional vs vp-issue, two workloads."""
+    return [RunSpec(w, c, label=label).resolved(600, 100, 1)
+            for w in ("go", "swim")
+            for label, c in (("conventional", conventional_config()),
+                             ("vp-issue",
+                              virtual_physical_config(nrr=8)))]
+
+
+@pytest.fixture
+def gateway():
+    gw = Gateway(max_inflight=2)
+    handle = gw.serve_in_thread()
+    yield gw, handle
+    handle.stop()
+
+
+@pytest.fixture
+def client(gateway):
+    _, handle = gateway
+    return GatewayClient("http://%s:%s" % handle.address)
+
+
+class TestEndToEnd:
+    def test_submit_stream_fetch_bit_identical(self, client):
+        specs = grid()
+        job = client.submit(specs)
+        assert job["points"] == len(specs)
+        assert job["state"] in ("queued", "running")
+
+        events = list(client.stream(job["id"]))
+        points = [e for e in events if e["event"] == "point"]
+        assert len(points) == len(specs)
+        # Streaming is incremental: the first point event arrived
+        # while the job was still short of complete.
+        assert points[0]["done"] < points[0]["points"]
+        assert events[-1] == {
+            "event": "end", "job": job["id"], "state": "done",
+            "done": len(specs), "points": len(specs), "error": None,
+        }
+
+        fetched = client.fetch(job["id"])
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in fetched]
+                == [r.to_dict() for r in serial])
+
+    def test_status_snapshot_progresses_to_done(self, client):
+        job = client.submit(grid()[:1])
+        list(client.stream(job["id"]))  # wait for completion
+        snapshot = client.status(job["id"])
+        assert snapshot["state"] == "done"
+        assert snapshot["done"] == snapshot["points"] == 1
+
+    def test_store_backed_gateway_streams_cache_hits(self, tmp_path):
+        specs = grid()[:2]
+        seeded = BatchEngine(SerialExecutor(), store=ResultStore(tmp_path))
+        expected = seeded.run(specs)
+        gw = Gateway(engine=BatchEngine(SerialExecutor(),
+                                        store=ResultStore(tmp_path)))
+        handle = gw.serve_in_thread()
+        try:
+            client = GatewayClient("http://%s:%s" % handle.address)
+            results = client.run(specs)
+            assert ([r.to_dict() for r in results]
+                    == [r.to_dict() for r in expected])
+            assert gw.points_cached == len(specs)
+            assert gw.points_executed == 0
+        finally:
+            handle.stop()
+
+    def test_run_convenience_raises_on_bad_workload(self, client):
+        spec_dict = grid()[0].to_dict()
+        spec_dict["workload"] = "not-a-workload"
+        with pytest.raises(GatewayError) as err:
+            client.submit([spec_dict])
+        assert err.value.status == 400
+
+    def test_cancel_stops_remaining_points(self):
+        # A dedicated slow gateway (one point per round, longer runs)
+        # so the cancel reliably lands before the grid drains.
+        gw = Gateway(max_inflight=1)
+        handle = gw.serve_in_thread()
+        try:
+            client = GatewayClient("http://%s:%s" % handle.address)
+            specs = [RunSpec("go", conventional_config()).resolved(
+                20_000, 1_000, seed) for seed in range(6)]
+            job = client.submit(specs)
+            cancelled = client.cancel(job["id"])
+            assert cancelled["state"] == "cancelled"
+            events = list(client.stream(job["id"]))
+            assert events[-1]["state"] == "cancelled"
+            snapshot = client.status(job["id"])
+            assert snapshot["done"] < snapshot["points"]
+        finally:
+            handle.stop()
+
+
+class TestValidation:
+    def test_empty_specs_rejected(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.submit([])
+        assert err.value.status == 400
+
+    def test_malformed_spec_rejected(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.submit([{"bogus": True}])
+        assert err.value.status == 400
+
+    def test_unknown_job_404(self, client):
+        with pytest.raises(GatewayError) as err:
+            client.status("does-not-exist")
+        assert err.value.status == 404
+
+    def test_unknown_route_404(self, client):
+        with pytest.raises(GatewayError) as err:
+            client._request("GET", "/v2/nope")
+        assert err.value.status == 404
+
+    def test_garbage_body_400(self, gateway):
+        _, handle = gateway
+        host, port = handle.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        connection.request("POST", "/v1/jobs", body=b"{not json",
+                           headers={"Content-Type": "application/json"})
+        response = connection.getresponse()
+        assert response.status == 400
+        connection.close()
+
+
+class TestAuth:
+    @pytest.fixture
+    def secured(self):
+        gw = Gateway(token="hunter2")
+        handle = gw.serve_in_thread()
+        yield gw, handle
+        handle.stop()
+
+    def test_request_without_token_is_401(self, secured):
+        gw, handle = secured
+        client = GatewayClient("http://%s:%s" % handle.address, token="")
+        with pytest.raises(GatewayError) as err:
+            client.submit(grid()[:1])
+        assert err.value.status == 401
+        assert gw.unauthorized == 1
+
+    def test_wrong_token_is_401(self, secured):
+        _, handle = secured
+        client = GatewayClient("http://%s:%s" % handle.address,
+                               token="wrong")
+        with pytest.raises(GatewayError) as err:
+            client.metrics()
+        assert err.value.status == 401
+
+    def test_healthz_is_exempt(self, secured):
+        _, handle = secured
+        client = GatewayClient("http://%s:%s" % handle.address, token="")
+        health = client.healthz()
+        assert health["ok"] and health["auth"]
+
+    def test_bearer_token_accepted_end_to_end(self, secured):
+        _, handle = secured
+        client = GatewayClient("http://%s:%s" % handle.address,
+                               token="hunter2")
+        results = client.run(grid()[:1])
+        assert results[0].ipc > 0
+
+    def test_401_sent_before_the_body_is_read(self, secured):
+        """An unauthenticated client must not be able to make the
+        gateway buffer a large body: the 401 arrives while the declared
+        body remains unsent."""
+        _, handle = secured
+        with socket.create_connection(handle.address, timeout=10) as sock:
+            sock.sendall(b"POST /v1/jobs HTTP/1.1\r\nHost: x\r\n"
+                         b"Content-Length: 67108864\r\n\r\n")
+            response = sock.recv(65536)  # no body ever sent
+        assert b" 401 " in response.split(b"\r\n", 1)[0]
+
+    def test_x_repro_token_header_accepted(self, secured):
+        _, handle = secured
+        host, port = handle.address
+        connection = http.client.HTTPConnection(host, port, timeout=10)
+        connection.request("GET", "/v1/metrics",
+                           headers={"X-Repro-Token": "hunter2"})
+        response = connection.getresponse()
+        assert response.status == 200
+        body = json.loads(response.read())
+        assert body["requests"] >= 1
+        connection.close()
+
+
+class TestMetrics:
+    def test_metrics_counts_work(self, client, gateway):
+        gw, _ = gateway
+        client.run(grid()[:2])
+        metrics = client.metrics()
+        assert metrics["points_executed"] + metrics["points_cached"] == 2
+        assert metrics["rounds"] >= 1
+        assert metrics["queue"]["jobs"]["done"] == 1
+        assert metrics["executor"] == "SerialExecutor"
+
+    def test_fair_share_interleaves_two_clients(self, gateway):
+        gw, handle = gateway
+        url = "http://%s:%s" % handle.address
+        alice = GatewayClient(url, client_id="alice")
+        bob = GatewayClient(url, client_id="bob")
+        specs = grid()
+        job_a = alice.submit(specs)
+        job_b = bob.submit(specs[:2])
+        done_a = [e for e in alice.stream(job_a["id"])
+                  if e["event"] == "end"]
+        done_b = [e for e in bob.stream(job_b["id"])
+                  if e["event"] == "end"]
+        assert done_a[0]["state"] == done_b[0]["state"] == "done"
+        # Both clients' jobs completed even though alice queued first
+        # and submitted more points.
+        assert gw.queue.counters()["jobs"]["done"] == 2

@@ -113,8 +113,10 @@ class TestCommands:
         with pytest.raises(SystemExit):
             main(["worker"])
 
-    def test_cluster_requires_workers(self, monkeypatch):
+    def test_cluster_requires_workers(self, monkeypatch, tmp_path):
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        # A clean cache dir: no worker descriptors to fall back on.
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         with pytest.raises(SystemExit):
             main(["cluster", "status"])
 
@@ -157,6 +159,118 @@ class TestCommands:
             assert not thread.is_alive()
         finally:
             server.server_close()
+
+    def test_cache_stats(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro.engine import ResultStore, RunSpec, execute_spec
+        from repro.uarch.config import conventional_config
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        spec = RunSpec("go", conventional_config()).resolved(400, 100, 1)
+        ResultStore().put(spec.key(), execute_spec(spec))
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert "1 record(s)" in out and "1 segment(s)" in out
+        assert "go" in out
+        assert main(["cache", "stats", "--json"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["records"] == 1
+        assert stats["workloads"] == {"go": 1}
+        assert stats["bytes"] > 0
+
+    def test_cache_stats_empty_store(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["cache", "stats"]) == 0
+        assert "0 record(s)" in capsys.readouterr().out
+
+    def test_submit_status_fetch_against_gateway(self, capsys,
+                                                 monkeypatch):
+        """End to end: the client commands speak the gateway's API."""
+        import json
+
+        from repro.service import Gateway
+
+        monkeypatch.delenv("REPRO_TOKEN", raising=False)
+        gateway = Gateway()
+        handle = gateway.serve_in_thread()
+        url = "http://%s:%s" % handle.address
+        try:
+            rc = main(["submit", "--url", url, "--nrr", "8",
+                       "--workloads", "go", "-n", "600", "--skip", "100"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "submitted" in out and "IPC=" in out
+            assert "done" in out
+            job_id = out.split("job ", 1)[1].split(":", 1)[0]
+            assert main(["status", job_id, "--url", url]) == 0
+            assert "done (2/2" in capsys.readouterr().out
+            assert main(["fetch", job_id, "--url", url]) == 0
+            assert "IPC=" in capsys.readouterr().out
+            assert main(["fetch", job_id, "--url", url, "--json"]) == 0
+            results = json.loads(capsys.readouterr().out)
+            assert len(results) == 2
+            assert all(r["stats"]["committed"] for r in results)
+        finally:
+            handle.stop()
+
+    def test_submit_detach_prints_job_id(self, capsys, monkeypatch):
+        from repro.service import Gateway
+
+        monkeypatch.delenv("REPRO_TOKEN", raising=False)
+        gateway = Gateway()
+        handle = gateway.serve_in_thread()
+        url = "http://%s:%s" % handle.address
+        try:
+            rc = main(["submit", "--url", url, "--nrr", "8",
+                       "--workloads", "go", "-n", "600", "--skip", "100",
+                       "--detach"])
+            out = capsys.readouterr().out
+            assert rc == 0
+            assert "repro status" in out and "repro fetch" in out
+        finally:
+            handle.stop()
+
+    def test_submit_unreachable_gateway_is_clean_error(self):
+        with pytest.raises(SystemExit, match="unreachable"):
+            main(["submit", "--url", "http://127.0.0.1:1",
+                  "--workloads", "go"])
+
+    def test_worker_descriptor_lifecycle(self, capsys, monkeypatch,
+                                         tmp_path):
+        """`repro worker --serve` records its address; `repro cluster
+        status` with no --workers discovers it; the descriptor is
+        removed on shutdown."""
+        import threading
+        import time
+
+        from repro.engine import read_worker_descriptors
+
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_TOKEN", raising=False)
+        rc = {}
+        thread = threading.Thread(
+            target=lambda: rc.update(
+                code=main(["worker", "--serve", "--port", "0",
+                           "--no-cache"])),
+            daemon=True)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while (not read_worker_descriptors(tmp_path)
+               and time.monotonic() < deadline):
+            time.sleep(0.05)
+        ((path, record),) = read_worker_descriptors(tmp_path)
+        assert record["auth"] is False
+        assert main(["cluster", "status"]) == 0
+        out = capsys.readouterr().out
+        assert "discovered 1 worker(s)" in out and "[ok]" in out
+        address = f"{record['host']}:{record['port']}"
+        assert main(["cluster", "stop", "--workers", address]) == 0
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert rc["code"] == 0
+        assert read_worker_descriptors(tmp_path) == []
 
     def test_experiment_command(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_BENCH_INSTRS", "300")

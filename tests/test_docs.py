@@ -16,7 +16,7 @@ def load_checker():
 
 def test_docs_suite_exists():
     for name in ("architecture.md", "engine.md", "renaming-policies.md",
-                 "reproducing-the-paper.md"):
+                 "reproducing-the-paper.md", "service.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), name
 
 
@@ -39,20 +39,29 @@ def test_quickstart_smoke_blocks_are_marked():
     engine = (REPO_ROOT / "docs" / "engine.md").read_text(encoding="utf-8")
     policies = (REPO_ROOT / "docs"
                 / "renaming-policies.md").read_text(encoding="utf-8")
+    service = (REPO_ROOT / "docs"
+               / "service.md").read_text(encoding="utf-8")
     readme_blocks = list(checker.iter_smoke_blocks(readme))
     engine_blocks = list(checker.iter_smoke_blocks(engine))
     policy_blocks = list(checker.iter_smoke_blocks(policies))
+    service_blocks = list(checker.iter_smoke_blocks(service))
     assert len(readme_blocks) >= 2  # CLI quickstart + library quickstart
     assert len(engine_blocks) >= 1  # the localhost cluster walkthrough
     assert len(policy_blocks) >= 2  # registry walk + port sweep
+    assert len(service_blocks) >= 1  # the gateway curl walkthrough
     languages = {lang for lang, _ in
-                 readme_blocks + engine_blocks + policy_blocks}
+                 readme_blocks + engine_blocks + policy_blocks
+                 + service_blocks}
     assert languages <= {"bash", "python"}
     # The cluster walkthrough really exercises the remote backend.
     assert any("--workers" in source for _, source in engine_blocks)
     # The policy walkthrough really exercises the registry + port model.
     assert any("policy_names" in source for _, source in policy_blocks)
     assert any("port-sweep" in source for _, source in policy_blocks)
+    # The gateway walkthrough really serves HTTP with auth enforced.
+    assert any("repro serve" in source for _, source in service_blocks)
+    assert any("REPRO_TOKEN" in source for _, source in service_blocks)
+    assert any("401" in source for _, source in service_blocks)
 
 
 def test_readme_links_docs_suite():
