@@ -27,11 +27,20 @@ Commands
     from older code versions).
 ``cache stats``
     Operator summary of the store: record/segment counts, bytes, and a
-    per-workload breakdown.
+    per-workload breakdown (including CRC failures and quarantined
+    lines).
+``cache verify``
+    Integrity-scan every record (CRC32 checksums); ``--repair``
+    quarantines corrupt lines to ``corrupt-<ts>.jsonl`` and rewrites
+    the affected files.  Exits 1 when corruption is found and left in
+    place.
 ``serve``
     Run the simulation-as-a-service HTTP gateway
     (:mod:`repro.service`): clients POST RunSpec grids and stream
     results back as NDJSON; set ``REPRO_TOKEN`` to require auth.
+    Jobs are journaled to a WAL under ``REPRO_CACHE_DIR/gateway``
+    (``--no-journal`` disables) and ``--resume`` reloads unfinished
+    jobs after a crash.
 ``submit`` / ``status`` / ``fetch``
     The gateway's client side: submit a sweep grid over HTTP (streams
     points as they finish), poll a job, or collect its results.
@@ -55,9 +64,14 @@ default ``REPRO_JOBS`` or the CPU count), ``--executor
 pool across batches; ``remote`` fans out across ``repro worker``
 daemons), ``--workers host1[:port],host2`` (implies ``remote``),
 ``--no-cache`` (skip the persistent result store under
-``REPRO_CACHE_DIR``), and the remote fault-handling knobs
-``--heartbeat`` / ``--retries`` / ``--connect-timeout``
-(``REPRO_HEARTBEAT`` / ``REPRO_RETRIES`` / ``REPRO_CONNECT_TIMEOUT``).
+``REPRO_CACHE_DIR``), and the fault-handling knobs
+``--heartbeat`` / ``--retries`` / ``--connect-timeout`` /
+``--run-timeout`` / ``--on-cluster-loss``
+(``REPRO_HEARTBEAT`` / ``REPRO_RETRIES`` / ``REPRO_CONNECT_TIMEOUT`` /
+``REPRO_RUN_TIMEOUT`` / ``REPRO_ON_CLUSTER_LOSS``).  ``--faults``
+activates a deterministic fault-injection plan
+(:mod:`repro.engine.faults`) for chaos testing; see
+``docs/resilience.md``.
 """
 
 from __future__ import annotations
@@ -112,6 +126,9 @@ def _cache_for_args(args, progress=None):
                        heartbeat=getattr(args, "heartbeat", None),
                        retries=getattr(args, "retries", None),
                        connect_timeout=getattr(args, "connect_timeout",
+                                               None),
+                       run_timeout=getattr(args, "run_timeout", None),
+                       on_cluster_loss=getattr(args, "on_cluster_loss",
                                                None))
 
 
@@ -158,6 +175,23 @@ def _add_engine_args(parser):
                         help="remote executor: per-worker connect timeout "
                              "in seconds (default: REPRO_CONNECT_TIMEOUT "
                              "or 5)")
+    parser.add_argument("--run-timeout", type=float, default=None,
+                        help="seconds one batch may go without any "
+                             "simulation finishing before the executor "
+                             "gives up on it (pool/persistent/remote; "
+                             "default: REPRO_RUN_TIMEOUT, or no limit "
+                             "for local pools and 900 for remote)")
+    parser.add_argument("--on-cluster-loss", choices=("fallback", "fail"),
+                        default=None,
+                        help="remote executor: when every worker is lost, "
+                             "'fallback' finishes the batch locally "
+                             "(default; loudly reported), 'fail' raises "
+                             "(REPRO_ON_CLUSTER_LOSS)")
+    parser.add_argument("--faults", default=None, metavar="PLAN",
+                        help="deterministic fault injection plan, e.g. "
+                             "'worker.crash_before_reply:p=0.2;seed=7' "
+                             "(test/chaos tooling; also exported as "
+                             "REPRO_FAULTS so child processes inherit it)")
 
 
 def _add_run_args(parser):
@@ -331,6 +365,16 @@ def cmd_sweep(args):
               f"spec(s), {report['retries']} retried, "
               f"{report['straggler_redispatches']} straggler "
               f"re-dispatch(es)")
+        if report.get("quarantined"):
+            print("quarantined      : "
+                  + ", ".join(report["quarantined"])
+                  + " (circuit breaker open; see --retries / "
+                    "REPRO_QUARANTINE)")
+    if batch.degraded:
+        degraded = batch.degraded
+        print(f"DEGRADED         : {degraded['points']} point(s) ran on "
+              f"the local {degraded['fallback']} fallback — "
+              f"{degraded['reason']}")
     if serial_elapsed is not None and elapsed > 0:
         print(f"speedup          : {serial_elapsed / elapsed:.2f}x "
               f"over serial execution")
@@ -470,7 +514,9 @@ def cmd_cache_stats(args):
           f"{stats['segments']} segment(s), {stats['bytes']} bytes "
           f"({stats['files']} file(s))")
     print(f"  lines: {stats['lines']} stored, {stats['superseded']} "
-          f"superseded, {stats['corrupt']} corrupt")
+          f"superseded, {stats['corrupt']} corrupt "
+          f"({stats['crc_failures']} CRC failure(s), "
+          f"{stats['quarantined']} quarantined)")
     if stats["workloads"]:
         width = max(len(name) for name in stats["workloads"])
         for workload, count in stats["workloads"].items():
@@ -482,22 +528,57 @@ def cmd_cache_stats(args):
     return 0
 
 
+def cmd_cache_verify(args):
+    """Integrity-scan the store; optionally repair it (exit 1 on rot)."""
+    from repro.engine import ResultStore
+
+    report = ResultStore().verify(repair=args.repair)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0 if (args.repair or not report["corrupt"]) else 1
+    print(f"{report['directory']}: {report['records']} good record(s) "
+          f"across {report['files']} file(s) — {report['checked']} "
+          f"CRC-checked, {report['legacy']} legacy (no crc field)")
+    if report["corrupt"]:
+        print(f"  corrupt: {report['corrupt']} line(s), "
+              f"{report['crc_failures']} of them CRC mismatches")
+        for location in report["bad"][:20]:
+            print(f"    {location}")
+        if len(report["bad"]) > 20:
+            print(f"    ... and {len(report['bad']) - 20} more")
+        if args.repair:
+            print(f"  repaired: {report['repaired']} line(s) removed, "
+                  f"quarantined to {report['quarantine']}")
+            return 0
+        print("  run `repro cache verify --repair` to quarantine them")
+        return 1
+    print("  no corruption found")
+    return 0
+
+
 def cmd_serve(args):
     """Run the simulation-as-a-service HTTP gateway (blocks)."""
     import asyncio
 
     from repro.engine import BatchEngine, ResultStore, make_executor
-    from repro.service import DEFAULT_GATEWAY_PORT, Gateway
+    from repro.service import DEFAULT_GATEWAY_PORT, Gateway, JobJournal
 
     store = None if args.no_cache else ResultStore()
     executor = make_executor(args.jobs, kind=args.executor,
                              workers=args.workers,
                              heartbeat=args.heartbeat, retries=args.retries,
-                             connect_timeout=args.connect_timeout)
+                             connect_timeout=args.connect_timeout,
+                             run_timeout=args.run_timeout,
+                             on_cluster_loss=args.on_cluster_loss)
     engine = BatchEngine(executor=executor, store=store)
     port = DEFAULT_GATEWAY_PORT if args.port is None else args.port
+    journal = None if args.no_journal else JobJournal()
     gateway = Gateway(host=args.host, port=port, engine=engine,
-                      max_inflight=args.max_inflight)
+                      max_inflight=args.max_inflight, journal=journal,
+                      resume=args.resume and journal is not None)
+    if args.resume and journal is None:
+        raise SystemExit("repro serve: --resume needs the job journal "
+                         "(drop --no-journal)")
 
     def on_ready(gw):
         host, bound_port = gw.address
@@ -505,7 +586,11 @@ def cmd_serve(args):
               f"(version {gw.version}, auth "
               f"{'on' if gw.token else 'off'}, executor "
               f"{type(executor).__name__}, max-inflight "
-              f"{gw.max_inflight})", flush=True)
+              f"{gw.max_inflight}, journal "
+              f"{'off' if gw.journal is None else 'on'})", flush=True)
+        if gw.resumed_jobs:
+            print(f"repro serve: resumed {gw.resumed_jobs} unfinished "
+                  f"job(s) from {gw.journal.directory}", flush=True)
 
     try:
         asyncio.run(gateway.serve_forever(on_ready))
@@ -836,6 +921,14 @@ def build_parser():
     serve.add_argument("--max-inflight", type=int, default=8,
                        help="points simulated concurrently per "
                             "scheduling round (default 8)")
+    serve.add_argument("--resume", action="store_true",
+                       help="reload unfinished journaled jobs from the "
+                            "WAL under REPRO_CACHE_DIR/gateway before "
+                            "serving (only points missing from the "
+                            "result store re-run)")
+    serve.add_argument("--no-journal", action="store_true",
+                       help="disable the per-job write-ahead log "
+                            "(jobs are lost on a crash)")
     _add_engine_args(serve)
     serve.set_defaults(fn=cmd_serve)
 
@@ -943,6 +1036,18 @@ def build_parser():
     cache_stats.add_argument("--json", action="store_true",
                              help="emit the raw stats JSON")
     cache_stats.set_defaults(fn=cmd_cache_stats)
+    cache_verify = cache_sub.add_parser(
+        "verify",
+        help="integrity-scan every store record (CRC32); exits 1 if "
+             "corruption is found and not repaired")
+    cache_verify.add_argument("--repair", action="store_true",
+                              help="quarantine corrupt lines to "
+                                   "corrupt-<ts>.jsonl and rewrite the "
+                                   "affected files (offline maintenance: "
+                                   "stop writers first)")
+    cache_verify.add_argument("--json", action="store_true",
+                              help="emit the raw verify report JSON")
+    cache_verify.set_defaults(fn=cmd_cache_verify)
 
     wl = sub.add_parser("workloads", help="list workload models")
     wl.set_defaults(fn=cmd_workloads)
@@ -960,6 +1065,19 @@ def build_parser():
 def main(argv=None):
     parser = build_parser()
     args = parser.parse_args(argv)
+    plan = getattr(args, "faults", None)
+    if plan:
+        import os
+
+        from repro.engine.faults import FaultPlan, install
+
+        try:
+            install(FaultPlan.from_string(plan))
+        except ValueError as exc:
+            raise SystemExit(f"repro: bad --faults plan: {exc}")
+        # Child processes (pool workers, spawned daemons) pick the plan
+        # up from the environment; each process injects independently.
+        os.environ["REPRO_FAULTS"] = plan
     return args.fn(args)
 
 

@@ -30,6 +30,16 @@ authentication scheme (``REPRO_TOKEN``; :func:`service_token` /
 :func:`token_matches`), and serving daemons advertise themselves
 through worker descriptors (:func:`write_worker_descriptor`).
 
+Failure handling is unified in :mod:`repro.engine.resilience`
+(:class:`~repro.engine.resilience.RetryPolicy` backoff and the
+per-worker :class:`~repro.engine.resilience.CircuitBreaker`) and made
+testable by :mod:`repro.engine.faults`: a deterministic, seeded
+:class:`~repro.engine.faults.FaultPlan` (``REPRO_FAULTS`` /
+``--faults``) fires named injection sites across the remote protocol,
+the pools, the store, and the gateway scheduler, so chaos tests can
+prove results stay bit-identical to serial under worker kills, dropped
+replies, and torn writes.
+
 See ``docs/engine.md`` for the full execution-layer reference and
 ``docs/service.md`` for the HTTP gateway.
 """
@@ -45,9 +55,12 @@ from repro.engine.executors import (
     make_executor,
     run_from_iter,
 )
+from repro.engine.faults import FaultPlan, FaultSite
 from repro.engine.remote import (
+    CLUSTER_LOSS_MODES,
     DEFAULT_PORT,
     RemoteExecutor,
+    WorkerProtocolError,
     WorkerServer,
     parse_workers,
     ping_worker,
@@ -59,6 +72,7 @@ from repro.engine.remote import (
     worker_descriptor_path,
     write_worker_descriptor,
 )
+from repro.engine.resilience import CircuitBreaker, RetryPolicy
 from repro.engine.spec import RunSpec
 from repro.engine.store import ResultStore, default_cache_dir
 from repro.engine.version import code_version
@@ -66,14 +80,20 @@ from repro.engine.version import code_version
 __all__ = [
     "BatchEngine",
     "BatchStats",
+    "CLUSTER_LOSS_MODES",
+    "CircuitBreaker",
     "DEFAULT_PORT",
     "EXECUTOR_KINDS",
+    "FaultPlan",
+    "FaultSite",
     "PersistentPoolExecutor",
     "ProcessPoolExecutor",
     "RemoteExecutor",
+    "RetryPolicy",
     "SerialExecutor",
     "RunSpec",
     "ResultStore",
+    "WorkerProtocolError",
     "WorkerServer",
     "code_version",
     "default_cache_dir",

@@ -34,6 +34,10 @@ class BatchStats:
     store_hits: int = 0
     executed: int = 0
     keys: list = field(default_factory=list)
+    #: Set when the executor completed the batch in degraded mode (the
+    #: remote backend lost its cluster and fell back to local
+    #: execution); the executor's ``last_run_report["degraded"]`` dict.
+    degraded: dict | None = None
 
     @property
     def total(self):
@@ -137,6 +141,12 @@ class BatchEngine:
             batch.executed += 1
             for position in positions[key]:
                 yield position, specs[position], result
+        # Surface executor degradation (remote cluster lost, local
+        # fallback used) on the batch, where the CLI dispatch report
+        # and the gateway's /v1/metrics can see it.
+        report = getattr(self.executor, "last_run_report", None)
+        if isinstance(report, dict) and report.get("degraded"):
+            batch.degraded = report["degraded"]
 
     def run_one(self, spec):
         """Convenience wrapper: a one-spec batch."""

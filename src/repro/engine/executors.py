@@ -32,7 +32,9 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import time
 
+from repro.engine.faults import fault, fault_delay
 from repro.uarch.processor import simulate
 
 
@@ -44,8 +46,27 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
+def default_run_timeout():
+    """Per-spec stall timeout: ``REPRO_RUN_TIMEOUT`` seconds, or None."""
+    env = os.environ.get("REPRO_RUN_TIMEOUT")
+    if env:
+        value = float(env)
+        return value if value > 0 else None
+    return None
+
+
 def execute_spec(spec):
-    """Run one resolved spec to completion (the executor work unit)."""
+    """Run one resolved spec to completion (the executor work unit).
+
+    Carries the ``exec.hang`` (sleep before simulating — exercises the
+    pool stall timeouts) and ``exec.die`` (the executing process
+    hard-exits, like an OOM-killed pool worker) chaos sites; both are
+    inert without an active :class:`~repro.engine.faults.FaultPlan`.
+    """
+    if fault("exec.die"):
+        os._exit(3)
+    if fault("exec.hang"):
+        time.sleep(fault_delay("exec.hang", 60.0))
     return simulate(
         spec.config,
         workload=spec.workload,
@@ -94,15 +115,53 @@ class SerialExecutor:
                 progress(index + 1, len(specs), spec)
 
 
+def _stream_pool(pool, specs, progress, run_timeout, on_stall=None):
+    """Drain ``imap_unordered`` with an optional per-result stall bound.
+
+    ``run_timeout`` (seconds) caps how long the *next* result may take
+    to arrive: one wedged simulation (or a pool worker that died
+    without reporting, which ``multiprocessing.Pool`` never notices)
+    raises :class:`RuntimeError` instead of hanging the grid forever.
+    ``on_stall`` runs first, so a persistent pool can terminate its
+    wedged workers before the error propagates.
+    """
+    done = 0
+    results = pool.imap_unordered(_pool_worker, list(enumerate(specs)))
+    while True:
+        try:
+            if run_timeout:
+                index, result = results.next(timeout=run_timeout)
+            else:
+                index, result = next(results)
+        except StopIteration:
+            return
+        except multiprocessing.TimeoutError:
+            if on_stall:
+                on_stall()
+            raise RuntimeError(
+                f"pool stalled: no simulation finished within "
+                f"{run_timeout:g}s ({len(specs) - done} of {len(specs)} "
+                f"point(s) outstanding)") from None
+        done += 1
+        yield index, result
+        if progress:
+            progress(done, len(specs), specs[index])
+
+
 class ProcessPoolExecutor:
     """Fans specs out over a ``multiprocessing.Pool``.
 
     Falls back to serial execution when the batch (or the pool) has a
     single entry, so tiny batches never pay process-spawn overhead.
+    ``run_timeout`` (default ``REPRO_RUN_TIMEOUT`` / ``--run-timeout``)
+    bounds how long the next result may take before the run fails
+    loudly instead of hanging on a wedged or dead worker.
     """
 
-    def __init__(self, jobs=None):
+    def __init__(self, jobs=None, run_timeout=None):
         self.jobs = jobs or default_jobs()
+        self.run_timeout = (run_timeout if run_timeout is not None
+                            else default_run_timeout())
 
     def run(self, specs, progress=None):
         """Simulate the specs on a fresh pool; results in spec order."""
@@ -118,14 +177,10 @@ class ProcessPoolExecutor:
         if self.jobs <= 1 or len(specs) <= 1:
             yield from SerialExecutor().run_iter(specs, progress=progress)
             return
-        done = 0
         with multiprocessing.Pool(min(self.jobs, len(specs))) as pool:
-            for index, result in pool.imap_unordered(
-                    _pool_worker, list(enumerate(specs))):
-                done += 1
-                yield index, result
-                if progress:
-                    progress(done, len(specs), specs[index])
+            # The with-block terminates the pool on a stall error.
+            yield from _stream_pool(pool, specs, progress,
+                                    self.run_timeout)
 
 
 class PersistentPoolExecutor:
@@ -137,8 +192,10 @@ class PersistentPoolExecutor:
     per-batch pool: work units are fully seeded and stateless.
     """
 
-    def __init__(self, jobs=None):
+    def __init__(self, jobs=None, run_timeout=None):
         self.jobs = jobs or default_jobs()
+        self.run_timeout = (run_timeout if run_timeout is not None
+                            else default_run_timeout())
         self._pool = None
         self._atexit_registered = False
 
@@ -162,13 +219,14 @@ class PersistentPoolExecutor:
             yield from SerialExecutor().run_iter(specs, progress=progress)
             return
         pool = self._ensure_pool()
-        done = 0
-        for index, result in pool.imap_unordered(
-                _pool_worker, list(enumerate(specs))):
-            done += 1
-            yield index, result
-            if progress:
-                progress(done, len(specs), specs[index])
+        yield from _stream_pool(pool, specs, progress, self.run_timeout,
+                                on_stall=self._terminate)
+
+    def _terminate(self):
+        """Kill a wedged pool so the next batch gets a fresh one."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.terminate()
 
     def close(self):
         """Shut the warm pool down (idempotent)."""
@@ -190,7 +248,8 @@ EXECUTOR_KINDS = ("serial", "pool", "persistent", "remote")
 
 
 def make_executor(jobs=None, kind=None, workers=None, heartbeat=None,
-                  retries=None, connect_timeout=None):
+                  retries=None, connect_timeout=None, run_timeout=None,
+                  on_cluster_loss=None):
     """The executor a job count, kind, and worker list imply.
 
     ``kind`` is one of :data:`EXECUTOR_KINDS` (default: the
@@ -200,10 +259,13 @@ def make_executor(jobs=None, kind=None, workers=None, heartbeat=None,
     variable for ``kind="remote"``) selects the distributed
     :class:`~repro.engine.remote.RemoteExecutor`, which fans batches
     out across ``repro worker --serve`` daemons.  ``heartbeat``,
-    ``retries``, and ``connect_timeout`` tune that backend's fault
-    handling (defaults: ``REPRO_HEARTBEAT`` / ``REPRO_RETRIES`` /
-    ``REPRO_CONNECT_TIMEOUT``, then 5s / 3 / 5s); they are ignored by
-    the local executors.
+    ``retries``, ``connect_timeout``, and ``on_cluster_loss`` tune that
+    backend's fault handling (defaults: ``REPRO_HEARTBEAT`` /
+    ``REPRO_RETRIES`` / ``REPRO_CONNECT_TIMEOUT`` /
+    ``REPRO_ON_CLUSTER_LOSS``, then 5s / 3 / 5s / fallback).
+    ``run_timeout`` bounds one spec's run everywhere it can: the pool
+    executors treat it as a stall timeout, the remote backend as the
+    per-chunk request timeout.
     """
     jobs = default_jobs() if jobs is None else max(1, int(jobs))
     # Precedence: explicit kind > explicit workers (implies remote) >
@@ -218,15 +280,19 @@ def make_executor(jobs=None, kind=None, workers=None, heartbeat=None,
     if kind == "serial":
         return SerialExecutor()
     if kind == "pool":
-        return ProcessPoolExecutor(jobs)
+        return ProcessPoolExecutor(jobs, run_timeout=run_timeout)
     if kind == "persistent":
-        return PersistentPoolExecutor(jobs)
+        return PersistentPoolExecutor(jobs, run_timeout=run_timeout)
     if kind == "remote":
         from repro.engine.remote import RemoteExecutor
 
         workers = workers or os.environ.get("REPRO_WORKERS")
+        extra = {}
+        if run_timeout:
+            extra["run_timeout"] = run_timeout
         return RemoteExecutor(workers, heartbeat_interval=heartbeat,
                               max_task_attempts=retries,
-                              connect_timeout=connect_timeout)
+                              connect_timeout=connect_timeout,
+                              on_cluster_loss=on_cluster_loss, **extra)
     raise ValueError(
         f"unknown executor kind {kind!r}; choose from {EXECUTOR_KINDS}")

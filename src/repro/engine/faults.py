@@ -1,0 +1,281 @@
+"""Deterministic, seeded fault injection for the distributed stack.
+
+The distributed layers (remote executor, worker daemons, process pools,
+result store, gateway scheduler) all claim one invariant: results are
+bit-identical to a serial run, *even under failure*.  This module makes
+that claim testable.  Code under test calls :func:`fault` at named
+injection sites; in production the call is a near-free no-op, and under a
+:class:`FaultPlan` each site fires deterministically from a seeded RNG so
+a chaos run can be replayed exactly.
+
+A plan is a set of sites with per-site triggers::
+
+    plan = FaultPlan.from_string(
+        "seed=42;worker.crash_before_reply:n=1;remote.connect:p=0.25,n=3")
+
+and activates either explicitly (:func:`install`, used by ``--faults``)
+or through the ``REPRO_FAULTS`` environment variable, which subprocess
+pool workers and spawned worker daemons inherit automatically.
+
+Per-site triggers:
+
+``p``      probability per hit (default 1.0 — always fire)
+``n``      maximum number of fires (default unlimited)
+``after``  skip the first N hits before arming (default 0)
+``delay``  seconds, for sites that sleep rather than raise
+
+Each site draws from its own ``random.Random`` seeded from
+``(plan seed, site name)``, so firing decisions do not depend on the
+interleaving of *other* sites — the same plan fires the same way no
+matter how threads race.  Counters are per-process: a pool worker that
+inherits ``REPRO_FAULTS`` runs its own copy of the plan.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = [
+    "FAULT_SITES",
+    "FaultSite",
+    "FaultPlan",
+    "install",
+    "clear",
+    "active_plan",
+    "fault",
+    "fault_delay",
+]
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Every known injection site and where it bites.  ``from_string`` rejects
+#: unknown names so a typo'd site cannot silently never fire.
+FAULT_SITES: Dict[str, str] = {
+    "remote.connect": "RemoteExecutor: a connect/request attempt fails "
+                      "with ConnectionError before anything is sent",
+    "remote.heartbeat": "RemoteExecutor: a heartbeat ping to an idle "
+                        "worker fails",
+    "remote.chunk_reply": "RemoteExecutor: a chunk reply is dropped after "
+                          "the worker ran it (work done, answer lost)",
+    "worker.crash_before_reply": "WorkerServer: handler drops the "
+                                 "connection after running a batch, "
+                                 "before writing the reply",
+    "worker.slow_reply": "WorkerServer: handler sleeps `delay` seconds "
+                         "(default 1.0) before replying",
+    "worker.garbage_reply": "WorkerServer: handler writes a non-JSON "
+                            "line instead of the reply",
+    "worker.exit": "WorkerServer: the daemon hard-exits (os._exit) while "
+                   "handling a run_batch — a true mid-chunk kill",
+    "exec.hang": "execute_spec: sleeps `delay` seconds (default 60.0) "
+                 "before simulating — exercises run timeouts",
+    "exec.die": "execute_spec: the executing process hard-exits — a "
+                "dying pool worker",
+    "store.torn_append": "ResultStore.put: writes a torn (truncated) "
+                         "line, as after a crash mid-append",
+    "store.corrupt_append": "ResultStore.put: writes a line whose CRC "
+                            "does not match its payload",
+    "gateway.round": "Gateway scheduler: a scheduling round raises "
+                     "before executing its batch",
+}
+
+
+@dataclass
+class FaultSite:
+    """Trigger configuration for one named injection site."""
+
+    name: str
+    probability: float = 1.0
+    count: Optional[int] = None
+    after: int = 0
+    delay: Optional[float] = None
+
+    def spec(self) -> str:
+        """Render this site back into ``FaultPlan.from_string`` syntax."""
+        parts = [self.name]
+        opts = []
+        if self.probability < 1.0:
+            opts.append(f"p={self.probability:g}")
+        if self.count is not None:
+            opts.append(f"n={self.count}")
+        if self.after:
+            opts.append(f"after={self.after}")
+        if self.delay is not None:
+            opts.append(f"delay={self.delay:g}")
+        if opts:
+            parts.append(",".join(opts))
+        return ":".join(parts)
+
+
+@dataclass
+class FaultPlan:
+    """A seeded set of fault sites; asks-and-answers ``should_fire``.
+
+    Thread-safe.  Decisions are deterministic given the seed and the
+    per-site hit sequence; an execution log of fired faults is kept for
+    chaos-run artifacts (:meth:`report`).
+    """
+
+    sites: Dict[str, FaultSite] = field(default_factory=dict)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+        self._rngs: Dict[str, random.Random] = {}
+        self._hits: Dict[str, int] = {}
+        self._fired: Dict[str, int] = {}
+        self._log: List[str] = []
+
+    # -- construction ---------------------------------------------------
+
+    @classmethod
+    def from_string(cls, text: str) -> "FaultPlan":
+        """Parse a plan from ``REPRO_FAULTS`` / ``--faults`` syntax.
+
+        Entries are ``;``-separated.  ``seed=<int>`` sets the plan seed;
+        every other entry is ``<site>[:k=v[,k=v...]]`` with keys ``p``
+        (probability), ``n`` (max fires), ``after`` (skip first N hits)
+        and ``delay`` (seconds).  A bare site name always fires.
+        """
+        plan = cls()
+        for entry in text.split(";"):
+            entry = entry.strip()
+            if not entry:
+                continue
+            if entry.startswith("seed="):
+                plan.seed = int(entry[len("seed="):])
+                continue
+            name, _, opts = entry.partition(":")
+            name = name.strip()
+            if name not in FAULT_SITES:
+                known = ", ".join(sorted(FAULT_SITES))
+                raise ValueError(
+                    f"unknown fault site {name!r}; known sites: {known}")
+            site = FaultSite(name=name)
+            for pair in filter(None, (p.strip() for p in opts.split(","))):
+                key, _, value = pair.partition("=")
+                if key == "p":
+                    site.probability = float(value)
+                elif key == "n":
+                    site.count = int(value)
+                elif key == "after":
+                    site.after = int(value)
+                elif key == "delay":
+                    site.delay = float(value)
+                else:
+                    raise ValueError(
+                        f"unknown fault option {key!r} in {entry!r} "
+                        "(expected p, n, after or delay)")
+            plan.sites[name] = site
+        return plan
+
+    def to_string(self) -> str:
+        """Render the plan back into ``from_string`` syntax."""
+        parts = [f"seed={self.seed}"]
+        parts.extend(site.spec() for site in self.sites.values())
+        return ";".join(parts)
+
+    # -- runtime --------------------------------------------------------
+
+    def _rng(self, name: str) -> random.Random:
+        rng = self._rngs.get(name)
+        if rng is None:
+            rng = self._rngs[name] = random.Random(f"{self.seed}:{name}")
+        return rng
+
+    def should_fire(self, name: str) -> bool:
+        """Record a hit at ``name`` and decide whether the fault fires."""
+        site = self.sites.get(name)
+        if site is None:
+            return False
+        with self._lock:
+            hit = self._hits.get(name, 0) + 1
+            self._hits[name] = hit
+            if hit <= site.after:
+                return False
+            if site.count is not None and self._fired.get(name, 0) >= site.count:
+                return False
+            fire = (site.probability >= 1.0
+                    or self._rng(name).random() < site.probability)
+            if fire:
+                self._fired[name] = self._fired.get(name, 0) + 1
+                self._log.append(f"{name} fired on hit {hit}")
+            return fire
+
+    def delay_for(self, name: str, default: float) -> float:
+        """The configured ``delay`` for ``name``, or ``default``."""
+        site = self.sites.get(name)
+        if site is None or site.delay is None:
+            return default
+        return site.delay
+
+    def report(self) -> dict:
+        """Summarise what fired, for logs and chaos-run artifacts."""
+        with self._lock:
+            return {
+                "seed": self.seed,
+                "plan": self.to_string(),
+                "hits": dict(self._hits),
+                "fired": dict(self._fired),
+                "log": list(self._log),
+            }
+
+
+# -- process-global activation ------------------------------------------
+
+_installed: Optional[FaultPlan] = None
+_env_raw: Optional[str] = None
+_env_plan: Optional[FaultPlan] = None
+_env_lock = threading.Lock()
+
+
+def install(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Activate ``plan`` process-wide (overrides ``REPRO_FAULTS``)."""
+    global _installed
+    _installed = plan
+    return plan
+
+
+def clear() -> None:
+    """Deactivate any installed plan and forget the env-parsed cache."""
+    global _installed, _env_raw, _env_plan
+    _installed = None
+    _env_raw = None
+    _env_plan = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else one parsed from ``REPRO_FAULTS`` (cached
+    until the variable's value changes), else ``None``."""
+    if _installed is not None:
+        return _installed
+    raw = os.environ.get(ENV_VAR)
+    if not raw:
+        return None
+    global _env_raw, _env_plan
+    with _env_lock:
+        if raw != _env_raw:
+            _env_plan = FaultPlan.from_string(raw)
+            _env_raw = raw
+        return _env_plan
+
+
+def fault(name: str) -> bool:
+    """True when the active plan says site ``name`` fires right now.
+
+    This is the hook production code calls; with no plan active it costs
+    one dict lookup and one ``os.environ.get``.
+    """
+    plan = active_plan()
+    return plan is not None and plan.should_fire(name)
+
+
+def fault_delay(name: str, default: float) -> float:
+    """The active plan's ``delay`` for ``name``, or ``default``."""
+    plan = active_plan()
+    if plan is None:
+        return default
+    return plan.delay_for(name, default)

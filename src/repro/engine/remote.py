@@ -13,10 +13,16 @@ halves that speak a one-line-JSON-per-connection TCP protocol:
 * :class:`RemoteExecutor` — the coordinator.  It fans a spec grid out
   across registered workers in chunks, so large grids stream instead of
   blocking on one giant request, with per-task **retry** (a failed
-  chunk is re-dispatched to another worker), **heartbeat** probing
-  (dead workers are dropped before and during the run), and
-  **straggler re-dispatch** (idle workers duplicate the oldest
-  still-running chunk; the first finisher wins).
+  chunk is re-dispatched to another worker, with
+  :class:`~repro.engine.resilience.RetryPolicy` backoff), **heartbeat**
+  probing plus a per-worker **circuit breaker** (failing workers are
+  quarantined and later probed back in), **straggler re-dispatch**
+  (idle workers duplicate the oldest still-running chunk; the first
+  finisher wins), and **graceful degradation** (a lost cluster falls
+  back to local execution instead of failing the run — see
+  ``on_cluster_loss``).  Both halves carry deterministic
+  fault-injection hooks (:mod:`repro.engine.faults`) so all of this is
+  exercised by seeded chaos tests.
 
 Wire protocol (one JSON object per line, one request per connection)::
 
@@ -60,6 +66,8 @@ import socketserver
 import threading
 import time
 
+from repro.engine.faults import fault, fault_delay
+from repro.engine.resilience import CircuitBreaker, RetryPolicy
 from repro.engine.spec import RunSpec
 from repro.engine.version import code_version
 from repro.uarch.stats import SimResult
@@ -69,6 +77,27 @@ DEFAULT_PORT = 8642
 
 #: Hard cap on one request line (a grid chunk of serialized specs).
 _MAX_LINE = 64 * 1024 * 1024
+
+#: What to do when every worker is dead or quarantined mid-run
+#: (``--on-cluster-loss`` / ``REPRO_ON_CLUSTER_LOSS``).
+CLUSTER_LOSS_MODES = ("fallback", "fail")
+
+
+class WorkerProtocolError(RuntimeError):
+    """A worker answered, but wrongly: an ``ok: false`` reply, a
+    non-JSON reply, or a response the coordinator must refuse (e.g. a
+    mid-run code-version drift).
+
+    Distinguished from transport errors (``ConnectionError``/``OSError``
+    — the worker never answered) because the retry calculus differs:
+    a transport error is worth retrying on the same worker, a protocol
+    error is not — the same request will fail the same way, so the
+    coordinator re-queues the chunk for *other* workers only.
+    """
+
+    def __init__(self, message, kind=None):
+        super().__init__(message)
+        self.kind = kind
 
 
 def default_port():
@@ -150,6 +179,9 @@ def _request(address, payload, timeout, token=None):
     token = service_token() if token is None else token
     if token is not None:
         payload = dict(payload, token=token)
+    if fault("remote.connect"):
+        raise ConnectionError(f"injected fault: connect to "
+                              f"{address[0]}:{address[1]} refused")
     with socket.create_connection(address, timeout=timeout) as sock:
         sock.sendall(json.dumps(payload).encode("utf-8") + b"\n")
         sock.shutdown(socket.SHUT_WR)
@@ -158,10 +190,20 @@ def _request(address, payload, timeout, token=None):
     if not line:
         raise ConnectionError(f"worker {address[0]}:{address[1]} closed "
                               "the connection without replying")
-    response = json.loads(line.decode("utf-8"))
+    try:
+        response = json.loads(line.decode("utf-8"))
+    except ValueError:
+        raise WorkerProtocolError(
+            f"worker {address[0]}:{address[1]} sent a garbage reply "
+            f"({line[:40]!r}...)") from None
+    if not isinstance(response, dict):
+        raise WorkerProtocolError(f"worker {address[0]}:{address[1]} sent "
+                                  f"a non-object reply: {response!r}")
     if not response.get("ok"):
-        raise RuntimeError(f"worker {address[0]}:{address[1]} error: "
-                           f"{response.get('error', 'unknown')}")
+        raise WorkerProtocolError(
+            f"worker {address[0]}:{address[1]} error: "
+            f"{response.get('error', 'unknown')}",
+            kind=response.get("kind"))
     return response
 
 
@@ -264,24 +306,56 @@ def read_worker_descriptors(directory=None):
 
 
 class _WorkerHandler(socketserver.StreamRequestHandler):
-    """One connection = one JSON request line = one JSON response line."""
+    """One connection = one JSON request line = one JSON response line.
+
+    Malformed, oversized, unauthorized and unknown-op requests all get a
+    structured one-line JSON error with ``"kind": "protocol"`` instead
+    of a silently dropped connection, so the coordinator can tell
+    "this request is hopeless" (re-queue for other workers) apart from
+    "this worker is unreachable" (retry here later).
+    """
 
     def handle(self):
         server = self.server
+        op = None
+        max_line = getattr(server, "max_line", _MAX_LINE)
         try:
-            line = self.rfile.readline(_MAX_LINE)
-            request = json.loads(line.decode("utf-8"))
+            line = self.rfile.readline(max_line + 1)
+            if not line:
+                return  # peer connected and said nothing
+            if len(line) > max_line:
+                response = {"ok": False, "kind": "protocol",
+                            "error": f"request line exceeds the "
+                                     f"{max_line} byte cap"}
+                self._reply(response)
+                return
+            try:
+                request = json.loads(line.decode("utf-8"))
+                if not isinstance(request, dict):
+                    raise ValueError("request is not a JSON object")
+            except (ValueError, UnicodeDecodeError) as exc:
+                self._reply({"ok": False, "kind": "protocol",
+                             "error": f"malformed request: {exc}"})
+                return
             op = request.get("op")
             if not token_matches(server.token, request.get("token")):
                 # Refused before any op dispatch: an unauthenticated
                 # peer can neither run work nor shut the daemon down.
-                response = {"ok": False,
+                response = {"ok": False, "kind": "protocol",
                             "error": "unauthorized: this worker requires "
                                      "the shared REPRO_TOKEN"}
             elif op == "ping":
                 response = server.status()
             elif op == "run_batch":
-                response = server.run_batch(request.get("specs") or [])
+                if fault("worker.exit"):
+                    os._exit(1)  # a true mid-chunk kill of the daemon
+                try:
+                    response = server.run_batch(request.get("specs") or [])
+                except (ValueError, KeyError, TypeError) as exc:
+                    # Undeserializable specs: hopeless to retry anywhere.
+                    response = {"ok": False, "kind": "protocol",
+                                "error": f"bad batch: "
+                                         f"{type(exc).__name__}: {exc}"}
             elif op == "shutdown":
                 response = server.status()
                 # shutdown() blocks until serve_forever() returns, so it
@@ -289,10 +363,27 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 threading.Thread(target=server.shutdown,
                                  daemon=True).start()
             else:
-                response = {"ok": False, "error": f"unknown op {op!r}"}
+                response = {"ok": False, "kind": "protocol",
+                            "error": f"unknown op {op!r}"}
         except Exception as exc:  # never kill the daemon on a bad request
             response = {"ok": False,
                         "error": f"{type(exc).__name__}: {exc}"}
+        if op == "run_batch":
+            # Chunk-level chaos sites (never triggered by pings, so a
+            # probe can still tell a live worker from a dead one).
+            if fault("worker.crash_before_reply"):
+                return  # work done, connection dropped, reply lost
+            if fault("worker.garbage_reply"):
+                try:
+                    self.wfile.write(b"!!! injected garbage !!!\n")
+                except OSError:
+                    pass
+                return
+            if fault("worker.slow_reply"):
+                time.sleep(fault_delay("worker.slow_reply", 1.0))
+        self._reply(response)
+
+    def _reply(self, response):
         try:
             self.wfile.write(json.dumps(response).encode("utf-8") + b"\n")
         except OSError:
@@ -318,12 +409,13 @@ class WorkerServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
     def __init__(self, host="127.0.0.1", port=0, store=None, executor=None,
-                 token=None):
+                 token=None, max_line=_MAX_LINE):
         super().__init__((host, port), _WorkerHandler)
         from repro.engine.executors import SerialExecutor
 
         self.store = store
         self.executor = executor or SerialExecutor()
+        self.max_line = max_line
         self.token = service_token() if token is None else (token or None)
         self.version = code_version()
         self.served = 0  # specs executed or served from cache
@@ -372,7 +464,7 @@ class _Task:
     """One dispatch unit: a contiguous chunk of the spec grid."""
 
     __slots__ = ("task_id", "indices", "specs", "attempts", "done",
-                 "started_at", "in_flight")
+                 "started_at", "in_flight", "refused_by")
 
     def __init__(self, task_id, indices, specs):
         self.task_id = task_id
@@ -382,6 +474,7 @@ class _Task:
         self.done = False
         self.started_at = None
         self.in_flight = 0
+        self.refused_by = set()  # worker keys that protocol-failed it
 
 
 class RemoteExecutor:
@@ -401,22 +494,36 @@ class RemoteExecutor:
       version-mismatched workers are dropped (including mid-run drift:
       every batch response's version is re-checked).
     * **retry** — a chunk whose dispatch fails is re-queued and picked
-      up by another worker, up to ``max_task_attempts`` tries; a worker
-      accumulating ``max_worker_failures`` consecutive failures is
-      abandoned.
+      up by another worker, up to ``max_task_attempts`` tries, with
+      :class:`~repro.engine.resilience.RetryPolicy` exponential backoff
+      (full jitter) between a worker's consecutive failures.  Protocol
+      errors (:class:`WorkerProtocolError` — the worker answered, but
+      refused or mangled the request) are never retried on the same
+      worker: the chunk is re-queued for the others.
+    * **circuit breaker** — a worker accumulating
+      ``max_worker_failures`` consecutive failures is quarantined
+      (:class:`~repro.engine.resilience.CircuitBreaker`), then probed
+      once per ``quarantine_cooldown`` seconds and readmitted when a
+      ping succeeds, instead of being abandoned for the whole run.
     * **straggler re-dispatch** — once the queue drains, idle workers
       duplicate the oldest chunk still in flight for more than
       ``straggler_after`` seconds; whichever copy finishes first wins
       (results are deterministic, so both copies agree).
-
-    The run raises :class:`RuntimeError` if no worker is reachable or
-    some chunk exhausts its attempts everywhere.
+    * **graceful degradation** — when no worker is reachable, or every
+      worker ends up dead/quarantined with work remaining, the run
+      **falls back to a local executor** for the missing specs instead
+      of raising (``on_cluster_loss="fallback"``, the default; pass
+      ``"fail"`` — or ``--on-cluster-loss fail`` /
+      ``REPRO_ON_CLUSTER_LOSS=fail`` — to get the old hard
+      :class:`RuntimeError`).  A degraded run is loudly reported in
+      :attr:`last_run_report` under ``"degraded"``.
 
     The fault-handling knobs are configurable per invocation or per
     environment: ``heartbeat_interval`` (``REPRO_HEARTBEAT`` /
     ``--heartbeat``, seconds), ``max_task_attempts`` (``REPRO_RETRIES``
-    / ``--retries``, tries per chunk), and ``connect_timeout``
-    (``REPRO_CONNECT_TIMEOUT`` / ``--connect-timeout``, seconds).
+    / ``--retries``, tries per chunk), ``connect_timeout``
+    (``REPRO_CONNECT_TIMEOUT`` / ``--connect-timeout``, seconds), and
+    ``quarantine_cooldown`` (``REPRO_QUARANTINE``, seconds).
     ``token`` (default ``REPRO_TOKEN``) authenticates every request to
     token-protected workers.
     """
@@ -424,7 +531,9 @@ class RemoteExecutor:
     def __init__(self, workers, chunk_size=None, connect_timeout=None,
                  run_timeout=900.0, max_task_attempts=None,
                  max_worker_failures=3, straggler_after=30.0,
-                 heartbeat_interval=None, token=None):
+                 heartbeat_interval=None, token=None, retry_policy=None,
+                 breaker=None, quarantine_cooldown=None,
+                 on_cluster_loss=None, fallback_executor=None):
         self.workers = parse_workers(workers)
         if not self.workers:
             raise ValueError(
@@ -445,6 +554,24 @@ class RemoteExecutor:
         self.heartbeat_interval = (
             heartbeat_interval if heartbeat_interval is not None
             else _env_number("REPRO_HEARTBEAT", 5.0))
+        self.quarantine_cooldown = (
+            quarantine_cooldown if quarantine_cooldown is not None
+            else _env_number("REPRO_QUARANTINE", 30.0))
+        self.retry_policy = retry_policy or RetryPolicy(
+            attempts=self.max_task_attempts,
+            timeout=self.connect_timeout)
+        self.breaker = breaker or CircuitBreaker(
+            threshold=self.max_worker_failures,
+            cooldown=self.quarantine_cooldown)
+        if on_cluster_loss is None:
+            on_cluster_loss = (os.environ.get("REPRO_ON_CLUSTER_LOSS")
+                               or "fallback")
+        if on_cluster_loss not in CLUSTER_LOSS_MODES:
+            raise ValueError(
+                f"on_cluster_loss must be one of {CLUSTER_LOSS_MODES}, "
+                f"not {on_cluster_loss!r}")
+        self.on_cluster_loss = on_cluster_loss
+        self.fallback_executor = fallback_executor
         self.token = service_token() if token is None else (token or None)
         self.version = code_version()
         #: Worker count, for the CLI's "N job(s)" accounting line.
@@ -492,6 +619,36 @@ class RemoteExecutor:
             results[index] = result
         return results
 
+    def _make_fallback(self):
+        """The local executor a degraded run falls back to."""
+        if self.fallback_executor is not None:
+            return self.fallback_executor
+        from repro.engine.executors import SerialExecutor
+
+        return SerialExecutor()
+
+    def _degrade(self, specs, missing, reason, progress, done_base):
+        """Run the cluster-undeliverable specs locally and yield them.
+
+        Work units are fully seeded, so the local results are
+        bit-identical to what the lost workers would have produced; the
+        degradation is recorded in :attr:`last_run_report` so nobody
+        mistakes a limping run for a healthy cluster.
+        """
+        fallback = self._make_fallback()
+        self.last_run_report["degraded"] = {
+            "reason": reason,
+            "fallback": type(fallback).__name__,
+            "points": len(missing),
+        }
+        done = done_base
+        sub = [specs[i] for i in missing]
+        for j, result in fallback.run_iter(sub):
+            done += 1
+            yield missing[j], result
+            if progress:
+                progress(done, len(specs), sub[j])
+
     def run_iter(self, specs, progress=None):
         """Yield ``(index, result)`` pairs as chunks finish on workers.
 
@@ -509,7 +666,23 @@ class RemoteExecutor:
         if not alive:
             detail = "; ".join(f"{h}:{p} ({why})"
                                for (h, p), why in rejected)
-            raise RuntimeError(f"no usable remote workers: {detail}")
+            if self.on_cluster_loss == "fail":
+                raise RuntimeError(f"no usable remote workers: {detail}")
+            self.last_run_report = {
+                "workers": [], "rejected": [f"{h}:{p}: {why}"
+                                            for (h, p), why in rejected],
+                "chunk_size": 0, "tasks": 0, "dispatched": 0,
+                "retries": 0, "straggler_redispatches": 0, "errors": [],
+                "quarantined": self.breaker.quarantined(),
+            }
+            yield from self._degrade(
+                specs, list(range(len(specs))),
+                f"no usable remote workers: {detail}", progress, 0)
+            return
+        for host, port in alive:
+            # A fresh successful probe overrides any quarantine left
+            # over from a previous run on this executor.
+            self.breaker.record_success(f"{host}:{port}")
         self.jobs = len(alive)
 
         chunk = self._chunk(len(specs), len(alive))
@@ -544,20 +717,34 @@ class RemoteExecutor:
             if progress:
                 progress(done_now, len(specs), task.specs[-1])
 
-        def next_task():
-            """A queued task, or a straggler to duplicate, or None."""
-            try:
-                task = todo.get_nowait()
-                if task.done:
-                    return next_task()
-                return task
-            except queue.Empty:
-                pass
+        def next_task(key):
+            """A queued task, or a straggler to duplicate, or None.
+
+            Tasks this worker already protocol-failed are left on the
+            queue for the others.
+            """
+            skipped, picked = [], None
+            while picked is None:
+                try:
+                    cand = todo.get_nowait()
+                except queue.Empty:
+                    break
+                if cand.done:
+                    continue
+                if key in cand.refused_by:
+                    skipped.append(cand)
+                    continue
+                picked = cand
+            for cand in skipped:
+                todo.put(cand)
+            if picked is not None:
+                return picked
             with lock:
                 now = time.monotonic()
                 candidates = [
                     t for t in tasks
                     if not t.done and t.in_flight > 0
+                    and key not in t.refused_by
                     and t.started_at is not None
                     and now - t.started_at >= self.straggler_after
                 ]
@@ -567,26 +754,52 @@ class RemoteExecutor:
                 state["stolen"] += 1
                 return task
 
+        def ping_once(address):
+            if fault("remote.heartbeat"):
+                raise ConnectionError(
+                    f"injected fault: heartbeat to "
+                    f"{address[0]}:{address[1]} dropped")
+            ping_worker(address, timeout=self.connect_timeout,
+                        token=self.token)
+
         def worker_loop(address):
-            failures = 0
+            key = f"{address[0]}:{address[1]}"
+            consecutive = 0
             last_ping = time.monotonic()
             while not all_done.is_set():
-                task = next_task()
+                if not self.breaker.allows(key):
+                    # Quarantined: sit out the cooldown instead of
+                    # hammering a dead daemon.
+                    if all_done.wait(timeout=0.25):
+                        return
+                    continue
+                if self.breaker.state(key) == CircuitBreaker.HALF_OPEN:
+                    # Cooldown expired; one probe decides readmission.
+                    try:
+                        ping_once(address)
+                        self.breaker.record_success(key)
+                        consecutive = 0
+                    except (OSError, ValueError, RuntimeError):
+                        self.breaker.record_failure(key)
+                    continue
+                task = next_task(key)
                 if task is None:
                     if all_done.wait(timeout=0.25):
                         return
                     # Idle heartbeat (rate-limited — no point hammering
-                    # the daemon with connects while a straggler runs):
-                    # drop off if the daemon died.
+                    # the daemon with connects while a straggler runs).
                     now = time.monotonic()
                     if now - last_ping < self.heartbeat_interval:
                         continue
                     last_ping = now
                     try:
-                        ping_worker(address, timeout=self.connect_timeout,
-                                    token=self.token)
+                        ping_once(address)
+                        consecutive = 0
                     except (OSError, ValueError, RuntimeError):
-                        return
+                        # Counts toward quarantine instead of abandoning
+                        # the worker for the rest of the run.
+                        self.breaker.record_failure(key)
+                        consecutive += 1
                     continue
                 with lock:
                     if task.done:
@@ -606,33 +819,76 @@ class RemoteExecutor:
                         # The daemon was restarted with different code
                         # between the probe and this batch: its results
                         # would poison the store under our version key.
-                        raise RuntimeError(
+                        raise WorkerProtocolError(
                             f"worker {address[0]}:{address[1]} now runs "
                             f"code version {response.get('version')!r} "
                             f"!= local {self.version!r}")
+                    if fault("remote.chunk_reply"):
+                        raise ConnectionError(
+                            f"injected fault: chunk reply from "
+                            f"{key} dropped")
                     finish(task, response["results"])
-                    failures = 0
+                    self.breaker.record_success(key)
+                    consecutive = 0
                     last_ping = time.monotonic()
                 except (OSError, ValueError, KeyError,
                         RuntimeError) as exc:
+                    protocol = isinstance(exc, WorkerProtocolError)
                     with lock:
                         task.in_flight -= 1
                         state["errors"].append(
                             (address, task.task_id,
                              f"{type(exc).__name__}: {exc}"))
-                        failures += 1
+                        if protocol:
+                            # The worker answered: re-sending the same
+                            # chunk here would fail the same way.
+                            task.refused_by.add(key)
                         if not task.done:
                             if task.attempts < self.max_task_attempts:
                                 state["retries"] += 1
                                 todo.put(task)
                             elif task.in_flight == 0:
-                                # Exhausted everywhere: give up the run.
+                                # Exhausted everywhere: stop dispatching
+                                # (degradation may still cover it).
                                 all_done.set()
-                    if failures >= self.max_worker_failures:
+                    self.breaker.record_failure(key)
+                    consecutive += 1
+                    # Exponential backoff with full jitter before this
+                    # worker's next try (interruptible by run end).
+                    pause = self.retry_policy.backoff(consecutive - 1)
+                    if pause > 0 and all_done.wait(timeout=pause):
                         return
                 else:
                     with lock:
                         task.in_flight -= 1
+
+        keys = [f"{h}:{p}" for h, p in alive]
+
+        def no_progress():
+            """True when the run can no longer advance on the cluster:
+            nothing in flight, and every unfinished task's remaining
+            candidates are quarantined or have protocol-refused it."""
+            with lock:
+                if any(t.in_flight > 0 and not t.done for t in tasks):
+                    return False
+                remaining = [(t.task_id, set(t.refused_by))
+                             for t in tasks if not t.done]
+            if not remaining:
+                return False
+            states = {k: self.breaker.state(k) for k in keys}
+            if CircuitBreaker.HALF_OPEN in states.values():
+                return False  # a probe may readmit a worker; wait
+            # An OPEN worker that has not yet flunked a half-open
+            # readmission probe may still come back: wait out its
+            # cooldown instead of declaring the cluster lost.
+            if any(s == CircuitBreaker.OPEN
+                   and not self.breaker.probe_failed(k)
+                   for k, s in states.items()):
+                return False
+            usable = {k for k, s in states.items()
+                      if s == CircuitBreaker.CLOSED}
+            return all(not (usable - refused)
+                       for _, refused in remaining)
 
         threads = [threading.Thread(
             target=worker_loop, args=(address,), daemon=True,
@@ -647,6 +903,7 @@ class RemoteExecutor:
         # on their own).  The finally arm covers the consumer closing
         # the generator early: it stops dispatch so coordinator threads
         # drain instead of working for nobody.
+        served = [False] * len(specs)
         try:
             yielded = 0
             while yielded < len(specs):
@@ -661,10 +918,16 @@ class RemoteExecutor:
                             except queue.Empty:
                                 break
                             yielded += 1
+                            served[index] = True
                             yield index, result
                         break
+                    if no_progress():
+                        # Stop dispatching; the degradation path below
+                        # covers whatever the cluster never delivered.
+                        all_done.set()
                     continue
                 yielded += 1
+                served[index] = True
                 yield index, result
         finally:
             all_done.set()
@@ -682,11 +945,20 @@ class RemoteExecutor:
                 "straggler_redispatches": state["stolen"],
                 "errors": [f"{h}:{p} task {t}: {msg}"
                            for (h, p), t, msg in state["errors"]],
+                "quarantined": self.breaker.quarantined(),
             }
             completed = state["done"]
         if completed != len(specs):
-            pending = [t.task_id for t in tasks if not t.done]
-            detail = "; ".join(self.last_run_report["errors"][-5:])
+            missing = [i for i, got in enumerate(served) if not got]
+            pending = sorted({t.task_id for t in tasks if not t.done})
+            detail = ("; ".join(self.last_run_report["errors"][-5:])
+                      or "every worker was lost")
+            if self.on_cluster_loss == "fallback" and missing:
+                yield from self._degrade(
+                    specs, missing,
+                    f"chunks {pending} undeliverable on the cluster "
+                    f"({detail})", progress, yielded)
+                return
             raise RuntimeError(
                 f"remote run incomplete: chunks {pending} failed after "
                 f"{self.max_task_attempts} attempt(s) each ({detail})")

@@ -1,0 +1,184 @@
+"""Unified retry/backoff policy and per-worker circuit breaker.
+
+Before this module the distributed stack's failure handling was a pile
+of hard-coded constants: fixed retry counts in ``engine/remote.py``,
+fixed heartbeat intervals, no backoff anywhere, and a worker that failed
+three times was dead forever.  :class:`RetryPolicy` centralises the
+retry shape — exponential backoff with full jitter, a per-attempt
+timeout and an overall deadline — and :class:`CircuitBreaker` gives the
+remote executor a principled quarantine: a worker that keeps failing is
+benched (open), then probed once after a cooldown (half-open) and
+readmitted on success instead of being abandoned.
+
+Both classes take injectable clocks/RNGs so tests run in virtual time.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+__all__ = ["RetryPolicy", "CircuitBreaker"]
+
+
+class RetryPolicy:
+    """How to retry an operation: attempts, backoff, timeouts, deadline.
+
+    ``attempts`` is the total number of tries (not re-tries).  Backoff
+    before try ``k`` (0-based count of failures so far) is drawn with
+    *full jitter*: ``uniform(0, min(max_delay, base_delay * 2**k))`` —
+    the AWS-style shape that avoids thundering herds while keeping the
+    expected wait growing exponentially.  ``timeout`` is the per-attempt
+    budget callers should apply to the operation itself (e.g. a socket
+    timeout); ``deadline`` bounds the whole retry loop including sleeps.
+    """
+
+    def __init__(self, attempts: int = 3, base_delay: float = 0.2,
+                 max_delay: float = 5.0, timeout: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        if attempts < 1:
+            raise ValueError("attempts must be >= 1")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.timeout = timeout
+        self.deadline = deadline
+        self._rng = rng if rng is not None else random.Random()
+
+    def backoff(self, failures: int) -> float:
+        """Full-jitter backoff after ``failures`` consecutive failures."""
+        cap = min(self.max_delay, self.base_delay * (2 ** max(0, failures)))
+        if cap <= 0:
+            return 0.0
+        return self._rng.uniform(0.0, cap)
+
+    def call(self, fn: Callable[[int], object], *,
+             retry_on: Tuple[type, ...] = (ConnectionError, OSError, TimeoutError),
+             sleep: Callable[[float], None] = time.sleep,
+             clock: Callable[[], float] = time.monotonic) -> object:
+        """Run ``fn(attempt)`` under this policy and return its result.
+
+        Exceptions in ``retry_on`` are retried with backoff until the
+        attempt budget or the overall ``deadline`` runs out, then the
+        last one is re-raised; anything else propagates immediately.
+        """
+        start = clock()
+        last: Optional[BaseException] = None
+        for attempt in range(self.attempts):
+            if attempt and self.deadline is not None:
+                if clock() - start >= self.deadline:
+                    break
+            try:
+                return fn(attempt)
+            except retry_on as exc:  # noqa: PERF203 - loop is the point
+                last = exc
+                if attempt + 1 >= self.attempts:
+                    break
+                pause = self.backoff(attempt)
+                if self.deadline is not None:
+                    remaining = self.deadline - (clock() - start)
+                    if remaining <= 0:
+                        break
+                    pause = min(pause, remaining)
+                if pause > 0:
+                    sleep(pause)
+        assert last is not None
+        raise last
+
+
+class CircuitBreaker:
+    """Per-key circuit breaker: closed -> open -> half-open -> closed.
+
+    A key (e.g. a worker address) starts *closed* (requests allowed).
+    After ``threshold`` consecutive recorded failures it *opens*:
+    :meth:`allows` returns ``False`` until ``cooldown`` seconds pass, at
+    which point exactly one caller is admitted as a *half-open* probe.
+    A success closes the circuit again; a failure re-opens it for a
+    fresh cooldown.  Thread-safe; the clock is injectable for tests.
+    """
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, threshold: int = 3, cooldown: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._failures: Dict[str, int] = {}
+        self._opened_at: Dict[str, float] = {}
+        self._probing: Dict[str, bool] = {}
+        self._probe_failed: Dict[str, bool] = {}
+
+    def state(self, key: str) -> str:
+        """Current state of ``key``: closed, open, or half-open."""
+        with self._lock:
+            return self._state_locked(key)
+
+    def _state_locked(self, key: str) -> str:
+        if key not in self._opened_at:
+            return self.CLOSED
+        if self._probing.get(key):
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def allows(self, key: str) -> bool:
+        """Whether ``key`` may be used right now.
+
+        While open, returns ``False`` until the cooldown elapses, then
+        ``True`` exactly once (the half-open probe) until the probe's
+        outcome is recorded.
+        """
+        with self._lock:
+            if key not in self._opened_at:
+                return True
+            if self._probing.get(key):
+                return False  # a probe is already in flight
+            if self._clock() - self._opened_at[key] >= self.cooldown:
+                self._probing[key] = True
+                return True
+            return False
+
+    def record_success(self, key: str) -> None:
+        """Note a success: resets failures and closes the circuit."""
+        with self._lock:
+            self._failures.pop(key, None)
+            self._opened_at.pop(key, None)
+            self._probing.pop(key, None)
+            self._probe_failed.pop(key, None)
+
+    def record_failure(self, key: str) -> None:
+        """Note a failure: opens the circuit at ``threshold`` in a row
+        (or immediately if it was a half-open probe)."""
+        with self._lock:
+            if self._probing.pop(key, None):
+                self._opened_at[key] = self._clock()
+                self._probe_failed[key] = True
+                return
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold and key not in self._opened_at:
+                self._opened_at[key] = self._clock()
+
+    def probe_failed(self, key: str) -> bool:
+        """Whether ``key`` has flunked a half-open probe since opening.
+
+        Distinguishes a worker that is merely cooling down (may come
+        back; callers should wait) from one that was offered readmission
+        and failed it (give-up decisions can treat it as dead).  Reset
+        by the next recorded success.
+        """
+        with self._lock:
+            return self._probe_failed.get(key, False)
+
+    def quarantined(self) -> List[str]:
+        """Keys whose circuit is currently open or probing."""
+        with self._lock:
+            return sorted(self._opened_at)

@@ -8,7 +8,13 @@ one *base* file plus any number of per-writer *segment* files::
 
 Every file holds self-contained records, one per line::
 
-    {"key": "<spec key>", "version": "<code hash>", "result": {...}}
+    {"crc": 123..., "key": "<spec key>", "version": "<code hash>",
+     "result": {...}}
+
+``crc`` is the CRC32 of the rest of the record (serialized with sorted
+keys), so bit rot and partially-flushed lines are detected, not just
+lines that fail to parse.  Records written before the field existed are
+still accepted (``repro cache verify`` reports them as *legacy*).
 
 Each :class:`ResultStore` instance appends only to its **own** segment
 file, so any number of processes — local sweep workers, ``repro worker``
@@ -43,13 +49,45 @@ import json
 import os
 import pathlib
 import socket
+import time
 import uuid
+import zlib
 
+from repro.engine.faults import fault
 from repro.engine.version import code_version
 from repro.uarch.stats import SimResult
 
 _STORE_FILE = "results.jsonl"
 _SEGMENT_GLOB = "results-*.jsonl"
+
+
+class ChecksumError(ValueError):
+    """A store record parsed as JSON but failed its CRC32 check."""
+
+
+def _record_crc(body):
+    """The CRC32 a record body (sans ``crc`` field) should carry."""
+    payload = json.dumps(body, sort_keys=True)
+    return zlib.crc32(payload.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _parse_record(line):
+    """Parse and checksum one store line.
+
+    Returns ``(qualified key, record dict)``.  Raises
+    :class:`ChecksumError` on a CRC mismatch and the usual
+    ``ValueError``/``KeyError``/``TypeError`` on malformed lines.
+    Records without a ``crc`` field (written by older versions) are
+    accepted unchecked.
+    """
+    record = json.loads(line)
+    qualified = f"{record['key']}@{record['version']}"
+    crc = record.get("crc")
+    if crc is not None:
+        body = {k: v for k, v in record.items() if k != "crc"}
+        if _record_crc(body) != crc:
+            raise ChecksumError(f"CRC mismatch for key {record['key']!r}")
+    return qualified, record
 
 
 def default_cache_dir():
@@ -127,12 +165,10 @@ class ResultStore:
                         if not line:
                             continue
                         try:
-                            record = json.loads(line)
-                            qualified = (f"{record['key']}"
-                                         f"@{record['version']}")
+                            qualified, record = _parse_record(line)
                             self._index[qualified] = record["result"]
                         except (ValueError, KeyError, TypeError):
-                            continue  # truncated/corrupt line
+                            continue  # truncated/corrupt/bad-CRC line
             except OSError:
                 continue
         return self._index
@@ -175,9 +211,20 @@ class ResultStore:
         self._load_index()[self._qualified(key)] = record
         if self._broken:
             return
-        line = json.dumps({"key": key, "version": self.version,
-                           "result": record}, sort_keys=True)
+        body = {"key": key, "version": self.version, "result": record}
+        line = json.dumps(dict(body, crc=_record_crc(body)),
+                          sort_keys=True)
         data = (line + "\n").encode("utf-8")
+        if fault("store.corrupt_append"):
+            # Valid JSON whose CRC cannot match: only the checksum can
+            # catch this one.
+            bad = json.dumps(dict(body, crc=_record_crc(body) ^ 1),
+                             sort_keys=True)
+            data = (bad + "\n").encode("utf-8")
+        elif fault("store.torn_append"):
+            # The visible aftermath of a crash mid-append: a truncated
+            # record on its own line.
+            data = data[:max(1, len(data) // 2)] + b"\n"
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
             fd = os.open(self._segment(),
@@ -226,10 +273,9 @@ class ResultStore:
             if not line:
                 return 0
             try:
-                record = json.loads(line)
-                qualified = f"{record['key']}@{record['version']}"
+                qualified, record = _parse_record(line)
             except (ValueError, KeyError, TypeError):
-                dropped += 1  # truncated/corrupt line
+                dropped += 1  # truncated/corrupt/bad-CRC line
                 return 0
             if prune_stale and record["version"] != self.version:
                 dropped += 1
@@ -347,6 +393,8 @@ class ResultStore:
              "records": N,        # unique (key, version) pairs
              "lines": N,          # raw stored lines incl. superseded
              "superseded": N, "corrupt": N,
+             "crc_failures": N,   # corrupt lines caught by the CRC
+             "quarantined": N,    # records parked in corrupt-*.jsonl
              "workloads": {workload: unique records},
              "versions": {code version: unique records}}
 
@@ -355,7 +403,7 @@ class ResultStore:
         benchmarks dominate a serving cache without grepping JSONL.
         """
         seen = {}  # qualified key -> workload
-        lines = corrupt = total_bytes = files = 0
+        lines = corrupt = crc_failures = total_bytes = files = 0
         paths = [path for path in self._read_files()]
         segments = 0
         for position, path in enumerate(paths):
@@ -373,9 +421,12 @@ class ResultStore:
                     continue
                 lines += 1
                 try:
-                    record = json.loads(line)
+                    qualified, record = _parse_record(line)
                     key = record["key"]
-                    qualified = f"{key}@{record['version']}"
+                except ChecksumError:
+                    corrupt += 1
+                    crc_failures += 1
+                    continue
                 except (ValueError, KeyError, TypeError):
                     corrupt += 1
                     continue
@@ -385,6 +436,14 @@ class ResultStore:
         for workload, version in seen.values():
             workloads[workload] = workloads.get(workload, 0) + 1
             versions[version] = versions.get(version, 0) + 1
+        quarantined = 0
+        try:
+            for path in self.directory.glob("corrupt-*.jsonl"):
+                with open(path, "rb") as fh:
+                    quarantined += sum(1 for raw in fh.read().splitlines()
+                                       if raw.strip())
+        except OSError:
+            pass
         return {
             "directory": str(self.directory),
             "files": files,
@@ -394,9 +453,99 @@ class ResultStore:
             "lines": lines,
             "superseded": lines - corrupt - len(seen),
             "corrupt": corrupt,
+            "crc_failures": crc_failures,
+            "quarantined": quarantined,
             "workloads": dict(sorted(workloads.items())),
             "versions": dict(sorted(versions.items())),
         }
+
+    def verify(self, repair=False):
+        """Scan the base file and every segment for corrupt records.
+
+        The integrity pass behind ``repro cache verify``: every line is
+        parsed and, when it carries a ``crc`` field, checksummed.
+        Lines are classified as valid, *legacy* (parse fine but predate
+        the CRC field) or *corrupt* (unparseable, missing fields, or a
+        CRC mismatch).
+
+        With ``repair=True`` every corrupt line is quarantined —
+        appended to ``corrupt-<ts>.jsonl`` in the cache directory for
+        forensics — and each affected file is rewritten without them
+        (temp file + atomic ``os.replace``).  Repair is an offline
+        maintenance operation: run it while no writer is appending, or
+        a record being written concurrently with the rewrite can be
+        lost (reads, including ``repair=False`` scans, are always
+        safe).
+
+        Returns a report dict::
+
+            {"directory": ..., "files": N, "records": N, "checked": N,
+             "legacy": N, "corrupt": N, "crc_failures": N,
+             "bad": ["<file>:<line>", ...],
+             "repaired": N, "quarantine": "<path>" | None}
+        """
+        report = {"directory": str(self.directory), "files": 0,
+                  "records": 0, "checked": 0, "legacy": 0, "corrupt": 0,
+                  "crc_failures": 0, "bad": [], "repaired": 0,
+                  "quarantine": None}
+        bad_lines = []
+        for path in self._read_files():
+            try:
+                with open(path, "rb") as fh:
+                    data = fh.read()
+            except OSError:
+                continue
+            report["files"] += 1
+            keep = []
+            bad_here = 0
+            text = data.decode("utf-8", errors="replace")
+            for number, raw in enumerate(text.splitlines(), 1):
+                line = raw.strip()
+                if not line:
+                    continue
+                try:
+                    _, record = _parse_record(line)
+                except ChecksumError:
+                    report["crc_failures"] += 1
+                except (ValueError, KeyError, TypeError):
+                    pass
+                else:
+                    report["records"] += 1
+                    if "crc" in record:
+                        report["checked"] += 1
+                    else:
+                        report["legacy"] += 1
+                    keep.append(line)
+                    continue
+                report["corrupt"] += 1
+                report["bad"].append(f"{path.name}:{number}")
+                bad_lines.append(line)
+                bad_here += 1
+            if repair and bad_here:
+                tmp = path.with_suffix(".jsonl.verify-tmp")
+                try:
+                    with open(tmp, "w", encoding="utf-8") as fh:
+                        for line in keep:
+                            fh.write(line + "\n")
+                    os.replace(tmp, path)
+                    report["repaired"] += bad_here
+                except OSError:
+                    try:
+                        tmp.unlink()
+                    except OSError:
+                        pass
+        if repair and bad_lines and report["repaired"]:
+            quarantine = (self.directory
+                          / f"corrupt-{int(time.time())}.jsonl")
+            try:
+                with open(quarantine, "a", encoding="utf-8") as fh:
+                    for line in bad_lines:
+                        fh.write(line + "\n")
+                report["quarantine"] = str(quarantine)
+            except OSError:
+                pass
+            self._index = None  # re-scan the repaired files
+        return report
 
     # -- container protocol ------------------------------------------
 

@@ -57,7 +57,7 @@ class ResultCache:
 
     def __init__(self, jobs=1, persistent=None, store=None, progress=None,
                  executor=None, workers=None, heartbeat=None, retries=None,
-                 connect_timeout=None):
+                 connect_timeout=None, run_timeout=None, on_cluster_loss=None):
         if persistent is None:
             persistent = not os.environ.get("REPRO_NO_CACHE")
         if store is None and persistent:
@@ -65,7 +65,9 @@ class ResultCache:
         self.engine = BatchEngine(
             executor=make_executor(jobs, kind=executor, workers=workers,
                                    heartbeat=heartbeat, retries=retries,
-                                   connect_timeout=connect_timeout),
+                                   connect_timeout=connect_timeout,
+                                   run_timeout=run_timeout,
+                                   on_cluster_loss=on_cluster_loss),
             store=store, progress=progress)
 
     @property

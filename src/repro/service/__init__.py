@@ -18,9 +18,15 @@ stream results back as each point completes.
   (``REPRO_TOKEN``), the same secret that protects the worker TCP
   protocol.
 * :class:`~repro.service.client.GatewayClient` — the blocking client
-  behind ``repro submit|status|fetch``.
+  behind ``repro submit|status|fetch``; its stream auto-reconnects
+  through the gateway's ``?after=<n>`` cursor.
+* :class:`~repro.service.wal.JobJournal` — the per-job write-ahead log
+  that makes jobs durable: ``repro serve --resume`` reloads unfinished
+  jobs after a crash and re-runs only the points missing from the
+  result store.
 
-See ``docs/service.md`` for the API reference and a curl walkthrough.
+See ``docs/service.md`` for the API reference and a curl walkthrough,
+and ``docs/resilience.md`` for the durability and degradation story.
 """
 
 from repro.service.auth import authorized, presented_token
@@ -32,6 +38,7 @@ from repro.service.client import (
 )
 from repro.service.gateway import Gateway
 from repro.service.jobs import Job, JobQueue
+from repro.service.wal import JobJournal, default_journal_dir
 
 __all__ = [
     "DEFAULT_GATEWAY_PORT",
@@ -39,8 +46,10 @@ __all__ = [
     "GatewayClient",
     "GatewayError",
     "Job",
+    "JobJournal",
     "JobQueue",
     "authorized",
     "default_gateway_url",
+    "default_journal_dir",
     "presented_token",
 ]

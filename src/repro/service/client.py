@@ -21,9 +21,11 @@ from __future__ import annotations
 import http.client
 import json
 import os
+import time
 import urllib.parse
 
 from repro.engine.remote import service_token
+from repro.engine.resilience import RetryPolicy
 from repro.uarch.stats import SimResult
 
 #: Default TCP port for ``repro serve`` (override with ``--port``).
@@ -154,16 +156,56 @@ class GatewayClient:
         """``DELETE /v1/jobs/<id>`` — cancel; unscheduled points die."""
         return self._request("DELETE", f"/v1/jobs/{job_id}")
 
-    def stream(self, job_id, timeout=None):
+    def stream(self, job_id, timeout=None, after=0, reconnect=True,
+               max_reconnects=5):
         """``GET /v1/jobs/<id>/stream`` — yield events as they arrive.
 
         A generator of decoded NDJSON events: backlog first, then live
         points the moment the gateway publishes them, ending after the
         terminal ``{"event": "end", ...}`` record.  ``timeout=None``
         keeps the socket open for as long as the job runs.
+
+        A dropped connection does **not** kill the stream: the client
+        counts delivered events and reopens with ``?after=<count>``, so
+        nothing replays and nothing is lost — it even rides out a
+        gateway restart, provided the gateway comes back with
+        ``--resume`` on the same address.  Up to ``max_reconnects``
+        consecutive failed attempts are retried with backoff (the
+        budget resets whenever an event arrives); pass
+        ``reconnect=False`` for the old raise-on-drop behavior.
+        ``after`` starts the stream past events already consumed.
         """
-        connection, response = self._open(
-            "GET", f"/v1/jobs/{job_id}/stream", timeout=timeout)
+        delivered = int(after)
+        failures = 0
+        policy = RetryPolicy(attempts=max(1, int(max_reconnects)) + 1,
+                             base_delay=0.2, max_delay=2.0)
+        while True:
+            try:
+                for event in self._stream_once(job_id, delivered, timeout):
+                    delivered += 1
+                    failures = 0  # progress restores the retry budget
+                    yield event
+                    if event.get("event") == "end":
+                        return
+                if not reconnect:
+                    return  # legacy behavior: clean close ends the stream
+                # Closed without a terminal event — the gateway went
+                # away mid-job; treat like a drop and reconnect.
+                raise ConnectionError(
+                    f"stream from {self.host}:{self.port} ended before "
+                    f"the job did (after {delivered} event(s))")
+            except ConnectionError:
+                failures += 1
+                if not reconnect or failures > max_reconnects:
+                    raise
+                time.sleep(policy.backoff(failures - 1))
+
+    def _stream_once(self, job_id, after, timeout):
+        """One stream connection from the ``after`` cursor (no retry)."""
+        path = f"/v1/jobs/{job_id}/stream"
+        if after:
+            path += f"?after={int(after)}"
+        connection, response = self._open("GET", path, timeout=timeout)
         try:
             if response.status >= 400:
                 self._parse(response.status, response.read())  # raises

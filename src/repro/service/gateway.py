@@ -10,7 +10,10 @@ one asyncio event loop, no framework.  The API (all JSON; auth per
 ``GET /v1/jobs/<id>``       status + progress snapshot
 ``GET /v1/jobs/<id>/stream``  NDJSON: every finished point streams the
                             moment its result lands (cache hits flush
-                            immediately), then one terminal event
+                            immediately), then one terminal event;
+                            ``?after=<n>`` skips the first *n* events
+                            so a dropped client reconnects without
+                            replay
 ``GET /v1/jobs/<id>/results``  collected results (nulls until done)
 ``DELETE /v1/jobs/<id>``    cancel: unscheduled points never run
 ``GET /v1/healthz``         liveness + version (never needs auth)
@@ -34,6 +37,16 @@ One request per connection (``Connection: close``), bodies capped at
 64 MB, streams chunk-encoded.  Start it from the CLI (``repro serve``),
 embed it (``await Gateway(...).start()``), or spin it on a thread in
 tests (:meth:`Gateway.serve_in_thread`).
+
+Fault tolerance (see ``docs/resilience.md``): with a
+:class:`~repro.service.wal.JobJournal` attached, accepted jobs and
+delivered points are journaled so ``repro serve --resume`` reloads
+unfinished jobs after a crash — completed points come back as
+result-store hits (free and bit-identical), only missing points
+re-simulate.  A scheduler round that dies whole (executor raised)
+requeues its undelivered points instead of failing the jobs, up to
+``max_round_failures`` attempts per job, and executor degradation
+(remote cluster lost → local fallback) is surfaced in ``/v1/metrics``.
 """
 
 from __future__ import annotations
@@ -42,8 +55,10 @@ import asyncio
 import json
 import threading
 import time
+import urllib.parse
 
 from repro.engine import BatchEngine
+from repro.engine.faults import fault
 from repro.engine.spec import RunSpec
 from repro.engine.version import code_version
 from repro.service.auth import authorized, service_token
@@ -89,16 +104,32 @@ class Gateway:
     max_inflight:
         Point budget per scheduling round — the bound on concurrently
         executing points (default 8).
+    journal:
+        Optional :class:`~repro.service.wal.JobJournal`.  When set,
+        submissions and per-point completions are journaled to per-job
+        WAL files so a crashed gateway can be resumed; ``None`` (the
+        default) keeps the old forgetful behavior.
+    resume:
+        When true (``repro serve --resume``), :meth:`start` reloads
+        every unfinished journaled job under its original id before
+        accepting connections.
+    max_round_failures:
+        Whole scheduler rounds allowed to die (executor raised) per
+        job before that job is failed rather than requeued (default 3).
     """
 
     def __init__(self, host="127.0.0.1", port=0, engine=None, token=None,
-                 max_inflight=8):
+                 max_inflight=8, journal=None, resume=False,
+                 max_round_failures=3):
         self.host = host
         self.port = port
         self.engine = engine or BatchEngine()
         self.queue = JobQueue()
         self.token = service_token() if token is None else (token or None)
         self.max_inflight = max(1, int(max_inflight))
+        self.journal = journal
+        self.resume = bool(resume)
+        self.max_round_failures = max(0, int(max_round_failures))
         self.version = code_version()
         self.started_at = time.time()
         self.requests = 0
@@ -106,6 +137,10 @@ class Gateway:
         self.points_executed = 0
         self.points_cached = 0
         self.unauthorized = 0
+        self.round_failures = 0
+        self.resumed_jobs = 0
+        self.degraded = None  # last degraded-batch report (dict)
+        self.last_round_error = None
         self._server = None
         self._scheduler = None
         self._work = None  # asyncio.Event, created on the loop in start()
@@ -120,12 +155,44 @@ class Gateway:
         return self._server.sockets[0].getsockname()[:2]
 
     async def start(self):
-        """Bind the listener and start the scheduler task."""
+        """Bind the listener and start the scheduler task.
+
+        With ``resume`` set and a journal attached, unfinished jobs are
+        reloaded from the WAL before the listener binds, so resumed ids
+        are resolvable from the first request on.
+        """
         self._work = asyncio.Event()
+        if self.resume and self.journal is not None:
+            self._resume_jobs()
         self._server = await asyncio.start_server(
             self._handle_connection, self.host, self.port)
         self._scheduler = asyncio.create_task(self._scheduler_loop())
         return self
+
+    def _resume_jobs(self):
+        """Re-create every unfinished journaled job under its old id.
+
+        Resumed points run through the engine like any others —
+        completed ones return as result-store hits (no re-simulation,
+        bit-identical), so only the genuinely missing points execute.
+        """
+        for record in self.journal.unfinished():
+            if record["id"] in self.queue.jobs:
+                continue
+            try:
+                specs = [RunSpec.from_dict(data).resolved()
+                         for data in record["specs"]]
+            except (KeyError, TypeError, ValueError, AttributeError):
+                continue  # unreadable journal must never block a boot
+            if not specs:
+                self.journal.discard(record["id"])
+                continue
+            job = self.queue.submit(record["client"] or "resumed", specs,
+                                    job_id=record["id"])
+            job.journal = self.journal
+            self.resumed_jobs += 1
+        if self.resumed_jobs:
+            self._signal_work()
 
     async def stop(self):
         """Stop accepting, cancel the scheduler, close the listener."""
@@ -220,37 +287,86 @@ class Gateway:
                 job.state = "running"
                 job.started = now
         specs = [job.specs[index] for job, index in round_]
+        base_executed, base_cached = self.points_executed, self.points_cached
 
         def execute():
             # Worker thread: the only thread that touches the engine.
+            if fault("gateway.round"):
+                raise RuntimeError("injected fault: scheduler round died")
             for position, _, result in self.engine.run_specs_iter(specs):
+                batch = self.engine.last_batch
+                executed = base_executed + batch.executed
+                cached = base_cached + batch.store_hits + batch.memo_hits
                 job, index = round_[position]
                 try:
-                    loop.call_soon_threadsafe(job.deliver, index, result)
+                    # One loop callback updates the counters AND
+                    # delivers — so a client that has seen a point (or
+                    # the terminal event it triggers) can never read
+                    # stale /v1/metrics afterwards.
+                    loop.call_soon_threadsafe(self._land_point, executed,
+                                              cached, job, index, result)
                 except RuntimeError:
                     # The loop closed mid-round (gateway shutdown with
                     # work in flight): stop simulating for nobody.
                     return
 
+        failure = None
         try:
             await asyncio.to_thread(execute)
         except Exception as exc:  # noqa: BLE001 — jobs must not wedge
-            # Fail every job in the round; their remaining queued
-            # points drain out of the rotation as terminal jobs.
-            message = f"{type(exc).__name__}: {exc}"
-            for job, _ in round_:
-                job.fail(message)
+            failure = f"{type(exc).__name__}: {exc}"
         self.rounds += 1
-        batch = self.engine.last_batch
-        self.points_executed += batch.executed
-        self.points_cached += batch.store_hits + batch.memo_hits
+        if failure is None:
+            # Final sync; max() because _land_point already counted the
+            # points that streamed out mid-round.
+            batch = self.engine.last_batch
+            self.points_executed = max(self.points_executed,
+                                       base_executed + batch.executed)
+            self.points_cached = max(
+                self.points_cached,
+                base_cached + batch.store_hits + batch.memo_hits)
+            if batch.degraded:
+                self.degraded = dict(batch.degraded)
+        else:
+            # engine.last_batch may be stale (the round can die before
+            # the engine starts), so no counter sync on this path.
+            self.round_failures += 1
+            self.last_round_error = failure
+            self._requeue_round(round_, failure)
+
+    def _land_point(self, executed, cached, job, index, result):
+        """Event-loop callback: publish one point with counters current."""
+        self.points_executed = max(self.points_executed, executed)
+        self.points_cached = max(self.points_cached, cached)
+        job.deliver(index, result)
+
+    def _requeue_round(self, round_, message):
+        """Recover from a scheduler round that died whole.
+
+        Undelivered points go back to the front of their jobs' queues
+        and the jobs rejoin the rotation; a job whose rounds keep dying
+        (more than ``max_round_failures``) is failed instead, so a
+        deterministically crashing executor cannot retry forever.
+        """
+        by_job = {}
+        for job, index in round_:
+            if not job.is_finished and job.results[index] is None:
+                by_job.setdefault(job.job_id, (job, []))[1].append(index)
+        for job, indices in by_job.values():
+            job.round_failures += 1
+            if job.round_failures > self.max_round_failures:
+                job.fail(message)
+            else:
+                job.requeue(indices)
+                self.queue.restore(job)
+        self._signal_work()
 
     # -- request handling --------------------------------------------
 
     async def _handle_connection(self, reader, writer):
         try:
             try:
-                method, path, headers = await self._read_head(reader)
+                method, target, headers = await self._read_head(reader)
             except _HttpError as exc:
                 await self._send_json(writer, exc.status,
                                       {"error": exc.message})
@@ -258,8 +374,10 @@ class Gateway:
             except (asyncio.IncompleteReadError, ValueError, OSError):
                 return  # peer hung up or spoke garbage mid-request
             self.requests += 1
+            path, _, query = target.partition("?")
             try:
-                await self._dispatch(reader, writer, method, path, headers)
+                await self._dispatch(reader, writer, method, path, query,
+                                     headers)
             except _HttpError as exc:
                 await self._send_json(writer, exc.status,
                                       {"error": exc.message})
@@ -271,7 +389,9 @@ class Gateway:
             try:
                 writer.close()
                 await writer.wait_closed()
-            except (ConnectionError, OSError):
+            except (ConnectionError, OSError, RuntimeError):
+                # RuntimeError: the loop closed under us (gateway was
+                # killed with this stream still open).
                 pass
 
     async def _read_head(self, reader):
@@ -299,7 +419,7 @@ class Gateway:
             headers[name.strip().lower()] = value.strip()
         else:
             raise _HttpError(431, "too many headers")
-        return method.upper(), target.split("?", 1)[0], headers
+        return method.upper(), target, headers
 
     @staticmethod
     async def _read_body(reader, headers):
@@ -311,7 +431,7 @@ class Gateway:
             raise _HttpError(413, f"body exceeds {MAX_BODY} bytes")
         return await reader.readexactly(length) if length else b""
 
-    async def _dispatch(self, reader, writer, method, path, headers):
+    async def _dispatch(self, reader, writer, method, path, query, headers):
         if path == "/v1/healthz" and method == "GET":
             await self._send_json(writer, 200, self._healthz())
             return
@@ -348,9 +468,24 @@ class Gateway:
                 })
                 return
             if tail == "stream" and method == "GET":
-                await self._stream(writer, job)
+                await self._stream(writer, job, self._after_cursor(query))
                 return
         raise _HttpError(404, f"no route for {method} {path}")
+
+    @staticmethod
+    def _after_cursor(query):
+        """Parse the ``?after=<n>`` stream-reconnect cursor (default 0)."""
+        values = urllib.parse.parse_qs(query,
+                                       keep_blank_values=True).get("after")
+        if not values:
+            return 0
+        try:
+            after = int(values[-1])
+        except ValueError:
+            after = -1
+        if after < 0:
+            raise _HttpError(400, "'after' must be a non-negative integer")
+        return after
 
     async def _submit(self, writer, headers, body):
         try:
@@ -384,6 +519,11 @@ class Gateway:
                   or str(payload.get("client") or "")
                   or self._peer_name(writer))
         job = self.queue.submit(client, specs)
+        if self.journal is not None and not job.is_finished:
+            # Submit record lands before the 201 acknowledgement, so an
+            # acknowledged job is always recoverable.
+            self.journal.record_submit(job)
+            job.journal = self.journal
         self._signal_work()
         await self._send_json(writer, 201, {
             "id": job.job_id,
@@ -397,15 +537,25 @@ class Gateway:
             },
         })
 
-    async def _stream(self, writer, job):
-        """NDJSON: replay the backlog, then push points as they land."""
+    async def _stream(self, writer, job, after=0):
+        """NDJSON: replay the backlog from ``after``, then push live.
+
+        ``after`` is the count of events the client already consumed
+        (the reconnect cursor).  A cursor ahead of the backlog waits
+        for the job to catch up — a resumed gateway re-delivers points
+        the client saw before the restart, and clamping the cursor back
+        would replay them as duplicates.  A finished job whose backlog
+        the client has fully consumed gets an empty stream — never a
+        hang (:meth:`Job.events_from` ends when the job does).
+        """
         writer.write(b"HTTP/1.1 200 OK\r\n"
                      b"Content-Type: " + _NDJSON.encode() + b"\r\n"
                      b"Transfer-Encoding: chunked\r\n"
                      b"Connection: close\r\n\r\n")
         await writer.drain()
-        async for event in job.events_from(0):
-            line = json.dumps(event, sort_keys=True).encode("utf-8") + b"\n"
+        async for event in job.events_from(after):
+            line = (json.dumps(event, sort_keys=True).encode("utf-8")
+                    + b"\n")
             writer.write(f"{len(line):x}\r\n".encode() + line + b"\r\n")
             await writer.drain()
         writer.write(b"0\r\n\r\n")
@@ -450,6 +600,11 @@ class Gateway:
             "max_inflight": self.max_inflight,
             "points_executed": self.points_executed,
             "points_cached": self.points_cached,
+            "round_failures": self.round_failures,
+            "last_round_error": self.last_round_error,
+            "degraded": self.degraded,
+            "journal": self.journal is not None,
+            "resumed_jobs": self.resumed_jobs,
             "executor": executor,
             "store": self.engine.store is not None,
             "queue": self.queue.counters(),

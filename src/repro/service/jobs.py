@@ -56,6 +56,15 @@ class Job:
         self.done_points = 0
         self.next_point = 0  # scheduling cursor into self.specs
         self.events = []  # replayable stream backlog (dicts)
+        #: Optional :class:`~repro.service.wal.JobJournal`; when set,
+        #: delivered points and the terminal state are journaled so the
+        #: gateway can resume this job after a crash.
+        self.journal = None
+        #: Scheduler rounds containing this job that died whole (the
+        #: executor raised); the gateway requeues the points a few
+        #: times before giving up on the job.
+        self.round_failures = 0
+        self._returned = deque()  # requeued point indices (run first)
         self._wakeup = asyncio.Event()
 
     # -- scheduling --------------------------------------------------
@@ -65,13 +74,31 @@ class Job:
         """Points not yet handed to the executor."""
         if self.state in TERMINAL_STATES:
             return 0
-        return len(self.specs) - self.next_point
+        return len(self._returned) + len(self.specs) - self.next_point
 
     def take_point(self):
-        """Claim the next unscheduled point index (caller checks pending)."""
+        """Claim the next unscheduled point index (caller checks pending).
+
+        Requeued points (from a failed scheduler round) are re-claimed
+        before the cursor advances into untouched territory.
+        """
+        if self._returned:
+            return self._returned.popleft()
         index = self.next_point
         self.next_point += 1
         return index
+
+    def requeue(self, indices):
+        """Return claimed-but-undelivered points to the schedulable set.
+
+        Used by the gateway when an executor round dies whole: the
+        points that never produced results go back to the front of the
+        line instead of failing the job.  Delivered or duplicate
+        indices are ignored.
+        """
+        for index in indices:
+            if self.results[index] is None and index not in self._returned:
+                self._returned.append(index)
 
     # -- results and events ------------------------------------------
 
@@ -91,6 +118,10 @@ class Job:
         if self.results[index] is None:
             self.results[index] = result
             self.done_points += 1
+            if self.journal is not None:
+                # The engine's store already persisted the result, so a
+                # crash after this record can serve the point for free.
+                self.journal.record_point(self.job_id, index)
         if self.is_finished:
             return
         spec = self.specs[index]
@@ -128,6 +159,8 @@ class Job:
     def _finish(self, state):
         self.state = state
         self.finished = time.time()
+        if self.journal is not None:
+            self.journal.record_end(self.job_id, state)
         self._publish({
             "event": "end",
             "job": self.job_id,
@@ -145,9 +178,14 @@ class Job:
     async def events_from(self, start=0):
         """Yield stream events from ``start``: backlog first, then live.
 
-        Terminates after the terminal event.  Safe without locks: the
-        publisher runs on the same event loop, so the backlog cannot
-        grow between the synchronous length check and the await.
+        Terminates after the terminal event.  A ``start`` beyond the
+        current backlog waits for the job to catch up (a reconnecting
+        client may hold a cursor from a previous gateway incarnation
+        that has not re-delivered that far yet) — but never hangs: once
+        the job is finished and the backlog is drained the stream ends.
+        Safe without locks: the publisher runs on the same event loop,
+        so the backlog cannot grow between the synchronous length check
+        and the await.
         """
         index = start
         while True:
@@ -157,6 +195,8 @@ class Job:
                 yield event
                 if event.get("event") == "end":
                     return
+            if self.is_finished:
+                return  # cursor past the end of a finished job
             await self._wakeup.wait()
 
     # -- reporting ---------------------------------------------------
@@ -169,7 +209,7 @@ class Job:
             "state": self.state,
             "points": len(self.specs),
             "done": self.done_points,
-            "scheduled": self.next_point,
+            "scheduled": self.next_point - len(self._returned),
             "error": self.error,
             "created": self.created,
             "started": self.started,
@@ -199,10 +239,15 @@ class JobQueue:
         for job_id in terminal[:max(0, len(terminal) - self.max_finished)]:
             del self.jobs[job_id]
 
-    def submit(self, client, specs):
-        """Register a new job for ``client``; returns the :class:`Job`."""
+    def submit(self, client, specs, job_id=None):
+        """Register a new job for ``client``; returns the :class:`Job`.
+
+        ``job_id`` lets WAL recovery re-create a job under its original
+        id (so client handles survive a gateway restart); new
+        submissions leave it unset and get a fresh id.
+        """
         self._evict_finished()
-        job = Job(new_job_id(), client, specs)
+        job = Job(job_id or new_job_id(), client, specs)
         self.jobs[job.job_id] = job
         if job.pending_points:
             if client not in self._backlog:
@@ -212,6 +257,22 @@ class JobQueue:
         else:  # zero-point grid: born finished
             job._finish("done")
         return job
+
+    def restore(self, job):
+        """Put a job with requeued points back into the rotation.
+
+        Round-failure recovery: after :meth:`Job.requeue` the job has
+        schedulable points again but may have been dropped from its
+        client's backlog; re-admit it (at the front — its points were
+        claimed first) so the next round picks the work back up.
+        """
+        if job.is_finished or not job.pending_points:
+            return
+        if job.client not in self._backlog:
+            self._backlog[job.client] = deque()
+            self._turns.append(job.client)
+        if job.job_id not in self._backlog[job.client]:
+            self._backlog[job.client].appendleft(job.job_id)
 
     def get(self, job_id):
         """The job for an id, or ``None``."""

@@ -1,5 +1,6 @@
 """Remote execution backend: protocol, fan-out, retry, determinism."""
 
+import json
 import socket
 import threading
 
@@ -163,14 +164,30 @@ class TestRemoteExecutor:
             bad.close()
 
     def test_all_workers_unreachable_raises(self):
+        """With on_cluster_loss="fail", an unreachable cluster is a
+        hard error (the pre-degradation behavior)."""
         with pytest.raises(RuntimeError, match="no usable remote workers"):
-            RemoteExecutor([("127.0.0.1", 1)]).run(small_grid()[:1])
+            RemoteExecutor([("127.0.0.1", 1)],
+                           on_cluster_loss="fail").run(small_grid()[:1])
+
+    def test_unreachable_cluster_falls_back_locally(self):
+        """The default on_cluster_loss="fallback" completes the run on
+        a local executor and reports the degradation loudly."""
+        executor = RemoteExecutor([("127.0.0.1", 1)])
+        specs = small_grid()[:2]
+        results = executor.run(specs)
+        assert ([r.to_dict() for r in results]
+                == [r.to_dict() for r in SerialExecutor().run(specs)])
+        degraded = executor.last_run_report["degraded"]
+        assert degraded["points"] == 2
+        assert "no usable remote workers" in degraded["reason"]
 
     def test_mid_run_version_drift_is_rejected(self, worker):
         """A worker restarted with different code between the probe and
         the batch must not contribute results (they'd be stored under
         the coordinator's version key)."""
-        executor = RemoteExecutor([worker.address], max_task_attempts=2)
+        executor = RemoteExecutor([worker.address], max_task_attempts=2,
+                                  on_cluster_loss="fail")
         # Probe sees a matching version; run_batch then reports drift.
         worker.version = "drifted-build"
         worker.status = lambda: {"ok": True, "version": executor.version,
@@ -182,7 +199,7 @@ class TestRemoteExecutor:
 
     def test_version_mismatch_is_rejected(self, worker):
         worker.version = "somebody-elses-build"
-        executor = RemoteExecutor([worker.address])
+        executor = RemoteExecutor([worker.address], on_cluster_loss="fail")
         alive, rejected = executor.probe()
         assert alive == []
         assert "version" in rejected[0][1]
@@ -385,3 +402,152 @@ class TestMakeExecutor:
         monkeypatch.delenv("REPRO_WORKERS", raising=False)
         with pytest.raises(ValueError):
             make_executor(kind="remote")
+
+
+class TestStructuredErrors:
+    """Satellite: malformed requests get one-line JSON errors back."""
+
+    def _raw_request(self, address, payload):
+        with socket.create_connection(address, timeout=5) as sock:
+            sock.sendall(payload)
+            line = sock.makefile("rb").readline()
+        assert line.endswith(b"\n")
+        return json.loads(line.decode("utf-8"))
+
+    def test_malformed_json_gets_structured_error(self, worker):
+        reply = self._raw_request(worker.address, b"this is not json\n")
+        assert reply["ok"] is False
+        assert reply["kind"] == "protocol"
+        assert "error" in reply
+        assert ping_worker(worker.address)["ok"]  # daemon survived
+
+    def test_non_object_request_gets_structured_error(self, worker):
+        reply = self._raw_request(worker.address, b"[1, 2, 3]\n")
+        assert reply["ok"] is False
+        assert reply["kind"] == "protocol"
+
+    def test_oversized_request_gets_structured_error(self):
+        server = WorkerServer(port=0, max_line=512)
+        server.serve_in_thread()
+        try:
+            reply = self._raw_request(
+                server.address, b'{"op": "ping", "pad": "' + b"x" * 2048
+                + b'"}\n')
+            assert reply["ok"] is False
+            assert reply["kind"] == "protocol"
+            assert "exceeds" in reply["error"]
+            assert ping_worker(server.address)["ok"]
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_bad_batch_raises_protocol_error(self, worker):
+        from repro.engine import WorkerProtocolError
+        from repro.engine.remote import _request
+
+        with pytest.raises(WorkerProtocolError) as excinfo:
+            _request(worker.address,
+                     {"op": "run_batch", "specs": [{"bogus": 1}]},
+                     timeout=5)
+        assert excinfo.value.kind == "protocol"
+
+    def test_garbage_reply_is_a_protocol_error(self, worker):
+        from repro.engine import FaultPlan, WorkerProtocolError
+        from repro.engine import faults as faults_mod
+        from repro.engine.remote import _request
+
+        faults_mod.install(FaultPlan.from_string("worker.garbage_reply:n=1"))
+        try:
+            spec = small_grid()[0]
+            with pytest.raises(WorkerProtocolError):
+                _request(worker.address,
+                         {"op": "run_batch", "specs": [spec.to_dict()],
+                          "version": worker.version},
+                         timeout=15)
+        finally:
+            faults_mod.clear()
+
+    def test_protocol_refusal_moves_task_to_other_worker(self, worker_pair):
+        """A worker that talks garbage is refused for that task, but the
+        task completes on the other worker and results stay correct."""
+        from repro.engine import FaultPlan
+        from repro.engine import faults as faults_mod
+
+        specs = small_grid()
+        faults_mod.install(
+            FaultPlan.from_string("worker.garbage_reply:n=1"))
+        try:
+            executor = RemoteExecutor([s.address for s in worker_pair],
+                                      chunk_size=1, on_cluster_loss="fail")
+            remote = executor.run(specs)
+        finally:
+            faults_mod.clear()
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in remote]
+                == [r.to_dict() for r in serial])
+
+
+class TestChaosProperty:
+    """Tentpole proof: seeded chaos stays bit-identical to serial."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_faults(self):
+        from repro.engine import faults as faults_mod
+
+        faults_mod.clear()
+        yield
+        faults_mod.clear()
+
+    def test_seeded_fault_plan_bit_identical_to_serial(self, worker_pair):
+        from repro.engine import FaultPlan
+        from repro.engine import faults as faults_mod
+
+        specs = small_grid()
+        plan = FaultPlan.from_string(
+            "seed=11;remote.connect:p=0.4,n=2;remote.chunk_reply:n=1;"
+            "worker.crash_before_reply:n=1")
+        faults_mod.install(plan)
+        executor = RemoteExecutor([s.address for s in worker_pair],
+                                  chunk_size=1, max_task_attempts=10,
+                                  quarantine_cooldown=0.2,
+                                  on_cluster_loss="fail")
+        remote = executor.run(specs)
+        report = plan.report()
+        faults_mod.clear()
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in remote]
+                == [r.to_dict() for r in serial])
+        # The chaos actually happened — at least the always-fire counted
+        # sites must have triggered.
+        assert report["fired"].get("remote.chunk_reply") == 1
+        assert report["fired"].get("worker.crash_before_reply") == 1
+        assert executor.last_run_report["retries"] >= 2
+
+    def test_cluster_loss_mid_run_falls_back_and_stays_identical(self):
+        """Workers die for good mid-run; the local fallback finishes the
+        batch and the merged results are still bit-identical."""
+        from repro.engine import FaultPlan
+        from repro.engine import faults as faults_mod
+
+        server = WorkerServer(port=0)
+        server.serve_in_thread()
+        specs = small_grid()
+        # Every request after the version handshake fails: the single
+        # worker is lost after its first chunk reply is dropped.
+        faults_mod.install(FaultPlan.from_string("remote.connect:after=2"))
+        try:
+            executor = RemoteExecutor([server.address], chunk_size=1,
+                                      max_task_attempts=2,
+                                      quarantine_cooldown=0.1)
+            remote = executor.run(specs)
+        finally:
+            faults_mod.clear()
+            server.shutdown()
+            server.server_close()
+        serial = SerialExecutor().run(specs)
+        assert ([r.to_dict() for r in remote]
+                == [r.to_dict() for r in serial])
+        degraded = executor.last_run_report.get("degraded")
+        assert degraded is not None
+        assert degraded["fallback"] == "SerialExecutor"
+        assert degraded["points"] >= 1

@@ -1,0 +1,186 @@
+"""Tests for the unified retry policy and circuit breaker."""
+
+import random
+
+import pytest
+
+from repro.engine.resilience import CircuitBreaker, RetryPolicy
+
+
+class FakeClock:
+    """Deterministic monotonic clock tests can advance by hand."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_exponentially_with_jitter(self):
+        policy = RetryPolicy(base_delay=0.2, max_delay=5.0,
+                             rng=random.Random(1))
+        for failures in range(6):
+            cap = min(5.0, 0.2 * 2 ** failures)
+            for _ in range(50):
+                assert 0.0 <= policy.backoff(failures) <= cap
+
+    def test_backoff_caps_at_max_delay(self):
+        policy = RetryPolicy(base_delay=1.0, max_delay=2.0,
+                             rng=random.Random(2))
+        assert all(policy.backoff(30) <= 2.0 for _ in range(100))
+
+    def test_zero_base_delay_means_no_sleep(self):
+        assert RetryPolicy(base_delay=0.0).backoff(5) == 0.0
+
+    def test_attempts_validated(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(attempts=0)
+
+    def test_call_returns_first_success(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            if attempt < 1:
+                raise ConnectionError("flaky")
+            return "ok"
+
+        assert policy.call(fn, sleep=lambda _s: None) == "ok"
+        assert calls == [0, 1]
+
+    def test_call_reraises_after_budget(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise ConnectionError("down")
+
+        with pytest.raises(ConnectionError):
+            policy.call(fn, sleep=lambda _s: None)
+        assert calls == [0, 1, 2]
+
+    def test_call_does_not_retry_unlisted_errors(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.0)
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise ValueError("bug, not weather")
+
+        with pytest.raises(ValueError):
+            policy.call(fn, sleep=lambda _s: None)
+        assert calls == [0]
+
+    def test_call_sleeps_between_attempts(self):
+        policy = RetryPolicy(attempts=3, base_delay=0.5, max_delay=0.5,
+                             rng=random.Random(3))
+        naps = []
+
+        def fn(attempt):
+            raise ConnectionError("down")
+
+        with pytest.raises(ConnectionError):
+            policy.call(fn, sleep=naps.append)
+        assert len(naps) == 2 and all(0.0 <= nap <= 0.5 for nap in naps)
+
+    def test_deadline_stops_the_loop(self):
+        clock = FakeClock()
+        policy = RetryPolicy(attempts=10, base_delay=1.0, max_delay=1.0,
+                             deadline=2.5, rng=random.Random(4))
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            clock.advance(1.0)  # each attempt burns a second
+            raise ConnectionError("down")
+
+        with pytest.raises(ConnectionError):
+            policy.call(fn, sleep=lambda s: clock.advance(s), clock=clock)
+        assert len(calls) < 10  # the deadline cut the budget short
+
+
+class TestCircuitBreaker:
+    def test_starts_closed(self):
+        breaker = CircuitBreaker()
+        assert breaker.state("w") == CircuitBreaker.CLOSED
+        assert breaker.allows("w")
+        assert breaker.quarantined() == []
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=30.0,
+                                 clock=FakeClock())
+        for _ in range(2):
+            breaker.record_failure("w")
+        assert breaker.state("w") == CircuitBreaker.CLOSED
+        breaker.record_failure("w")
+        assert breaker.state("w") == CircuitBreaker.OPEN
+        assert not breaker.allows("w")
+        assert breaker.quarantined() == ["w"]
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.record_failure("w")
+        breaker.record_success("w")
+        breaker.record_failure("w")
+        assert breaker.state("w") == CircuitBreaker.CLOSED
+
+    def test_half_open_admits_exactly_one_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("w")
+        assert not breaker.allows("w")
+        clock.advance(10.0)
+        assert breaker.allows("w")  # the probe
+        assert breaker.state("w") == CircuitBreaker.HALF_OPEN
+        assert not breaker.allows("w")  # everyone else still blocked
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("w")
+        clock.advance(10.0)
+        assert breaker.allows("w")
+        breaker.record_success("w")
+        assert breaker.state("w") == CircuitBreaker.CLOSED
+        assert breaker.allows("w")
+        assert breaker.quarantined() == []
+
+    def test_probe_failure_reopens_for_a_fresh_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("w")
+        clock.advance(10.0)
+        assert breaker.allows("w")
+        breaker.record_failure("w")  # the probe failed
+        assert breaker.state("w") == CircuitBreaker.OPEN
+        clock.advance(5.0)
+        assert not breaker.allows("w")  # cooldown restarted at reopen
+        clock.advance(5.0)
+        assert breaker.allows("w")
+
+    def test_probe_failed_distinguishes_cooling_from_dead(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(threshold=1, cooldown=10.0, clock=clock)
+        breaker.record_failure("w")
+        assert not breaker.probe_failed("w")  # merely cooling down
+        clock.advance(10.0)
+        assert breaker.allows("w")
+        breaker.record_failure("w")  # flunked the readmission probe
+        assert breaker.probe_failed("w")
+        clock.advance(10.0)
+        assert breaker.allows("w")
+        breaker.record_success("w")  # came back after all
+        assert not breaker.probe_failed("w")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.record_failure("dead")
+        assert not breaker.allows("dead")
+        assert breaker.allows("alive")

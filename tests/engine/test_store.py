@@ -3,6 +3,7 @@
 import json
 
 from repro.engine import ResultStore, RunSpec, execute_spec
+from repro.engine.faults import FaultPlan, clear, install
 from repro.uarch.config import conventional_config
 
 
@@ -71,3 +72,106 @@ def test_records_are_json_lines(tmp_path):
     record = json.loads(lines[-1])
     assert record["key"] == spec.key()
     assert record["result"]["workload"] == "go"
+
+
+def _flip_crc(segment):
+    """Corrupt the last record in a way only the checksum can catch."""
+    lines = segment.read_text().strip().splitlines()
+    record = json.loads(lines[-1])
+    record["crc"] ^= 1
+    lines[-1] = json.dumps(record, sort_keys=True)
+    segment.write_text("\n".join(lines) + "\n")
+
+
+def test_new_records_carry_a_valid_crc(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    report = ResultStore(tmp_path).verify()
+    assert report["records"] == report["checked"] == 1
+    assert report["legacy"] == report["corrupt"] == 0
+    assert report["bad"] == []
+
+
+def test_crc_mismatch_is_detected_and_skipped(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    (segment,) = store.segment_paths()
+    _flip_crc(segment)
+
+    # Readers skip the bit-rotted record instead of serving it.
+    assert ResultStore(tmp_path).get(spec.key()) is None
+    report = ResultStore(tmp_path).verify()
+    assert report["corrupt"] == report["crc_failures"] == 1
+    assert report["bad"] == [f"{segment.name}:1"]
+    assert report["repaired"] == 0  # scan only, files untouched
+
+
+def test_repair_quarantines_corrupt_records(tmp_path):
+    specs = [small_spec(), small_spec("swim")]
+    store = ResultStore(tmp_path)
+    for spec in specs:
+        store.put(spec.key(), execute_spec(spec))
+    (segment,) = store.segment_paths()
+    _flip_crc(segment)
+
+    fresh = ResultStore(tmp_path)
+    report = fresh.verify(repair=True)
+    assert report["repaired"] == 1
+    assert report["quarantine"] is not None
+    # The corrupt line was parked for forensics, not deleted.
+    quarantined = (tmp_path / report["quarantine"].rsplit("/", 1)[-1])
+    assert len(quarantined.read_text().strip().splitlines()) == 1
+    assert fresh.stats()["quarantined"] == 1
+    # The surviving record still round-trips; the store is clean now.
+    assert fresh.get(specs[0].key()) is not None
+    after = ResultStore(tmp_path).verify()
+    assert after["corrupt"] == 0
+    assert after["records"] == 1
+
+
+def test_quarantine_files_are_not_read_as_segments(tmp_path):
+    (tmp_path / "corrupt-123.jsonl").write_text("{bad json\n")
+    store = ResultStore(tmp_path)
+    assert store.segment_paths() == []
+    assert store.verify()["corrupt"] == 0
+    assert store.stats()["quarantined"] == 1
+
+
+def test_legacy_records_without_crc_still_load(tmp_path):
+    spec = small_spec()
+    store = ResultStore(tmp_path)
+    store.put(spec.key(), execute_spec(spec))
+    (segment,) = store.segment_paths()
+    record = json.loads(segment.read_text().strip())
+    del record["crc"]
+    segment.write_text(json.dumps(record, sort_keys=True) + "\n")
+
+    assert ResultStore(tmp_path).get(spec.key()) is not None
+    report = ResultStore(tmp_path).verify()
+    assert report["legacy"] == 1
+    assert report["checked"] == report["corrupt"] == 0
+
+
+def test_injected_corrupt_append_is_caught_by_verify(tmp_path):
+    spec = small_spec()
+    install(FaultPlan.from_string("store.corrupt_append:n=1"))
+    try:
+        ResultStore(tmp_path).put(spec.key(), execute_spec(spec))
+    finally:
+        clear()
+    report = ResultStore(tmp_path).verify()
+    assert report["crc_failures"] == 1
+
+
+def test_injected_torn_append_is_caught_by_verify(tmp_path):
+    spec = small_spec()
+    install(FaultPlan.from_string("store.torn_append:n=1"))
+    try:
+        ResultStore(tmp_path).put(spec.key(), execute_spec(spec))
+    finally:
+        clear()
+    report = ResultStore(tmp_path).verify()
+    assert report["corrupt"] == 1
+    assert report["crc_failures"] == 0  # truncated, not bit-rotted

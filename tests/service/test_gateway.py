@@ -13,7 +13,8 @@ import socket
 import pytest
 
 from repro.engine import BatchEngine, ResultStore, RunSpec, SerialExecutor
-from repro.service import Gateway, GatewayClient, GatewayError
+from repro.engine.faults import FaultPlan, clear, install
+from repro.service import Gateway, GatewayClient, GatewayError, JobJournal
 from repro.uarch.config import conventional_config, virtual_physical_config
 
 
@@ -217,6 +218,14 @@ class TestMetrics:
         assert metrics["queue"]["jobs"]["done"] == 1
         assert metrics["executor"] == "SerialExecutor"
 
+    def test_metrics_report_resilience_fields(self, client):
+        metrics = client.metrics()
+        assert metrics["round_failures"] == 0
+        assert metrics["last_round_error"] is None
+        assert metrics["degraded"] is None
+        assert metrics["journal"] is False
+        assert metrics["resumed_jobs"] == 0
+
     def test_fair_share_interleaves_two_clients(self, gateway):
         gw, handle = gateway
         url = "http://%s:%s" % handle.address
@@ -233,3 +242,149 @@ class TestMetrics:
         # Both clients' jobs completed even though alice queued first
         # and submitted more points.
         assert gw.queue.counters()["jobs"]["done"] == 2
+
+
+class TestStreamCursor:
+    def test_after_skips_consumed_events(self, client):
+        job = client.submit(grid()[:2])
+        full = list(client.stream(job["id"]))
+        again = list(client.stream(job["id"], after=1, reconnect=False))
+        assert again == full[1:]
+
+    def test_after_past_the_end_is_an_empty_stream(self, client):
+        job = client.submit(grid()[:1])
+        full = list(client.stream(job["id"]))
+        late = list(client.stream(job["id"], after=len(full) + 5,
+                                  reconnect=False))
+        assert late == []
+
+    def test_negative_after_is_400(self, client):
+        job = client.submit(grid()[:1])
+        list(client.stream(job["id"]))
+        with pytest.raises(GatewayError) as err:
+            list(client._stream_once(job["id"], -1, None))
+        assert err.value.status == 400
+
+
+class TestRoundFailureRecovery:
+    @pytest.fixture(autouse=True)
+    def _fresh_faults(self):
+        clear()
+        yield
+        clear()
+
+    def test_round_death_requeues_and_the_job_completes(self):
+        install(FaultPlan.from_string("gateway.round:n=1"))
+        gw = Gateway(max_inflight=2)
+        handle = gw.serve_in_thread()
+        try:
+            client = GatewayClient("http://%s:%s" % handle.address)
+            specs = grid()[:2]
+            results = client.run(specs)
+            serial = SerialExecutor().run(specs)
+            assert ([r.to_dict() for r in results]
+                    == [r.to_dict() for r in serial])
+            metrics = client.metrics()
+            assert metrics["round_failures"] == 1
+            assert "injected fault" in metrics["last_round_error"]
+        finally:
+            handle.stop()
+
+    def test_repeatedly_dying_rounds_fail_the_job(self):
+        install(FaultPlan.from_string("gateway.round"))  # every round
+        gw = Gateway(max_inflight=2, max_round_failures=1)
+        handle = gw.serve_in_thread()
+        try:
+            client = GatewayClient("http://%s:%s" % handle.address)
+            job = client.submit(grid()[:2])
+            events = list(client.stream(job["id"]))
+            assert events[-1]["event"] == "end"
+            assert events[-1]["state"] == "failed"
+            assert "injected fault" in events[-1]["error"]
+        finally:
+            handle.stop()
+
+
+class TestDurableResume:
+    """Gateway crash-and-resume: the ISSUE's kill-and-resume e2e."""
+
+    @staticmethod
+    def slow_grid(points):
+        return [RunSpec("go", conventional_config()).resolved(
+            20_000, 1_000, seed) for seed in range(points)]
+
+    @staticmethod
+    def make_gateway(tmp_path, resume, port=0):
+        engine = BatchEngine(SerialExecutor(),
+                             store=ResultStore(tmp_path / "store"))
+        return Gateway(port=port, engine=engine, max_inflight=1,
+                       journal=JobJournal(tmp_path / "wal"), resume=resume)
+
+    def test_kill_and_resume_delivers_each_point_exactly_once(
+            self, tmp_path):
+        specs = self.slow_grid(6)
+        gw1 = self.make_gateway(tmp_path, resume=False)
+        handle1 = gw1.serve_in_thread()
+        client1 = GatewayClient("http://%s:%s" % handle1.address)
+        job = client1.submit(specs)
+        first = []
+        for event in client1.stream(job["id"], reconnect=False):
+            first.append(event)
+            if len(first) >= 2:
+                break  # at least one point streamed; now "crash"
+        handle1.stop()
+        assert gw1.journal.path_for(job["id"]).exists()
+
+        gw2 = self.make_gateway(tmp_path, resume=True)
+        handle2 = gw2.serve_in_thread()
+        try:
+            assert gw2.resumed_jobs == 1
+            client2 = GatewayClient("http://%s:%s" % handle2.address)
+            rest = list(client2.stream(job["id"], after=len(first)))
+            assert rest[-1]["event"] == "end"
+            assert rest[-1]["state"] == "done"
+            indices = ([e["index"] for e in first if e["event"] == "point"]
+                       + [e["index"] for e in rest
+                          if e["event"] == "point"])
+            # No duplicate and no missing points across the restart.
+            assert sorted(indices) == list(range(len(specs)))
+            fetched = client2.fetch(job["id"])
+            serial = SerialExecutor().run(specs)
+            assert ([r.to_dict() for r in fetched]
+                    == [r.to_dict() for r in serial])
+            metrics = client2.metrics()
+            assert metrics["journal"] is True
+            assert metrics["resumed_jobs"] == 1
+            # The journal retired the finished job's WAL.
+            assert not gw2.journal.path_for(job["id"]).exists()
+        finally:
+            handle2.stop()
+
+    def test_client_stream_reconnects_across_gateway_restart(
+            self, tmp_path):
+        specs = self.slow_grid(6)
+        gw1 = self.make_gateway(tmp_path, resume=False)
+        handle1 = gw1.serve_in_thread()
+        port = handle1.address[1]
+        client = GatewayClient("http://%s:%s" % handle1.address)
+        job = client.submit(specs)
+        events = []
+        handle2 = None
+        try:
+            # One stream generator survives the gateway being replaced:
+            # it reconnects with ?after=<delivered> to the new process.
+            for event in client.stream(job["id"], timeout=5):
+                events.append(event)
+                if len(events) == 1:
+                    handle1.stop()
+                    gw2 = self.make_gateway(tmp_path, resume=True,
+                                            port=port)
+                    handle2 = gw2.serve_in_thread()
+        finally:
+            if handle2 is not None:
+                handle2.stop()
+        assert events[-1]["event"] == "end"
+        assert events[-1]["state"] == "done"
+        indices = [e["index"] for e in events if e["event"] == "point"]
+        assert sorted(indices) == list(range(len(specs)))
+        assert len(indices) == len(set(indices))

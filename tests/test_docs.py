@@ -16,7 +16,8 @@ def load_checker():
 
 def test_docs_suite_exists():
     for name in ("architecture.md", "engine.md", "renaming-policies.md",
-                 "reproducing-the-paper.md", "service.md"):
+                 "reproducing-the-paper.md", "resilience.md",
+                 "service.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), name
 
 
@@ -41,17 +42,21 @@ def test_quickstart_smoke_blocks_are_marked():
                 / "renaming-policies.md").read_text(encoding="utf-8")
     service = (REPO_ROOT / "docs"
                / "service.md").read_text(encoding="utf-8")
+    resilience = (REPO_ROOT / "docs"
+                  / "resilience.md").read_text(encoding="utf-8")
     readme_blocks = list(checker.iter_smoke_blocks(readme))
     engine_blocks = list(checker.iter_smoke_blocks(engine))
     policy_blocks = list(checker.iter_smoke_blocks(policies))
     service_blocks = list(checker.iter_smoke_blocks(service))
+    resilience_blocks = list(checker.iter_smoke_blocks(resilience))
     assert len(readme_blocks) >= 2  # CLI quickstart + library quickstart
     assert len(engine_blocks) >= 1  # the localhost cluster walkthrough
     assert len(policy_blocks) >= 2  # registry walk + port sweep
     assert len(service_blocks) >= 1  # the gateway curl walkthrough
+    assert len(resilience_blocks) >= 1  # the corrupt-and-repair loop
     languages = {lang for lang, _ in
                  readme_blocks + engine_blocks + policy_blocks
-                 + service_blocks}
+                 + service_blocks + resilience_blocks}
     assert languages <= {"bash", "python"}
     # The cluster walkthrough really exercises the remote backend.
     assert any("--workers" in source for _, source in engine_blocks)
@@ -62,6 +67,10 @@ def test_quickstart_smoke_blocks_are_marked():
     assert any("repro serve" in source for _, source in service_blocks)
     assert any("REPRO_TOKEN" in source for _, source in service_blocks)
     assert any("401" in source for _, source in service_blocks)
+    # The resilience walkthrough really injects a fault and repairs it.
+    assert any("REPRO_FAULTS" in source for _, source in resilience_blocks)
+    assert any("verify --repair" in source
+               for _, source in resilience_blocks)
 
 
 def test_readme_links_docs_suite():
