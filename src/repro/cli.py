@@ -139,12 +139,27 @@ def _config_for(args):
     if args.phys is not None:
         changes["int_phys"] = args.phys
         changes["fp_phys"] = args.phys
+    if getattr(args, "engine", None):
+        changes["engine"] = args.engine
     nrr = None
     if resolve_policy(args.scheme).uses_nrr:
         nrr = getattr(args, "nrr", None)
         if nrr is None:
             nrr = changes.get("int_phys", 64) - 32
     return policy_config(args.scheme, nrr=nrr, **changes)
+
+
+def _add_engine_tier_arg(parser, both=False):
+    """--engine: the cycle-engine tier (distinct from the *batch*
+    engine's --jobs/--executor arguments)."""
+    choices = ["auto", "interp", "compiled"] + (["both"] if both else [])
+    parser.add_argument(
+        "--engine", choices=choices, default=None,
+        help="cycle-engine tier: 'interp' is the reference interpreter, "
+             "'compiled' renders per-config specialized loops (bit-"
+             "identical stats, faster), 'auto' (default) defers to "
+             "REPRO_ENGINE"
+             + ("; 'both' measures an interp/compiled A/B" if both else ""))
 
 
 def _add_engine_args(parser):
@@ -201,6 +216,7 @@ def _add_run_args(parser):
     parser.add_argument("--seed", type=int, default=1234)
     parser.add_argument("--phys", type=int, default=None,
                         help="physical registers per file (default 64)")
+    _add_engine_tier_arg(parser)
     _add_engine_args(parser)
 
 
@@ -288,6 +304,9 @@ def _sweep_grid(args):
             except ValueError as exc:
                 raise SystemExit(f"invalid sweep point: {exc}")
             columns.append((f"{allocation.value}/nrr={nrr}", config))
+    if getattr(args, "engine", None):
+        columns = [(label, config.with_(engine=args.engine))
+                   for label, config in columns]
     specs = [
         RunSpec(bench, config, label=label, instructions=args.instructions,
                 skip=args.skip, seed=args.seed)
@@ -453,10 +472,19 @@ def cmd_bench(args):
 
     workloads = args.workloads.split(",") if args.workloads else None
     schemes = args.schemes.split(",") if args.schemes else None
-    report = perf.measure_kips(
-        workloads=workloads, schemes=schemes,
-        instructions=args.instructions, skip=args.skip, seed=args.seed,
-        repeats=args.repeats, progress=progress if not args.quiet else None)
+    if args.engine == "both":
+        report = perf.measure_engines(
+            workloads=workloads, schemes=schemes,
+            instructions=args.instructions, skip=args.skip, seed=args.seed,
+            repeats=args.repeats,
+            progress=progress if not args.quiet else None)
+    else:
+        report = perf.measure_kips(
+            workloads=workloads, schemes=schemes,
+            instructions=args.instructions, skip=args.skip, seed=args.seed,
+            repeats=args.repeats,
+            progress=progress if not args.quiet else None,
+            engine=args.engine if args.engine != "auto" else None)
     print(perf.format_report(report))
     if args.out:
         perf.write_report(args.out, report)
@@ -835,6 +863,7 @@ def build_parser():
     sweep.add_argument("--compare-serial", action="store_true",
                        help="also run the grid serially (cache off) and "
                             "report the wall-clock speedup")
+    _add_engine_tier_arg(sweep)
     _add_engine_args(sweep)
     sweep.set_defaults(fn=cmd_sweep)
 
@@ -892,6 +921,7 @@ def build_parser():
     bench.add_argument("--seed", type=int, default=1234)
     bench.add_argument("--repeats", type=int, default=3,
                        help="runs per point; the median is kept (default 3)")
+    _add_engine_tier_arg(bench, both=True)
     bench.add_argument("--out", default="BENCH_engine.json",
                        help="report path (default: BENCH_engine.json; "
                             "'' disables)")

@@ -22,8 +22,10 @@ from repro.core.freelist import FreeList
 from repro.core.tags import make_tag, tag_class, tag_ident
 from repro.core.policy import (
     AllocationStage,
+    PolicyCapabilities,
     PolicyInfo,
     RenamingPolicy,
+    policy_capabilities,
     policy_name_for,
     policy_names,
     register_policy,
@@ -41,7 +43,9 @@ __all__ = [
     "tag_class",
     "tag_ident",
     "RenamingPolicy",
+    "PolicyCapabilities",
     "PolicyInfo",
+    "policy_capabilities",
     "policy_name_for",
     "policy_names",
     "register_policy",

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 from repro.isa.registers import CLASS_SHIFT
 from repro.core.tags import TAG_CLASS_SHIFT
@@ -221,6 +222,42 @@ class RenamingPolicy:
 
 
 @dataclass(frozen=True)
+class PolicyCapabilities:
+    """A policy's capability flags as static registry metadata.
+
+    The same six flags :class:`RenamingPolicy` carries as class/instance
+    attributes, declared once per *registered policy name* so the engine
+    can resolve them without building a renamer: processor construction
+    and the compiled engine's specialization key both read them through
+    the cached :func:`policy_capabilities` lookup instead of
+    re-resolving per instantiation inside grid sweeps.
+
+    ``tests/core/test_policy.py`` asserts every declaration matches the
+    flags of a renamer actually built for that policy, so the static
+    copy can never drift from the instance truth.
+    """
+
+    commit_extra_latency: int = 0
+    has_dispatch_hook: bool = False
+    has_issue_hook: bool = False
+    has_complete_hook: bool = False
+    holds_writers_in_iq: bool = False
+    supports_retry_gating: bool = False
+
+    @classmethod
+    def of(cls, renamer):
+        """The capabilities a built renamer instance declares."""
+        return cls(
+            commit_extra_latency=renamer.commit_extra_latency,
+            has_dispatch_hook=renamer.has_dispatch_hook,
+            has_issue_hook=renamer.has_issue_hook,
+            has_complete_hook=renamer.has_complete_hook,
+            holds_writers_in_iq=renamer.holds_writers_in_iq,
+            supports_retry_gating=renamer.supports_retry_gating,
+        )
+
+
+@dataclass(frozen=True)
 class PolicyInfo:
     """One registry entry: everything the entry layers need to know."""
 
@@ -237,6 +274,10 @@ class PolicyInfo:
     description: str
     #: ``ProcessorConfig -> RenamingPolicy`` factory.
     build: object
+    #: static capability flags (``None`` = unknown: the engine derives
+    #: them from the built instance and the compiled tier declines to
+    #: specialize for the policy).
+    capabilities: PolicyCapabilities | None = None
 
     def __str__(self):
         return f"{self.name}: {self.description}"
@@ -250,9 +291,24 @@ def register_policy(info):
 
     Returns ``info`` so external schemes can use it as a decorator
     helper; re-registering a built-in name deliberately replaces it.
+    Cached name/capability lookups are invalidated.
     """
     _REGISTRY[info.name] = info
+    policy_capabilities.cache_clear()
+    _policy_name_cache.cache_clear()
     return info
+
+
+@lru_cache(maxsize=None)
+def policy_capabilities(name):
+    """The :class:`PolicyCapabilities` registered under ``name`` (or
+    ``None`` for policies registered without a declaration).
+
+    Cached per name: a grid sweep constructing thousands of processors
+    resolves each policy's flags once, not once per construction
+    (:func:`register_policy` invalidates the cache).
+    """
+    return resolve_policy(name).capabilities
 
 
 def resolve_policy(name):
@@ -281,8 +337,15 @@ def policy_name_for(scheme, allocation=None):
 
     The inverse of the registry's metadata, used by
     ``ProcessorConfig.policy`` to name the policy its enum fields
-    select.
+    select.  Cached: the lookup runs on every processor construction
+    and every config hash, so a sweep must not re-scan the registry
+    each time (:func:`register_policy` invalidates the cache).
     """
+    return _policy_name_cache(scheme, allocation)
+
+
+@lru_cache(maxsize=None)
+def _policy_name_cache(scheme, allocation):
     for info in _REGISTRY.values():
         if info.scheme != scheme:
             continue
@@ -336,6 +399,7 @@ register_policy(PolicyInfo(
     description="physical register at decode, freed at superseder commit "
                 "(the paper's baseline)",
     build=_build_conventional,
+    capabilities=PolicyCapabilities(),
 ))
 register_policy(PolicyInfo(
     name="early-release",
@@ -345,6 +409,7 @@ register_policy(PolicyInfo(
     description="conventional allocation plus counter-based early "
                 "freeing (refs [8][10])",
     build=_build_early_release,
+    capabilities=PolicyCapabilities(),
 ))
 register_policy(PolicyInfo(
     name="vp-writeback",
@@ -354,6 +419,13 @@ register_policy(PolicyInfo(
     description="virtual-physical tags at decode, physical register at "
                 "write-back with NRR squash-and-re-execute (paper §3.2)",
     build=_build_virtual_physical,
+    capabilities=PolicyCapabilities(
+        commit_extra_latency=1,
+        has_dispatch_hook=True,
+        has_complete_hook=True,
+        holds_writers_in_iq=True,
+        supports_retry_gating=True,
+    ),
 ))
 register_policy(PolicyInfo(
     name="vp-issue",
@@ -363,4 +435,9 @@ register_policy(PolicyInfo(
     description="virtual-physical tags at decode, physical register at "
                 "issue (paper §3.4; allocation failure blocks the issue)",
     build=_build_virtual_physical,
+    capabilities=PolicyCapabilities(
+        commit_extra_latency=1,
+        has_dispatch_hook=True,
+        has_issue_hook=True,
+    ),
 ))

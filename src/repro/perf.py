@@ -39,10 +39,14 @@ def scheme_config(label):
 
 
 def measure_kips(workloads=None, schemes=None, instructions=30_000,
-                 skip=3_000, seed=1234, repeats=3, progress=None):
+                 skip=3_000, seed=1234, repeats=3, progress=None,
+                 engine=None):
     """Measure KIPS for every workload × scheme point.
 
-    Returns a JSON-compatible report::
+    ``engine`` selects the cycle-engine tier for every point
+    (``"interp"`` / ``"compiled"``; default ``None`` keeps the config's
+    ``"auto"``, deferring to ``REPRO_ENGINE``).  Returns a
+    JSON-compatible report::
 
         {"unit": "KIPS", "instructions": ..., "repeats": ...,
          "runs": {"swim/conventional": {"kips": ..., "seconds": ...,
@@ -58,6 +62,8 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
     for workload in workloads:
         for label in schemes:
             config = scheme_config(label)
+            if engine:
+                config = config.with_(engine=engine)
             times = []
             result = None
             for _ in range(repeats):
@@ -77,6 +83,10 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
                 # register-file contention model on can never be
                 # confused with (or gated against) a port-free one.
                 "regfile": config.port_model(),
+                # Engine provenance: codegen fallbacks on a compiled-
+                # tier run mean the point silently measured the
+                # interpreter — surfaced, never hidden.
+                "engine_fallbacks": result.stats.engine_fallbacks,
             }
             done += 1
             if progress:
@@ -89,6 +99,7 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
         "skip": skip,
         "seed": seed,
         "repeats": repeats,
+        "engine": engine or "auto",
         "runs": runs,
         "median_kips": round(statistics.median(
             r["kips"] for r in runs.values()), 1),
@@ -97,6 +108,44 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
         # same fingerprint that qualifies result-store keys).
         "code_version": code_version(),
     }
+
+
+def measure_engines(workloads=None, schemes=None, instructions=30_000,
+                    skip=3_000, seed=1234, repeats=3, progress=None,
+                    engines=("interp", "compiled")):
+    """Engine-tier A/B: the same grid under every tier in ``engines``.
+
+    Returns the compiled tier's report shape (so ``format_report`` and
+    baseline gating keep working) extended with the per-tier
+    sub-reports and per-point speedups::
+
+        {..., "engines": {"interp": {...}, "compiled": {...}},
+         "speedup": {"li/conventional": 1.81, ...},
+         "median_speedup": ...}
+
+    Speedups are *measured wall-clock ratios on this machine* —
+    recorded for trend tracking, not gated in CI (the differential
+    suite gates correctness; machines vary too much to gate speed).
+    """
+    reports = {}
+    for engine in engines:
+        reports[engine] = measure_kips(
+            workloads=workloads, schemes=schemes, instructions=instructions,
+            skip=skip, seed=seed, repeats=repeats, progress=progress,
+            engine=engine)
+    baseline, improved = engines[0], engines[-1]
+    speedup = {
+        key: round(reports[improved]["runs"][key]["kips"]
+                   / max(run["kips"], 1e-9), 2)
+        for key, run in reports[baseline]["runs"].items()
+    }
+    combined = dict(reports[improved])
+    combined["engine"] = "+".join(engines)
+    combined["engines"] = reports
+    combined["speedup"] = speedup
+    combined["median_speedup"] = round(
+        statistics.median(speedup.values()), 2)
+    return combined
 
 
 def compare_to_baseline(report, baseline, max_regression=0.30):
@@ -141,11 +190,20 @@ def write_report(path, report):
 
 
 def format_report(report):
-    """Human-readable table of a :func:`measure_kips` report."""
-    lines = [f"{'point':28s} {'KIPS':>8s} {'IPC':>6s} {'seconds':>8s}"]
+    """Human-readable table of a :func:`measure_kips` (or
+    :func:`measure_engines` A/B) report."""
+    speedup = report.get("speedup")
+    lines = [f"{'point':28s} {'KIPS':>8s} {'IPC':>6s} {'seconds':>8s}"
+             + ("  speedup" if speedup else "")]
     for key in sorted(report["runs"]):
         run = report["runs"][key]
-        lines.append(f"{key:28s} {run['kips']:8.1f} {run['ipc']:6.3f} "
-                     f"{run['seconds']:8.3f}")
+        line = (f"{key:28s} {run['kips']:8.1f} {run['ipc']:6.3f} "
+                f"{run['seconds']:8.3f}")
+        if speedup:
+            line += f"  {speedup.get(key, 0):6.2f}x"
+        lines.append(line)
     lines.append(f"{'median':28s} {report['median_kips']:8.1f}")
+    if speedup:
+        lines.append(f"{'median speedup':28s} "
+                     f"{report['median_speedup']:7.2f}x")
     return "\n".join(lines)

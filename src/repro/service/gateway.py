@@ -288,6 +288,11 @@ class Gateway:
                 job.started = now
         specs = [job.specs[index] for job, index in round_]
         base_executed, base_cached = self.points_executed, self.points_cached
+        # Counted at round *start*: a client that has observed any of
+        # this round's points (or the terminal event they trigger) must
+        # never read a /v1/metrics snapshot that predates the round —
+        # the engine can finish and deliver before to_thread returns.
+        self.rounds += 1
 
         def execute():
             # Worker thread: the only thread that touches the engine.
@@ -315,7 +320,6 @@ class Gateway:
             await asyncio.to_thread(execute)
         except Exception as exc:  # noqa: BLE001 — jobs must not wedge
             failure = f"{type(exc).__name__}: {exc}"
-        self.rounds += 1
         if failure is None:
             # Final sync; max() because _land_point already counted the
             # points that streamed out mid-round.

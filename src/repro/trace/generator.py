@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import copy
 import itertools
+from collections import OrderedDict
 from random import Random
 
 from repro.isa.instruction import TraceRecord
@@ -118,6 +119,46 @@ class _KernelProgram:
                             target=target),
             )
         raise TypeError(f"unknown statement: {stmt!r}")
+
+
+# Materialized-trace cache: (workload name, seed) -> [records, stream].
+# Trace streams are deterministic per (workload, seed), so repeated
+# simulations of the same point — benchmark repeats, engine A/B
+# comparisons, config sweeps over one workload — can share one
+# materialization instead of re-running the generator.  Bounded LRU;
+# entries grow on demand when a later caller needs a longer prefix.
+_MATERIALIZED: OrderedDict = OrderedDict()
+_MATERIALIZED_MAX = 4
+
+
+def materialized_trace(workload, seed, count):
+    """The first ``count`` records of ``SyntheticTrace(workload, seed)``.
+
+    Served from a small process-level LRU keyed by ``(workload.name,
+    seed)`` — callers must only use it for registry-loaded workloads,
+    where the name uniquely identifies the kernel content.  Records are
+    write-once (the pipeline never mutates a :class:`TraceRecord`), so
+    sharing the materialized list across runs is safe.
+    """
+    key = (workload.name, seed)
+    entry = _MATERIALIZED.get(key)
+    if entry is None:
+        entry = [[], iter(SyntheticTrace(workload, seed))]
+        _MATERIALIZED[key] = entry
+        while len(_MATERIALIZED) > _MATERIALIZED_MAX:
+            _MATERIALIZED.popitem(last=False)
+    else:
+        _MATERIALIZED.move_to_end(key)
+    records, stream = entry
+    need = count - len(records)
+    if need > 0:
+        records.extend(itertools.islice(stream, need))
+    return records[:count] if len(records) > count else records
+
+
+def clear_materialized_traces():
+    """Drop the materialized-trace cache (tests, memory pressure)."""
+    _MATERIALIZED.clear()
 
 
 class SyntheticTrace:

@@ -7,6 +7,7 @@ from repro.uarch.config import (
     policy_config,
     virtual_physical_config,
 )
+from repro.uarch.compiled import engine_key, resolve_engine
 from repro.uarch.dynamic import DynInstr
 from repro.uarch.functional_units import FunctionalUnitPool
 from repro.uarch.processor import Processor, SimulationDeadlock, simulate
@@ -21,6 +22,8 @@ __all__ = [
     "policy_config",
     "virtual_physical_config",
     "RegisterFilePorts",
+    "engine_key",
+    "resolve_engine",
     "DynInstr",
     "FunctionalUnitPool",
     "Processor",

@@ -1,0 +1,1299 @@
+"""The compiled engine tier: per-config codegen for the cycle loop.
+
+The interpreter hot loop (:meth:`Processor._step`) re-hoists shared
+state and re-tests configuration-frozen branches every simulated cycle:
+policy capability hooks that are never bound, the register-file port
+model that is off by default, the idle-skip flag, pipeline widths read
+off the config object.  This module removes that overhead by *rendering
+a specialized source string per configuration feature vector* and
+compiling it once (``compile()``/``exec`` — the same trick
+``dataclasses`` and ``namedtuple`` use):
+
+* dead branches are dropped at render time (no ``rf_model`` → no
+  port-arbitration code at all; a policy without ``on_issue`` /
+  ``on_complete`` hooks → no hook call sites; ``idle_skip`` baked in),
+* configuration scalars (widths, window sizes, port budgets, the
+  commit delay, the deadlock horizon) become integer literals,
+* the :class:`~repro.uarch.events.EventWheel` and the whole run loop
+  are inlined, so all mutable machine state lives in function locals
+  for the *entire run* and is synced back to the ``Processor`` in a
+  ``finally`` block (deadlocks and post-run inspection see the same
+  state the interpreter would leave).
+
+The contract is **bit-identical** ``SimStats`` with the interpreter for
+every configuration — pinned by ``tests/uarch/test_engine_differential
+.py`` across a sampled config space and by the compiled-tier golden
+pins.  Rare paths (precise-exception recovery, store-data firing) stay
+interpreter methods, called with the hoisted state synced around them.
+
+Engine selection is ``Processor(..., engine=...)`` /
+``ProcessorConfig.engine`` / ``REPRO_ENGINE`` (see
+:func:`resolve_engine`); any codegen failure falls back to the
+interpreter transparently and is counted in
+``SimStats.engine_fallbacks``.  Compiled code objects are cached per
+:func:`engine_key` — many configurations share one specialization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from heapq import heappush, heappop
+
+from repro.core.conventional import ConventionalRenamer
+from repro.core.policy import PolicyCapabilities, policy_capabilities
+from repro.core.virtual_physical import VirtualPhysicalRenamer
+from repro.core.tags import TAG_CLASS_SHIFT
+from repro.isa.registers import CLASS_SHIFT, RegClass
+from repro.uarch.dynamic import DynInstr
+
+_FAR_FUTURE = 1 << 60
+_WHEEL_HORIZON = 128  # mirrors EventWheel's default ring size
+
+#: render/compile failures by reason (diagnostics; reset per process).
+build_failures: dict[str, int] = {}
+
+_CODE_CACHE: dict[tuple, object] = {}
+_SOURCE_CACHE: dict[tuple, str] = {}
+
+
+def resolve_engine(requested):
+    """The effective engine tier for a request.
+
+    ``None`` and ``"auto"`` defer to the ``REPRO_ENGINE`` environment
+    variable, defaulting to ``"interp"`` — the conservative tier every
+    golden pin was recorded on.  Raises ``ValueError`` on an unknown
+    name (including an unknown ``REPRO_ENGINE`` value).
+    """
+    name = requested or "auto"
+    if name == "auto":
+        name = os.environ.get("REPRO_ENGINE", "").strip() or "interp"
+    if name not in ("interp", "compiled"):
+        raise ValueError(
+            f"unknown engine {name!r}; choose interp, compiled or auto")
+    return name
+
+
+def engine_features(processor):
+    """The feature vector the codegen specializes on, or ``None``.
+
+    Returns ``(flags, consts)`` dicts — booleans that gate template
+    sections and integers baked as literals.  ``None`` means the
+    configuration cannot be specialized: the policy is registered
+    without a :class:`PolicyCapabilities` declaration, or the built
+    renamer's instance flags contradict the declaration (a guard that
+    keeps a drifted re-registration from compiling wrong code).
+    """
+    cfg = processor.config
+    try:
+        caps = policy_capabilities(cfg.policy)
+    except KeyError:
+        return None
+    if caps is None or caps != PolicyCapabilities.of(processor.renamer):
+        return None
+    renamer = processor.renamer
+    # Inline specializations bypass the method indirection entirely, so
+    # they must be disabled when a test or tracer replaced the method on
+    # the *instance* (class-level dispatch is snapshotted at build time
+    # and honors such wrappers; an inline body would not).
+    conv = (type(renamer) is ConventionalRenamer
+            and not (set(renamer.__dict__)
+                     & {"rename", "can_rename", "on_commit"}))
+    vp = (type(renamer) is VirtualPhysicalRenamer
+          and not (set(renamer.__dict__)
+                   & {"rename", "can_rename", "on_commit", "on_dispatch",
+                      "on_issue", "on_complete", "may_allocate_now",
+                      "_try_allocate", "_rename_sources"}))
+    flags = {
+        "RF": bool(cfg.rf_model),
+        "COMPLETE_HOOK": caps.has_complete_hook,
+        "ISSUE_HOOK": caps.has_issue_hook,
+        "DISPATCH_HOOK": caps.has_dispatch_hook,
+        "VP_WB": caps.holds_writers_in_iq,
+        "RETRY": bool(caps.supports_retry_gating and cfg.retry_gating),
+        "IDLE": bool(processor._idle_skip),
+        "PERFECT": bool(cfg.perfect_branch_prediction),
+        "POOLS": processor._int_free is not None,
+        "GATE": processor._rename_gate is not None,
+        "CONV": conv,
+        "VP_INLINE": vp,
+        "INLINE_RENAME": conv or vp,
+        "FU_INLINE": not (set(processor.fus.__dict__)
+                          & {"find_free", "claim_unit"}),
+        "BHT_INLINE": "update" not in processor.bht.__dict__,
+    }
+    consts = {
+        "FETCH_W": cfg.fetch_width,
+        "RENAME_W": cfg.rename_width,
+        "ISSUE_W": cfg.issue_width,
+        "COMMIT_W": cfg.commit_width,
+        "ROB_SIZE": cfg.rob_size,
+        "IQ_SIZE": cfg.iq_size,
+        "FB_SIZE": cfg.fetch_buffer_size,
+        "READ_PORTS": cfg.read_ports,
+        "WRITE_PORTS": cfg.write_ports,
+        "COMMIT_DELAY": 1 + caps.commit_extra_latency,
+        "HORIZON": cfg.deadlock_horizon,
+        "WHEEL_H": _WHEEL_HORIZON,
+        "FAR_FUTURE": _FAR_FUTURE,
+        "CLASS_SHIFT": CLASS_SHIFT,
+        "INDEX_MASK": (1 << CLASS_SHIFT) - 1,
+    }
+    return flags, consts
+
+
+def engine_key(processor):
+    """Stable identity of the specialization a processor would compile.
+
+    Derived from the same canonical identity scheme as
+    ``ProcessorConfig.key()`` (a short sha256 over the sorted feature
+    vector), so equal keys mean one shared code object.  ``None`` when
+    the configuration cannot be specialized.
+    """
+    features = engine_features(processor)
+    if features is None:
+        return None
+    flags, consts = features
+    canon = repr((sorted(flags.items()), sorted(consts.items())))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_info():
+    """Diagnostics: cached specializations and recorded build failures."""
+    return {
+        "specializations": len(_CODE_CACHE),
+        "build_failures": dict(build_failures),
+    }
+
+
+def clear_cache():
+    """Drop every cached specialization (tests)."""
+    _CODE_CACHE.clear()
+    _SOURCE_CACHE.clear()
+    build_failures.clear()
+
+
+def _note_failure(reason):
+    build_failures[reason] = build_failures.get(reason, 0) + 1
+
+
+def render_source(flags, consts):
+    """Render the specialized factory source for one feature vector.
+
+    Pure string processing over :data:`_TEMPLATE`: ``#@if NAME`` /
+    ``#@else`` / ``#@end`` directives keep or drop blocks by the flag
+    dict (conditions are one flag name, optionally ``not``-prefixed;
+    nesting supported), and ``__NAME__`` tokens are replaced with the
+    constant literals.
+    """
+    out = []
+    stack = []  # emitting-state per open #@if
+    emitting = True
+    for line in _TEMPLATE.splitlines():
+        stripped = line.strip()
+        if stripped.startswith("#@if "):
+            cond = stripped[5:].strip()
+            invert = cond.startswith("not ")
+            name = cond[4:].strip() if invert else cond
+            value = bool(flags[name]) ^ invert
+            stack.append(emitting)
+            emitting = emitting and value
+            continue
+        if stripped == "#@else":
+            parent = stack[-1]
+            emitting = parent and not emitting
+            continue
+        if stripped == "#@end":
+            emitting = stack.pop()
+            continue
+        if emitting:
+            out.append(line)
+    if stack:
+        raise SyntaxError("unbalanced #@if/#@end in the engine template")
+    source = "\n".join(out) + "\n"
+    for name, value in consts.items():
+        source = source.replace(f"__{name}__", repr(int(value)))
+    return source
+
+
+def specialized_source(processor):
+    """The rendered source a processor would run (debug/introspection)."""
+    features = engine_features(processor)
+    if features is None:
+        return None
+    flags, consts = features
+    key = (tuple(sorted(flags.items())), tuple(sorted(consts.items())))
+    if key not in _SOURCE_CACHE:
+        _SOURCE_CACHE[key] = render_source(flags, consts)
+    return _SOURCE_CACHE[key]
+
+
+def build_loop(processor):
+    """A zero-argument callable running ``processor`` to completion, or
+    ``None`` when the configuration cannot be specialized (the caller
+    falls back to the interpreter and counts the fallback).
+
+    Must be called *after* ``run()`` bound the trace stream
+    (``processor._trace``): the factory snapshots bound methods and
+    machine containers once, so everything the loop touches per cycle
+    is a local or a closure cell.
+    """
+    features = engine_features(processor)
+    if features is None:
+        _note_failure("unsupported-policy")
+        return None
+    flags, consts = features
+    key = (tuple(sorted(flags.items())), tuple(sorted(consts.items())))
+    code = _CODE_CACHE.get(key)
+    if code is None:
+        try:
+            source = _SOURCE_CACHE.get(key)
+            if source is None:
+                source = render_source(flags, consts)
+                _SOURCE_CACHE[key] = source
+            code = compile(source, f"<repro-engine {engine_key(processor)}>",
+                           "exec")
+        except SyntaxError:
+            _note_failure("render-error")
+            return None
+        _CODE_CACHE[key] = code
+    from repro.uarch.processor import SimulationDeadlock
+
+    namespace = {
+        "heappush": heappush,
+        "heappop": heappop,
+        "DynInstr": DynInstr,
+        "TAG_CLASS_SHIFT": TAG_CLASS_SHIFT,
+        "RC_INT": RegClass.INT,
+        "RC_FP": RegClass.FP,
+        "SimulationDeadlock": SimulationDeadlock,
+        "_seq_of": _seq_of,
+    }
+    try:
+        exec(code, namespace)
+        return namespace["make_loop"](processor)
+    except Exception:
+        _note_failure("build-error")
+        return None
+
+
+def _seq_of(instr):
+    """Sort key for same-cycle completion events (program order)."""
+    return instr.seq
+
+
+# The specialized run loop.  This is `Processor._step` plus the run
+# loop, `_advance`, and the EventWheel, fused into one function with
+# every per-cycle `self.` access turned into a local, every
+# configuration scalar baked as a literal, and every
+# configuration-dead branch dropped by the #@if directives.  Stage
+# semantics and ordering mirror processor.py line for line — when
+# editing either, edit both (the differential suite enforces the
+# equivalence).
+_TEMPLATE = '''\
+def make_loop(p):
+    """Bind one processor's state and return its specialized run loop."""
+    stats = p.stats
+    renamer = p.renamer
+    mem = p.mem
+    store_queue = mem.store_queue
+    try_load = mem.try_load
+    try_store_commit = mem.try_store_commit
+    sq_set_address = store_queue.set_address
+    sq_set_data_ready = store_queue.set_data_ready
+    sq_insert = store_queue.insert
+    sq_remove = store_queue.remove
+    sq_oldest_unknown = store_queue.oldest_unknown_seq
+    mshr_next_fill = mem.cache.mshrs.next_fill_time
+    on_commit = renamer.on_commit
+    rename = renamer.rename
+    can_rename = renamer.can_rename
+#@if DISPATCH_HOOK
+    on_dispatch = renamer.on_dispatch
+#@end
+#@if ISSUE_HOOK
+    on_issue = renamer.on_issue
+#@end
+#@if COMPLETE_HOOK
+    on_complete = renamer.on_complete
+#@end
+#@if RETRY
+    may_allocate_now = renamer.may_allocate_now
+#@end
+#@if RF
+    regfile = p.regfile
+    rf_start_read = regfile.start_read_cycle
+    rf_start_write = regfile.start_write_cycle
+    rf_can_read = regfile.can_read
+    rf_claim_read = regfile.claim_read
+    rf_can_write = regfile.can_write
+    rf_claim_write = regfile.claim_write
+#@end
+#@if POOLS
+    int_free = p._int_free
+    fp_free = p._fp_free
+    NPR_INT = p._npr_int
+    NPR_FP = p._npr_fp
+#@else
+    allocated_physical = renamer.allocated_physical
+#@end
+#@if GATE
+    rename_gate = p._rename_gate
+#@end
+#@if CONV
+    int_tags = renamer.map_table[RC_INT]
+    fp_tags = renamer.map_table[RC_FP]
+    int_fl = renamer.free[RC_INT]
+    fp_fl = renamer.free[RC_FP]
+#@end
+#@if VP_INLINE
+    int_gmt = renamer.gmt[RC_INT]
+    fp_gmt = renamer.gmt[RC_FP]
+    int_tags = int_gmt.vp
+    fp_tags = fp_gmt.vp
+    int_gmt_p = int_gmt.p
+    fp_gmt_p = fp_gmt.p
+    int_gmt_v = int_gmt.v
+    fp_gmt_v = fp_gmt.v
+    int_pmt = renamer.pmt[RC_INT]
+    fp_pmt = renamer.pmt[RC_FP]
+    int_phys_fl = renamer.free_phys[RC_INT]
+    fp_phys_fl = renamer.free_phys[RC_FP]
+    int_vp_fl = renamer.free_vp[RC_INT]
+    fp_vp_fl = renamer.free_vp[RC_FP]
+    int_vp_d = int_vp_fl._free
+    fp_vp_d = fp_vp_fl._free
+    int_res = renamer._reserve_by_cls[RC_INT]
+    fp_res = renamer._reserve_by_cls[RC_FP]
+#@end
+    bht_counters = p.bht._counters
+    bht_mask = p.bht._mask
+#@if not BHT_INLINE
+    bht_update = p.bht.update
+#@end
+#@if FU_INLINE
+    fu_busy = p.fus._busy_until
+    fu_issued = p.fus._issued_cycle
+    fu_issues = p.fus.issues
+#@else
+    fus_find_free = p.fus.find_free
+    fus_claim_unit = p.fus.claim_unit
+#@end
+    struct_stalls = p.fus.structural_stalls
+    rob = p.rob
+    fetch_buffer = p.fetch_buffer
+    ready_heap = p.ready_heap
+    waiters = p.waiters
+    data_waiters = p.data_waiters
+    waiters_pop = waiters.pop
+    data_waiters_pop = data_waiters.pop
+    ready_at = p.ready_at
+    ready_at_get = ready_at.get
+    ready_at_pop = ready_at.pop
+    replay = p._replay
+    faults = p._fault_at_commits
+    fire_stores = p._fire_stores
+    recover = p._recover_from_fault
+    trace = p._trace
+    new_instr = DynInstr
+    hpush = heappush
+    hpop = heappop
+    seq_of = _seq_of
+
+    def loop():
+        now = p.now
+        iq_count = p.iq_count
+        fetch_resume_at = p.fetch_resume_at
+        next_seq = p._next_seq
+        last_commit = p._last_commit_cycle
+        exhausted = p._exhausted
+        pending_mem = p.pending_mem
+        mshr_gated = p._mshr_gated
+        committed = stats.committed
+        idle_skips = p.idle_skips
+        idle_cycles_skipped = p.idle_cycles_skipped
+        s_fetched = stats.fetched
+        s_executions = stats.executions
+        s_squashes = stats.squashes
+        s_issue_alloc = stats.issue_alloc_blocks
+        s_branches = stats.branches
+        s_mispredicts = stats.mispredicts
+        s_rob_full = stats.stall_rob_full
+        s_iq_full = stats.stall_iq_full
+        s_no_reg = stats.stall_no_reg
+        s_sq_full = stats.stall_sq_full
+        s_fetch_stall = stats.fetch_stall_cycles
+        s_wb_defers = stats.wb_port_defers
+        s_int_occ = stats.int_reg_occupancy_sum
+        s_fp_occ = stats.fp_reg_occupancy_sum
+        s_peak_rob = stats.peak_rob
+        # The inlined event wheel: ring of per-cycle buckets, overflow
+        # map past the horizon, min-heap of scheduled cycles.  The loop
+        # visits cycles in order, so the ring base is simply `now`.
+        ring = [None] * __WHEEL_H__
+        overflow = {}
+        times = []
+        try:
+            while not (exhausted and not fetch_buffer and not rob
+                       and not replay):
+                # ---- write-back: completion events ----------------------
+                if times and times[0] <= now:
+                    while times and times[0] <= now:
+                        hpop(times)
+                    slot = now % __WHEEL_H__
+                    entry = ring[slot]
+                    if entry is not None and entry[0] == now:
+                        ring[slot] = None
+                        events = entry[1]
+                    else:
+                        events = ()
+                    if overflow:
+                        extra = overflow.pop(now, None)
+                        if extra is not None:
+                            events = events + extra if events else extra
+                else:
+                    events = ()
+                if events:
+                    events.sort(key=seq_of)
+#@if RF
+                    rf_start_write()
+#@else
+                    int_wb_ports = __WRITE_PORTS__
+                    fp_wb_ports = __WRITE_PORTS__
+#@end
+                    for instr in events:
+                        if instr.squashed:
+                            continue
+                        if instr.is_store:
+                            sq_set_address(instr.seq, instr.rec.addr)
+                            instr.mem_ready_at = now
+                            if instr.data_ready_at >= 0:
+                                instr.completed = True
+                                instr.completed_at = now
+                            continue
+                        if instr.is_br:
+                            rec = instr.rec
+                            s_branches += 1
+#@if BHT_INLINE
+                            bidx = (rec.pc >> 2) & bht_mask
+                            ctr = bht_counters[bidx]
+                            if rec.taken:
+                                if ctr < 3:
+                                    bht_counters[bidx] = ctr + 1
+                            elif ctr > 0:
+                                bht_counters[bidx] = ctr - 1
+#@else
+                            bht_update(rec.pc, rec.taken)
+#@end
+                            if instr.mispredicted:
+                                s_mispredicts += 1
+                                fetch_resume_at = now + 1
+                            instr.completed = True
+                            instr.completed_at = now
+                            continue
+                        cls = instr.dest_cls
+#@if RF
+                        if cls is not None and not rf_can_write(instr):
+#@else
+                        if cls is not None and (
+                                int_wb_ports if cls == 0
+                                else fp_wb_ports) == 0:
+#@end
+                            s_wb_defers += 1
+                            t = now + 1
+                            slot = t % __WHEEL_H__
+                            entry = ring[slot]
+                            if entry is not None:
+                                entry[1].append(instr)
+                            else:
+                                ring[slot] = [t, [instr]]
+                                hpush(times, t)
+                            continue
+#@if COMPLETE_HOOK
+#@if VP_INLINE
+                        if cls is not None and instr.dest_phys < 0:
+                            res = int_res if cls == 0 else fp_res
+                            fr = int_free if cls == 0 else fp_free
+                            if not (instr.reserved
+                                    or len(fr) > res.nrr - res.used):
+                                renamer.squashes += 1
+                                s_squashes += 1
+                                instr.not_before = now + 1
+                                hpush(ready_heap, instr.heap_item)
+                                continue
+                            if not fr:
+                                raise RuntimeError(
+                                    "reserved instruction found no free "
+                                    "register: the NRR invariant is broken"
+                                )
+                            fl = int_phys_fl if cls == 0 else fp_phys_fl
+                            phys = fr.popleft()
+                            fl._members.discard(phys)
+                            fl.allocations += 1
+                            nf = len(fr)
+                            if nf < fl.min_free:
+                                fl.min_free = nf
+                            instr.dest_phys = phys
+                            vp = instr.vp_reg
+                            (int_pmt if cls == 0 else fp_pmt)[vp] = phys
+                            gvp = int_tags if cls == 0 else fp_tags
+                            idx = instr.rec.dest & __INDEX_MASK__
+                            if gvp[idx] == vp:
+                                (int_gmt_p if cls == 0
+                                 else fp_gmt_p)[idx] = phys
+                                (int_gmt_v if cls == 0
+                                 else fp_gmt_v)[idx] = True
+                            if instr.reserved:
+                                res.used += 1
+#@else
+                        if not on_complete(instr, now):
+                            s_squashes += 1
+                            instr.not_before = now + 1
+                            hpush(ready_heap, instr.heap_item)
+                            continue
+#@end
+#@end
+                        if cls is not None:
+#@if RF
+                            rf_claim_write(instr)
+#@else
+                            if cls == 0:
+                                int_wb_ports -= 1
+                            else:
+                                fp_wb_ports -= 1
+#@end
+                        instr.completed = True
+                        instr.completed_at = now
+                        if instr.in_iq:
+                            instr.in_iq = False
+                            iq_count -= 1
+                        tag = instr.dest_tag
+                        if tag != -1:
+                            ready_at[tag] = now
+                            waiting = waiters_pop(tag, None)
+                            if waiting:
+                                for waiter in waiting:
+                                    waiter.wait_count -= 1
+                                    if (waiter.wait_count == 0
+                                            and not waiter.squashed):
+                                        hpush(ready_heap, waiter.heap_item)
+                            if data_waiters:
+                                stores = data_waiters_pop(tag, None)
+                                if stores:
+                                    fire_stores(stores, now)
+
+                # ---- commit: in-order retirement ------------------------
+                if rob:
+                    budget = __COMMIT_W__
+                    before = committed
+                    while budget and rob:
+                        instr = rob[0]
+                        if (not instr.completed
+                                or instr.completed_at + __COMMIT_DELAY__
+                                > now):
+                            break
+                        if faults and committed in faults:
+                            faults.discard(committed)
+                            p.iq_count = iq_count
+                            p.pending_mem = pending_mem
+                            p._mshr_gated = mshr_gated
+                            p.fetch_resume_at = fetch_resume_at
+                            recover(instr, now)
+                            iq_count = p.iq_count
+                            pending_mem = p.pending_mem
+                            mshr_gated = p._mshr_gated
+                            fetch_resume_at = p.fetch_resume_at
+                        if instr.is_store:
+                            if not try_store_commit(instr.rec.addr, now):
+                                break
+                            sq_remove(instr.seq)
+                            if mshr_gated:
+                                for gated in mshr_gated:
+                                    gated.mem_ready_at = now
+                                    gated.mshr_gated = False
+                                mshr_gated.clear()
+#@if CONV
+                        cls = instr.dest_cls
+                        if cls is not None:
+                            fl = int_fl if cls == 0 else fp_fl
+                            prev = instr.prev_phys
+                            members = fl._members
+                            if prev in members:
+                                raise ValueError(
+                                    f"double free of register {prev}")
+                            members.add(prev)
+                            free_d = fl._free
+                            free_d.append(prev)
+                            if len(free_d) > fl._capacity:
+                                raise RuntimeError(
+                                    "free list grew beyond its capacity")
+#@else
+#@if VP_INLINE
+                        cls = instr.dest_cls
+                        if cls is not None:
+                            res = int_res if cls == 0 else fp_res
+                            if not instr.reserved:
+                                raise RuntimeError(
+                                    "committing destination writer was not "
+                                    "reserved; reserve bookkeeping is corrupt"
+                                )
+                            res.reg -= 1
+                            res.used -= 1
+                            pend = res._pending
+                            while pend:
+                                nxt = pend.popleft()
+                                if nxt.squashed:
+                                    continue
+                                nxt.reserved = True
+                                res.reg += 1
+                                if nxt.dest_phys >= 0:
+                                    res.used += 1
+                                break
+                            if cls == 0:
+                                pmt = int_pmt
+                                pfl = int_phys_fl
+                                pfr = int_free
+                                vfl = int_vp_fl
+                                vfr = int_vp_d
+                            else:
+                                pmt = fp_pmt
+                                pfl = fp_phys_fl
+                                pfr = fp_free
+                                vfl = fp_vp_fl
+                                vfr = fp_vp_d
+                            prev_vp = instr.prev_vp
+                            prev_phys = pmt[prev_vp]
+                            if prev_phys < 0:
+                                raise RuntimeError(
+                                    "previous VP mapping committed without "
+                                    "a physical register"
+                                )
+                            pmt[prev_vp] = -1
+                            members = pfl._members
+                            if prev_phys in members:
+                                raise ValueError(
+                                    f"double free of register {prev_phys}")
+                            members.add(prev_phys)
+                            pfr.append(prev_phys)
+                            if len(pfr) > pfl._capacity:
+                                raise RuntimeError(
+                                    "free list grew beyond its capacity")
+                            members = vfl._members
+                            if prev_vp in members:
+                                raise ValueError(
+                                    f"double free of register {prev_vp}")
+                            members.add(prev_vp)
+                            vfr.append(prev_vp)
+                            if len(vfr) > vfl._capacity:
+                                raise RuntimeError(
+                                    "free list grew beyond its capacity")
+#@else
+                        on_commit(instr)
+#@end
+#@end
+                        rob.popleft()
+                        instr.commit_at = now
+                        committed += 1
+                        budget -= 1
+                    if committed != before:
+                        last_commit = now
+
+                # ---- memory: loads attempt the cache --------------------
+                if pending_mem:
+                    still_pending = []
+                    append = still_pending.append
+                    blocking_store = sq_oldest_unknown()
+                    while pending_mem:
+                        item = hpop(pending_mem)
+                        instr = item[1]
+                        if instr.squashed:
+                            continue
+                        if (blocking_store is not None
+                                and item[0] > blocking_store):
+                            waits = 0 if instr.mem_ready_at > now else 1
+                            waits += sum(1 for _, cut in pending_mem
+                                         if not cut.squashed
+                                         and cut.mem_ready_at <= now)
+                            store_queue.waits += waits
+                            append(item)
+                            pending_mem.sort()
+                            still_pending.extend(pending_mem)
+                            pending_mem.clear()
+                            break
+                        if instr.mem_ready_at > now:
+                            append(item)
+                            continue
+                        done = try_load(item[0], instr.rec.addr, now)
+                        if done is None:
+                            if mem.last_refusal == "mshr":
+                                gate = mshr_next_fill(now)
+                                if gate is not None and gate > now:
+                                    instr.mem_ready_at = gate
+                                    if not instr.mshr_gated:
+                                        instr.mshr_gated = True
+                                        mshr_gated.append(instr)
+                            append(item)
+                            continue
+                        if done - now < __WHEEL_H__:
+                            slot = done % __WHEEL_H__
+                            entry = ring[slot]
+                            if entry is not None:
+                                entry[1].append(instr)
+                            else:
+                                ring[slot] = [done, [instr]]
+                                hpush(times, done)
+                        else:
+                            items = overflow.get(done)
+                            if items is not None:
+                                items.append(instr)
+                            else:
+                                overflow[done] = [instr]
+                                hpush(times, done)
+                    pending_mem = still_pending
+
+                # ---- issue: oldest-first over the ready set -------------
+                if ready_heap:
+                    budget = __ISSUE_W__
+#@if RF
+                    rf_start_read()
+#@else
+                    int_reads = __READ_PORTS__
+                    fp_reads = __READ_PORTS__
+#@end
+                    retry = []
+                    retry_append = retry.append
+                    fu_blocked = 0
+                    launched = 0
+                    while budget and ready_heap:
+                        item = hpop(ready_heap)
+                        instr = item[1]
+                        if instr.squashed:
+                            continue
+                        if instr.not_before > now:
+                            retry_append(item)
+                            continue
+#@if RETRY
+#@if VP_INLINE
+                        if (instr.exec_count > 0
+                                and instr.dest_phys < 0
+                                and not instr.reserved):
+                            cls = instr.dest_cls
+                            if cls is not None:
+                                res = int_res if cls == 0 else fp_res
+                                if (len(int_free if cls == 0 else fp_free)
+                                        <= res.nrr - res.used):
+                                    retry_append(item)
+                                    continue
+#@else
+                        if (instr.exec_count > 0
+                                and instr.dest_cls is not None
+                                and instr.dest_phys < 0
+                                and not may_allocate_now(instr)):
+                            retry_append(item)
+                            continue
+#@end
+#@end
+#@if RF
+                        if not rf_can_read(instr):
+                            retry_append(item)
+                            continue
+#@else
+                        need_int = instr.need_int
+                        need_fp = instr.need_fp
+                        if need_int > int_reads or need_fp > fp_reads:
+                            retry_append(item)
+                            continue
+#@end
+                        kind = instr.fu_kind
+                        kind_bit = 1 << kind
+                        if fu_blocked & kind_bit:
+                            struct_stalls[kind] += 1
+                            retry_append(item)
+                            continue
+#@if FU_INLINE
+                        busy = fu_busy[kind]
+                        issued_l = fu_issued[kind]
+                        unit = -1
+                        i = 0
+                        for b in busy:
+                            if b <= now and issued_l[i] != now:
+                                unit = i
+                                break
+                            i += 1
+                        if unit < 0:
+                            struct_stalls[kind] += 1
+                            fu_blocked |= kind_bit
+                            retry_append(item)
+                            continue
+#@else
+                        unit = fus_find_free(kind, now)
+                        if unit < 0:
+                            fu_blocked |= kind_bit
+                            retry_append(item)
+                            continue
+#@end
+#@if ISSUE_HOOK
+#@if VP_INLINE
+                        cls = instr.dest_cls
+                        if cls is not None and instr.dest_phys < 0:
+                            res = int_res if cls == 0 else fp_res
+                            fr = int_free if cls == 0 else fp_free
+                            if not (instr.reserved
+                                    or len(fr) > res.nrr - res.used):
+                                renamer.issue_blocks += 1
+                                s_issue_alloc += 1
+                                retry_append(item)
+                                continue
+                            if not fr:
+                                raise RuntimeError(
+                                    "reserved instruction found no free "
+                                    "register: the NRR invariant is broken"
+                                )
+                            fl = int_phys_fl if cls == 0 else fp_phys_fl
+                            phys = fr.popleft()
+                            fl._members.discard(phys)
+                            fl.allocations += 1
+                            nf = len(fr)
+                            if nf < fl.min_free:
+                                fl.min_free = nf
+                            instr.dest_phys = phys
+                            vp = instr.vp_reg
+                            (int_pmt if cls == 0 else fp_pmt)[vp] = phys
+                            gvp = int_tags if cls == 0 else fp_tags
+                            idx = instr.rec.dest & __INDEX_MASK__
+                            if gvp[idx] == vp:
+                                (int_gmt_p if cls == 0
+                                 else fp_gmt_p)[idx] = phys
+                                (int_gmt_v if cls == 0
+                                 else fp_gmt_v)[idx] = True
+                            if instr.reserved:
+                                res.used += 1
+#@else
+                        if not on_issue(instr, now):
+                            s_issue_alloc += 1
+                            retry_append(item)
+                            continue
+#@end
+#@end
+#@if FU_INLINE
+                        issued_l[unit] = now
+                        if not instr.pipelined:
+                            busy[unit] = now + instr.latency
+                        fu_issues[kind] += 1
+#@else
+                        fus_claim_unit(kind, unit, now, instr.latency,
+                                       instr.pipelined)
+#@end
+#@if RF
+                        rf_claim_read(instr)
+#@else
+                        int_reads -= need_int
+                        fp_reads -= need_fp
+#@end
+                        budget -= 1
+                        instr.issued = True
+                        instr.exec_count += 1
+                        launched += 1
+                        if instr.first_issue_at < 0:
+                            instr.first_issue_at = now
+                        instr.last_issue_at = now
+                        if instr.is_load:
+                            instr.mem_ready_at = now + 1
+                            hpush(pending_mem, item)
+                        elif instr.is_store or instr.is_br:
+                            t = now + 1
+                            slot = t % __WHEEL_H__
+                            entry = ring[slot]
+                            if entry is not None:
+                                entry[1].append(instr)
+                            else:
+                                ring[slot] = [t, [instr]]
+                                hpush(times, t)
+                        else:
+                            t = now + instr.latency
+                            if t - now < __WHEEL_H__:
+                                slot = t % __WHEEL_H__
+                                entry = ring[slot]
+                                if entry is not None:
+                                    entry[1].append(instr)
+                                else:
+                                    ring[slot] = [t, [instr]]
+                                    hpush(times, t)
+                            else:
+                                items = overflow.get(t)
+                                if items is not None:
+                                    items.append(instr)
+                                else:
+                                    overflow[t] = [instr]
+                                    hpush(times, t)
+#@if VP_WB
+                        if instr.in_iq and instr.dest_cls is None:
+                            instr.in_iq = False
+                            iq_count -= 1
+#@else
+                        if instr.in_iq:
+                            instr.in_iq = False
+                            iq_count -= 1
+#@end
+                    if not ready_heap:
+                        ready_heap.extend(retry)
+                    else:
+                        for item in retry:
+                            hpush(ready_heap, item)
+                    if launched:
+                        s_executions += launched
+
+                # ---- rename/dispatch ------------------------------------
+                if fetch_buffer:
+                    budget = __RENAME_W__
+                    while budget and fetch_buffer:
+                        instr = fetch_buffer[0]
+                        if len(rob) >= __ROB_SIZE__:
+                            s_rob_full += 1
+                            break
+                        if iq_count >= __IQ_SIZE__:
+                            s_iq_full += 1
+                            break
+                        if instr.is_store and store_queue.full:
+                            s_sq_full += 1
+                            break
+#@if INLINE_RENAME
+                        cls = instr.dest_cls
+#@if CONV
+                        if cls is not None and not (
+                                int_free if cls == 0 else fp_free):
+                            renamer.decode_stalls += 1
+                            s_no_reg += 1
+                            break
+#@else
+                        if cls is not None and not (
+                                int_vp_d if cls == 0 else fp_vp_d):
+                            renamer.vp_stalls += 1
+                            s_no_reg += 1
+                            break
+#@end
+                        fetch_buffer.popleft()
+                        instr.rename_at = now
+                        rec = instr.rec
+                        src1 = rec.src1
+                        src2 = rec.src2
+                        if src1 >= 0:
+                            c = src1 >> __CLASS_SHIFT__
+                            tag1 = (c << TAG_CLASS_SHIFT) | (
+                                int_tags if c == 0 else fp_tags)[
+                                    src1 & __INDEX_MASK__]
+                            if src2 >= 0:
+                                c = src2 >> __CLASS_SHIFT__
+                                instr.src_tags = (
+                                    tag1,
+                                    (c << TAG_CLASS_SHIFT) | (
+                                        int_tags if c == 0 else fp_tags)[
+                                        src2 & __INDEX_MASK__],
+                                )
+                            else:
+                                instr.src_tags = (tag1,)
+                        elif src2 >= 0:
+                            c = src2 >> __CLASS_SHIFT__
+                            instr.src_tags = (
+                                (c << TAG_CLASS_SHIFT) | (
+                                    int_tags if c == 0 else fp_tags)[
+                                    src2 & __INDEX_MASK__],
+                            )
+                        else:
+                            instr.src_tags = ()
+                        if cls is None:
+                            instr.dest_tag = -1
+                        else:
+#@if CONV
+                            if cls == 0:
+                                fl = int_fl
+                                fr = int_free
+                                table = int_tags
+                            else:
+                                fl = fp_fl
+                                fr = fp_free
+                                table = fp_tags
+                            new_phys = fr.popleft()
+                            fl._members.discard(new_phys)
+                            fl.allocations += 1
+                            nf = len(fr)
+                            if nf < fl.min_free:
+                                fl.min_free = nf
+                            idx = rec.dest & __INDEX_MASK__
+                            instr.prev_phys = table[idx]
+                            instr.dest_phys = new_phys
+                            table[idx] = new_phys
+                            dest_tag = (cls << TAG_CLASS_SHIFT) | new_phys
+#@else
+                            if cls == 0:
+                                fl = int_vp_fl
+                                fr = int_vp_d
+                                gvp = int_tags
+                                gv = int_gmt_v
+                            else:
+                                fl = fp_vp_fl
+                                fr = fp_vp_d
+                                gvp = fp_tags
+                                gv = fp_gmt_v
+                            new_vp = fr.popleft()
+                            fl._members.discard(new_vp)
+                            fl.allocations += 1
+                            nf = len(fr)
+                            if nf < fl.min_free:
+                                fl.min_free = nf
+                            idx = rec.dest & __INDEX_MASK__
+                            instr.vp_reg = new_vp
+                            instr.prev_vp = gvp[idx]
+                            gvp[idx] = new_vp
+                            gv[idx] = False
+                            dest_tag = (cls << TAG_CLASS_SHIFT) | new_vp
+#@end
+                            instr.dest_tag = dest_tag
+                            ready_at_pop(dest_tag, None)
+#@else
+                        if (instr.dest_cls is not None
+                                and not can_rename(instr.rec)):
+                            s_no_reg += 1
+                            break
+                        fetch_buffer.popleft()
+                        instr.rename_at = now
+                        rename(instr)
+                        if instr.dest_tag != -1:
+                            ready_at_pop(instr.dest_tag, None)
+#@end
+#@if DISPATCH_HOOK
+#@if VP_INLINE
+                        if cls is not None:
+                            res = int_res if cls == 0 else fp_res
+                            if res.reg < res.nrr:
+                                instr.reserved = True
+                                res.reg += 1
+                            else:
+                                res._pending.append(instr)
+#@else
+                        on_dispatch(instr)
+#@end
+#@end
+                        rob.append(instr)
+                        if len(rob) > s_peak_rob:
+                            s_peak_rob = len(rob)
+                        instr.in_iq = True
+                        iq_count += 1
+                        instr.not_before = now + 1
+                        budget -= 1
+                        tags = instr.src_tags
+                        if instr.is_store:
+                            sq_insert(instr.seq)
+                            wait_tags = tags[:1]
+                            value_tag = tags[1]
+                            if ready_at_get(value_tag,
+                                            __FAR_FUTURE__) <= now:
+                                instr.data_ready_at = now
+                                sq_set_data_ready(instr.seq, now)
+                            else:
+                                data_waiters[value_tag].append(instr)
+                        else:
+                            wait_tags = tags
+                        need_int = need_fp = 0
+                        waiting = 0
+                        for tag in wait_tags:
+                            if tag >> TAG_CLASS_SHIFT:
+                                need_fp += 1
+                            else:
+                                need_int += 1
+                            if ready_at_get(tag, __FAR_FUTURE__) > now:
+                                waiters[tag].append(instr)
+                                waiting += 1
+                        instr.need_int = need_int
+                        instr.need_fp = need_fp
+                        instr.wait_count = waiting
+                        if waiting == 0:
+                            hpush(ready_heap, instr.heap_item)
+
+                # ---- fetch ----------------------------------------------
+                if not exhausted or replay:
+                    if now < fetch_resume_at:
+                        s_fetch_stall += 1
+                    else:
+                        budget = __FETCH_W__
+                        room = __FB_SIZE__ - len(fetch_buffer)
+                        if room < budget:
+                            budget = room
+                        seq = next_seq
+                        first_seq = seq
+                        while budget:
+                            if replay:
+                                rec = replay.popleft()
+                            else:
+                                rec = next(trace, None)
+                                if rec is None:
+                                    exhausted = True
+                                    break
+                            instr = new_instr(rec, seq)
+                            seq += 1
+                            instr.fetch_at = now
+                            fetch_buffer.append(instr)
+                            budget -= 1
+                            if instr.is_br:
+#@if PERFECT
+                                predicted_taken = rec.taken
+#@else
+                                predicted_taken = bht_counters[
+                                    (rec.pc >> 2) & bht_mask] >= 2
+#@end
+                                if predicted_taken != rec.taken:
+                                    instr.mispredicted = True
+                                    fetch_resume_at = __FAR_FUTURE__
+                                    break
+                                if predicted_taken:
+                                    break
+                        next_seq = seq
+                        s_fetched += seq - first_seq
+
+                # ---- occupancy integrals + cycle advance ----------------
+#@if POOLS
+                s_int_occ += NPR_INT - len(int_free)
+                s_fp_occ += NPR_FP - len(fp_free)
+#@else
+                s_int_occ += allocated_physical(RC_INT)
+                s_fp_occ += allocated_physical(RC_FP)
+#@end
+#@if IDLE
+                if ready_heap:
+                    now += 1
+                else:
+                    # Inlined _advance: the single-pass `while True` is
+                    # a structured stand-in for its early returns.
+                    target = now + 1
+                    while True:
+                        if (exhausted and not fetch_buffer and not rob
+                                and not replay):
+                            break
+                        next_mem = None
+                        due_mem = False
+                        for _, mi in pending_mem:
+                            if mi.squashed:
+                                continue
+                            t = mi.mem_ready_at
+                            if t <= now:
+                                due_mem = True
+                                break
+                            if next_mem is None or t < next_mem:
+                                next_mem = t
+                        if due_mem:
+                            break
+                        commit_bound = None
+                        if rob:
+                            head = rob[0]
+                            if head.completed:
+                                commit_bound = (head.completed_at
+                                                + __COMMIT_DELAY__)
+                                if commit_bound <= now:
+                                    break
+                        fetch_dead = exhausted and not replay
+                        fetch_bound = None
+                        if (not fetch_dead
+                                and len(fetch_buffer) < __FB_SIZE__):
+                            if fetch_resume_at <= target:
+                                break
+                            fetch_bound = fetch_resume_at
+                        stall_kind = 0
+                        if fetch_buffer:
+                            head = fetch_buffer[0]
+                            if len(rob) >= __ROB_SIZE__:
+                                stall_kind = 1
+                            elif iq_count >= __IQ_SIZE__:
+                                stall_kind = 2
+                            elif head.is_store and store_queue.full:
+                                stall_kind = 3
+                            elif head.dest_cls is None:
+                                break
+#@if GATE
+                            elif rename_gate[head.dest_cls].free_count:
+                                break
+                            else:
+                                stall_kind = 4
+#@else
+                            elif can_rename(head.rec):
+                                break
+                            else:
+                                stall_kind = 4
+#@end
+                        # times holds no entry <= now (drained at the
+                        # top of the cycle), so its head is next_time().
+                        best = times[0] if times else None
+                        for t in (next_mem, commit_bound, fetch_bound):
+                            if t is not None and (best is None
+                                                 or t < best):
+                                best = t
+                        horizon_bound = last_commit + __HORIZON__ + 1
+                        if best is None or best > horizon_bound:
+                            best = horizon_bound
+                        if best <= target:
+                            break
+                        skipped = best - target
+#@if POOLS
+                        s_int_occ += skipped * (NPR_INT - len(int_free))
+                        s_fp_occ += skipped * (NPR_FP - len(fp_free))
+#@else
+                        s_int_occ += skipped * allocated_physical(RC_INT)
+                        s_fp_occ += skipped * allocated_physical(RC_FP)
+#@end
+                        if not fetch_dead:
+                            stalled = (best - 1
+                                       if best < fetch_resume_at
+                                       else fetch_resume_at - 1) - now
+                            if stalled > 0:
+                                s_fetch_stall += stalled
+                        if stall_kind == 1:
+                            s_rob_full += skipped
+                        elif stall_kind == 2:
+                            s_iq_full += skipped
+                        elif stall_kind == 3:
+                            s_sq_full += skipped
+                        elif stall_kind == 4:
+                            s_no_reg += skipped
+                        idle_skips += 1
+                        idle_cycles_skipped += skipped
+                        target = best
+                        break
+                    now = target
+#@else
+                now += 1
+#@end
+                if now - last_commit > __HORIZON__:
+                    raise SimulationDeadlock(
+                        f"no commit for {__HORIZON__} cycles at "
+                        f"cycle {now}; ROB head: "
+                        f"{rob[0] if rob else None}"
+                    )
+        finally:
+            p.now = now
+            p.iq_count = iq_count
+            p.pending_mem = pending_mem
+            p._mshr_gated = mshr_gated
+            p.fetch_resume_at = fetch_resume_at
+            p._next_seq = next_seq
+            p._last_commit_cycle = last_commit
+            p._exhausted = exhausted
+            p.idle_skips = idle_skips
+            p.idle_cycles_skipped = idle_cycles_skipped
+            stats.committed = committed
+            stats.fetched = s_fetched
+            stats.executions = s_executions
+            stats.squashes = s_squashes
+            stats.issue_alloc_blocks = s_issue_alloc
+            stats.branches = s_branches
+            stats.mispredicts = s_mispredicts
+            stats.stall_rob_full = s_rob_full
+            stats.stall_iq_full = s_iq_full
+            stats.stall_no_reg = s_no_reg
+            stats.stall_sq_full = s_sq_full
+            stats.fetch_stall_cycles = s_fetch_stall
+            stats.wb_port_defers = s_wb_defers
+            stats.int_reg_occupancy_sum = s_int_occ
+            stats.fp_reg_occupancy_sum = s_fp_occ
+            stats.peak_rob = s_peak_rob
+
+    return loop
+'''

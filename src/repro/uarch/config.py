@@ -94,8 +94,18 @@ class ProcessorConfig:
     perfect_branch_prediction: bool = False
     # Safety net: abort if nothing commits for this many cycles.
     deadlock_horizon: int = 200_000
+    # Engine tier (execution strategy, not machine identity): "interp"
+    # runs the interpreter hot loop, "compiled" the per-config generated
+    # loop (uarch/compiled.py; transparent interpreter fallback on any
+    # codegen failure), "auto" defers to REPRO_ENGINE (default interp).
+    # Both tiers are bit-identical by contract, so the field is excluded
+    # from key() — results cache across tiers.
+    engine: str = "auto"
 
     def __post_init__(self):
+        if self.engine not in ("auto", "interp", "compiled"):
+            raise ValueError(
+                f"engine={self.engine!r}; choose auto, interp or compiled")
         if min(self.fetch_width, self.rename_width, self.issue_width,
                self.commit_width) < 1:
             raise ValueError("pipeline widths must be at least 1")
@@ -222,9 +232,13 @@ class ProcessorConfig:
 
         Unlike ``repr()``, the hash is insensitive to dict ordering and
         identical across processes and interpreter runs, so it can key a
-        persistent result store.
+        persistent result store.  The ``engine`` field is excluded: the
+        tiers are bit-identical by contract, so the same machine run on
+        either engine is the same result.
         """
-        canon = json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        d = self.to_dict()
+        d.pop("engine", None)
+        canon = json.dumps(d, sort_keys=True, separators=(",", ":"))
         return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:16]
 
 

@@ -85,9 +85,15 @@ class SimulationDeadlock(RuntimeError):
 class Processor:
     """One simulated machine; create a fresh instance per run."""
 
-    def __init__(self, config=None, idle_skip=True):
+    def __init__(self, config=None, idle_skip=True, engine=None):
         self.config = config or ProcessorConfig()
         cfg = self.config
+        # Engine tier: the explicit argument wins, else the config field
+        # ("auto" defers to REPRO_ENGINE at run time — see
+        # repro.uarch.compiled.resolve_engine).  engine_used records the
+        # tier that actually ran.
+        self._engine = engine if engine is not None else cfg.engine
+        self.engine_used = None
         self.renamer = cfg.build_renamer()
         self.bht = BranchHistoryTable(cfg.bht_entries)
         self.mem = MemorySystem(cfg.cache, cfg.cache_ports, cfg.store_queue_size)
@@ -185,6 +191,23 @@ class Processor:
             stream = itertools.islice(stream, max_instructions)
         self._trace = stream
         self._exhausted = False
+        from repro.uarch import compiled as _compiled
+
+        engine = _compiled.resolve_engine(self._engine)
+        self.engine_used = "interp"
+        # The compiled tier takes over the whole run loop.  Per-instance
+        # _step instrumentation (tests monkeypatch it) forces the
+        # interpreter: a replaced _step would never be called by the
+        # specialized loop.
+        if engine == "compiled" and "_step" not in self.__dict__:
+            loop = _compiled.build_loop(self)
+            if loop is not None:
+                self.engine_used = "compiled"
+                loop()
+                self.stats.cycles = self.now
+                self._harvest_stats()
+                return SimResult(stats=self.stats, config=self.config)
+            self.stats.engine_fallbacks += 1
         step = self._step  # honors per-instance test instrumentation
         horizon = self.config.deadlock_horizon
         while not (self._exhausted and not self.fetch_buffer
@@ -827,11 +850,21 @@ def simulate(config=None, trace=None, workload=None,
         if isinstance(workload, str):
             name = workload
             workload = load_workload(workload)
+            if max_instructions is not None:
+                # Registry workloads are uniquely named, so repeated
+                # runs of the same (workload, seed) point share one
+                # materialized record list (see trace.generator).
+                from repro.trace.generator import materialized_trace
+
+                trace = materialized_trace(
+                    workload, seed, skip + max_instructions)
+            else:
+                trace = SyntheticTrace(workload, seed)
         elif isinstance(workload, Workload):
             name = workload.name
+            trace = SyntheticTrace(workload, seed)
         else:
             raise TypeError("workload must be a name or a Workload")
-        trace = SyntheticTrace(workload, seed)
     processor = Processor(config or ProcessorConfig())
     result = processor.run(trace, max_instructions=max_instructions, skip=skip)
     result.workload = name

@@ -242,3 +242,67 @@ class TestSharedBaseHelpers:
 
         assert "on_dispatch" not in vars(VirtualPhysicalRenamer)
         assert VirtualPhysicalRenamer.on_dispatch is RenamingPolicy.on_dispatch
+
+
+class TestCapabilityDeclarations:
+    """The static registry capability declarations are the truth the
+    engine (and the compiled tier's specialization key) builds on —
+    they must match the flags of an actually-built renamer, and resolve
+    through a cache rather than per processor construction."""
+
+    def test_declared_capabilities_match_built_instances(self):
+        from repro.core.policy import PolicyCapabilities, policy_capabilities
+
+        for name in policy_names():
+            declared = policy_capabilities(name)
+            assert declared is not None, (
+                f"built-in policy {name!r} registered without a "
+                f"capability declaration")
+            built = PolicyCapabilities.of(
+                policy_config(name).build_renamer())
+            assert declared == built, (
+                f"{name}: registry declares {declared}, instance has "
+                f"{built}")
+
+    def test_capability_lookup_cached_across_constructions(self):
+        """A sweep constructing many processors (and deriving their
+        compiled-engine keys) resolves each policy's flags and name
+        once — not once per construction (the hoisted per-config
+        lookup regression pin)."""
+        from repro.core.policy import _policy_name_cache, policy_capabilities
+        from repro.uarch import compiled
+        from repro.uarch.processor import Processor
+
+        policy_capabilities.cache_clear()
+        _policy_name_cache.cache_clear()
+        configs = (ProcessorConfig(), virtual_physical_config(nrr=8))
+        for config in configs:  # warm both cached lookups
+            compiled.engine_features(Processor(config))
+        caps_misses = policy_capabilities.cache_info().misses
+        name_misses = _policy_name_cache.cache_info().misses
+        for _ in range(25):
+            for config in configs:
+                assert compiled.engine_features(
+                    Processor(config)) is not None
+        caps_info = policy_capabilities.cache_info()
+        assert caps_info.misses == caps_misses
+        assert caps_info.hits >= 50
+        assert _policy_name_cache.cache_info().misses == name_misses
+
+    def test_reregistration_invalidates_capability_cache(self):
+        from repro.core.policy import PolicyCapabilities, policy_capabilities
+
+        name = "conventional"
+        original = resolve_policy(name)
+        assert policy_capabilities(name) == original.capabilities
+        try:
+            changed = PolicyCapabilities(has_dispatch_hook=True)
+            register_policy(PolicyInfo(
+                name=original.name, scheme=original.scheme,
+                allocation=original.allocation, uses_nrr=original.uses_nrr,
+                description=original.description, build=original.build,
+                capabilities=changed))
+            assert policy_capabilities(name) == changed
+        finally:
+            register_policy(original)
+        assert policy_capabilities(name) == original.capabilities

@@ -50,7 +50,7 @@ def test_quickstart_smoke_blocks_are_marked():
     service_blocks = list(checker.iter_smoke_blocks(service))
     resilience_blocks = list(checker.iter_smoke_blocks(resilience))
     assert len(readme_blocks) >= 2  # CLI quickstart + library quickstart
-    assert len(engine_blocks) >= 1  # the localhost cluster walkthrough
+    assert len(engine_blocks) >= 2  # cluster walkthrough + engine-tier A/B
     assert len(policy_blocks) >= 2  # registry walk + port sweep
     assert len(service_blocks) >= 1  # the gateway curl walkthrough
     assert len(resilience_blocks) >= 1  # the corrupt-and-repair loop
@@ -60,6 +60,10 @@ def test_quickstart_smoke_blocks_are_marked():
     assert languages <= {"bash", "python"}
     # The cluster walkthrough really exercises the remote backend.
     assert any("--workers" in source for _, source in engine_blocks)
+    # The engine-tier A/B really runs both tiers and compares them.
+    assert any("--engine interp" in source and "--engine compiled" in source
+               and "engine_fallbacks" in source
+               for _, source in engine_blocks)
     # The policy walkthrough really exercises the registry + port model.
     assert any("policy_names" in source for _, source in policy_blocks)
     assert any("port-sweep" in source for _, source in policy_blocks)

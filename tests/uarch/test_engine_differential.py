@@ -1,0 +1,215 @@
+"""Cross-engine differential suite: compiled tier == interpreter, bit
+for bit.
+
+The compiled engine's only contract is that it is *undetectable* in the
+results: for every configuration the full ``SimStats`` dump must equal
+the interpreter's.  This suite checks the contract three ways:
+
+* a deterministic sample of the configuration space (every axis of
+  :data:`repro.uarch.enginediff.AXES` probed individually, plus random
+  combinations),
+* a randomized property run whose failures are *shrunk* to a minimal
+  failing configuration before being reported,
+* direct unit coverage of engine selection, fallback accounting, and
+  specialization caching.
+"""
+
+import os
+
+import pytest
+
+from repro.uarch import compiled, enginediff
+from repro.uarch.config import ProcessorConfig, virtual_physical_config
+from repro.uarch.processor import Processor
+from repro.trace.generator import materialized_trace
+from repro.trace.workloads import load_workload
+
+
+def _trace(workload="li", n=6_500, seed=1234):
+    return iter(materialized_trace(load_workload(workload), seed, n))
+
+
+def _run(config, engine, workload="li", n=6_000, skip=500, idle=True):
+    processor = Processor(config, idle_skip=idle, engine=engine)
+    result = processor.run(_trace(workload, skip + n),
+                           max_instructions=n, skip=skip)
+    return processor, result.stats.to_dict()
+
+
+# ---- sampled config space ----------------------------------------------
+
+SAMPLED = enginediff.sample_space(16, seed=2026)
+
+
+@pytest.mark.parametrize("index", range(len(SAMPLED)))
+@pytest.mark.parametrize("workload", ("li", "swim"))
+def test_sampled_config_bit_identical(index, workload):
+    choice = SAMPLED[index]
+    outcome = enginediff.compare_point(choice, workload)
+    assert outcome["ok"], (
+        f"engines diverge at {enginediff.describe(choice, workload)} "
+        f"(engine_used={outcome['engine_used']}): {outcome['mismatches']}")
+
+
+def test_randomized_property_with_shrinking():
+    """Random axis combinations; failures report a *minimal* config."""
+    for i, choice in enumerate(enginediff.sample_space(12, seed=97)):
+        workload = enginediff.DIFF_WORKLOADS[
+            i % len(enginediff.DIFF_WORKLOADS)]
+        outcome = enginediff.compare_point(choice, workload)
+        if not outcome["ok"]:  # pragma: no cover - only on regression
+            small_choice, small_workload = enginediff.shrink(
+                dict(choice), workload)
+            small = enginediff.compare_point(small_choice, small_workload)
+            pytest.fail(
+                "engines diverge; minimal failing config: "
+                f"{enginediff.describe(small_choice, small_workload)} -> "
+                f"{small['mismatches']}")
+
+
+def test_shrinker_reaches_fixpoint_on_synthetic_failure(monkeypatch):
+    """The shrinker strips irrelevant axes from a synthetic failure."""
+    # Fail exactly when the scarce-FU axis is off-default; every other
+    # axis must be shrunk away.
+    real = enginediff.compare_point
+
+    def fake(choice, workload, **kwargs):
+        if choice["fus"] == "scarce":
+            return {"ok": False, "engine_used": "compiled",
+                    "mismatches": {"cycles": (1, 2)}}
+        return {"ok": True, "engine_used": "compiled", "mismatches": {}}
+
+    monkeypatch.setattr(enginediff, "compare_point", fake)
+    try:
+        noisy = enginediff.default_choice()
+        noisy["fus"] = "scarce"
+        noisy["idle_skip"] = False
+        noisy["perfect_bp"] = True
+        noisy["regs"] = (48, 16)
+        small, workload = enginediff.shrink(dict(noisy), "swim")
+    finally:
+        monkeypatch.setattr(enginediff, "compare_point", real)
+    defaults = enginediff.default_choice()
+    assert small["fus"] == "scarce"
+    assert workload == enginediff.DIFF_WORKLOADS[0]
+    assert all(small[a] == defaults[a] for a in small if a != "fus")
+
+
+# ---- engine selection and fallback -------------------------------------
+
+def test_resolve_engine_names_and_env(monkeypatch):
+    assert compiled.resolve_engine("interp") == "interp"
+    assert compiled.resolve_engine("compiled") == "compiled"
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    assert compiled.resolve_engine(None) == "interp"
+    assert compiled.resolve_engine("auto") == "interp"
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    assert compiled.resolve_engine("auto") == "compiled"
+    monkeypatch.setenv("REPRO_ENGINE", " interp ")
+    assert compiled.resolve_engine(None) == "interp"
+    with pytest.raises(ValueError):
+        compiled.resolve_engine("turbo")
+    monkeypatch.setenv("REPRO_ENGINE", "warp")
+    with pytest.raises(ValueError):
+        compiled.resolve_engine("auto")
+
+
+def test_env_selects_compiled_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_ENGINE", "compiled")
+    processor, stats = _run(ProcessorConfig(), engine=None, n=2_000)
+    assert processor.engine_used == "compiled"
+    assert stats["engine_fallbacks"] == 0
+
+
+def test_config_engine_field_selects_tier(monkeypatch):
+    monkeypatch.delenv("REPRO_ENGINE", raising=False)
+    processor, _ = _run(ProcessorConfig(engine="compiled"), engine=None,
+                        n=2_000)
+    assert processor.engine_used == "compiled"
+    processor, _ = _run(ProcessorConfig(engine="interp"), engine=None,
+                        n=2_000)
+    assert processor.engine_used == "interp"
+
+
+def test_fallback_on_capability_mismatch_is_counted():
+    """A renamer whose instance flags contradict its registered
+    capabilities must fall back to the interpreter, counted once."""
+    config = virtual_physical_config(nrr=8)
+    processor = Processor(config, engine="compiled")
+    processor.renamer.has_complete_hook = not processor.renamer.has_complete_hook
+    # Restore coherence enough to run: flip back the behaviourally
+    # meaningful flag after feature detection sees the mismatch.
+    result = processor.run(_trace(n=2_500), max_instructions=2_000, skip=0)
+    assert processor.engine_used == "interp"
+    assert result.stats.engine_fallbacks == 1
+
+
+def test_instrumented_step_disables_compiled_engine():
+    """Per-instance _step instrumentation (tracers, tests) wins."""
+    calls = []
+    processor = Processor(ProcessorConfig(), engine="compiled")
+    original = processor._step
+
+    def counting_step():
+        calls.append(1)
+        return original()
+
+    processor._step = counting_step
+    result = processor.run(_trace(n=2_500), max_instructions=2_000, skip=0)
+    assert processor.engine_used == "interp"
+    assert calls, "instrumented _step was bypassed"
+    # Not a codegen failure: nothing is counted as a fallback.
+    assert result.stats.engine_fallbacks == 0
+
+
+def test_method_override_on_renamer_disables_inline_specialization():
+    """An instance-level renamer method override must still be honored
+    (the inline fast path is disabled, not the compiled tier)."""
+    config = ProcessorConfig()
+    processor = Processor(config, engine="compiled")
+    seen = []
+    inner = processor.renamer.on_commit
+
+    def spying_on_commit(instr):
+        seen.append(instr.seq)
+        return inner(instr)
+
+    processor.renamer.on_commit = spying_on_commit
+    flags, _ = compiled.engine_features(processor)
+    assert not flags["CONV"] and not flags["INLINE_RENAME"]
+    result = processor.run(_trace(n=2_500), max_instructions=2_000, skip=0)
+    assert processor.engine_used == "compiled"
+    assert len(seen) == result.stats.committed
+
+
+# ---- specialization cache ----------------------------------------------
+
+def test_specializations_shared_across_equal_configs():
+    compiled.clear_cache()
+    try:
+        for _ in range(3):
+            processor, _ = _run(ProcessorConfig(), "compiled", n=1_500)
+            assert processor.engine_used == "compiled"
+        info = compiled.cache_info()
+        assert info["specializations"] == 1
+        assert info["build_failures"] == {}
+    finally:
+        compiled.clear_cache()
+
+
+def test_engine_key_stable_and_distinguishes_features():
+    base = Processor(ProcessorConfig(), engine="compiled")
+    again = Processor(ProcessorConfig(), engine="compiled")
+    other = Processor(ProcessorConfig(rob_size=64), engine="compiled")
+    assert compiled.engine_key(base) == compiled.engine_key(again)
+    assert compiled.engine_key(base) != compiled.engine_key(other)
+
+
+def test_specialized_source_drops_dead_branches():
+    plain = compiled.specialized_source(Processor(ProcessorConfig()))
+    ported = compiled.specialized_source(
+        Processor(ProcessorConfig(rf_model=True)))
+    assert "rf_claim_write" not in plain
+    assert "rf_claim_write" in ported
+    assert "#@" not in plain  # directives fully consumed
+    assert str(ProcessorConfig().rob_size) in plain  # consts baked

@@ -1,0 +1,66 @@
+"""Golden pins for the *compiled* engine tier.
+
+Mirror of ``test_processor_golden_optimized.py``: the same
+``data/golden_stats.json`` dumps — captured on the interpreted
+reference tier — must be reproduced bit-for-bit by the compiled
+engine, with the codegen actually engaged (no silent interpreter
+fallback) for every pinned policy.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import load_workload
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CONFIGS = {
+    "conventional": lambda: conventional_config(),
+    "early_release": lambda: ProcessorConfig(
+        scheme=RenamingScheme.EARLY_RELEASE),
+    "vp_issue_nrr8": lambda: virtual_physical_config(
+        nrr=8, allocation=AllocationStage.ISSUE),
+    "vp_wb_nrr8": lambda: virtual_physical_config(nrr=8),
+    "vp_wb_nrr8_gated": lambda: virtual_physical_config(
+        nrr=8, retry_gating=True),
+}
+
+
+def _run(entry, idle_skip):
+    processor = Processor(CONFIGS[entry["label"]](), idle_skip=idle_skip,
+                          engine="compiled")
+    trace = SyntheticTrace(load_workload(entry["workload"]), entry["seed"])
+    result = processor.run(trace, max_instructions=entry["instructions"],
+                           skip=entry["skip"])
+    return processor, result
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_compiled_engine_reproduces_golden_stats(key):
+    entry = GOLDEN[key]
+    processor, result = _run(entry, idle_skip=True)
+    assert processor.engine_used == "compiled", (
+        "codegen fell back to the interpreter for a pinned policy")
+    assert result.stats.engine_fallbacks == 0
+    assert result.stats.to_dict() == entry["stats"]
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_compiled_idle_skip_changes_nothing(key):
+    entry = GOLDEN[key]
+    _, skipping = _run(entry, idle_skip=True)
+    processor, spinning = _run(entry, idle_skip=False)
+    assert processor.engine_used == "compiled"
+    assert skipping.stats.to_dict() == spinning.stats.to_dict()

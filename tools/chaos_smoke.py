@@ -3,10 +3,11 @@
 
 Run with ``PYTHONPATH=src``; everything (workers, gateway, reference
 run) is started by this script against a throwaway cache directory, so
-it needs no prior setup.  Three phases, all asserted bit-identical to
+it needs no prior setup.  Four phases, all asserted bit-identical to
 a serial in-process reference run of the same grid:
 
-1. **Reference** — serial execution of the acceptance grid.
+1. **Reference** — serial execution of the acceptance grid, on the
+   interpreted cycle-engine tier.
 2. **Remote chaos** — two ``repro worker`` daemons started with a
    seeded ``REPRO_FAULTS`` plan that makes each drop one chunk reply
    and then die mid-chunk; the coordinator runs with its own seeded
@@ -14,7 +15,14 @@ a serial in-process reference run of the same grid:
    circuit breaker, and — once both workers are gone — degrades onto
    the local fallback executor.  The merged results must equal the
    reference exactly.
-3. **Gateway kill + resume** — a journaled ``repro serve`` is
+3. **Compiled-engine chaos** — the same worker/coordinator fault plans
+   replayed with every spec pinned to the *compiled* cycle engine
+   (``engine="compiled"`` rides the spec wire format to the workers).
+   Transport-level chaos on top of the codegen tier must still merge
+   bit-identical to the serial *interpreted* reference — and the stats
+   dumps carry ``engine_fallbacks``, so a silent fallback to the
+   interpreter on a worker would itself show up as a mismatch.
+4. **Gateway kill + resume** — a journaled ``repro serve`` is
    SIGKILLed mid-job after streaming at least one point, restarted on
    the same port with ``--resume``, and must deliver every remaining
    point exactly once (the client reconnects with its event cursor),
@@ -51,17 +59,26 @@ COORDINATOR_PLAN = ("seed=13;remote.connect:p=0.3,n=2;"
 WORKER_PLAN = "seed=17;worker.crash_before_reply:n=1;worker.exit:n=1,after=2"
 
 
-def build_grid(instructions, skip, seeds):
-    """Conventional vs vp-issue on two workloads, ``seeds`` points each."""
+def build_grid(instructions, skip, seeds, engine=None):
+    """Conventional vs vp-issue on two workloads, ``seeds`` points each.
+
+    ``engine`` pins every spec's cycle-engine tier (``"compiled"`` for
+    the codegen-chaos phase); ``None`` keeps the config default
+    (``"auto"``, which resolves to the interpreter here).
+    """
+    configs = [
+        ("conventional", conventional_config()),
+        ("vp-issue", virtual_physical_config(nrr=8)),
+    ]
+    if engine:
+        configs = [(label, config.with_(engine=engine))
+                   for label, config in configs]
     return [
         RunSpec(workload, config, label=label).resolved(
             instructions, skip, seed)
         for seed in range(seeds)
         for workload in ("go", "swim")
-        for label, config in (
-            ("conventional", conventional_config()),
-            ("vp-issue", virtual_physical_config(nrr=8)),
-        )
+        for label, config in configs
     ]
 
 
@@ -102,8 +119,20 @@ def spawn(cmd, env, log, name):
                             stderr=subprocess.STDOUT)
 
 
+def comparable(result):
+    """``to_dict`` with the config's engine pin stripped — the one
+    field :meth:`ProcessorConfig.key` also excludes, so an interpreted
+    reference and a compiled-tier run compare on substance (timing,
+    stats, workload) rather than on which tier was requested."""
+    d = result.to_dict()
+    if isinstance(d.get("config"), dict):
+        d["config"] = {k: v for k, v in d["config"].items()
+                       if k != "engine"}
+    return d
+
+
 def assert_identical(results, reference, what, log):
-    mismatches = sum(a.to_dict() != b.to_dict()
+    mismatches = sum(comparable(a) != comparable(b)
                      for a, b in zip(results, reference))
     assert len(results) == len(reference) and not mismatches, (
         f"{what}: {mismatches}/{len(reference)} result(s) differ "
@@ -112,7 +141,8 @@ def assert_identical(results, reference, what, log):
               "to the serial reference")
 
 
-def phase_remote_chaos(specs, reference, cache_dir, ports, log):
+def phase_remote_chaos(specs, reference, cache_dir, ports, log,
+                       what="remote chaos"):
     """Workers that drop replies and die; the run must still merge."""
     env = dict(os.environ, REPRO_CACHE_DIR=str(cache_dir),
                REPRO_FAULTS=WORKER_PLAN, PYTHONPATH="src")
@@ -135,15 +165,36 @@ def phase_remote_chaos(specs, reference, cache_dir, ports, log):
         finally:
             clear()
         run_report = executor.last_run_report
-        log.write(f"remote: retries={run_report.get('retries')} "
+        log.write(f"{what}: retries={run_report.get('retries')} "
                   f"quarantined={run_report.get('quarantined')} "
                   f"degraded={bool(run_report.get('degraded'))}")
-        assert_identical(results, reference, "remote chaos", log)
+        assert_identical(results, reference, what, log)
     finally:
         for proc in workers:
             proc.kill()
         for proc in workers:
             proc.wait(timeout=10)
+
+
+def assert_compiled_engages(config, log):
+    """Prove ``config`` actually selects the codegen tier in-process.
+
+    Bit-identity alone cannot distinguish "compiled ran and matched"
+    from "the engine pin never made it through the wire and the
+    interpreter ran twice" — so probe one tiny run locally and check
+    the engine the processor reports it used.
+    """
+    from repro.trace.generator import SyntheticTrace
+    from repro.trace.workloads import load_workload
+    from repro.uarch.processor import Processor
+
+    processor = Processor(config)
+    processor.run(SyntheticTrace(load_workload("go"), seed=0),
+                  max_instructions=200)
+    assert processor.engine_used == "compiled", (
+        f"engine pin did not engage codegen: used {processor.engine_used!r}")
+    log.write("compiled chaos: probe confirms the codegen tier engages "
+              "for the pinned configs")
 
 
 def phase_gateway_resume(specs, reference, cache_dir, port, log):
@@ -230,6 +281,18 @@ def main(argv=None):
 
         phase_remote_chaos(specs, reference, tmp / "remote-cache",
                            [args.base_port, args.base_port + 1], log)
+
+        # Same transport chaos, compiled cycle engine underneath: the
+        # seeded fault plans replay exactly (fresh worker processes,
+        # fresh plan counters) and the merged results must still equal
+        # the *interpreted* serial reference bit for bit.
+        compiled_specs = build_grid(args.instructions, args.skip, seeds=2,
+                                    engine="compiled")
+        assert_compiled_engages(compiled_specs[0].config, log)
+        phase_remote_chaos(compiled_specs, reference,
+                           tmp / "compiled-cache",
+                           [args.base_port + 3, args.base_port + 4], log,
+                           what="compiled-engine chaos")
 
         gw_specs = [RunSpec("go", conventional_config()).resolved(
             args.gateway_instructions, args.skip, seed)
