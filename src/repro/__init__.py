@@ -81,7 +81,7 @@ from repro.uarch import (
     virtual_physical_config,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AllocationStage",

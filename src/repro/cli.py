@@ -21,6 +21,11 @@ Commands
 ``bench``
     Measure engine throughput (KIPS) per workload × renamer and write
     ``BENCH_engine.json``; optionally gate against a committed baseline.
+    ``--engine both`` A/Bs interp vs compiled; ``--engine all`` measures
+    all three tiers including the C-compiled native engine.
+``engines``
+    Report cycle-engine tier availability on this host: the C toolchain
+    probe, the native artifact cache, and what ``auto`` resolves to.
 ``cache compact``
     Merge the persistent store's writer segments and rewrite it keeping
     the newest record per key (``--prune-stale`` also drops records
@@ -152,14 +157,17 @@ def _config_for(args):
 def _add_engine_tier_arg(parser, both=False):
     """--engine: the cycle-engine tier (distinct from the *batch*
     engine's --jobs/--executor arguments)."""
-    choices = ["auto", "interp", "compiled"] + (["both"] if both else [])
+    choices = (["auto", "interp", "compiled", "native"]
+               + (["both", "all"] if both else []))
     parser.add_argument(
         "--engine", choices=choices, default=None,
         help="cycle-engine tier: 'interp' is the reference interpreter, "
-             "'compiled' renders per-config specialized loops (bit-"
-             "identical stats, faster), 'auto' (default) defers to "
-             "REPRO_ENGINE"
-             + ("; 'both' measures an interp/compiled A/B" if both else ""))
+             "'compiled' renders per-config specialized loops, 'native' "
+             "C-compiles them (both bit-identical to interp, faster; "
+             "native needs a C toolchain — see `repro engines`), 'auto' "
+             "(default) defers to REPRO_ENGINE"
+             + ("; 'both' measures an interp/compiled A/B, 'all' all "
+                "three tiers" if both else ""))
 
 
 def _add_engine_args(parser):
@@ -472,11 +480,23 @@ def cmd_bench(args):
 
     workloads = args.workloads.split(",") if args.workloads else None
     schemes = args.schemes.split(",") if args.schemes else None
-    if args.engine == "both":
+    if args.engine in ("native", "all"):
+        from repro.uarch import native
+
+        if native.toolchain() is None:
+            # Without a toolchain every native point would loudly fall
+            # back and measure the compiled tier — not what was asked.
+            raise SystemExit(
+                "repro bench: --engine {} needs a C toolchain and none "
+                "was found (set REPRO_CC or install cc/gcc/clang; see "
+                "`repro engines`)".format(args.engine))
+    if args.engine in ("both", "all"):
+        engines = (("interp", "compiled", "native") if args.engine == "all"
+                   else ("interp", "compiled"))
         report = perf.measure_engines(
             workloads=workloads, schemes=schemes,
             instructions=args.instructions, skip=args.skip, seed=args.seed,
-            repeats=args.repeats,
+            repeats=args.repeats, engines=engines,
             progress=progress if not args.quiet else None)
     else:
         report = perf.measure_kips(
@@ -489,10 +509,14 @@ def cmd_bench(args):
     if args.out:
         perf.write_report(args.out, report)
         print(f"wrote {args.out}")
+    # The committed baseline is an *interpreter-tier* report; an A/B
+    # run gates (or updates) with its interp sub-report so the gate
+    # never compares a faster tier against the pure-Python floor.
+    gate_report = report.get("engines", {}).get("interp", report)
     if args.update_baseline:
         if not args.baseline:
             raise SystemExit("--update-baseline requires --baseline PATH")
-        perf.write_report(args.baseline, report)
+        perf.write_report(args.baseline, gate_report)
         print(f"updated baseline {args.baseline}")
         return 0
     if args.baseline:
@@ -503,9 +527,41 @@ def cmd_bench(args):
                   "regression gate")
             return 0
         ok, message = perf.compare_to_baseline(
-            report, baseline, max_regression=args.max_regression)
+            gate_report, baseline, max_regression=args.max_regression)
         print(("OK  " if ok else "FAIL ") + message)
         return 0 if ok else 1
+    return 0
+
+
+def cmd_engines(args):
+    """Report cycle-engine tier availability on this host."""
+    from repro.uarch import compiled, native
+
+    report = {
+        "interp": {"available": True},
+        "compiled": {"available": True, "cache": compiled.cache_info()},
+        "native": dict(native.probe(), artifacts=native.artifact_stats()),
+        "resolved_auto": compiled.resolve_engine("auto"),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print("interp:   available (pure-Python reference interpreter)")
+    print("compiled: available (per-config generated Python loops)")
+    nat = report["native"]
+    if nat["available"]:
+        art = nat["artifacts"]
+        print(f"native:   available (toolchain {nat['toolchain']}, "
+              f"template {nat['template_fingerprint']}, "
+              f"{art['artifacts']} cached artifact(s) in {art['dir']})")
+    else:
+        why = ("no C toolchain — set REPRO_CC or install cc/gcc/clang"
+               if nat["toolchain"] is None
+               else f"artifact dir {nat['cache_dir']} not writable")
+        print(f"native:   UNAVAILABLE ({why}); engine=native falls back "
+              "to compiled, counted in SimStats.engine_fallbacks")
+    print(f"auto resolves to: {report['resolved_auto']} "
+          "(REPRO_ENGINE overrides)")
     return 0
 
 
@@ -528,13 +584,21 @@ def cmd_cache_compact(args):
     after = total_bytes(store)
     print(f"{store.path}: merged {segments} segment(s), kept {kept} "
           f"records, dropped {dropped} ({before} -> {after} bytes)")
+    from repro.uarch import native
+
+    removed, freed = native.prune_stale()
+    if removed:
+        print(f"{native.artifact_dir()}: pruned {removed} stale native "
+              f"artifact(s), freed {freed} bytes")
     return 0
 
 
 def cmd_cache_stats(args):
     from repro.engine import ResultStore
+    from repro.uarch import native
 
     stats = ResultStore().stats()
+    stats["native"] = native.artifact_stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
@@ -553,6 +617,14 @@ def cmd_cache_stats(args):
         print("  versions: " + ", ".join(
             f"{version} ({count})"
             for version, count in stats["versions"].items()))
+    art = stats["native"]
+    line = (f"{art['dir']}: {art['artifacts']} native artifact(s), "
+            f"{art['bytes']} bytes")
+    if art["stale_artifacts"]:
+        line += (f" ({art['stale_artifacts']} stale, "
+                 f"{art['stale_bytes']} bytes — "
+                 "`repro cache compact` prunes them)")
+    print(line)
     return 0
 
 
@@ -937,6 +1009,14 @@ def build_parser():
     bench.add_argument("--quiet", action="store_true",
                        help="suppress the per-point progress line")
     bench.set_defaults(fn=cmd_bench)
+
+    engines = sub.add_parser(
+        "engines",
+        help="report cycle-engine tier availability (toolchain probe, "
+             "artifact cache) on this host")
+    engines.add_argument("--json", action="store_true",
+                         help="emit the raw availability report JSON")
+    engines.set_defaults(fn=cmd_engines)
 
     serve = sub.add_parser(
         "serve",

@@ -44,9 +44,9 @@ def measure_kips(workloads=None, schemes=None, instructions=30_000,
     """Measure KIPS for every workload × scheme point.
 
     ``engine`` selects the cycle-engine tier for every point
-    (``"interp"`` / ``"compiled"``; default ``None`` keeps the config's
-    ``"auto"``, deferring to ``REPRO_ENGINE``).  Returns a
-    JSON-compatible report::
+    (``"interp"`` / ``"compiled"`` / ``"native"``; default ``None``
+    keeps the config's ``"auto"``, deferring to ``REPRO_ENGINE``).
+    Returns a JSON-compatible report::
 
         {"unit": "KIPS", "instructions": ..., "repeats": ...,
          "runs": {"swim/conventional": {"kips": ..., "seconds": ...,
@@ -115,11 +115,14 @@ def measure_engines(workloads=None, schemes=None, instructions=30_000,
                     engines=("interp", "compiled")):
     """Engine-tier A/B: the same grid under every tier in ``engines``.
 
-    Returns the compiled tier's report shape (so ``format_report`` and
+    Returns the *last* tier's report shape (so ``format_report`` and
     baseline gating keep working) extended with the per-tier
-    sub-reports and per-point speedups::
+    sub-reports and per-point speedups of the last tier over the
+    first — e.g. ``engines=("interp", "compiled", "native")`` reports
+    native-over-interp speedups with all three tiers' runs attached::
 
-        {..., "engines": {"interp": {...}, "compiled": {...}},
+        {..., "engines": {"interp": {...}, "compiled": {...},
+                          "native": {...}},
          "speedup": {"li/conventional": 1.81, ...},
          "median_speedup": ...}
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+from collections import OrderedDict
 from heapq import heappush, heappop
 
 from repro.core.conventional import ConventionalRenamer
@@ -53,8 +54,29 @@ _WHEEL_HORIZON = 128  # mirrors EventWheel's default ring size
 #: render/compile failures by reason (diagnostics; reset per process).
 build_failures: dict[str, int] = {}
 
-_CODE_CACHE: dict[tuple, object] = {}
-_SOURCE_CACHE: dict[tuple, str] = {}
+#: LRU bound on the in-process caches.  Specializations are keyed by
+#: feature vector, so even a wide sweep shares a handful of entries;
+#: the bound exists so a pathological config generator (fuzzers, the
+#: shrinker) cannot grow the process without limit.
+_CACHE_CAP = 64
+
+_CODE_CACHE: OrderedDict[tuple, object] = OrderedDict()
+_SOURCE_CACHE: OrderedDict[tuple, str] = OrderedDict()
+
+#: code-cache traffic (diagnostics; reset by :func:`clear_cache`).
+cache_hits = 0
+cache_misses = 0
+cache_evictions = 0
+
+
+def _cache_put(cache, key, value):
+    """Insert into an LRU-bounded cache, evicting oldest past the cap."""
+    global cache_evictions
+    cache[key] = value
+    while len(cache) > _CACHE_CAP:
+        cache.popitem(last=False)
+        if cache is _CODE_CACHE:
+            cache_evictions += 1
 
 
 def resolve_engine(requested):
@@ -68,9 +90,10 @@ def resolve_engine(requested):
     name = requested or "auto"
     if name == "auto":
         name = os.environ.get("REPRO_ENGINE", "").strip() or "interp"
-    if name not in ("interp", "compiled"):
+    if name not in ("interp", "compiled", "native"):
         raise ValueError(
-            f"unknown engine {name!r}; choose interp, compiled or auto")
+            f"unknown engine {name!r}; choose interp, compiled, native "
+            "or auto")
     return name
 
 
@@ -162,15 +185,21 @@ def cache_info():
     """Diagnostics: cached specializations and recorded build failures."""
     return {
         "specializations": len(_CODE_CACHE),
+        "capacity": _CACHE_CAP,
+        "hits": cache_hits,
+        "misses": cache_misses,
+        "evictions": cache_evictions,
         "build_failures": dict(build_failures),
     }
 
 
 def clear_cache():
     """Drop every cached specialization (tests)."""
+    global cache_hits, cache_misses, cache_evictions
     _CODE_CACHE.clear()
     _SOURCE_CACHE.clear()
     build_failures.clear()
+    cache_hits = cache_misses = cache_evictions = 0
 
 
 def _note_failure(reason):
@@ -223,9 +252,13 @@ def specialized_source(processor):
         return None
     flags, consts = features
     key = (tuple(sorted(flags.items())), tuple(sorted(consts.items())))
-    if key not in _SOURCE_CACHE:
-        _SOURCE_CACHE[key] = render_source(flags, consts)
-    return _SOURCE_CACHE[key]
+    source = _SOURCE_CACHE.get(key)
+    if source is None:
+        source = render_source(flags, consts)
+        _cache_put(_SOURCE_CACHE, key, source)
+    else:
+        _SOURCE_CACHE.move_to_end(key)
+    return source
 
 
 def build_loop(processor):
@@ -244,19 +277,24 @@ def build_loop(processor):
         return None
     flags, consts = features
     key = (tuple(sorted(flags.items())), tuple(sorted(consts.items())))
+    global cache_hits, cache_misses
     code = _CODE_CACHE.get(key)
     if code is None:
+        cache_misses += 1
         try:
             source = _SOURCE_CACHE.get(key)
             if source is None:
                 source = render_source(flags, consts)
-                _SOURCE_CACHE[key] = source
+                _cache_put(_SOURCE_CACHE, key, source)
             code = compile(source, f"<repro-engine {engine_key(processor)}>",
                            "exec")
         except SyntaxError:
             _note_failure("render-error")
             return None
-        _CODE_CACHE[key] = code
+        _cache_put(_CODE_CACHE, key, code)
+    else:
+        cache_hits += 1
+        _CODE_CACHE.move_to_end(key)
     from repro.uarch.processor import SimulationDeadlock
 
     namespace = {

@@ -96,16 +96,19 @@ class ProcessorConfig:
     deadlock_horizon: int = 200_000
     # Engine tier (execution strategy, not machine identity): "interp"
     # runs the interpreter hot loop, "compiled" the per-config generated
-    # loop (uarch/compiled.py; transparent interpreter fallback on any
-    # codegen failure), "auto" defers to REPRO_ENGINE (default interp).
-    # Both tiers are bit-identical by contract, so the field is excluded
-    # from key() — results cache across tiers.
+    # loop (uarch/compiled.py), "native" the C-compiled loop
+    # (uarch/native; falls back native -> compiled -> interp on any
+    # build failure, loudly via SimStats.engine_fallbacks), "auto"
+    # defers to REPRO_ENGINE (default interp).  All tiers are
+    # bit-identical by contract, so the field is excluded from key() —
+    # results cache across tiers.
     engine: str = "auto"
 
     def __post_init__(self):
-        if self.engine not in ("auto", "interp", "compiled"):
+        if self.engine not in ("auto", "interp", "compiled", "native"):
             raise ValueError(
-                f"engine={self.engine!r}; choose auto, interp or compiled")
+                f"engine={self.engine!r}; choose auto, interp, compiled "
+                "or native")
         if min(self.fetch_width, self.rename_width, self.issue_width,
                self.commit_width) < 1:
             raise ValueError("pipeline widths must be at least 1")

@@ -195,11 +195,33 @@ class Processor:
 
         engine = _compiled.resolve_engine(self._engine)
         self.engine_used = "interp"
+        # The native tier runs the whole trace in C.  It needs the
+        # record list up front (one marshalling pass); on any build or
+        # marshalling failure it falls back to the compiled tier below,
+        # counting the fallback.  Per-instance _step instrumentation
+        # forces the interpreter for the same reason as the compiled
+        # tier (silently: the request is reinterpreted, not failed).
+        if engine == "native" and "_step" not in self.__dict__:
+            from repro.uarch import native as _native
+
+            if max_instructions is None:
+                # An unbounded stream cannot be safely materialized.
+                _native._note_failure("unbounded-trace")
+            else:
+                records = list(stream)
+                self._trace = stream = iter(records)
+                self.engine_used = "native"
+                if _native.execute(self, records):
+                    self.stats.cycles = self.now
+                    self._harvest_stats()
+                    return SimResult(stats=self.stats, config=self.config)
+                self.engine_used = "interp"
+            self.stats.engine_fallbacks += 1
         # The compiled tier takes over the whole run loop.  Per-instance
         # _step instrumentation (tests monkeypatch it) forces the
         # interpreter: a replaced _step would never be called by the
         # specialized loop.
-        if engine == "compiled" and "_step" not in self.__dict__:
+        if engine in ("compiled", "native") and "_step" not in self.__dict__:
             loop = _compiled.build_loop(self)
             if loop is not None:
                 self.engine_used = "compiled"

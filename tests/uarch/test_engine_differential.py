@@ -18,7 +18,7 @@ import os
 
 import pytest
 
-from repro.uarch import compiled, enginediff
+from repro.uarch import compiled, enginediff, native
 from repro.uarch.config import ProcessorConfig, virtual_physical_config
 from repro.uarch.processor import Processor
 from repro.trace.generator import materialized_trace
@@ -213,3 +213,92 @@ def test_specialized_source_drops_dead_branches():
     assert "rf_claim_write" in ported
     assert "#@" not in plain  # directives fully consumed
     assert str(ProcessorConfig().rob_size) in plain  # consts baked
+
+
+def test_code_cache_lru_bound_and_counters(monkeypatch):
+    """The in-process specialization cache is LRU-bounded: filling it
+    past the cap evicts the oldest entry and counts the eviction."""
+    compiled.clear_cache()
+    monkeypatch.setattr(compiled, "_CACHE_CAP", 2)
+    try:
+        # Three distinct specializations (ROB size is a baked const).
+        for rob in (128, 64, 32):
+            _run(ProcessorConfig(rob_size=rob), "compiled", n=600, skip=0)
+        info = compiled.cache_info()
+        assert info["specializations"] == 2  # bounded, oldest evicted
+        assert info["misses"] == 3 and info["evictions"] == 1
+        # Re-running an evicted config is a miss; a cached one a hit.
+        _run(ProcessorConfig(rob_size=128), "compiled", n=600, skip=0)
+        _run(ProcessorConfig(rob_size=128), "compiled", n=600, skip=0)
+        info = compiled.cache_info()
+        assert info["misses"] == 4 and info["hits"] == 1
+    finally:
+        compiled.clear_cache()
+
+
+# ---- native tier --------------------------------------------------------
+
+needs_toolchain = pytest.mark.skipif(
+    native.toolchain() is None,
+    reason="native tier needs a C toolchain (cc/gcc/clang or $REPRO_CC)")
+
+
+def test_resolve_engine_accepts_native(monkeypatch):
+    assert compiled.resolve_engine("native") == "native"
+    monkeypatch.setenv("REPRO_ENGINE", "native")
+    assert compiled.resolve_engine("auto") == "native"
+    assert compiled.resolve_engine(None) == "native"
+
+
+def test_native_expected_tier_for_early_release():
+    choice = enginediff.default_choice()
+    assert enginediff.expected_tier(choice, "native") == "native"
+    choice["policy"] = "early-release"
+    assert enginediff.expected_tier(choice, "native") == "compiled"
+    assert enginediff.expected_tier(choice, "compiled") == "compiled"
+
+
+def test_native_unavailable_falls_back_to_compiled(monkeypatch):
+    """Without a toolchain the ladder lands on the compiled tier —
+    loudly (one counted fallback), never a crash."""
+    monkeypatch.setattr(native, "_toolchain", None)
+    native.clear_cache()
+    processor, stats = _run(ProcessorConfig(), "native", n=2_000)
+    assert processor.engine_used == "compiled"
+    assert stats["engine_fallbacks"] == 1
+    assert native.build_failures.get("no-toolchain", 0) >= 1
+    native.clear_cache()
+
+
+@needs_toolchain
+@pytest.mark.parametrize("index", range(8))
+@pytest.mark.parametrize("workload", ("li", "swim"))
+def test_native_sampled_config_bit_identical(index, workload):
+    choice = SAMPLED[index]
+    outcome = enginediff.compare_point(choice, workload, engine="native")
+    assert outcome["ok"], (
+        f"native diverges at {enginediff.describe(choice, workload)} "
+        f"(engine_used={outcome['engine_used']}): {outcome['mismatches']}")
+
+
+@needs_toolchain
+def test_native_artifact_reused_across_processes_worth_of_state():
+    """A second build of the same config must hit the in-process (or
+    on-disk) artifact cache, not recompile from scratch."""
+    config = virtual_physical_config(nrr=8)
+    p1, s1 = _run(config, "native", n=2_000)
+    loaded = native.cache_info()["loaded_libraries"]
+    p2, s2 = _run(config, "native", n=2_000)
+    assert p1.engine_used == p2.engine_used == "native"
+    assert s1 == s2
+    assert native.cache_info()["loaded_libraries"] == loaded
+    assert s1["engine_fallbacks"] == 0
+
+
+@needs_toolchain
+def test_native_probe_reports_available():
+    report = native.probe()
+    assert report["available"]
+    assert report["toolchain"]
+    assert report["cache_dir_writable"]
+    assert report["template_fingerprint"] == native.template_fingerprint()

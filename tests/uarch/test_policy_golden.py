@@ -50,4 +50,10 @@ def test_registry_built_policies_match_golden_stats(key):
     trace = SyntheticTrace(load_workload(entry["workload"]), entry["seed"])
     result = processor.run(trace, max_instructions=entry["instructions"],
                            skip=entry["skip"])
-    assert result.stats.to_dict() == entry["stats"]
+    # engine_fallbacks records which cycle-engine tier served the run
+    # (under REPRO_ENGINE=native a policy the native tier cannot lower
+    # legitimately falls back to the compiled tier), not what it
+    # computed; tier residency is pinned by the per-tier golden suites.
+    timing = lambda d: {k: v for k, v in d.items()
+                        if k != "engine_fallbacks"}
+    assert timing(result.stats.to_dict()) == timing(entry["stats"])

@@ -1,0 +1,91 @@
+"""Golden pins for the *native* (C-compiled) engine tier.
+
+Mirror of ``test_processor_golden_compiled.py``: the same
+``data/golden_stats.json`` dumps — captured on the interpreted
+reference tier — must be reproduced bit-for-bit by the native engine.
+
+The early-release policy keeps its rename hooks out-of-line, so the
+native tier lowers every *other* pinned policy fallback-free and lands
+early-release on the compiled tier via the documented ladder — one
+counted fallback, identical stats otherwise.
+
+The whole module skips (with a visible reason) on hosts without a C
+toolchain; ``tools/native_probe.py --require-native`` keeps CI from
+taking that skip silently.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.core.virtual_physical import AllocationStage
+from repro.trace.generator import SyntheticTrace
+from repro.trace.workloads import load_workload
+from repro.uarch import native
+from repro.uarch.config import (
+    ProcessorConfig,
+    RenamingScheme,
+    conventional_config,
+    virtual_physical_config,
+)
+from repro.uarch.processor import Processor
+
+pytestmark = pytest.mark.skipif(
+    native.toolchain() is None,
+    reason="native tier needs a C toolchain (cc/gcc/clang or $REPRO_CC)")
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_stats.json"
+GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+CONFIGS = {
+    "conventional": lambda: conventional_config(),
+    "early_release": lambda: ProcessorConfig(
+        scheme=RenamingScheme.EARLY_RELEASE),
+    "vp_issue_nrr8": lambda: virtual_physical_config(
+        nrr=8, allocation=AllocationStage.ISSUE),
+    "vp_wb_nrr8": lambda: virtual_physical_config(nrr=8),
+    "vp_wb_nrr8_gated": lambda: virtual_physical_config(
+        nrr=8, retry_gating=True),
+}
+
+#: Policies the native tier cannot lower (expected compiled fallback).
+OUT_OF_LINE = {"early_release"}
+
+
+def _run(entry, idle_skip):
+    processor = Processor(CONFIGS[entry["label"]](), idle_skip=idle_skip,
+                          engine="native")
+    trace = SyntheticTrace(load_workload(entry["workload"]), entry["seed"])
+    result = processor.run(trace, max_instructions=entry["instructions"],
+                           skip=entry["skip"])
+    return processor, result
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_native_engine_reproduces_golden_stats(key):
+    entry = GOLDEN[key]
+    processor, result = _run(entry, idle_skip=True)
+    stats = result.stats.to_dict()
+    golden = dict(entry["stats"])
+    if entry["label"] in OUT_OF_LINE:
+        assert processor.engine_used == "compiled", (
+            "expected the documented native->compiled fallback")
+        assert stats.pop("engine_fallbacks") == 1
+        golden.pop("engine_fallbacks")
+    else:
+        assert processor.engine_used == "native", (
+            "native tier fell back for a pinned policy: "
+            f"{native.cache_info()['build_failures']}")
+        assert result.stats.engine_fallbacks == 0
+    assert stats == golden
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_native_idle_skip_changes_nothing(key):
+    entry = GOLDEN[key]
+    _, skipping = _run(entry, idle_skip=True)
+    processor, spinning = _run(entry, idle_skip=False)
+    if entry["label"] not in OUT_OF_LINE:
+        assert processor.engine_used == "native"
+    assert skipping.stats.to_dict() == spinning.stats.to_dict()

@@ -51,11 +51,21 @@ def _run(entry, idle_skip):
     return processor, result
 
 
+def _timing(stats_dict):
+    """Timing counters only: ``engine_fallbacks`` records which cycle-engine
+    tier served the run (under ``REPRO_ENGINE=native`` a policy the native
+    tier cannot lower legitimately falls back), not what it computed.
+    Tier residency is pinned separately by
+    ``test_processor_golden_compiled.py`` / ``test_processor_golden_native.py``.
+    """
+    return {k: v for k, v in stats_dict.items() if k != "engine_fallbacks"}
+
+
 @pytest.mark.parametrize("key", sorted(GOLDEN))
 def test_stats_identical_to_pre_optimization_engine(key):
     entry = GOLDEN[key]
     _, result = _run(entry, idle_skip=True)
-    assert result.stats.to_dict() == entry["stats"]
+    assert _timing(result.stats.to_dict()) == _timing(entry["stats"])
 
 
 @pytest.mark.parametrize("key", sorted(GOLDEN))

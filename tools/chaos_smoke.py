@@ -3,7 +3,7 @@
 
 Run with ``PYTHONPATH=src``; everything (workers, gateway, reference
 run) is started by this script against a throwaway cache directory, so
-it needs no prior setup.  Four phases, all asserted bit-identical to
+it needs no prior setup.  Five phases, all asserted bit-identical to
 a serial in-process reference run of the same grid:
 
 1. **Reference** — serial execution of the acceptance grid, on the
@@ -22,7 +22,11 @@ a serial in-process reference run of the same grid:
    bit-identical to the serial *interpreted* reference — and the stats
    dumps carry ``engine_fallbacks``, so a silent fallback to the
    interpreter on a worker would itself show up as a mismatch.
-4. **Gateway kill + resume** — a journaled ``repro serve`` is
+4. **Native-engine chaos** — the same again with every spec pinned to
+   the C-compiled *native* tier (each fresh worker process compiles or
+   loads the cached shared objects before the plan kills it); skipped
+   with a loud log line on hosts without a C toolchain.
+5. **Gateway kill + resume** — a journaled ``repro serve`` is
    SIGKILLed mid-job after streaming at least one point, restarted on
    the same port with ``--resume``, and must deliver every remaining
    point exactly once (the client reconnects with its event cursor),
@@ -176,13 +180,13 @@ def phase_remote_chaos(specs, reference, cache_dir, ports, log,
             proc.wait(timeout=10)
 
 
-def assert_compiled_engages(config, log):
-    """Prove ``config`` actually selects the codegen tier in-process.
+def assert_tier_engages(config, tier, log, what):
+    """Prove ``config`` actually selects the ``tier`` engine in-process.
 
-    Bit-identity alone cannot distinguish "compiled ran and matched"
-    from "the engine pin never made it through the wire and the
-    interpreter ran twice" — so probe one tiny run locally and check
-    the engine the processor reports it used.
+    Bit-identity alone cannot distinguish "the faster tier ran and
+    matched" from "the engine pin never made it through the wire and
+    the interpreter ran twice" — so probe one tiny run locally and
+    check the engine the processor reports it used.
     """
     from repro.trace.generator import SyntheticTrace
     from repro.trace.workloads import load_workload
@@ -191,9 +195,10 @@ def assert_compiled_engages(config, log):
     processor = Processor(config)
     processor.run(SyntheticTrace(load_workload("go"), seed=0),
                   max_instructions=200)
-    assert processor.engine_used == "compiled", (
-        f"engine pin did not engage codegen: used {processor.engine_used!r}")
-    log.write("compiled chaos: probe confirms the codegen tier engages "
+    assert processor.engine_used == tier, (
+        f"engine pin did not engage the {tier} tier: "
+        f"used {processor.engine_used!r}")
+    log.write(f"{what}: probe confirms the {tier} tier engages "
               "for the pinned configs")
 
 
@@ -288,11 +293,32 @@ def main(argv=None):
         # the *interpreted* serial reference bit for bit.
         compiled_specs = build_grid(args.instructions, args.skip, seeds=2,
                                     engine="compiled")
-        assert_compiled_engages(compiled_specs[0].config, log)
+        assert_tier_engages(compiled_specs[0].config, "compiled", log,
+                            "compiled chaos")
         phase_remote_chaos(compiled_specs, reference,
                            tmp / "compiled-cache",
                            [args.base_port + 3, args.base_port + 4], log,
                            what="compiled-engine chaos")
+
+        # Once more on the C-compiled native tier — each fresh worker
+        # process compiles (or loads from its artifact cache) the
+        # specialized shared objects before the chaos plan kills it.
+        # Skipped, loudly, on hosts without a C toolchain: the tier
+        # would otherwise fall back and silently re-test compiled.
+        from repro.uarch import native
+
+        if native.toolchain() is None:
+            log.write("native chaos: SKIPPED — no C toolchain on this "
+                      "host (set REPRO_CC or install cc/gcc/clang)")
+        else:
+            native_specs = build_grid(args.instructions, args.skip,
+                                      seeds=2, engine="native")
+            assert_tier_engages(native_specs[0].config, "native", log,
+                                "native chaos")
+            phase_remote_chaos(native_specs, reference,
+                               tmp / "native-cache",
+                               [args.base_port + 5, args.base_port + 6],
+                               log, what="native-engine chaos")
 
         gw_specs = [RunSpec("go", conventional_config()).resolved(
             args.gateway_instructions, args.skip, seed)
