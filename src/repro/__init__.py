@@ -32,8 +32,16 @@ process pools, or a cluster of ``repro worker`` daemons via
 simulations over HTTP: clients POST spec grids and stream results
 back point by point, with shared-token auth (``REPRO_TOKEN``).
 
+The whole stack is observable through :mod:`repro.obs`: a process-wide
+metrics registry with Prometheus exposition (``GET /v1/metrics``),
+trace spans threaded from submission through the queue, executor, and
+remote workers (``repro trace <id>``), opt-in engine profiling
+(``REPRO_PROFILE``), and a zero-dependency live dashboard at
+``/v1/dashboard``.
+
 See ``docs/architecture.md`` for the layer map, ``docs/engine.md`` for
-the execution layer, ``docs/service.md`` for the HTTP gateway, and
+the execution layer, ``docs/service.md`` for the HTTP gateway,
+``docs/observability.md`` for metrics/traces/dashboard, and
 ``docs/reproducing-the-paper.md`` for the table-by-table reproduction
 walkthrough.
 """
@@ -81,7 +89,7 @@ from repro.uarch import (
     virtual_physical_config,
 )
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AllocationStage",

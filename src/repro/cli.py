@@ -62,6 +62,14 @@ Commands
     List the available benchmark models.
 ``dump-trace``
     Write the first N records of a workload's dynamic trace to a file.
+``trace``
+    Render the telemetry spans recorded for one trace id (see
+    :mod:`repro.obs.tracing`): a wall-clock-ordered timeline across the
+    gateway, coordinator, and workers that handled the request.
+``top``
+    Aggregate the recorded telemetry spans: span counts, total and p95
+    duration, and error counts per phase/name, plus per-host/pid
+    activity — a quick "what is the cluster spending time on" view.
 
 Every simulating command accepts ``--jobs N`` (worker processes;
 default ``REPRO_JOBS`` or the CPU count), ``--executor
@@ -76,7 +84,13 @@ daemons), ``--workers host1[:port],host2`` (implies ``remote``),
 ``REPRO_RUN_TIMEOUT`` / ``REPRO_ON_CLUSTER_LOSS``).  ``--faults``
 activates a deterministic fault-injection plan
 (:mod:`repro.engine.faults`) for chaos testing; see
-``docs/resilience.md``.
+``docs/resilience.md``.  ``--profile`` turns on the engine profiler
+(``REPRO_PROFILE``): each result carries throughput and stall
+composition in ``extra["profile"]`` — observability only, never
+persisted, golden stats stay bit-identical.  ``repro sweep --trace``
+mints a trace id and threads it through every span the grid produces;
+``repro trace <id>`` renders the timeline afterwards.  See
+``docs/observability.md``.
 """
 
 from __future__ import annotations
@@ -215,6 +229,12 @@ def _add_engine_args(parser):
                              "'worker.crash_before_reply:p=0.2;seed=7' "
                              "(test/chaos tooling; also exported as "
                              "REPRO_FAULTS so child processes inherit it)")
+    parser.add_argument("--profile", action="store_true",
+                        help="attach engine profiles (KIPS + stall "
+                             "composition) to results; exported as "
+                             "REPRO_PROFILE so worker processes inherit "
+                             "it (observability only: profiles are never "
+                             "persisted, stats stay bit-identical)")
 
 
 def _add_run_args(parser):
@@ -247,6 +267,19 @@ def cmd_run(args):
           f"rob-full={stats.stall_rob_full} "
           f"avg-regs int/fp={stats.avg_reg_occupancy('int'):.1f}/"
           f"{stats.avg_reg_occupancy('fp'):.1f}")
+    profile = result.extra.get("profile") if result.extra else None
+    if profile:
+        print(f"  profile: {profile['kips']:.1f} KIPS "
+              f"({profile['elapsed']:.3f}s, "
+              f"{profile['engine_fallbacks']} engine fallback(s))")
+        stalls = sorted(profile["stalls"].items(),
+                        key=lambda item: item[1]["count"], reverse=True)
+        shown = [f"{name}={entry['frac']:.1%}"
+                 for name, entry in stalls if entry["count"]]
+        print("  stall mix: " + (" ".join(shown) if shown else "none"))
+    elif getattr(args, "profile", False):
+        print("  profile: (served from cache — profiles only attach to "
+              "freshly executed runs; add --no-cache to force one)")
     return 0
 
 
@@ -345,8 +378,13 @@ def cmd_sweep(args):
                             connect_timeout=args.connect_timeout)
     else:
         cache = _cache_for_args(args, progress=_progress_line)
+    trace = None
+    if getattr(args, "trace", False):
+        from repro.obs.tracing import new_trace_id
+
+        trace = new_trace_id()
     start = time.perf_counter()
-    results = cache.run_specs(specs)
+    results = cache.run_specs(specs, trace=trace)
     elapsed = time.perf_counter() - start
     if args.compare_serial:
         mismatches = sum(
@@ -392,6 +430,13 @@ def cmd_sweep(args):
               f"spec(s), {report['retries']} retried, "
               f"{report['straggler_redispatches']} straggler "
               f"re-dispatch(es)")
+        for worker, lat in sorted(report.get("worker_latency",
+                                             {}).items()):
+            p50 = ("-" if lat["p50"] is None else f"{lat['p50'] * 1e3:.0f}ms")
+            p95 = ("-" if lat["p95"] is None else f"{lat['p95'] * 1e3:.0f}ms")
+            print(f"  {worker}: chunk p50={p50} p95={p95} "
+                  f"({lat['chunks']} chunk(s), {lat['retries']} "
+                  f"retried, {lat['breaker_opens']} breaker open(s))")
         if report.get("quarantined"):
             print("quarantined      : "
                   + ", ".join(report["quarantined"])
@@ -405,6 +450,9 @@ def cmd_sweep(args):
     if serial_elapsed is not None and elapsed > 0:
         print(f"speedup          : {serial_elapsed / elapsed:.2f}x "
               f"over serial execution")
+    if trace is not None:
+        print(f"trace            : {trace} (inspect with "
+              f"`repro trace {trace}`)")
     return 0
 
 
@@ -535,14 +583,9 @@ def cmd_bench(args):
 
 def cmd_engines(args):
     """Report cycle-engine tier availability on this host."""
-    from repro.uarch import compiled, native
+    from repro.obs.health import engine_tier_report
 
-    report = {
-        "interp": {"available": True},
-        "compiled": {"available": True, "cache": compiled.cache_info()},
-        "native": dict(native.probe(), artifacts=native.artifact_stats()),
-        "resolved_auto": compiled.resolve_engine("auto"),
-    }
+    report = engine_tier_report()
     if args.json:
         print(json.dumps(report, indent=2, sort_keys=True))
         return 0
@@ -595,10 +638,12 @@ def cmd_cache_compact(args):
 
 def cmd_cache_stats(args):
     from repro.engine import ResultStore
+    from repro.obs.tracing import telemetry_stats
     from repro.uarch import native
 
     stats = ResultStore().stats()
     stats["native"] = native.artifact_stats()
+    stats["telemetry"] = telemetry_stats()
     if args.json:
         print(json.dumps(stats, indent=2, sort_keys=True))
         return 0
@@ -625,6 +670,13 @@ def cmd_cache_stats(args):
                  f"{art['stale_bytes']} bytes — "
                  "`repro cache compact` prunes them)")
     print(line)
+    tel = stats["telemetry"]
+    tel_line = (f"{tel['directory']}: {tel['spans']} telemetry span(s) "
+                f"across {tel['segments']} segment(s), {tel['bytes']} "
+                f"bytes")
+    if tel["corrupt"]:
+        tel_line += f" ({tel['corrupt']} corrupt line(s) skipped)"
+    print(tel_line)
     return 0
 
 
@@ -688,6 +740,9 @@ def cmd_serve(args):
               f"{type(executor).__name__}, max-inflight "
               f"{gw.max_inflight}, journal "
               f"{'off' if gw.journal is None else 'on'})", flush=True)
+        print(f"repro serve: dashboard at "
+              f"http://{host}:{bound_port}/v1/dashboard, metrics at "
+              f"http://{host}:{bound_port}/v1/metrics", flush=True)
         if gw.resumed_jobs:
             print(f"repro serve: resumed {gw.resumed_jobs} unfinished "
                   f"job(s) from {gw.journal.directory}", flush=True)
@@ -898,6 +953,80 @@ def cmd_cluster_stop(args):
     return 1 if failures else 0
 
 
+def cmd_trace(args):
+    """Render one trace's span timeline from the telemetry directory."""
+    from repro.obs.tracing import read_spans, telemetry_dir
+
+    spans = read_spans(trace=args.trace_id)
+    if not spans:
+        print(f"repro trace: no spans for trace {args.trace_id!r} under "
+              f"{telemetry_dir()} (is REPRO_CACHE_DIR pointing at the "
+              "right machine, and was the run traced?)")
+        return 1
+    if args.json:
+        print(json.dumps(spans, indent=2, sort_keys=True))
+        return 0
+    origin = min(span["start"] for span in spans)
+    hosts = sorted({f"{span['host']}:{span['pid']}" for span in spans})
+    print(f"trace {args.trace_id}: {len(spans)} span(s) across "
+          f"{len(hosts)} process(es) ({', '.join(hosts)})")
+    print(f"{'at':>9s}  {'dur':>9s}  {'phase':<8s} "
+          f"{'name':<22s} {'where':<18s} outcome")
+    for span in spans:
+        at = span["start"] - origin
+        where = f"{span['host']}:{span['pid']}"
+        attrs = span.get("attrs") or {}
+        detail = " ".join(f"{k}={attrs[k]}" for k in sorted(attrs))
+        outcome = span.get("outcome", "ok")
+        line = (f"{at:8.3f}s  {span['dur'] * 1e3:7.1f}ms  "
+                f"{span['phase']:<8s} {span['name']:<22s} "
+                f"{where:<18s} {outcome}")
+        if detail:
+            line += f"  [{detail}]"
+        print(line)
+    phases = {span["phase"] for span in spans}
+    missing = [p for p in ("queue", "dispatch", "run", "store")
+               if p not in phases]
+    if missing:
+        print(f"(no {'/'.join(missing)} span(s) — cache-served points "
+              "skip execution phases)")
+    return 0
+
+
+def cmd_top(args):
+    """Aggregate recorded spans: where is the cluster spending time."""
+    from repro.obs.tracing import read_spans, telemetry_dir
+
+    spans = read_spans()
+    if args.trace:
+        spans = [s for s in spans if s.get("trace") == args.trace]
+    if not spans:
+        print(f"repro top: no telemetry spans under {telemetry_dir()} "
+              "(traced runs write them; see docs/observability.md)")
+        return 0
+    groups = {}
+    for span in spans:
+        entry = groups.setdefault((span["phase"], span["name"]), [])
+        entry.append(span)
+    print(f"{len(spans)} span(s), "
+          f"{len({s['trace'] for s in spans})} trace(s), "
+          f"{len({(s['host'], s['pid']) for s in spans})} process(es)")
+    print(f"{'phase':<8s} {'name':<22s} {'count':>6s} {'errors':>6s} "
+          f"{'total':>9s} {'p95':>9s}")
+    order = {phase: i for i, phase in enumerate(
+        ("queue", "dispatch", "chunk", "run", "store"))}
+    for (phase, name), entries in sorted(
+            groups.items(),
+            key=lambda item: (order.get(item[0][0], 99), item[0][1])):
+        durs = sorted(span["dur"] for span in entries)
+        p95 = durs[min(len(durs) - 1, int(0.95 * len(durs)))]
+        errors = sum(1 for span in entries
+                     if span.get("outcome") != "ok")
+        print(f"{phase:<8s} {name:<22s} {len(entries):>6d} "
+              f"{errors:>6d} {sum(durs):>8.3f}s {p95 * 1e3:>7.1f}ms")
+    return 0
+
+
 def build_parser():
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -935,6 +1064,10 @@ def build_parser():
     sweep.add_argument("--compare-serial", action="store_true",
                        help="also run the grid serially (cache off) and "
                             "report the wall-clock speedup")
+    sweep.add_argument("--trace", action="store_true",
+                       help="mint a trace id and record telemetry spans "
+                            "for the whole grid (inspect with `repro "
+                            "trace <id>`)")
     _add_engine_tier_arg(sweep)
     _add_engine_args(sweep)
     sweep.set_defaults(fn=cmd_sweep)
@@ -1159,6 +1292,24 @@ def build_parser():
                               help="emit the raw verify report JSON")
     cache_verify.set_defaults(fn=cmd_cache_verify)
 
+    trace = sub.add_parser(
+        "trace",
+        help="render the telemetry span timeline for one trace id")
+    trace.add_argument("trace_id",
+                       help="trace id from `repro sweep --trace` or the "
+                            "gateway submit response")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the raw span records as JSON")
+    trace.set_defaults(fn=cmd_trace)
+
+    top = sub.add_parser(
+        "top",
+        help="aggregate recorded telemetry spans per phase/name "
+             "(counts, errors, total and p95 duration)")
+    top.add_argument("--trace", default=None,
+                     help="restrict the aggregation to one trace id")
+    top.set_defaults(fn=cmd_top)
+
     wl = sub.add_parser("workloads", help="list workload models")
     wl.set_defaults(fn=cmd_workloads)
 
@@ -1188,6 +1339,12 @@ def main(argv=None):
         # Child processes (pool workers, spawned daemons) pick the plan
         # up from the environment; each process injects independently.
         os.environ["REPRO_FAULTS"] = plan
+    if getattr(args, "profile", False):
+        import os
+
+        # Like --faults: exported so pool/remote worker processes
+        # profile too; checked lazily per run by attach_profile().
+        os.environ["REPRO_PROFILE"] = "1"
     return args.fn(args)
 
 

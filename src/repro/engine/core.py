@@ -21,9 +21,20 @@ kept per ``run()`` call so callers can report cache effectiveness.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.engine.executors import SerialExecutor, make_executor
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+
+_POINTS = _metrics.get_registry().counter(
+    "repro_engine_points_total",
+    "Batch-engine points served, by source (memo/store/executed).",
+    labelnames=("source",))
+_BATCH_SECONDS = _metrics.get_registry().histogram(
+    "repro_engine_batch_seconds",
+    "Wall-clock duration of BatchEngine executor windows.")
 
 
 @dataclass
@@ -71,15 +82,16 @@ class BatchEngine:
         return cls(executor=make_executor(kind="remote", workers=workers),
                    store=store, progress=progress)
 
-    def run(self, specs):
+    def run(self, specs, trace=None):
         """Simulate every spec, returning results in spec order."""
         specs = list(specs)
         results = [None] * len(specs)
-        for position, _, result in self.run_specs_iter(specs):
+        for position, _, result in self.run_specs_iter(specs,
+                                                       trace=trace):
             results[position] = result
         return results
 
-    def run_specs_iter(self, specs):
+    def run_specs_iter(self, specs, trace=None):
         """Stream ``(position, spec, result)`` as each result lands.
 
         The incremental face of :meth:`run`, and the seam the service
@@ -93,13 +105,29 @@ class BatchEngine:
         resolves.  Cache layers, deduplication, and ``last_batch``
         accounting are identical to :meth:`run` — collecting this
         stream IS :meth:`run`.
+
+        ``trace`` is an optional trace id (or per-position list of
+        ids, the gateway-round form) threaded through the executor and
+        recorded as queue/dispatch/run/store spans — see
+        :mod:`repro.obs.tracing`.  ``None`` falls back to the thread's
+        ambient trace, so an untraced call records nothing.
         """
         specs = list(specs)
         for spec in specs:
             if not spec.is_resolved:
                 raise ValueError(f"unresolved spec submitted: {spec!r}")
+        if isinstance(trace, (list, tuple)):
+            traces = [t for t in trace] + [None] * (len(specs)
+                                                    - len(trace))
+        else:
+            traces = [trace] * len(specs)
+        ambient = _tracing.current_trace()
+        traces = [t if t is not None else ambient for t in traces]
+        distinct = {t for t in traces if t is not None}
+        batch_trace = distinct.pop() if len(distinct) == 1 else None
         keys = [spec.key() for spec in specs]
         batch = BatchStats(keys=list(dict.fromkeys(keys)))
+        scan_started = time.time()
         pending = {}  # key -> spec, deduplicated, submission order
         for spec, key in zip(specs, keys):
             if key in pending or key in self._memo:
@@ -113,6 +141,18 @@ class BatchEngine:
             pending[key] = spec
         batch.memo_hits = len(batch.keys) - batch.store_hits - len(pending)
         self.last_batch = batch
+        if batch.memo_hits:
+            _POINTS.inc(batch.memo_hits, source="memo")
+        if batch.store_hits:
+            _POINTS.inc(batch.store_hits, source="store")
+        if batch_trace is not None:
+            _tracing.record_span(
+                "queue", "engine.cache-scan", scan_started,
+                time.time() - scan_started, trace=batch_trace,
+                attrs={"points": len(specs),
+                       "memo_hits": batch.memo_hits,
+                       "store_hits": batch.store_hits,
+                       "pending": len(pending)})
         # Cache hits flush first: every position already servable.
         for position, key in enumerate(keys):
             if key not in pending:
@@ -124,23 +164,71 @@ class BatchEngine:
             if key in pending:
                 positions.setdefault(key, []).append(position)
         items = list(pending.items())
+        # key -> trace of the first position awaiting it, for per-run
+        # spans when a gateway round mixes jobs (no single batch trace).
+        key_traces = {key: traces[poss[0]]
+                      for key, poss in positions.items()}
         run_iter = getattr(self.executor, "run_iter", None)
-        if run_iter is not None:
-            stream = run_iter([spec for _, spec in items],
-                              progress=self.progress)
-        else:  # executor predates the streaming seam: barrier, then flush
-            stream = enumerate(self.executor.run(
-                [spec for _, spec in items], progress=self.progress))
-        for index, result in stream:
-            key = items[index][0]
-            self._memo[key] = result
-            if self.store is not None:
-                self.store.put(key, result)
-            # Counted as each result lands, so a failed or abandoned
-            # run reports only the work that actually happened.
-            batch.executed += 1
-            for position in positions[key]:
-                yield position, specs[position], result
+        dispatch_started = time.time()
+        outcome = "ok"
+        # Bind the batch trace to this thread so trace-aware executors
+        # (RemoteExecutor chunk dispatch) pick it up via
+        # ``current_trace`` without an API change at the run_iter seam.
+        with _tracing.trace_context(batch_trace):
+            try:
+                if run_iter is not None:
+                    stream = run_iter([spec for _, spec in items],
+                                      progress=self.progress)
+                else:  # pre-streaming executor: barrier, then flush
+                    stream = enumerate(self.executor.run(
+                        [spec for _, spec in items],
+                        progress=self.progress))
+                for index, result in stream:
+                    key, spec = items[index]
+                    run_trace = key_traces.get(key)
+                    self._memo[key] = result
+                    if run_trace is not None:
+                        _tracing.record_span(
+                            "run", "engine.run", dispatch_started,
+                            time.time() - dispatch_started,
+                            trace=run_trace,
+                            attrs={"key": key,
+                                   "workload": spec.workload,
+                                   "label": spec.label,
+                                   "engine": getattr(spec.config,
+                                                     "engine", ""),
+                                   "engine_fallbacks":
+                                       result.stats.engine_fallbacks})
+                    if self.store is not None:
+                        store_started = time.time()
+                        self.store.put(key, result)
+                        if run_trace is not None:
+                            _tracing.record_span(
+                                "store", "engine.store-put",
+                                store_started,
+                                time.time() - store_started,
+                                trace=run_trace, attrs={"key": key})
+                    # Counted as each result lands, so a failed or
+                    # abandoned run reports only work that happened.
+                    batch.executed += 1
+                    _POINTS.inc(source="executed")
+                    for position in positions[key]:
+                        yield position, specs[position], result
+            except BaseException:
+                outcome = "error"
+                raise
+            finally:
+                elapsed = time.time() - dispatch_started
+                _BATCH_SECONDS.observe(elapsed)
+                if batch_trace is not None:
+                    _tracing.record_span(
+                        "dispatch", "engine.dispatch",
+                        dispatch_started, elapsed, trace=batch_trace,
+                        outcome=outcome,
+                        attrs={"pending": len(items),
+                               "executed": batch.executed,
+                               "executor":
+                                   type(self.executor).__name__})
         # Surface executor degradation (remote cluster lost, local
         # fallback used) on the batch, where the CLI dispatch report
         # and the gateway's /v1/metrics can see it.

@@ -35,6 +35,7 @@ import os
 import time
 
 from repro.engine.faults import fault, fault_delay
+from repro.obs.profile import attach_profile
 from repro.uarch.processor import simulate
 
 
@@ -62,18 +63,24 @@ def execute_spec(spec):
     pool stall timeouts) and ``exec.die`` (the executing process
     hard-exits, like an OOM-killed pool worker) chaos sites; both are
     inert without an active :class:`~repro.engine.faults.FaultPlan`.
+
+    With ``REPRO_PROFILE`` set, a profile dict (wall-clock, KIPS,
+    stall composition) is attached to the result's ``extra`` — see
+    :mod:`repro.obs.profile`; the default path is untouched.
     """
     if fault("exec.die"):
         os._exit(3)
     if fault("exec.hang"):
         time.sleep(fault_delay("exec.hang", 60.0))
-    return simulate(
+    started = time.perf_counter()
+    result = simulate(
         spec.config,
         workload=spec.workload,
         max_instructions=spec.instructions,
         skip=spec.skip,
         seed=spec.seed,
     )
+    return attach_profile(result, time.perf_counter() - started)
 
 
 def _pool_worker(indexed_spec):

@@ -28,11 +28,17 @@ Wire protocol (one JSON object per line, one request per connection)::
 
     -> {"op": "ping", "token": "<shared secret, when auth is on>"}
     <- {"ok": true, "version": "<code hash>", "pid": 123, "served": 42}
-    -> {"op": "run_batch", "specs": [<RunSpec.to_dict()>, ...]}
+    -> {"op": "run_batch", "specs": [<RunSpec.to_dict()>, ...],
+        "trace": "<optional trace id>"}
     <- {"ok": true, "results": [<SimResult.to_dict()>, ...],
         "version": "<code hash>"}
     -> {"op": "shutdown"}
     <- {"ok": true}
+
+The ``trace`` field is optional and version-tolerant in both
+directions: old coordinators omit it, old workers ignore it.  When
+present the worker records its batch spans (:mod:`repro.obs.tracing`)
+under that trace id, so a sweep's trace crosses the process boundary.
 
 **Authentication**: when the ``REPRO_TOKEN`` environment variable is
 set (or a ``token`` is passed explicitly), every request must carry the
@@ -70,7 +76,34 @@ from repro.engine.faults import fault, fault_delay
 from repro.engine.resilience import CircuitBreaker, RetryPolicy
 from repro.engine.spec import RunSpec
 from repro.engine.version import code_version
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
 from repro.uarch.stats import SimResult
+
+_REGISTRY = _metrics.get_registry()
+_CHUNK_SECONDS = _REGISTRY.histogram(
+    "repro_remote_chunk_seconds",
+    "Round-trip latency of remote chunk dispatches, per worker.",
+    labelnames=("worker",))
+_CHUNKS = _REGISTRY.counter(
+    "repro_remote_chunks_total",
+    "Remote chunk dispatches, per worker and outcome.",
+    labelnames=("worker", "outcome"))
+_RETRIES = _REGISTRY.counter(
+    "repro_remote_retries_total",
+    "Chunk re-queues after a failed dispatch, per worker.",
+    labelnames=("worker",))
+_BREAKER_OPENS = _REGISTRY.counter(
+    "repro_remote_breaker_opens_total",
+    "Circuit-breaker open transitions, per worker.",
+    labelnames=("worker",))
+_WORKER_SPECS = _REGISTRY.counter(
+    "repro_worker_specs_total",
+    "Specs served by this worker daemon, by source (cache/executed).",
+    labelnames=("source",))
+_WORKER_BATCHES = _REGISTRY.counter(
+    "repro_worker_batches_total",
+    "run_batch requests served by this worker daemon.")
 
 #: Default TCP port for ``repro worker --serve`` (``REPRO_WORKER_PORT``).
 DEFAULT_PORT = 8642
@@ -350,7 +383,9 @@ class _WorkerHandler(socketserver.StreamRequestHandler):
                 if fault("worker.exit"):
                     os._exit(1)  # a true mid-chunk kill of the daemon
                 try:
-                    response = server.run_batch(request.get("specs") or [])
+                    response = server.run_batch(
+                        request.get("specs") or [],
+                        trace=request.get("trace"))
                 except (ValueError, KeyError, TypeError) as exc:
                     # Undeserializable specs: hopeless to retry anywhere.
                     response = {"ok": False, "kind": "protocol",
@@ -431,8 +466,15 @@ class WorkerServer(socketserver.ThreadingTCPServer):
         return {"ok": True, "version": self.version, "pid": os.getpid(),
                 "served": self.served, "auth": self.token is not None}
 
-    def run_batch(self, spec_dicts):
-        """Execute one serialized chunk; returns the response body."""
+    def run_batch(self, spec_dicts, trace=None):
+        """Execute one serialized chunk; returns the response body.
+
+        ``trace`` is the coordinator's optional trace id from the wire
+        (``None`` from pre-trace coordinators): batch and store spans
+        are recorded under it so the sweep's trace crosses into this
+        daemon's process.
+        """
+        started = time.time()
         specs = [RunSpec.from_dict(d) for d in spec_dicts]
         results = [None] * len(specs)
         misses = []  # (position, spec)
@@ -444,12 +486,30 @@ class WorkerServer(socketserver.ThreadingTCPServer):
                 misses.append((pos, spec))
         if misses:
             executed = self.executor.run([spec for _, spec in misses])
+            store_started = time.time()
             for (pos, spec), result in zip(misses, executed):
                 results[pos] = result
                 if self.store is not None:
                     self.store.put(spec.key(), result)
+            if self.store is not None and trace is not None:
+                _tracing.record_span(
+                    "store", "worker.store-put", store_started,
+                    time.time() - store_started, trace=trace,
+                    attrs={"records": len(misses)})
         with self._lock:
             self.served += len(specs)
+        _WORKER_BATCHES.inc()
+        if len(specs) > len(misses):
+            _WORKER_SPECS.inc(len(specs) - len(misses), source="cache")
+        if misses:
+            _WORKER_SPECS.inc(len(misses), source="executed")
+        if trace is not None:
+            _tracing.record_span(
+                "run", "worker.run-batch", started,
+                time.time() - started, trace=trace,
+                attrs={"specs": len(specs),
+                       "cache_hits": len(specs) - len(misses),
+                       "executed": len(misses)})
         return {"ok": True, "version": self.version,
                 "results": [r.to_dict() for r in results]}
 
@@ -562,7 +622,8 @@ class RemoteExecutor:
             timeout=self.connect_timeout)
         self.breaker = breaker or CircuitBreaker(
             threshold=self.max_worker_failures,
-            cooldown=self.quarantine_cooldown)
+            cooldown=self.quarantine_cooldown,
+            on_open=lambda key: _BREAKER_OPENS.inc(worker=key))
         if on_cluster_loss is None:
             on_cluster_loss = (os.environ.get("REPRO_ON_CLUSTER_LOSS")
                                or "fallback")
@@ -662,6 +723,10 @@ class RemoteExecutor:
         specs = list(specs)
         if not specs:
             return
+        # Captured here, in the caller's thread: worker_loop threads
+        # have their own (empty) thread-local, so the ambient trace id
+        # must travel by closure to reach the wire.
+        run_trace = _tracing.current_trace()
         alive, rejected = self.probe()
         if not alive:
             detail = "; ".join(f"{h}:{p} ({why})"
@@ -674,6 +739,7 @@ class RemoteExecutor:
                 "chunk_size": 0, "tasks": 0, "dispatched": 0,
                 "retries": 0, "straggler_redispatches": 0, "errors": [],
                 "quarantined": self.breaker.quarantined(),
+                "worker_latency": {},
             }
             yield from self._degrade(
                 specs, list(range(len(specs))),
@@ -809,11 +875,15 @@ class RemoteExecutor:
                     if task.started_at is None:
                         task.started_at = time.monotonic()
                     state["dispatched"] += 1
+                chunk_started = time.time()
                 try:
+                    payload = {"op": "run_batch",
+                               "specs": [s.to_dict()
+                                         for s in task.specs]}
+                    if run_trace is not None:
+                        payload["trace"] = run_trace
                     response = _request(
-                        address,
-                        {"op": "run_batch",
-                         "specs": [s.to_dict() for s in task.specs]},
+                        address, payload,
                         timeout=self.run_timeout, token=self.token)
                     if response.get("version") != self.version:
                         # The daemon was restarted with different code
@@ -828,12 +898,28 @@ class RemoteExecutor:
                             f"injected fault: chunk reply from "
                             f"{key} dropped")
                     finish(task, response["results"])
+                    elapsed = time.time() - chunk_started
+                    _CHUNK_SECONDS.observe(elapsed, worker=key)
+                    _CHUNKS.inc(worker=key, outcome="ok")
+                    _tracing.record_span(
+                        "chunk", "remote.chunk", chunk_started,
+                        elapsed, trace=run_trace,
+                        attrs={"worker": key, "task": task.task_id,
+                               "specs": len(task.specs)})
                     self.breaker.record_success(key)
                     consecutive = 0
                     last_ping = time.monotonic()
                 except (OSError, ValueError, KeyError,
                         RuntimeError) as exc:
                     protocol = isinstance(exc, WorkerProtocolError)
+                    elapsed = time.time() - chunk_started
+                    _CHUNKS.inc(worker=key, outcome="error")
+                    _tracing.record_span(
+                        "chunk", "remote.chunk", chunk_started,
+                        elapsed, trace=run_trace, outcome="error",
+                        attrs={"worker": key, "task": task.task_id,
+                               "specs": len(task.specs),
+                               "error": f"{type(exc).__name__}: {exc}"})
                     with lock:
                         task.in_flight -= 1
                         state["errors"].append(
@@ -846,6 +932,7 @@ class RemoteExecutor:
                         if not task.done:
                             if task.attempts < self.max_task_attempts:
                                 state["retries"] += 1
+                                _RETRIES.inc(worker=key)
                                 todo.put(task)
                             elif task.in_flight == 0:
                                 # Exhausted everywhere: stop dispatching
@@ -934,6 +1021,21 @@ class RemoteExecutor:
         for thread in threads:
             thread.join(timeout=1.0)
 
+        # Per-worker latency percentiles and failure counts come from
+        # the process-wide metrics registry (cumulative across this
+        # process's runs), replacing the ad-hoc dict math the dispatch
+        # report used to carry.
+        worker_latency = {}
+        for key in keys:
+            p50 = _CHUNK_SECONDS.percentile(50, worker=key)
+            p95 = _CHUNK_SECONDS.percentile(95, worker=key)
+            worker_latency[key] = {
+                "p50": round(p50, 6) if p50 is not None else None,
+                "p95": round(p95, 6) if p95 is not None else None,
+                "chunks": _CHUNK_SECONDS.count(worker=key),
+                "retries": _RETRIES.value(worker=key),
+                "breaker_opens": _BREAKER_OPENS.value(worker=key),
+            }
         with lock:  # abandoned threads may still touch state
             self.last_run_report = {
                 "workers": [f"{h}:{p}" for h, p in alive],
@@ -946,6 +1048,7 @@ class RemoteExecutor:
                 "errors": [f"{h}:{p} task {t}: {msg}"
                            for (h, p), t, msg in state["errors"]],
                 "quarantined": self.breaker.quarantined(),
+                "worker_latency": worker_latency,
             }
             completed = state["done"]
         if completed != len(specs):

@@ -98,6 +98,10 @@ class CircuitBreaker:
     which point exactly one caller is admitted as a *half-open* probe.
     A success closes the circuit again; a failure re-opens it for a
     fresh cooldown.  Thread-safe; the clock is injectable for tests.
+
+    ``on_open(key)`` — if given — is invoked (outside the lock) each
+    time a key's circuit transitions to open, so callers can count
+    breaker trips in a metrics registry without polling.
     """
 
     CLOSED = "closed"
@@ -105,12 +109,14 @@ class CircuitBreaker:
     HALF_OPEN = "half-open"
 
     def __init__(self, threshold: int = 3, cooldown: float = 30.0,
-                 clock: Callable[[], float] = time.monotonic) -> None:
+                 clock: Callable[[], float] = time.monotonic,
+                 on_open: Optional[Callable[[str], None]] = None) -> None:
         if threshold < 1:
             raise ValueError("threshold must be >= 1")
         self.threshold = threshold
         self.cooldown = cooldown
         self._clock = clock
+        self._on_open = on_open
         self._lock = threading.Lock()
         self._failures: Dict[str, int] = {}
         self._opened_at: Dict[str, float] = {}
@@ -157,15 +163,20 @@ class CircuitBreaker:
     def record_failure(self, key: str) -> None:
         """Note a failure: opens the circuit at ``threshold`` in a row
         (or immediately if it was a half-open probe)."""
+        opened = False
         with self._lock:
             if self._probing.pop(key, None):
                 self._opened_at[key] = self._clock()
                 self._probe_failed[key] = True
-                return
-            count = self._failures.get(key, 0) + 1
-            self._failures[key] = count
-            if count >= self.threshold and key not in self._opened_at:
-                self._opened_at[key] = self._clock()
+                opened = True
+            else:
+                count = self._failures.get(key, 0) + 1
+                self._failures[key] = count
+                if count >= self.threshold and key not in self._opened_at:
+                    self._opened_at[key] = self._clock()
+                    opened = True
+        if opened and self._on_open is not None:
+            self._on_open(key)  # outside the lock: callbacks can't jam it
 
     def probe_failed(self, key: str) -> bool:
         """Whether ``key`` has flunked a half-open probe since opening.

@@ -206,8 +206,17 @@ class ResultStore:
         The record lands in this store's private segment file as one
         atomic ``O_APPEND`` write, so concurrent readers of the cache
         directory either see the whole record or none of it.
+
+        The transient ``extra["profile"]`` block (attached by
+        ``REPRO_PROFILE`` runs — see :mod:`repro.obs.profile`) is
+        stripped before persisting, so stored records are
+        byte-identical whether or not the run was profiled.
         """
         record = result.to_dict()
+        extra = record.get("extra")
+        if isinstance(extra, dict) and "profile" in extra:
+            record["extra"] = {k: v for k, v in extra.items()
+                               if k != "profile"}
         self._load_index()[self._qualified(key)] = record
         if self._broken:
             return

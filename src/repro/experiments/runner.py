@@ -85,11 +85,16 @@ class ResultCache:
             return 0, 0
         return store.compact(prune_stale=prune_stale)
 
-    def run_specs(self, specs):
-        """Run a whole grid; results come back in spec order."""
-        return self.engine.run(resolve_spec(spec) for spec in specs)
+    def run_specs(self, specs, trace=None):
+        """Run a whole grid; results come back in spec order.
 
-    def run_specs_iter(self, specs):
+        ``trace`` is an optional trace id threaded through the engine
+        (see :mod:`repro.obs.tracing`).
+        """
+        return self.engine.run((resolve_spec(spec) for spec in specs),
+                               trace=trace)
+
+    def run_specs_iter(self, specs, trace=None):
         """Stream ``(position, spec, result)`` as each result lands.
 
         The incremental variant of :meth:`run_specs` (see
@@ -97,7 +102,7 @@ class ResultCache:
         the same environment defaults.
         """
         return self.engine.run_specs_iter(
-            [resolve_spec(spec) for spec in specs])
+            [resolve_spec(spec) for spec in specs], trace=trace)
 
     def run(self, spec):
         """Run (or recall) a single spec."""

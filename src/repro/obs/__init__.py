@@ -1,0 +1,70 @@
+"""Observability: metrics registry, trace spans, and profiling hooks.
+
+The ``repro.obs`` package is the stdlib-only telemetry layer shared by
+the engine, executors, and service:
+
+* :mod:`repro.obs.metrics` — process-wide :class:`MetricsRegistry`
+  (counters / gauges / histograms with labels) rendered as Prometheus
+  text at ``GET /v1/metrics`` and as JSON at ``/v1/metrics.json``;
+* :mod:`repro.obs.tracing` — trace ids minted at job submission and
+  propagated through the queue, engine, remote chunks, and the worker
+  wire protocol, with spans appended as JSONL under
+  ``REPRO_CACHE_DIR/telemetry/``;
+* :mod:`repro.obs.profile` — opt-in (``REPRO_PROFILE``) KIPS and
+  stall-composition capture that never perturbs golden stats;
+* :mod:`repro.obs.health` — the engine-tier availability probe shared
+  by ``repro engines`` and ``/v1/healthz``.
+
+See ``docs/observability.md`` for the metric catalog, span schema,
+and dashboard walkthrough.
+"""
+
+from repro.obs.health import engine_tier_report
+from repro.obs.metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    escape_label_value,
+    get_registry,
+)
+from repro.obs.profile import (
+    attach_profile,
+    build_profile,
+    profiling_enabled,
+)
+from repro.obs.tracing import (
+    SpanLog,
+    current_trace,
+    new_trace_id,
+    read_spans,
+    record_span,
+    telemetry_dir,
+    telemetry_enabled,
+    telemetry_stats,
+    trace_context,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanLog",
+    "attach_profile",
+    "build_profile",
+    "current_trace",
+    "engine_tier_report",
+    "escape_label_value",
+    "get_registry",
+    "new_trace_id",
+    "profiling_enabled",
+    "read_spans",
+    "record_span",
+    "telemetry_dir",
+    "telemetry_enabled",
+    "telemetry_stats",
+    "trace_context",
+]

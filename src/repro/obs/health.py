@@ -1,0 +1,31 @@
+"""Engine-tier health probing shared by the CLI and the gateway.
+
+``repro engines`` and ``GET /v1/healthz`` answer the same question —
+which cycle-engine tiers can this host run? — so both call
+:func:`engine_tier_report` and render it their own way.  Load
+balancers use the healthz form to route native-capable workers.
+"""
+
+from __future__ import annotations
+
+__all__ = ["engine_tier_report"]
+
+
+def engine_tier_report():
+    """Probe cycle-engine tier availability on this host.
+
+    Returns ``{"interp", "compiled", "native", "resolved_auto"}``:
+    the interpreter and compiled tiers are always available (pure
+    Python), the native tier depends on a C toolchain and a writable
+    artifact dir, and ``resolved_auto`` is the tier ``engine="auto"``
+    picks here.
+    """
+    from repro.uarch import compiled, native
+
+    return {
+        "interp": {"available": True},
+        "compiled": {"available": True, "cache": compiled.cache_info()},
+        "native": dict(native.probe(),
+                       artifacts=native.artifact_stats()),
+        "resolved_auto": compiled.resolve_engine("auto"),
+    }

@@ -1,0 +1,389 @@
+"""Process-wide metrics registry with Prometheus text exposition.
+
+Stdlib-only instrument set — :class:`Counter`, :class:`Gauge`, and
+:class:`Histogram` — registered by name on a :class:`MetricsRegistry`.
+Every instrument supports labels; a ``(metric, label-values)`` pair is
+one *series*.  The registry renders two views of the same state:
+
+* :meth:`MetricsRegistry.render` — Prometheus text exposition format
+  0.0.4 (``# HELP`` / ``# TYPE`` headers, escaped label values,
+  cumulative histogram buckets ending in ``+Inf``), served by the
+  gateway at ``GET /v1/metrics``;
+* :meth:`MetricsRegistry.snapshot` — a plain-dict JSON view for the
+  dashboard and ``/v1/metrics.json``.
+
+Instruments are lock-cheap: one :class:`threading.Lock` per metric,
+held only for the dict update.  Names and label names are validated
+against the Prometheus charset at registration time so an invalid
+metric fails fast at the call site rather than corrupting a scrape.
+
+The process-wide default registry is reachable via
+:func:`get_registry`; engine and service layers share it so a single
+scrape sees the whole process.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import re
+import threading
+from collections import deque
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "escape_label_value",
+    "get_registry",
+]
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+#: Default latency buckets (seconds), tuned for sub-second chunk
+#: dispatches up to multi-minute sweeps.
+DEFAULT_BUCKETS = (0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+                   1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+_RESERVOIR_SIZE = 512
+
+
+def escape_label_value(value):
+    """Escape a label value for Prometheus text format.
+
+    Backslash, double-quote, and newline are escaped per the 0.0.4
+    exposition spec; everything else passes through verbatim.
+    """
+    return (str(value)
+            .replace("\\", "\\\\")
+            .replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
+def _escape_help(text):
+    return str(text).replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value):
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:
+        return "NaN"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+def _label_pairs(labelnames, labelvalues):
+    return ",".join(
+        '%s="%s"' % (name, escape_label_value(value))
+        for name, value in zip(labelnames, labelvalues)
+    )
+
+
+class _Metric:
+    """Shared base: name/label validation and per-series storage."""
+
+    kind = "untyped"
+
+    def __init__(self, name, help, labelnames=()):
+        if not _NAME_RE.match(name):
+            raise ValueError("invalid metric name: %r" % (name,))
+        for label in labelnames:
+            if not _LABEL_RE.match(label) or label.startswith("__"):
+                raise ValueError("invalid label name: %r" % (label,))
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+        self._series = {}
+
+    def _key(self, labels):
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                "metric %s expects labels %r, got %r"
+                % (self.name, self.labelnames, tuple(sorted(labels))))
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+    def series(self):
+        """Snapshot of label-values → value, sorted by label values."""
+        with self._lock:
+            items = list(self._series.items())
+        return sorted(items)
+
+
+class Counter(_Metric):
+    """Monotonically increasing value, optionally labelled."""
+
+    kind = "counter"
+
+    def inc(self, amount=1, **labels):
+        """Add ``amount`` (must be >= 0) to the labelled series."""
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels):
+        """Current value of the labelled series (0 if never touched)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def render(self):
+        """Prometheus text lines for this metric (no trailing newline)."""
+        lines = ["# HELP %s %s" % (self.name, _escape_help(self.help)),
+                 "# TYPE %s counter" % self.name]
+        for key, value in self.series():
+            pairs = _label_pairs(self.labelnames, key)
+            label_part = "{%s}" % pairs if pairs else ""
+            lines.append("%s%s %s" % (self.name, label_part,
+                                      _format_value(value)))
+        return lines
+
+
+class Gauge(_Metric):
+    """Value that can go up and down, optionally labelled."""
+
+    kind = "gauge"
+
+    def set(self, value, **labels):
+        """Set the labelled series to ``value``."""
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = float(value)
+
+    def inc(self, amount=1, **labels):
+        """Add ``amount`` (may be negative) to the labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            self._series[key] = self._series.get(key, 0.0) + amount
+
+    def value(self, **labels):
+        """Current value of the labelled series (0 if never set)."""
+        key = self._key(labels)
+        with self._lock:
+            return self._series.get(key, 0.0)
+
+    def render(self):
+        """Prometheus text lines for this metric (no trailing newline)."""
+        lines = ["# HELP %s %s" % (self.name, _escape_help(self.help)),
+                 "# TYPE %s gauge" % self.name]
+        for key, value in self.series():
+            pairs = _label_pairs(self.labelnames, key)
+            label_part = "{%s}" % pairs if pairs else ""
+            lines.append("%s%s %s" % (self.name, label_part,
+                                      _format_value(value)))
+        return lines
+
+
+class _HistogramSeries:
+    __slots__ = ("bucket_counts", "total", "count", "reservoir")
+
+    def __init__(self, n_buckets):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+        self.reservoir = deque(maxlen=_RESERVOIR_SIZE)
+
+
+class Histogram(_Metric):
+    """Bucketed distribution with a bounded reservoir for percentiles.
+
+    Prometheus buckets are cumulative on render (``le`` upper bounds
+    plus ``+Inf``); internally each bucket stores its own count so
+    observes stay O(log buckets).  A bounded deque of recent
+    observations backs :meth:`percentile` for in-process p50/p95
+    reporting — Prometheus buckets alone cannot answer that exactly.
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name, help, labelnames=(), buckets=DEFAULT_BUCKETS):
+        super().__init__(name, help, labelnames)
+        self.buckets = tuple(sorted(float(b) for b in buckets))
+        if not self.buckets:
+            raise ValueError("histogram needs at least one bucket")
+
+    def observe(self, value, **labels):
+        """Record one observation into the labelled series."""
+        key = self._key(labels)
+        value = float(value)
+        idx = bisect.bisect_left(self.buckets, value)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None:
+                series = self._series[key] = _HistogramSeries(
+                    len(self.buckets))
+            if idx < len(series.bucket_counts):
+                series.bucket_counts[idx] += 1
+            series.total += value
+            series.count += 1
+            series.reservoir.append(value)
+
+    def percentile(self, q, **labels):
+        """Percentile ``q`` (0..100) over the bounded reservoir.
+
+        Returns ``None`` for an untouched series.  Exact over the last
+        ``512`` observations, which is what the dispatch report needs.
+        """
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            if series is None or not series.reservoir:
+                return None
+            data = sorted(series.reservoir)
+        rank = max(0, min(len(data) - 1,
+                          int(round(q / 100.0 * (len(data) - 1)))))
+        return data[rank]
+
+    def count(self, **labels):
+        """Observation count of the labelled series."""
+        key = self._key(labels)
+        with self._lock:
+            series = self._series.get(key)
+            return series.count if series else 0
+
+    def render(self):
+        """Prometheus text lines: cumulative buckets, ``_sum``, ``_count``."""
+        lines = ["# HELP %s %s" % (self.name, _escape_help(self.help)),
+                 "# TYPE %s histogram" % self.name]
+        for key, series in self.series():
+            pairs = _label_pairs(self.labelnames, key)
+            cumulative = 0
+            for bound, bucket_count in zip(self.buckets,
+                                           series.bucket_counts):
+                cumulative += bucket_count
+                le = _format_value(bound)
+                label_part = ('{%s,le="%s"}' % (pairs, le) if pairs
+                              else '{le="%s"}' % le)
+                lines.append("%s_bucket%s %d" % (self.name, label_part,
+                                                 cumulative))
+            inf_part = ('{%s,le="+Inf"}' % pairs if pairs
+                        else '{le="+Inf"}')
+            lines.append("%s_bucket%s %d" % (self.name, inf_part,
+                                             series.count))
+            label_part = "{%s}" % pairs if pairs else ""
+            lines.append("%s_sum%s %s" % (self.name, label_part,
+                                          _format_value(series.total)))
+            lines.append("%s_count%s %d" % (self.name, label_part,
+                                            series.count))
+        return lines
+
+    def series(self):
+        """Snapshot of label-values → series state, sorted."""
+        with self._lock:
+            items = list(self._series.items())
+        return sorted(items, key=lambda kv: kv[0])
+
+
+class MetricsRegistry:
+    """Named collection of metrics with idempotent registration.
+
+    ``counter``/``gauge``/``histogram`` are get-or-create: a second
+    call with the same name returns the existing instrument (and
+    raises if the kind or labelnames disagree), so call sites never
+    need import-order coordination.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._metrics = {}
+        self._collectors = []
+
+    def _get_or_create(self, cls, name, help, labelnames, **kwargs):
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if (type(existing) is not cls
+                        or existing.labelnames != tuple(labelnames)):
+                    raise ValueError(
+                        "metric %r re-registered with a different "
+                        "kind or labels" % (name,))
+                return existing
+            metric = cls(name, help, labelnames, **kwargs)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name, help, labelnames=()):
+        """Get or create a :class:`Counter`."""
+        return self._get_or_create(Counter, name, help, labelnames)
+
+    def gauge(self, name, help, labelnames=()):
+        """Get or create a :class:`Gauge`."""
+        return self._get_or_create(Gauge, name, help, labelnames)
+
+    def histogram(self, name, help, labelnames=(),
+                  buckets=DEFAULT_BUCKETS):
+        """Get or create a :class:`Histogram`."""
+        return self._get_or_create(Histogram, name, help, labelnames,
+                                   buckets=buckets)
+
+    def add_collector(self, fn):
+        """Register a zero-arg callback run at the top of each render.
+
+        Collectors refresh point-in-time gauges (queue depths, uptime)
+        so scrapes see current state without per-event bookkeeping.
+        """
+        with self._lock:
+            self._collectors.append(fn)
+
+    def metrics(self):
+        """All registered metrics, sorted by name."""
+        with self._lock:
+            return [self._metrics[name]
+                    for name in sorted(self._metrics)]
+
+    def render(self):
+        """Prometheus text exposition for every metric (ends with \\n)."""
+        for fn in list(self._collectors):
+            try:
+                fn()
+            except Exception:
+                pass  # a broken collector must not kill the scrape
+        lines = []
+        for metric in self.metrics():
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n" if lines else ""
+
+    def snapshot(self):
+        """JSON-friendly view: name → {kind, help, series list}."""
+        for fn in list(self._collectors):
+            try:
+                fn()
+            except Exception:
+                pass
+        out = {}
+        for metric in self.metrics():
+            series = []
+            if isinstance(metric, Histogram):
+                for key, state in metric.series():
+                    series.append({
+                        "labels": dict(zip(metric.labelnames, key)),
+                        "count": state.count,
+                        "sum": state.total,
+                    })
+            else:
+                for key, value in metric.series():
+                    series.append({
+                        "labels": dict(zip(metric.labelnames, key)),
+                        "value": value,
+                    })
+            out[metric.name] = {"kind": metric.kind,
+                                "help": metric.help,
+                                "series": series}
+        return out
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry():
+    """The process-wide default registry shared by every layer."""
+    return _REGISTRY

@@ -16,9 +16,22 @@ one asyncio event loop, no framework.  The API (all JSON; auth per
                             replay
 ``GET /v1/jobs/<id>/results``  collected results (nulls until done)
 ``DELETE /v1/jobs/<id>``    cancel: unscheduled points never run
-``GET /v1/healthz``         liveness + version (never needs auth)
-``GET /v1/metrics``         queue/engine/uptime counters
+``GET /v1/healthz``         liveness + version + engine-tier
+                            availability (never needs auth)
+``GET /v1/metrics``         Prometheus text exposition (JSON when the
+                            ``Accept`` header asks for it)
+``GET /v1/metrics.json``    the JSON metrics document, always
+``GET /v1/dashboard``       the live cluster dashboard (static HTML,
+                            never needs auth; its API calls do)
 ==========================  ============================================
+
+Every job submission mints (or accepts, via ``X-Repro-Trace`` /
+``"trace"`` in the body) a **trace id** that rides through the
+scheduler into the engine, remote chunks, and worker daemons — see
+:mod:`repro.obs.tracing`; ``repro trace <id>`` renders the result.
+Per-tenant usage (jobs, points, cache hits, degraded rounds, queue
+wait) is accounted in the process-wide metrics registry keyed by the
+authenticated client name and exposed as Prometheus series.
 
 Execution model: a single scheduler task repeatedly asks the
 :class:`~repro.service.jobs.JobQueue` for a fair-share **round** of at
@@ -61,7 +74,11 @@ from repro.engine import BatchEngine
 from repro.engine.faults import fault
 from repro.engine.spec import RunSpec
 from repro.engine.version import code_version
+from repro.obs import metrics as _metrics
+from repro.obs import tracing as _tracing
+from repro.obs.health import engine_tier_report
 from repro.service.auth import authorized, service_token
+from repro.service.dashboard import DASHBOARD_HTML
 from repro.service.jobs import JobQueue
 from repro.trace.workloads import WORKLOADS
 
@@ -73,6 +90,54 @@ MAX_POINTS_PER_JOB = 100_000
 
 _JSON = "application/json"
 _NDJSON = "application/x-ndjson"
+_HTML = "text/html; charset=utf-8"
+#: The Prometheus text exposition content type (format 0.0.4).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_REGISTRY = _metrics.get_registry()
+_HTTP_REQUESTS = _REGISTRY.counter(
+    "repro_gateway_requests_total",
+    "HTTP requests served, by normalized route.",
+    labelnames=("route",))
+_TENANT_JOBS = _REGISTRY.counter(
+    "repro_tenant_jobs_total",
+    "Jobs submitted, per authenticated client.",
+    labelnames=("client",))
+_TENANT_POINTS = _REGISTRY.counter(
+    "repro_tenant_points_total",
+    "Points delivered, per client and source (executed/cached).",
+    labelnames=("client", "source"))
+_TENANT_DEGRADED = _REGISTRY.counter(
+    "repro_tenant_degraded_rounds_total",
+    "Scheduler rounds completed in degraded mode, per client.",
+    labelnames=("client",))
+_TENANT_QUEUE_WAIT = _REGISTRY.histogram(
+    "repro_tenant_queue_wait_seconds",
+    "Submission-to-first-schedule wait, per client.",
+    labelnames=("client",))
+_UPTIME_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_uptime_seconds", "Gateway uptime at scrape time.")
+_JOBS_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_jobs", "Known jobs by lifecycle state.",
+    labelnames=("state",))
+_PENDING_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_points_pending",
+    "Unscheduled points across queued/running jobs.")
+_ROUNDS_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_rounds_total", "Scheduler rounds started.")
+_POINTS_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_points_total",
+    "Points delivered by this gateway, by source.",
+    labelnames=("source",))
+_ROUND_FAILURES_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_round_failures_total",
+    "Scheduler rounds that died whole.")
+_UNAUTHORIZED_GAUGE = _REGISTRY.gauge(
+    "repro_gateway_unauthorized_total", "Requests refused by auth.")
+_BUILD_INFO = _REGISTRY.gauge(
+    "repro_build_info",
+    "Constant 1, labelled with the code-version fingerprint.",
+    labelnames=("version",))
 
 
 class _HttpError(Exception):
@@ -144,6 +209,8 @@ class Gateway:
         self._server = None
         self._scheduler = None
         self._work = None  # asyncio.Event, created on the loop in start()
+        self._engines_report = None  # cached tier probe for /v1/healthz
+        self._engines_probed_at = 0.0
 
     # -- lifecycle ---------------------------------------------------
 
@@ -286,7 +353,18 @@ class Gateway:
             if job.state == "queued":
                 job.state = "running"
                 job.started = now
+                # Queue-wait accounting at the queued→running edge:
+                # one observation (and one span) per job lifetime.
+                wait = max(0.0, now - job.created)
+                _TENANT_QUEUE_WAIT.observe(wait, client=job.client)
+                if job.trace is not None:
+                    _tracing.record_span(
+                        "queue", "gateway.queue-wait", job.created,
+                        wait, trace=job.trace,
+                        attrs={"job": job.job_id,
+                               "client": job.client})
         specs = [job.specs[index] for job, index in round_]
+        traces = [job.trace for job, _ in round_]
         base_executed, base_cached = self.points_executed, self.points_cached
         # Counted at round *start*: a client that has observed any of
         # this round's points (or the terminal event they trigger) must
@@ -298,10 +376,17 @@ class Gateway:
             # Worker thread: the only thread that touches the engine.
             if fault("gateway.round"):
                 raise RuntimeError("injected fault: scheduler round died")
-            for position, _, result in self.engine.run_specs_iter(specs):
+            last_executed = 0
+            for position, _, result in self.engine.run_specs_iter(
+                    specs, trace=traces):
                 batch = self.engine.last_batch
                 executed = base_executed + batch.executed
                 cached = base_cached + batch.store_hits + batch.memo_hits
+                # A yield that advanced batch.executed came off the
+                # executor; anything else was served by memo/store (or
+                # deduplicated onto an already-executed key).
+                from_cache = batch.executed == last_executed
+                last_executed = batch.executed
                 job, index = round_[position]
                 try:
                     # One loop callback updates the counters AND
@@ -309,7 +394,8 @@ class Gateway:
                     # the terminal event it triggers) can never read
                     # stale /v1/metrics afterwards.
                     loop.call_soon_threadsafe(self._land_point, executed,
-                                              cached, job, index, result)
+                                              cached, job, index, result,
+                                              from_cache)
                 except RuntimeError:
                     # The loop closed mid-round (gateway shutdown with
                     # work in flight): stop simulating for nobody.
@@ -331,6 +417,8 @@ class Gateway:
                 base_cached + batch.store_hits + batch.memo_hits)
             if batch.degraded:
                 self.degraded = dict(batch.degraded)
+                for client in {job.client for job, _ in round_}:
+                    _TENANT_DEGRADED.inc(client=client)
         else:
             # engine.last_batch may be stale (the round can die before
             # the engine starts), so no counter sync on this path.
@@ -338,10 +426,13 @@ class Gateway:
             self.last_round_error = failure
             self._requeue_round(round_, failure)
 
-    def _land_point(self, executed, cached, job, index, result):
+    def _land_point(self, executed, cached, job, index, result,
+                    from_cache=False):
         """Event-loop callback: publish one point with counters current."""
         self.points_executed = max(self.points_executed, executed)
         self.points_cached = max(self.points_cached, cached)
+        _TENANT_POINTS.inc(client=job.client,
+                           source="cached" if from_cache else "executed")
         job.deliver(index, result)
 
     def _requeue_round(self, round_, message):
@@ -436,14 +527,31 @@ class Gateway:
         return await reader.readexactly(length) if length else b""
 
     async def _dispatch(self, reader, writer, method, path, query, headers):
+        _HTTP_REQUESTS.inc(route=self._route_label(path))
         if path == "/v1/healthz" and method == "GET":
             await self._send_json(writer, 200, self._healthz())
+            return
+        if path == "/v1/dashboard" and method == "GET":
+            # The page itself holds no data; every API call it makes is
+            # authenticated, so serving the static HTML needs no token.
+            await self._send_text(writer, 200, DASHBOARD_HTML, _HTML)
             return
         if not authorized(headers, self.token):
             self.unauthorized += 1
             raise _HttpError(401, "unauthorized: set REPRO_TOKEN and "
                                   "send 'Authorization: Bearer <token>'")
         if path == "/v1/metrics" and method == "GET":
+            # Content negotiation: Prometheus text by default, the JSON
+            # document when the client asks for application/json (the
+            # GatewayClient always does — existing callers see no
+            # change).  /v1/metrics.json is the explicit JSON route.
+            if _JSON in headers.get("accept", ""):
+                await self._send_json(writer, 200, self.metrics())
+            else:
+                await self._send_text(writer, 200, self.prometheus(),
+                                      PROMETHEUS_CONTENT_TYPE)
+            return
+        if path == "/v1/metrics.json" and method == "GET":
             await self._send_json(writer, 200, self.metrics())
             return
         if path == "/v1/jobs" and method == "POST":
@@ -522,7 +630,14 @@ class Gateway:
         client = (headers.get("x-repro-client")
                   or str(payload.get("client") or "")
                   or self._peer_name(writer))
-        job = self.queue.submit(client, specs)
+        # Every job gets a trace id: the client's own (X-Repro-Trace
+        # header or "trace" in the body — a sweep spanning several
+        # submissions can share one) or a freshly minted one.
+        trace = (headers.get("x-repro-trace")
+                 or str(payload.get("trace") or "")
+                 or _tracing.new_trace_id())
+        job = self.queue.submit(client, specs, trace=trace)
+        _TENANT_JOBS.inc(client=client)
         if self.journal is not None and not job.is_finished:
             # Submit record lands before the 201 acknowledgement, so an
             # acknowledged job is always recoverable.
@@ -534,6 +649,7 @@ class Gateway:
             "points": len(specs),
             "state": job.state,
             "client": client,
+            "trace": job.trace,
             "links": {
                 "status": f"/v1/jobs/{job.job_id}",
                 "stream": f"/v1/jobs/{job.job_id}/stream",
@@ -572,6 +688,25 @@ class Gateway:
         peer = writer.get_extra_info("peername")
         return peer[0] if peer else "unknown"
 
+    @staticmethod
+    def _route_label(path):
+        """Collapse job ids out of a path for the per-route counter."""
+        parts = [p for p in path.split("/") if p]
+        if len(parts) >= 3 and parts[:2] == ["v1", "jobs"]:
+            tail = parts[3] if len(parts) >= 4 else None
+            return "/v1/jobs/*" + (f"/{tail}" if tail else "")
+        return path
+
+    async def _send_text(self, writer, status, text, content_type):
+        body = text.encode("utf-8")
+        reason = {200: "OK"}.get(status, "OK")
+        writer.write(
+            f"HTTP/1.1 {status} {reason}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n".encode("latin-1") + body)
+        await writer.drain()
+
     async def _send_json(self, writer, status, payload):
         body = json.dumps(payload, sort_keys=True).encode("utf-8") + b"\n"
         reason = {200: "OK", 201: "Created", 400: "Bad Request",
@@ -586,14 +721,75 @@ class Gateway:
             f"Connection: close\r\n\r\n".encode("latin-1") + body)
         await writer.drain()
 
+    def _engines(self):
+        """The engine-tier report, probed at most once a minute.
+
+        ``/v1/healthz`` is auth-exempt and load balancers poll it, so
+        the toolchain probe behind :func:`engine_tier_report` must not
+        run per request.
+        """
+        now = time.time()
+        if (self._engines_report is None
+                or now - self._engines_probed_at > 60.0):
+            self._engines_report = engine_tier_report()
+            self._engines_probed_at = now
+        return self._engines_report
+
     def _healthz(self):
         return {"ok": True, "version": self.version,
                 "auth": self.token is not None,
                 "uptime": time.time() - self.started_at,
-                "jobs": self.queue.counters()["jobs"]}
+                "jobs": self.queue.counters()["jobs"],
+                "engines": self._engines()}
+
+    def _refresh_gauges(self):
+        """Point-in-time gauges, set at scrape time."""
+        counters = self.queue.counters()
+        _UPTIME_GAUGE.set(time.time() - self.started_at)
+        for state, count in counters["jobs"].items():
+            _JOBS_GAUGE.set(count, state=state)
+        _PENDING_GAUGE.set(counters["points_pending"])
+        _ROUNDS_GAUGE.set(self.rounds)
+        _POINTS_GAUGE.set(self.points_executed, source="executed")
+        _POINTS_GAUGE.set(self.points_cached, source="cached")
+        _ROUND_FAILURES_GAUGE.set(self.round_failures)
+        _UNAUTHORIZED_GAUGE.set(self.unauthorized)
+        _BUILD_INFO.set(1, version=self.version)
+
+    def prometheus(self):
+        """The Prometheus text exposition ``GET /v1/metrics`` serves."""
+        self._refresh_gauges()
+        return _REGISTRY.render()
+
+    def _tenants(self):
+        """Per-tenant usage, read back from the metrics registry."""
+        tenants = {}
+
+        def entry(client):
+            return tenants.setdefault(client, {
+                "jobs": 0, "points_executed": 0, "points_cached": 0,
+                "degraded_rounds": 0, "queue_wait_p50": None})
+
+        for (client,), value in _TENANT_JOBS.series():
+            entry(client)["jobs"] = int(value)
+        for (client, source), value in _TENANT_POINTS.series():
+            entry(client)[f"points_{source}"] = int(value)
+        for (client,), value in _TENANT_DEGRADED.series():
+            entry(client)["degraded_rounds"] = int(value)
+        for (client,), _state in _TENANT_QUEUE_WAIT.series():
+            p50 = _TENANT_QUEUE_WAIT.percentile(50, client=client)
+            entry(client)["queue_wait_p50"] = (
+                round(p50, 6) if p50 is not None else None)
+        return tenants
+
+    def _jobs_recent(self, limit=20):
+        """Snapshots of the most recently created jobs (dashboard)."""
+        jobs = sorted(self.queue.jobs.values(),
+                      key=lambda job: job.created, reverse=True)
+        return [job.snapshot() for job in jobs[:limit]]
 
     def metrics(self):
-        """The ``/v1/metrics`` document: queue + engine + gateway counters."""
+        """The JSON metrics document (``/v1/metrics.json``)."""
         executor = type(self.engine.executor).__name__
         return {
             "uptime": time.time() - self.started_at,
@@ -612,4 +808,6 @@ class Gateway:
             "executor": executor,
             "store": self.engine.store is not None,
             "queue": self.queue.counters(),
+            "tenants": self._tenants(),
+            "jobs_recent": self._jobs_recent(),
         }

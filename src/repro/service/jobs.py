@@ -43,9 +43,13 @@ def new_job_id():
 class Job:
     """One submitted grid and everything observable about it."""
 
-    def __init__(self, job_id, client, specs):
+    def __init__(self, job_id, client, specs, trace=None):
         self.job_id = job_id
         self.client = client
+        #: Trace id minted at submission (``None`` for untraced jobs);
+        #: rides through the scheduler into engine/worker spans and is
+        #: echoed in the submit response and the status snapshot.
+        self.trace = trace
         self.specs = list(specs)
         self.results = [None] * len(self.specs)
         self.state = "queued"
@@ -206,6 +210,7 @@ class Job:
         return {
             "id": self.job_id,
             "client": self.client,
+            "trace": self.trace,
             "state": self.state,
             "points": len(self.specs),
             "done": self.done_points,
@@ -239,15 +244,16 @@ class JobQueue:
         for job_id in terminal[:max(0, len(terminal) - self.max_finished)]:
             del self.jobs[job_id]
 
-    def submit(self, client, specs, job_id=None):
+    def submit(self, client, specs, job_id=None, trace=None):
         """Register a new job for ``client``; returns the :class:`Job`.
 
         ``job_id`` lets WAL recovery re-create a job under its original
         id (so client handles survive a gateway restart); new
-        submissions leave it unset and get a fresh id.
+        submissions leave it unset and get a fresh id.  ``trace`` is
+        the optional trace id minted at submission.
         """
         self._evict_finished()
-        job = Job(job_id or new_job_id(), client, specs)
+        job = Job(job_id or new_job_id(), client, specs, trace=trace)
         self.jobs[job.job_id] = job
         if job.pending_points:
             if client not in self._backlog:

@@ -1,0 +1,107 @@
+"""Opt-in engine profiling: off by default, bit-identical when off."""
+
+import pytest
+
+from repro.engine import ResultStore, RunSpec, execute_spec
+from repro.obs.profile import (
+    STALL_FIELDS,
+    attach_profile,
+    build_profile,
+    profiling_enabled,
+)
+from repro.uarch.config import conventional_config
+
+
+def small_spec(seed=3):
+    return RunSpec("go", conventional_config()).resolved(400, 100, seed)
+
+
+class TestSwitch:
+    def test_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        assert not profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["0", "false", "off", "no", ""])
+    def test_falsey_values_disable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert not profiling_enabled()
+
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy_values_enable(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_PROFILE", value)
+        assert profiling_enabled()
+
+
+class TestAttach:
+    def test_off_is_a_no_op(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        result = execute_spec(small_spec())
+        assert "profile" not in result.extra
+
+    def test_on_attaches_profile(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        result = execute_spec(small_spec())
+        profile = result.extra["profile"]
+        assert profile["kips"] > 0
+        assert profile["elapsed"] > 0
+        assert profile["committed"] == result.stats.committed
+        assert set(profile["stalls"]) == set(STALL_FIELDS)
+        for entry in profile["stalls"].values():
+            assert 0.0 <= entry["frac"] <= 1.0
+            assert entry["count"] >= 0
+
+    def test_profile_never_mutates_stats(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        plain = execute_spec(small_spec()).to_dict()
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        profiled = execute_spec(small_spec())
+        stripped = profiled.to_dict()
+        stripped["extra"] = {k: v for k, v in stripped["extra"].items()
+                             if k != "profile"}
+        assert stripped == plain
+
+    def test_build_profile_handles_zero_elapsed(self):
+        result = execute_spec(small_spec())
+        profile = build_profile(result, 0.0)
+        assert profile["kips"] == 0.0
+
+    def test_attach_returns_result_for_chaining(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        result = execute_spec(small_spec())
+        assert attach_profile(result, 0.1) is result
+
+
+class TestStoreStripping:
+    def test_persisted_records_are_bit_identical(self, tmp_path,
+                                                 monkeypatch):
+        """The store must strip extra['profile'] so on-disk records are
+        byte-identical with profiling on or off."""
+        spec = small_spec(seed=5)
+
+        monkeypatch.delenv("REPRO_PROFILE", raising=False)
+        store_off = ResultStore(tmp_path / "off")
+        store_off.put(spec.key(), execute_spec(spec))
+
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        result = execute_spec(spec)
+        assert "profile" in result.extra
+        store_on = ResultStore(tmp_path / "on")
+        store_on.put(spec.key(), result)
+
+        # The live result keeps its profile — only persistence strips.
+        assert "profile" in result.extra
+
+        def payload(directory):
+            (segment,) = ResultStore(directory).segment_paths()
+            return segment.read_bytes()
+
+        assert payload(tmp_path / "on") == payload(tmp_path / "off")
+
+    def test_round_tripped_record_has_no_profile(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_PROFILE", "1")
+        spec = small_spec(seed=9)
+        store = ResultStore(tmp_path)
+        store.put(spec.key(), execute_spec(spec))
+        recalled = ResultStore(tmp_path).get(spec.key())
+        assert "profile" not in (recalled.extra or {})

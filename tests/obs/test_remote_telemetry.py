@@ -1,0 +1,135 @@
+"""Telemetry across the remote backend: wire trace, spans, latency."""
+
+import os
+
+import pytest
+
+from repro.engine import RemoteExecutor, RunSpec, WorkerServer
+from repro.obs.metrics import get_registry
+from repro.obs.tracing import new_trace_id, read_spans, trace_context
+from repro.uarch.config import conventional_config, virtual_physical_config
+
+
+def small_grid(seed=13):
+    return [RunSpec(w, c).resolved(400, 100, seed)
+            for w in ("go", "swim")
+            for c in (conventional_config(),
+                      virtual_physical_config(nrr=8))]
+
+
+@pytest.fixture
+def worker(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    server = WorkerServer(port=0)
+    server.serve_in_thread()
+    yield server
+    server.shutdown()
+    server.server_close()
+
+
+class TestWireTrace:
+    def test_trace_crosses_the_executor_and_lands_in_worker_spans(
+            self, worker, tmp_path):
+        executor = RemoteExecutor(workers=[worker.address], max_task_attempts=2)
+        trace = new_trace_id()
+        specs = small_grid()
+        with trace_context(trace):
+            results = executor.run(specs)
+        assert len(results) == len(specs)
+
+        spans = read_spans(directory=tmp_path, trace=trace)
+        phases = {span["phase"] for span in spans}
+        # Coordinator side records chunk dispatches; the worker (same
+        # process, in-thread server) records run + store phases.
+        assert "chunk" in phases
+        assert "run" in phases
+        names = {span["name"] for span in spans}
+        assert "remote.chunk" in names
+        assert "worker.run-batch" in names
+        assert {span["trace"] for span in spans} == {trace}
+
+    def test_untraced_remote_run_writes_no_spans(self, worker, tmp_path):
+        executor = RemoteExecutor(workers=[worker.address], max_task_attempts=2)
+        executor.run(small_grid(seed=17))
+        assert read_spans(directory=tmp_path) == []
+
+    def test_worker_tolerates_missing_trace_field(self, worker):
+        """Version tolerance: the wire field is optional both ways."""
+        payload = {
+            "op": "run_batch",
+            "specs": [spec.to_dict() for spec in small_grid(seed=19)[:1]],
+        }
+        from repro.engine.remote import _request
+
+        reply = _request(worker.address, payload, timeout=30)
+        assert reply["ok"]
+        assert len(reply["results"]) == 1
+
+
+class TestLatencyReport:
+    def test_worker_latency_in_last_run_report(self, worker):
+        executor = RemoteExecutor(workers=[worker.address], max_task_attempts=2)
+        executor.run(small_grid(seed=23))
+        report = executor.last_run_report
+        key = "%s:%d" % worker.address
+        latency = report["worker_latency"][key]
+        assert set(latency) == {"p50", "p95", "chunks", "retries",
+                                "breaker_opens"}
+        assert latency["chunks"] >= 1
+        assert latency["p50"] is not None
+        assert latency["p50"] <= latency["p95"]
+        assert latency["breaker_opens"] == 0
+
+    def test_chunk_metrics_accumulate_in_the_registry(self, worker):
+        executor = RemoteExecutor(workers=[worker.address], max_task_attempts=2)
+        key = "%s:%d" % worker.address
+        chunks = get_registry().counter(
+            "repro_remote_chunks_total",
+            "Chunks dispatched to remote workers.",
+            labelnames=("worker", "outcome"))
+        before = chunks.value(worker=key, outcome="ok")
+        executor.run(small_grid(seed=29))
+        assert chunks.value(worker=key, outcome="ok") > before
+
+    def test_worker_spec_counters_move(self, worker):
+        sources = get_registry().counter(
+            "repro_worker_specs_total",
+            "Specs served by this worker process.",
+            labelnames=("source",))
+        before = sources.value(source="executed")
+        worker_pid_specs = small_grid(seed=31)
+        RemoteExecutor(workers=[worker.address],
+                       max_task_attempts=2).run(worker_pid_specs)
+        assert (sources.value(source="executed")
+                >= before + len(worker_pid_specs))
+
+
+class TestBreakerCallback:
+    def test_on_open_fires_outside_the_lock(self):
+        from repro.engine.resilience import CircuitBreaker
+
+        opened = []
+        breaker = CircuitBreaker(threshold=2, cooldown=60,
+                                 on_open=opened.append)
+        breaker.record_failure("w1")
+        assert opened == []
+        breaker.record_failure("w1")
+        assert opened == ["w1"]
+        # Already open: further failures do not re-fire.
+        breaker.record_failure("w1")
+        assert opened == ["w1"]
+
+    def test_half_open_probe_failure_refires(self):
+        from repro.engine.resilience import CircuitBreaker
+
+        clock = [0.0]
+        opened = []
+        breaker = CircuitBreaker(threshold=1, cooldown=10,
+                                 clock=lambda: clock[0],
+                                 on_open=opened.append)
+        breaker.record_failure("w1")
+        assert opened == ["w1"]
+        clock[0] = 11.0  # cooldown elapsed: half-open probe allowed
+        assert breaker.allows("w1")
+        breaker.record_failure("w1")  # probe failed: open again
+        assert opened == ["w1", "w1"]

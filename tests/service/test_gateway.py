@@ -200,7 +200,8 @@ class TestAuth:
         host, port = handle.address
         connection = http.client.HTTPConnection(host, port, timeout=10)
         connection.request("GET", "/v1/metrics",
-                           headers={"X-Repro-Token": "hunter2"})
+                           headers={"X-Repro-Token": "hunter2",
+                                    "Accept": "application/json"})
         response = connection.getresponse()
         assert response.status == 200
         body = json.loads(response.read())

@@ -15,9 +15,9 @@ def load_checker():
 
 
 def test_docs_suite_exists():
-    for name in ("architecture.md", "engine.md", "renaming-policies.md",
-                 "reproducing-the-paper.md", "resilience.md",
-                 "service.md"):
+    for name in ("architecture.md", "engine.md", "observability.md",
+                 "renaming-policies.md", "reproducing-the-paper.md",
+                 "resilience.md", "service.md"):
         assert (REPO_ROOT / "docs" / name).is_file(), name
 
 
@@ -44,19 +44,24 @@ def test_quickstart_smoke_blocks_are_marked():
                / "service.md").read_text(encoding="utf-8")
     resilience = (REPO_ROOT / "docs"
                   / "resilience.md").read_text(encoding="utf-8")
+    observability = (REPO_ROOT / "docs"
+                     / "observability.md").read_text(encoding="utf-8")
     readme_blocks = list(checker.iter_smoke_blocks(readme))
     engine_blocks = list(checker.iter_smoke_blocks(engine))
     policy_blocks = list(checker.iter_smoke_blocks(policies))
     service_blocks = list(checker.iter_smoke_blocks(service))
     resilience_blocks = list(checker.iter_smoke_blocks(resilience))
+    observability_blocks = list(checker.iter_smoke_blocks(observability))
     assert len(readme_blocks) >= 2  # CLI quickstart + library quickstart
     assert len(engine_blocks) >= 2  # cluster walkthrough + engine-tier A/B
     assert len(policy_blocks) >= 2  # registry walk + port sweep
     assert len(service_blocks) >= 1  # the gateway curl walkthrough
     assert len(resilience_blocks) >= 1  # the corrupt-and-repair loop
+    assert len(observability_blocks) >= 1  # the trace/top/profile tour
     languages = {lang for lang, _ in
                  readme_blocks + engine_blocks + policy_blocks
-                 + service_blocks + resilience_blocks}
+                 + service_blocks + resilience_blocks
+                 + observability_blocks}
     assert languages <= {"bash", "python"}
     # The cluster walkthrough really exercises the remote backend.
     assert any("--workers" in source for _, source in engine_blocks)
@@ -75,6 +80,12 @@ def test_quickstart_smoke_blocks_are_marked():
     assert any("REPRO_FAULTS" in source for _, source in resilience_blocks)
     assert any("verify --repair" in source
                for _, source in resilience_blocks)
+    # The observability tour really traces a sweep and inspects it.
+    assert any("--trace" in source for _, source in observability_blocks)
+    assert any("repro trace" in source
+               for _, source in observability_blocks)
+    assert any("--profile" in source
+               for _, source in observability_blocks)
 
 
 def test_readme_links_docs_suite():
